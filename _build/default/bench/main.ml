@@ -1,0 +1,100 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (the same rows/series the paper reports; see EXPERIMENTS.md for the
+   paper-vs-measured comparison).  Part 2 times the compiler policies and
+   the simulation engines with Bechamel.
+
+   Run with: dune exec bench/main.exe
+   To skip the timing section: dune exec bench/main.exe -- --no-perf *)
+
+module Registry = Vqc_experiments.Registry
+module Context = Vqc_experiments.Context
+module Compiler = Vqc_mapper.Compiler
+module Monte_carlo = Vqc_sim.Monte_carlo
+module Reliability = Vqc_sim.Reliability
+module Catalog = Vqc_workloads.Catalog
+module Rng = Vqc_rng.Rng
+
+let regenerate_artifacts () =
+  let ctx = Context.default in
+  Registry.run_all Format.std_formatter ctx;
+  Format.pp_print_flush Format.std_formatter ()
+
+(* ---- Bechamel timing ------------------------------------------------ *)
+
+let compile_test ctx name policy =
+  let circuit = (Catalog.find name).Catalog.circuit in
+  let device = ctx.Context.q20 in
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "compile/%s/%s" name policy.Compiler.label)
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Compiler.compile device policy circuit)))
+
+let monte_carlo_test ctx trials =
+  let circuit = (Catalog.find "bv-16").Catalog.circuit in
+  let device = ctx.Context.q20 in
+  let compiled = Compiler.compile device Compiler.vqa_vqm circuit in
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "monte-carlo/bv-16/%d-trials" trials)
+    (Bechamel.Staged.stage (fun () ->
+         ignore
+           (Monte_carlo.run ~trials (Rng.make 1) device
+              compiled.Compiler.physical)))
+
+let analytic_test ctx =
+  let circuit = (Catalog.find "qft-14").Catalog.circuit in
+  let device = ctx.Context.q20 in
+  let compiled = Compiler.compile device Compiler.vqa_vqm circuit in
+  Bechamel.Test.make ~name:"analytic-pst/qft-14"
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Reliability.pst device compiled.Compiler.physical)))
+
+let run_timings () =
+  let open Bechamel in
+  let ctx = Context.default in
+  let tests =
+    Test.make_grouped ~name:"vqc"
+      [
+        compile_test ctx "bv-16" Compiler.baseline;
+        compile_test ctx "bv-16" Compiler.vqm;
+        compile_test ctx "bv-16" Compiler.vqa_vqm;
+        compile_test ctx "qft-12" Compiler.baseline;
+        compile_test ctx "qft-12" Compiler.vqa_vqm;
+        compile_test ctx "alu" (Compiler.native ~seed:1);
+        monte_carlo_test ctx 10_000;
+        analytic_test ctx;
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| "run" |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  print_newline ();
+  print_endline "Timing (Bechamel, monotonic clock)";
+  print_endline "==================================";
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let nanoseconds =
+          match Analyze.OLS.estimates ols with
+          | Some (estimate :: _) -> estimate
+          | Some [] | None -> Float.nan
+        in
+        (name, nanoseconds) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, nanoseconds) ->
+      Printf.printf "%-44s %12.0f ns/run  (%.3f ms)\n" name nanoseconds
+        (nanoseconds /. 1e6))
+    rows
+
+let () =
+  let skip_perf = Array.exists (( = ) "--no-perf") Sys.argv in
+  regenerate_artifacts ();
+  if not skip_perf then run_timings ()

@@ -1,0 +1,58 @@
+(* Run paper-artifact reproductions by id: `vqc-experiments fig12 tab3`,
+   or everything with `vqc-experiments all`. *)
+
+module Registry = Vqc_experiments.Registry
+module Context = Vqc_experiments.Context
+
+open Cmdliner
+
+let run_ids seed ids =
+  let ctx = Context.make ~seed in
+  let ppf = Format.std_formatter in
+  let run_one id =
+    match id with
+    | "all" ->
+      Registry.run_all ppf ctx;
+      Ok ()
+    | id -> begin
+      match Registry.find id with
+      | e ->
+        e.Registry.run ppf ctx;
+        Format.pp_print_flush ppf ();
+        Ok ()
+      | exception Not_found ->
+        Error
+          (Printf.sprintf "unknown experiment %S; available: %s" id
+             (String.concat ", " ("all" :: Registry.ids ())))
+    end
+  in
+  let rec run_list = function
+    | [] -> Ok ()
+    | id :: rest -> begin
+      match run_one id with Ok () -> run_list rest | Error _ as e -> e
+    end
+  in
+  match run_list (if ids = [] then [ "all" ] else ids) with
+  | Ok () -> 0
+  | Error message ->
+    prerr_endline message;
+    1
+
+let seed_term =
+  let doc =
+    "Seed for the synthetic calibration model (2 is the documented \
+     representative chip)."
+  in
+  Arg.(value & opt int 2 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let ids_term =
+  let doc = "Experiment ids (fig5..fig16, tab1..tab3, abl-*, or 'all')." in
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+
+let cmd =
+  let doc = "reproduce the figures and tables of the ASPLOS'19 paper" in
+  Cmd.v
+    (Cmd.info "vqc-experiments" ~doc)
+    Term.(const run_ids $ seed_term $ ids_term)
+
+let () = exit (Cmd.eval' cmd)

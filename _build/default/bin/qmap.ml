@@ -1,0 +1,281 @@
+(* qmap: compile a benchmark (or a QASM file) for a simulated NISQ device
+   under a chosen policy and report SWAP overhead and PST.
+
+   Examples:
+     qmap --workload bv-16 --policy vqa+vqm
+     qmap --qasm circuit.qasm --device q5 --policy baseline --trials 100000
+     qmap --workload qft-12 --policy all --emit-qasm out.qasm *)
+
+module Device = Vqc_device.Device
+module Calibration_model = Vqc_device.Calibration_model
+module History = Vqc_device.History
+module Topologies = Vqc_device.Topologies
+module Circuit = Vqc_circuit.Circuit
+module Qasm = Vqc_circuit.Qasm
+module Compiler = Vqc_mapper.Compiler
+module Reliability = Vqc_sim.Reliability
+module Monte_carlo = Vqc_sim.Monte_carlo
+module Budget = Vqc_sim.Budget
+module Rng = Vqc_rng.Rng
+
+open Cmdliner
+
+let load_circuit workload qasm_path =
+  match (workload, qasm_path) with
+  | Some _, Some _ -> Error "--workload and --qasm are mutually exclusive"
+  | None, None -> Error "one of --workload or --qasm is required"
+  | Some name, None -> begin
+    match Vqc_workloads.Catalog.find name with
+    | entry -> Ok entry.Vqc_workloads.Catalog.circuit
+    | exception Not_found ->
+      Error
+        (Printf.sprintf "unknown workload %S; try one of: %s" name
+           (String.concat ", " (Vqc_workloads.Catalog.names ())))
+  end
+  | None, Some path -> begin
+    match In_channel.with_open_text path In_channel.input_all with
+    | text -> begin
+      match Qasm.of_string text with
+      | Ok circuit -> Ok circuit
+      | Error message -> Error (Printf.sprintf "%s: %s" path message)
+    end
+    | exception Sys_error message -> Error message
+  end
+
+let make_device name seed device_file calibration_csv =
+  match (device_file, calibration_csv) with
+  | Some _, Some _ ->
+    Error "--device-file and --calibration-csv are mutually exclusive"
+  | _, Some path -> begin
+    match In_channel.with_open_text path In_channel.input_all with
+    | text -> begin
+      match
+        Vqc_device.Calibration_io.device_of_ibm_csv
+          ~name:(Filename.basename path) text
+      with
+      | Ok device -> Ok device
+      | Error message -> Error (Printf.sprintf "%s: %s" path message)
+    end
+    | exception Sys_error message -> Error message
+  end
+  | Some path, None -> begin
+    match In_channel.with_open_text path In_channel.input_all with
+    | text -> begin
+      match Device.of_string text with
+      | Ok device -> Ok device
+      | Error message -> Error (Printf.sprintf "%s: %s" path message)
+    end
+    | exception Sys_error message -> Error message
+  end
+  | None, None -> begin
+    match name with
+    | "q20" ->
+      let history =
+        History.generate ~days:52 ~seed ~coupling:Topologies.ibm_q20_tokyo 20
+      in
+      Ok
+        (Device.make ~name:"ibm-q20-tokyo" ~coupling:Topologies.ibm_q20_tokyo
+           (History.average history))
+    | "q5" -> Ok (Calibration_model.ibm_q5 ~seed)
+    | other -> Error (Printf.sprintf "unknown device %S (try q20 or q5)" other)
+  end
+
+let policies_of label =
+  match label with
+  | "baseline" -> Ok [ Compiler.baseline ]
+  | "vqm" -> Ok [ Compiler.vqm ]
+  | "vqm-mah4" -> Ok [ Compiler.vqm_limited 4 ]
+  | "vqa+vqm" -> Ok [ Compiler.vqa_vqm ]
+  | "vqa+vqm+readout" -> Ok [ Compiler.vqa_vqm_readout ]
+  | "vqm+bridge" -> Ok [ Compiler.vqm_bridge ]
+  | "sabre" -> Ok [ Compiler.sabre ]
+  | "noise-sabre" -> Ok [ Compiler.noise_sabre ]
+  | "native" -> Ok [ Compiler.native ~seed:1 ]
+  | "all" ->
+    Ok
+      [
+        Compiler.native ~seed:1;
+        Compiler.baseline;
+        Compiler.vqm;
+        Compiler.vqm_limited 4;
+        Compiler.vqa_vqm;
+      ]
+  | "all-extended" ->
+    Ok
+      [
+        Compiler.native ~seed:1;
+        Compiler.baseline;
+        Compiler.vqm;
+        Compiler.vqa_vqm;
+        Compiler.vqa_vqm_readout;
+        Compiler.vqm_bridge;
+        Compiler.sabre;
+        Compiler.noise_sabre;
+      ]
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown policy %S (baseline, vqm, vqm-mah4, vqa+vqm, \
+          vqa+vqm+readout, vqm+bridge, sabre, noise-sabre, native, all, \
+          all-extended)"
+         other)
+
+let setup_logging verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let run workload qasm_path device_name device_file calibration_csv save_device
+    policy_label seed trials emit_qasm verbose explain =
+  setup_logging verbose;
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
+  let result =
+    let* circuit = load_circuit workload qasm_path in
+    let* device = make_device device_name seed device_file calibration_csv in
+    (match save_device with
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Device.to_string device));
+      Printf.printf "wrote device configuration to %s\n" path
+    | None -> ());
+    let* policies = policies_of policy_label in
+    let stats = Circuit.stats circuit in
+    Printf.printf "program: %d qubits, %d gates (%d two-qubit), depth %d\n"
+      (Circuit.num_qubits circuit)
+      stats.Circuit.total_gates stats.Circuit.two_qubit_gates
+      stats.Circuit.depth;
+    Printf.printf "device:  %s (%d qubits, %d couplers), seed %d\n\n"
+      (Device.name device) (Device.num_qubits device)
+      (List.length (Device.coupling device))
+      seed;
+    List.iter
+      (fun policy ->
+        let compiled = Compiler.compile device policy circuit in
+        let breakdown = Reliability.analyze device compiled.Compiler.physical in
+        Printf.printf "%-12s swaps=%-3d depth=%-4d PST=%.6f duration=%.1fus\n"
+          policy.Compiler.label
+          (Compiler.swap_overhead compiled)
+          (Circuit.stats compiled.Compiler.physical).Circuit.depth
+          breakdown.Reliability.pst
+          (breakdown.Reliability.duration_ns /. 1000.0);
+        if explain then begin
+          let budget = Budget.analyze device compiled.Compiler.physical in
+          let top = List.filteri (fun i _ -> i < 8) budget in
+          Printf.printf "  error budget (top lines):\n";
+          List.iter
+            (fun line -> Format.printf "    %a@." Budget.pp_line line)
+            top;
+          Printf.printf "  total -log PST = %.4f\n"
+            (Budget.total_log_failure budget)
+        end;
+        if trials > 0 then begin
+          let mc =
+            Monte_carlo.run ~trials (Rng.make seed) device
+              compiled.Compiler.physical
+          in
+          Printf.printf "%-12s monte-carlo PST = %.6f +/- %.6f (%d trials)\n"
+            "" mc.Monte_carlo.pst mc.Monte_carlo.ci95 mc.Monte_carlo.trials
+        end;
+        match emit_qasm with
+        | Some path ->
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc
+                (Qasm.to_string compiled.Compiler.physical));
+          Printf.printf "wrote compiled circuit to %s\n" path
+        | None -> ())
+      policies;
+    Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error message ->
+    prerr_endline message;
+    1
+
+let workload_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Benchmark from the catalog.")
+
+let qasm_term =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "qasm" ] ~docv:"FILE" ~doc:"OpenQASM 2.0 program to compile.")
+
+let device_term =
+  Arg.(
+    value & opt string "q20"
+    & info [ "d"; "device" ] ~docv:"DEVICE" ~doc:"Target device: q20 or q5.")
+
+let device_file_term =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "device-file" ] ~docv:"FILE"
+        ~doc:"Load the device from a file written by --save-device.")
+
+let calibration_csv_term =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "calibration-csv" ] ~docv:"FILE"
+        ~doc:"Build the device from an IBM-style calibration CSV report.")
+
+let save_device_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-device" ] ~docv:"FILE"
+        ~doc:"Write the (generated or loaded) device configuration.")
+
+let policy_term =
+  Arg.(
+    value & opt string "all"
+    & info [ "p"; "policy" ] ~docv:"POLICY"
+        ~doc:"baseline, vqm, vqm-mah4, vqa+vqm, native, or all.")
+
+let seed_term =
+  Arg.(
+    value & opt int 2
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "Calibration-model seed (2 is the documented representative chip).")
+
+let trials_term =
+  Arg.(
+    value & opt int 0
+    & info [ "trials" ] ~docv:"N"
+        ~doc:"Also run N Monte-Carlo fault-injection trials (0 = skip).")
+
+let emit_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-qasm" ] ~docv:"FILE"
+        ~doc:"Write the compiled physical circuit as OpenQASM.")
+
+let verbose_term =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ]
+        ~doc:"Log the compiler's candidate plans and decisions.")
+
+let explain_term =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Print each compiled plan's error budget: which links, readouts \
+           and idle windows cost the most PST.")
+
+let cmd =
+  let doc = "variability-aware qubit mapping for NISQ devices" in
+  Cmd.v
+    (Cmd.info "qmap" ~doc)
+    Term.(
+      const run $ workload_term $ qasm_term $ device_term $ device_file_term
+      $ calibration_csv_term $ save_device_term $ policy_term $ seed_term
+      $ trials_term $ emit_term $ verbose_term $ explain_term)
+
+let () = exit (Cmd.eval' cmd)

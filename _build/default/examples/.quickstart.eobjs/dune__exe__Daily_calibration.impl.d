@@ -1,0 +1,1 @@
+examples/daily_calibration.ml: Printf Vqc_device Vqc_experiments Vqc_mapper Vqc_sim Vqc_workloads

@@ -1,0 +1,1 @@
+examples/partitioning.ml: List Printf String Vqc_experiments Vqc_partition Vqc_workloads

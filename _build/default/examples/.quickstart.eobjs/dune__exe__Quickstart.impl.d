@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Vqc_device Vqc_mapper Vqc_rng Vqc_sim Vqc_workloads

@@ -1,0 +1,1 @@
+examples/routing_comparison.ml: List Printf Vqc_circuit Vqc_device Vqc_experiments Vqc_mapper Vqc_sim Vqc_workloads

@@ -1,0 +1,1 @@
+examples/verify_compilation.ml: List Option Printf Vqc_circuit Vqc_experiments Vqc_mapper Vqc_sim Vqc_statevector Vqc_workloads

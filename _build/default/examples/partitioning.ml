@@ -1,0 +1,39 @@
+(* Partitioning case study (paper Section 8): when a program needs at most
+   half the machine, is it better to run two concurrent copies (more
+   trials per second) or one copy on the strongest region (more reliable
+   trials)?
+
+   Run with: dune exec examples/partitioning.exe *)
+
+module Partition = Vqc_partition.Partition
+
+let show name circuit =
+  let ctx = Vqc_experiments.Context.default in
+  let device = ctx.Vqc_experiments.Context.q20 in
+  let cmp = Partition.compare_strategies device circuit in
+  let region_text region = String.concat "," (List.map string_of_int region) in
+  Printf.printf "%s\n" name;
+  Printf.printf "  copy X  region {%s}  PST %.4f\n"
+    (region_text cmp.Partition.copy_x.Partition.region)
+    cmp.Partition.copy_x.Partition.pst;
+  Printf.printf "  copy Y  region {%s}  PST %.4f\n"
+    (region_text cmp.Partition.copy_y.Partition.region)
+    cmp.Partition.copy_y.Partition.pst;
+  Printf.printf "  single  region {%s}  PST %.4f\n"
+    (region_text cmp.Partition.single.Partition.region)
+    cmp.Partition.single.Partition.pst;
+  let ratio = cmp.Partition.stpt_single /. cmp.Partition.stpt_two in
+  Printf.printf
+    "  successful trials per second: two copies %.0f, one strong copy %.0f \
+     (%.2fx)\n"
+    cmp.Partition.stpt_two cmp.Partition.stpt_single ratio;
+  Printf.printf "  -> %s\n\n"
+    (if ratio > 1.0 then "run ONE STRONG copy"
+     else "run TWO CONCURRENT copies")
+
+let () =
+  Printf.printf "One strong copy vs two weak copies on the simulated IBM-Q20\n\n";
+  List.iter
+    (fun (entry : Vqc_workloads.Catalog.entry) ->
+      show entry.Vqc_workloads.Catalog.name entry.Vqc_workloads.Catalog.circuit)
+    Vqc_workloads.Catalog.partition_suite

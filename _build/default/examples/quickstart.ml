@@ -1,0 +1,47 @@
+(* Quickstart: compile one benchmark for a simulated IBM-Q20 with the
+   variation-unaware baseline and with VQA+VQM, then compare the
+   Probability of a Successful Trial (analytically and by Monte-Carlo
+   fault injection).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Device = Vqc_device.Device
+module Calibration_model = Vqc_device.Calibration_model
+module Compiler = Vqc_mapper.Compiler
+module Reliability = Vqc_sim.Reliability
+module Monte_carlo = Vqc_sim.Monte_carlo
+module Rng = Vqc_rng.Rng
+
+let () =
+  (* A 20-qubit device whose calibration is drawn from the statistical
+     model matched to the paper's IBM-Q20 data. *)
+  let device = Calibration_model.ibm_q20 ~seed:2019 in
+  let u, v, e = Device.weakest_link device in
+  Printf.printf "device: %s\n" (Device.name device);
+  Printf.printf "weakest link: %d--%d at %.1f%% CNOT error\n" u v (100. *. e);
+  let u, v, e = Device.strongest_link device in
+  Printf.printf "strongest link: %d--%d at %.1f%% CNOT error\n\n" u v
+    (100. *. e);
+
+  let benchmark = Vqc_workloads.Catalog.find "bv-16" in
+  Printf.printf "benchmark: %s (%s)\n\n" benchmark.name benchmark.description;
+
+  let evaluate policy =
+    let compiled = Compiler.compile device policy benchmark.circuit in
+    let analytic = Reliability.analyze device compiled.Compiler.physical in
+    let mc =
+      Monte_carlo.run ~trials:200_000 (Rng.make 7) device
+        compiled.Compiler.physical
+    in
+    Printf.printf
+      "%-10s swaps=%-3d PST(analytic)=%.4f PST(monte-carlo)=%.4f +/- %.4f\n"
+      policy.Compiler.label
+      (Compiler.swap_overhead compiled)
+      analytic.Reliability.pst mc.Monte_carlo.pst mc.Monte_carlo.ci95;
+    analytic.Reliability.pst
+  in
+  let base = evaluate Compiler.baseline in
+  let vqm = evaluate Compiler.vqm in
+  let best = evaluate Compiler.vqa_vqm in
+  Printf.printf "\nrelative PST: VQM %.2fx, VQA+VQM %.2fx over baseline\n"
+    (vqm /. base) (best /. base)

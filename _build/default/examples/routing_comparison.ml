@@ -1,0 +1,65 @@
+(* Routing comparison on a custom device: reproduce the paper's Figure 1
+   intuition on a hand-built 5-qubit ring, then show the same effect on a
+   generated 20-qubit machine.
+
+   Run with: dune exec examples/routing_comparison.exe *)
+
+module Gate = Vqc_circuit.Gate
+module Circuit = Vqc_circuit.Circuit
+module Calibration = Vqc_device.Calibration
+module Device = Vqc_device.Device
+module Topologies = Vqc_device.Topologies
+module Layout = Vqc_mapper.Layout
+module Cost = Vqc_mapper.Cost
+module Router = Vqc_mapper.Router
+module Compiler = Vqc_mapper.Compiler
+module Reliability = Vqc_sim.Reliability
+
+let figure1_machine () =
+  (* Paper Figure 1(a): five qubits on a ring.  Link successes chosen so
+     the 1-swap route A-B-C is weaker than the 2-swap route A-E-D-C. *)
+  let c = Calibration.create 5 in
+  List.iter
+    (fun (u, v, success) -> Calibration.set_link_error c u v (1.0 -. success))
+    [ (0, 1, 0.6); (1, 2, 0.7); (2, 3, 0.7); (3, 4, 0.9); (4, 0, 0.9) ];
+  Device.make ~name:"figure-1" ~coupling:Topologies.pentagon c
+
+let () =
+  let device = figure1_machine () in
+  Printf.printf "Figure 1 machine: %s\n" (Device.name device);
+  List.iter
+    (fun (u, v) ->
+      Printf.printf "  link %d--%d  success %.2f\n" u v
+        (Device.cnot_success device u v))
+    (Device.coupling device);
+
+  (* entangle program qubit 0 (at A) with program qubit 2 (at C) *)
+  let program = Circuit.of_gates 3 [ Gate.Cnot { control = 0; target = 2 } ] in
+  let layout = Layout.identity ~programs:3 ~physicals:5 in
+  let describe label model =
+    let cost = Cost.make ~swap_bias:0.0 device model in
+    let routed = Router.route cost layout program in
+    let pst = Reliability.pst ~coherence:false device routed.Router.circuit in
+    Printf.printf "\n%s routing:\n" label;
+    List.iter
+      (fun g -> Printf.printf "  %s\n" (Gate.to_string g))
+      (Circuit.gates routed.Router.circuit);
+    Printf.printf "  probability of success: %.3f\n" pst
+  in
+  describe "variation-unaware (fewest SWAPs)" Cost.Hops;
+  describe "variation-aware (VQM)" Cost.Reliability;
+
+  (* the same effect at device scale *)
+  let ctx = Vqc_experiments.Context.default in
+  let q20 = ctx.Vqc_experiments.Context.q20 in
+  let bench = Vqc_workloads.Catalog.find "qft-12" in
+  Printf.printf "\nqft-12 on the simulated IBM-Q20:\n";
+  List.iter
+    (fun policy ->
+      let compiled =
+        Compiler.compile q20 policy bench.Vqc_workloads.Catalog.circuit
+      in
+      Printf.printf "  %-10s swaps=%-3d PST=%.2e\n" policy.Compiler.label
+        (Compiler.swap_overhead compiled)
+        (Reliability.pst q20 compiled.Compiler.physical))
+    [ Compiler.baseline; Compiler.vqm; Compiler.vqa_vqm ]

@@ -1,0 +1,1 @@
+lib/circuit/circuit.ml: Array Format Fun Gate Hashtbl List Option Printf

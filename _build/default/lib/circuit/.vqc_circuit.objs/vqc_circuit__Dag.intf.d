@@ -1,0 +1,1 @@
+lib/circuit/dag.mli: Circuit Gate

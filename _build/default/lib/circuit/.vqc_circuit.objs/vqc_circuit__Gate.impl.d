@@ -1,0 +1,1 @@
+lib/circuit/gate.ml: Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/circuit/layers.ml: Array Circuit Fun Gate List

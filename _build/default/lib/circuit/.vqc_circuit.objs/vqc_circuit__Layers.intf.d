@@ -1,0 +1,1 @@
+lib/circuit/layers.mli: Circuit Gate

@@ -1,0 +1,1 @@
+lib/circuit/qasm.ml: Buffer Char Circuit Float Gate List Printf String

@@ -1,0 +1,176 @@
+type t = {
+  num_qubits : int;
+  num_cbits : int;
+  rev_gates : Gate.t list;  (* reverse program order for O(1) append *)
+}
+
+let create ?cbits num_qubits =
+  let num_cbits = Option.value cbits ~default:num_qubits in
+  if num_qubits < 0 then invalid_arg "Circuit.create: negative qubit count";
+  if num_cbits < 0 then invalid_arg "Circuit.create: negative cbit count";
+  { num_qubits; num_cbits; rev_gates = [] }
+
+let num_qubits c = c.num_qubits
+let num_cbits c = c.num_cbits
+let gates c = List.rev c.rev_gates
+let length c = List.length c.rev_gates
+
+let validate c gate =
+  let check_qubit q =
+    if q < 0 || q >= c.num_qubits then
+      invalid_arg
+        (Printf.sprintf "Circuit: gate %s references qubit %d outside [0, %d)"
+           (Gate.to_string gate) q c.num_qubits)
+  in
+  List.iter check_qubit (Gate.qubits gate);
+  (match gate with
+  | Gate.Measure { cbit; _ } ->
+    if cbit < 0 || cbit >= c.num_cbits then
+      invalid_arg
+        (Printf.sprintf "Circuit: measurement into cbit %d outside [0, %d)"
+           cbit c.num_cbits)
+  | Gate.One_qubit _ | Gate.Cnot _ | Gate.Swap _ | Gate.Barrier _ -> ());
+  match gate with
+  | Gate.Cnot { control; target } when control = target ->
+    invalid_arg "Circuit: cnot with identical operands"
+  | Gate.Swap (a, b) when a = b ->
+    invalid_arg "Circuit: swap with identical operands"
+  | Gate.One_qubit _ | Gate.Cnot _ | Gate.Swap _ | Gate.Measure _
+  | Gate.Barrier _ ->
+    ()
+
+let append c gate =
+  validate c gate;
+  { c with rev_gates = gate :: c.rev_gates }
+
+let of_gates ?cbits num_qubits gate_list =
+  List.fold_left append (create ?cbits num_qubits) gate_list
+
+let concat a b =
+  if a.num_qubits <> b.num_qubits || a.num_cbits <> b.num_cbits then
+    invalid_arg "Circuit.concat: size mismatch";
+  { a with rev_gates = b.rev_gates @ a.rev_gates }
+
+let relabel f c = of_gates ~cbits:c.num_cbits c.num_qubits (List.map (Gate.relabel f) (gates c))
+
+let used_qubits c =
+  let seen = Array.make c.num_qubits false in
+  List.iter
+    (fun gate -> List.iter (fun q -> seen.(q) <- true) (Gate.qubits gate))
+    c.rev_gates;
+  let used = ref [] in
+  for q = c.num_qubits - 1 downto 0 do
+    if seen.(q) then used := q :: !used
+  done;
+  !used
+
+type stats = {
+  qubits_used : int;
+  total_gates : int;
+  one_qubit_gates : int;
+  two_qubit_gates : int;
+  cnot_gates : int;
+  swap_gates : int;
+  measurements : int;
+  depth : int;
+}
+
+(* ASAP depth: a gate sits one layer after the latest gate on any operand.
+   Barriers advance every listed qubit to a common layer without counting
+   as a layer of work themselves. *)
+let depth c =
+  if c.num_qubits = 0 then 0
+  else begin
+    let frontier = Array.make c.num_qubits 0 in
+    let measure_gate gate =
+      match gate with
+      | Gate.Barrier qs ->
+        let qs = if qs = [] then List.init c.num_qubits Fun.id else qs in
+        let level = List.fold_left (fun acc q -> max acc frontier.(q)) 0 qs in
+        List.iter (fun q -> frontier.(q) <- level) qs
+      | Gate.One_qubit _ | Gate.Cnot _ | Gate.Swap _ | Gate.Measure _ ->
+        let qs = Gate.qubits gate in
+        let level = List.fold_left (fun acc q -> max acc frontier.(q)) 0 qs in
+        List.iter (fun q -> frontier.(q) <- level + 1) qs
+    in
+    List.iter measure_gate (gates c);
+    Array.fold_left max 0 frontier
+  end
+
+let stats c =
+  let count pred = List.length (List.filter pred c.rev_gates) in
+  let one_qubit_gates =
+    count (function Gate.One_qubit _ -> true | _ -> false)
+  in
+  let cnot_gates = count (function Gate.Cnot _ -> true | _ -> false) in
+  let swap_gates = count (function Gate.Swap _ -> true | _ -> false) in
+  let measurements = count (function Gate.Measure _ -> true | _ -> false) in
+  {
+    qubits_used = List.length (used_qubits c);
+    total_gates = one_qubit_gates + cnot_gates + swap_gates + measurements;
+    one_qubit_gates;
+    two_qubit_gates = cnot_gates + swap_gates;
+    cnot_gates;
+    swap_gates;
+    measurements;
+    depth = depth c;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>qubits used: %d@,total gates: %d@,1q gates:    %d@,2q gates:    \
+     %d (cx %d, swap %d)@,measures:    %d@,depth:       %d@]"
+    s.qubits_used s.total_gates s.one_qubit_gates s.two_qubit_gates
+    s.cnot_gates s.swap_gates s.measurements s.depth
+
+let interaction_counts c =
+  let table = Hashtbl.create 32 in
+  let record a b =
+    let key = (min a b, max a b) in
+    let current = Option.value (Hashtbl.find_opt table key) ~default:0 in
+    Hashtbl.replace table key (current + 1)
+  in
+  List.iter
+    (function
+      | Gate.Cnot { control; target } -> record control target
+      | Gate.Swap (a, b) -> record a b
+      | Gate.One_qubit _ | Gate.Measure _ | Gate.Barrier _ -> ())
+    c.rev_gates;
+  Hashtbl.fold (fun pair count acc -> (pair, count) :: acc) table []
+  |> List.sort (fun (pa, ca) (pb, cb) ->
+         match compare cb ca with 0 -> compare pa pb | order -> order)
+
+let qubit_activity c =
+  let activity = Array.make c.num_qubits 0 in
+  List.iter
+    (fun gate ->
+      if Gate.is_two_qubit gate then
+        List.iter (fun q -> activity.(q) <- activity.(q) + 1) (Gate.qubits gate))
+    c.rev_gates;
+  activity
+
+let decompose_swaps c =
+  let expand gate =
+    match gate with
+    | Gate.Swap (a, b) ->
+      [
+        Gate.Cnot { control = a; target = b };
+        Gate.Cnot { control = b; target = a };
+        Gate.Cnot { control = a; target = b };
+      ]
+    | Gate.One_qubit _ | Gate.Cnot _ | Gate.Measure _ | Gate.Barrier _ ->
+      [ gate ]
+  in
+  of_gates ~cbits:c.num_cbits c.num_qubits (List.concat_map expand (gates c))
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>circuit (%d qubits, %d cbits, %d gates)"
+    c.num_qubits c.num_cbits (length c);
+  List.iter (fun g -> Format.fprintf ppf "@,  %a" Gate.pp g) (gates c);
+  Format.fprintf ppf "@]"
+
+let equal a b =
+  a.num_qubits = b.num_qubits
+  && a.num_cbits = b.num_cbits
+  && List.length a.rev_gates = List.length b.rev_gates
+  && List.for_all2 Gate.equal a.rev_gates b.rev_gates

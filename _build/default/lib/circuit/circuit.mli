@@ -1,0 +1,64 @@
+(** Quantum circuits: an ordered list of {!Gate.t} over a fixed number of
+    qubits and classical bits, with the statistics reported in the paper's
+    Table 1. *)
+
+type t
+
+val create : ?cbits:int -> int -> t
+(** [create ~cbits n] is the empty circuit on [n] qubits and [cbits]
+    classical bits ([cbits] defaults to [n]).
+    @raise Invalid_argument on negative sizes. *)
+
+val of_gates : ?cbits:int -> int -> Gate.t list -> t
+(** Build a circuit and validate every gate against the qubit/cbit ranges.
+    @raise Invalid_argument if a gate references an out-of-range qubit or
+    classical bit, or a two-qubit gate with identical operands. *)
+
+val num_qubits : t -> int
+val num_cbits : t -> int
+val gates : t -> Gate.t list
+(** Gates in program order. *)
+
+val length : t -> int
+(** Total number of gates (barriers included). *)
+
+val append : t -> Gate.t -> t
+(** Functional append with the same validation as {!of_gates}. *)
+
+val concat : t -> t -> t
+(** Sequential composition; both circuits must have identical sizes. *)
+
+val relabel : (int -> int) -> t -> t
+(** Rename every qubit operand; sizes are unchanged.  Used to apply an
+    initial program-to-physical allocation. *)
+
+val used_qubits : t -> int list
+(** Distinct qubits referenced by at least one gate, sorted. *)
+
+(** Table 1 columns for a compiled or source circuit. *)
+type stats = {
+  qubits_used : int;
+  total_gates : int;  (** all gates except barriers *)
+  one_qubit_gates : int;
+  two_qubit_gates : int;  (** CNOT + SWAP *)
+  cnot_gates : int;
+  swap_gates : int;
+  measurements : int;
+  depth : int;  (** number of dependency layers, barriers excluded *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val interaction_counts : t -> ((int * int) * int) list
+(** CNOT/SWAP activity per unordered qubit pair, sorted by decreasing
+    count.  This is the "qubit activity" input of VQA (Section 6.2). *)
+
+val qubit_activity : t -> int array
+(** [qubit_activity c] counts two-qubit gates touching each qubit. *)
+
+val decompose_swaps : t -> t
+(** Replace every SWAP with the 3-CNOT expansion of paper Figure 2(d). *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

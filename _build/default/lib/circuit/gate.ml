@@ -1,0 +1,104 @@
+type one_qubit_kind =
+  | H
+  | X
+  | Y
+  | Z
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Rx of float
+  | Ry of float
+  | Rz of float
+  | U1 of float
+
+type t =
+  | One_qubit of one_qubit_kind * int
+  | Cnot of { control : int; target : int }
+  | Swap of int * int
+  | Measure of { qubit : int; cbit : int }
+  | Barrier of int list
+
+let qubits = function
+  | One_qubit (_, q) -> [ q ]
+  | Cnot { control; target } -> [ control; target ]
+  | Swap (a, b) -> [ a; b ]
+  | Measure { qubit; _ } -> [ qubit ]
+  | Barrier qs -> qs
+
+let is_two_qubit = function
+  | Cnot _ | Swap _ -> true
+  | One_qubit _ | Measure _ | Barrier _ -> false
+
+let is_unitary = function
+  | One_qubit _ | Cnot _ | Swap _ -> true
+  | Measure _ | Barrier _ -> false
+
+let relabel f = function
+  | One_qubit (kind, q) -> One_qubit (kind, f q)
+  | Cnot { control; target } ->
+    let control = f control and target = f target in
+    if control = target then invalid_arg "Gate.relabel: cnot operands collide";
+    Cnot { control; target }
+  | Swap (a, b) ->
+    let a = f a and b = f b in
+    if a = b then invalid_arg "Gate.relabel: swap operands collide";
+    Swap (a, b)
+  | Measure { qubit; cbit } -> Measure { qubit = f qubit; cbit }
+  | Barrier qs -> Barrier (List.map f qs)
+
+let one_qubit_name = function
+  | H -> "h"
+  | X -> "x"
+  | Y -> "y"
+  | Z -> "z"
+  | S -> "s"
+  | Sdg -> "sdg"
+  | T -> "t"
+  | Tdg -> "tdg"
+  | Rx _ -> "rx"
+  | Ry _ -> "ry"
+  | Rz _ -> "rz"
+  | U1 _ -> "u1"
+
+let one_qubit_angle = function
+  | Rx a | Ry a | Rz a | U1 a -> Some a
+  | H | X | Y | Z | S | Sdg | T | Tdg -> None
+
+let equal_kind a b =
+  match (a, b) with
+  | Rx x, Rx y | Ry x, Ry y | Rz x, Rz y | U1 x, U1 y ->
+    Float.equal x y
+  | H, H | X, X | Y, Y | Z, Z | S, S | Sdg, Sdg | T, T | Tdg, Tdg -> true
+  | ( (H | X | Y | Z | S | Sdg | T | Tdg | Rx _ | Ry _ | Rz _ | U1 _),
+      (H | X | Y | Z | S | Sdg | T | Tdg | Rx _ | Ry _ | Rz _ | U1 _) ) ->
+    false
+
+let equal a b =
+  match (a, b) with
+  | One_qubit (ka, qa), One_qubit (kb, qb) -> qa = qb && equal_kind ka kb
+  | Cnot a, Cnot b -> a.control = b.control && a.target = b.target
+  | Swap (a1, a2), Swap (b1, b2) -> a1 = b1 && a2 = b2
+  | Measure a, Measure b -> a.qubit = b.qubit && a.cbit = b.cbit
+  | Barrier a, Barrier b -> a = b
+  | ( (One_qubit _ | Cnot _ | Swap _ | Measure _ | Barrier _),
+      (One_qubit _ | Cnot _ | Swap _ | Measure _ | Barrier _) ) ->
+    false
+
+let pp ppf = function
+  | One_qubit (kind, q) -> begin
+    match one_qubit_angle kind with
+    | Some angle ->
+      Format.fprintf ppf "%s(%g) q%d" (one_qubit_name kind) angle q
+    | None -> Format.fprintf ppf "%s q%d" (one_qubit_name kind) q
+  end
+  | Cnot { control; target } -> Format.fprintf ppf "cx q%d, q%d" control target
+  | Swap (a, b) -> Format.fprintf ppf "swap q%d, q%d" a b
+  | Measure { qubit; cbit } ->
+    Format.fprintf ppf "measure q%d -> c%d" qubit cbit
+  | Barrier [] -> Format.fprintf ppf "barrier"
+  | Barrier qs ->
+    Format.fprintf ppf "barrier %s"
+      (String.concat ", " (List.map (Printf.sprintf "q%d") qs))
+
+let to_string g = Format.asprintf "%a" pp g

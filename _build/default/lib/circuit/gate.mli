@@ -1,0 +1,51 @@
+(** Quantum gates.
+
+    Qubit operands are plain integers; before mapping they denote {e
+    program} qubits, after mapping they denote {e physical} qubits.  The
+    gate set covers what the paper's benchmarks need (Clifford+T plus
+    parametric rotations, CNOT, SWAP, measurement, barrier) and matches the
+    OpenQASM 2.0 standard-gate names emitted by {!Qasm}. *)
+
+type one_qubit_kind =
+  | H
+  | X
+  | Y
+  | Z
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Rx of float
+  | Ry of float
+  | Rz of float
+  | U1 of float  (** phase gate; synonym of [Rz] up to global phase *)
+
+type t =
+  | One_qubit of one_qubit_kind * int
+  | Cnot of { control : int; target : int }
+  | Swap of int * int
+  | Measure of { qubit : int; cbit : int }
+  | Barrier of int list
+      (** Synchronization across the listed qubits; [[]] means all. *)
+
+val qubits : t -> int list
+(** Qubits the gate acts on (distinct, in operand order). *)
+
+val is_two_qubit : t -> bool
+(** True for [Cnot] and [Swap] — the operations whose error rates dominate
+    (paper Section 2.2). *)
+
+val is_unitary : t -> bool
+(** False for [Measure] and [Barrier]. *)
+
+val relabel : (int -> int) -> t -> t
+(** Apply a qubit renaming (classical bits are left unchanged).
+    @raise Invalid_argument if the renaming maps a two-qubit gate's
+    operands to the same qubit. *)
+
+val one_qubit_name : one_qubit_kind -> string
+(** OpenQASM mnemonic, e.g. ["rz"]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,39 @@
+let partition c =
+  let n = Circuit.num_qubits c in
+  let frontier = Array.make (max n 1) 0 in
+  (* layers are built in reverse, each layer in reverse gate order *)
+  let layers : Gate.t list array ref = ref (Array.make 0 []) in
+  let ensure_layer index =
+    let current = !layers in
+    if index >= Array.length current then begin
+      let bigger = Array.make (max 8 (2 * (index + 1))) [] in
+      Array.blit current 0 bigger 0 (Array.length current);
+      layers := bigger
+    end
+  in
+  let place gate =
+    match gate with
+    | Gate.Barrier qs ->
+      let qs = if qs = [] then List.init n Fun.id else qs in
+      let level = List.fold_left (fun acc q -> max acc frontier.(q)) 0 qs in
+      List.iter (fun q -> frontier.(q) <- level) qs
+    | Gate.One_qubit _ | Gate.Cnot _ | Gate.Swap _ | Gate.Measure _ ->
+      let qs = Gate.qubits gate in
+      let level = List.fold_left (fun acc q -> max acc frontier.(q)) 0 qs in
+      ensure_layer level;
+      !layers.(level) <- gate :: !layers.(level);
+      List.iter (fun q -> frontier.(q) <- level + 1) qs
+  in
+  List.iter place (Circuit.gates c);
+  let depth = Array.fold_left max 0 frontier in
+  List.init depth (fun i -> List.rev !layers.(i))
+
+let two_qubit_pairs layer =
+  List.filter_map
+    (function
+      | Gate.Cnot { control; target } -> Some (control, target)
+      | Gate.Swap (a, b) -> Some (a, b)
+      | Gate.One_qubit _ | Gate.Measure _ | Gate.Barrier _ -> None)
+    layer
+
+let count c = List.length (partition c)

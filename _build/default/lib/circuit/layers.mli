@@ -1,0 +1,18 @@
+(** Layer partitioning (paper Section 4.5, step 3).
+
+    A layer is a set of gates acting on pairwise-disjoint qubits that can
+    execute in parallel while respecting program order.  The mapper walks
+    the layer list and inserts SWAPs between consecutive layers. *)
+
+val partition : Circuit.t -> Gate.t list list
+(** ASAP layering: each gate is placed in the earliest layer after the
+    last gate touching any of its qubits.  Barriers synchronize their
+    qubits but do not appear in the output.  Within a layer gates keep
+    program order. *)
+
+val two_qubit_pairs : Gate.t list -> (int * int) list
+(** The (control/first, target/second) qubit pairs of the CNOT and SWAP
+    gates of a layer, in order. *)
+
+val count : Circuit.t -> int
+(** Number of layers ([List.length (partition c)]). *)

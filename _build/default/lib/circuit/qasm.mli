@@ -1,0 +1,18 @@
+(** OpenQASM 2.0 subset: enough to round-trip every circuit this library
+    produces and to import the micro-benchmark kernels.
+
+    Supported statements: the [OPENQASM 2.0] header, [include], [qreg],
+    [creg], the standard gates [h x y z s sdg t tdg rx ry rz u1 cx swap],
+    [barrier] and [measure] (single-bit and whole-register forms).  Angle
+    expressions support [+ - * /], parentheses, numeric literals and [pi].
+    Multiple quantum registers are flattened into one qubit index space in
+    declaration order. *)
+
+val to_string : Circuit.t -> string
+(** Emit a program with one register [q] and one classical register [c]. *)
+
+val of_string : string -> (Circuit.t, string) result
+(** Parse a program.  [Error message] points at the offending statement. *)
+
+val of_string_exn : string -> Circuit.t
+(** @raise Failure on parse errors. *)

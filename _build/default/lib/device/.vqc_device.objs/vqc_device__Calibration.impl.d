@@ -1,0 +1,1 @@
+lib/device/calibration.ml: Array Buffer Float Format Hashtbl List Printf String

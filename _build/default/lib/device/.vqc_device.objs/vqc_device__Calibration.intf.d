@@ -1,0 +1,1 @@
+lib/device/calibration.mli: Format

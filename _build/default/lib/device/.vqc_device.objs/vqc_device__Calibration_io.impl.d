@@ -1,0 +1,1 @@
+lib/device/calibration_io.ml: Buffer Calibration Device Hashtbl List Option Printf String

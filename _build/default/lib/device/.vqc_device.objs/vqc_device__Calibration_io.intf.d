@@ -1,0 +1,1 @@
+lib/device/calibration_io.mli: Calibration Device

@@ -1,0 +1,1 @@
+lib/device/calibration_model.ml: Array Calibration Device Float List Topologies Vqc_rng

@@ -1,0 +1,1 @@
+lib/device/calibration_model.mli: Calibration Device Vqc_rng

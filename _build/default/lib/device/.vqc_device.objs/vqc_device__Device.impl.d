@@ -1,0 +1,1 @@
+lib/device/device.ml: Array Calibration Float Format Hashtbl List Printf String Vqc_graph

@@ -1,0 +1,1 @@
+lib/device/device.mli: Calibration Format Vqc_graph

@@ -1,0 +1,1 @@
+lib/device/history.ml: Array Calibration Calibration_model Float Hashtbl List Printf Vqc_rng

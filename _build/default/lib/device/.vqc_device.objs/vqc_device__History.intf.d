@@ -1,0 +1,1 @@
+lib/device/history.mli: Calibration Calibration_model

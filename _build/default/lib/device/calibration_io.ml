@@ -1,0 +1,239 @@
+(* ---- CSV primitives ------------------------------------------------ *)
+
+(* Split one CSV line honouring double-quoted fields. *)
+let split_csv_line line =
+  let fields = ref [] in
+  let buffer = Buffer.create 32 in
+  let in_quotes = ref false in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> in_quotes := not !in_quotes
+      | ',' when not !in_quotes ->
+        fields := Buffer.contents buffer :: !fields;
+        Buffer.clear buffer
+      | c -> Buffer.add_char buffer c)
+    line;
+  fields := Buffer.contents buffer :: !fields;
+  List.rev_map String.trim !fields
+
+let lines_of text =
+  String.split_on_char '\n' text
+  |> List.map (fun l -> String.trim l)
+  |> List.filter (fun l -> l <> "")
+
+(* case-insensitive substring match *)
+let contains haystack needle =
+  let h = String.lowercase_ascii haystack and n = String.lowercase_ascii needle in
+  let hl = String.length h and nl = String.length n in
+  let rec scan i = i + nl <= hl && (String.sub h i nl = n || scan (i + 1)) in
+  nl > 0 && scan 0
+
+type columns = {
+  qubit : int;
+  t1 : int option;
+  t2 : int option;
+  readout : int option;
+  single : int option;
+  cnot : int option;
+}
+
+let locate_columns header =
+  let indexed = List.mapi (fun i name -> (i, name)) header in
+  let find predicate =
+    List.find_opt (fun (_, name) -> predicate name) indexed |> Option.map fst
+  in
+  match find (fun name -> contains name "qubit") with
+  | None -> Error "no 'Qubit' column in header"
+  | Some qubit ->
+    Ok
+      {
+        qubit;
+        t1 = find (fun name -> contains name "t1");
+        t2 = find (fun name -> contains name "t2");
+        readout = find (fun name -> contains name "readout");
+        single =
+          find (fun name ->
+              contains name "single" || contains name "u2" || contains name "u3");
+        cnot =
+          find (fun name -> contains name "cnot" || contains name "cx");
+      }
+
+let field columns index row =
+  match index with
+  | None -> None
+  | Some i -> List.nth_opt row i |> fun f -> ignore columns; f
+
+(* "Q12" / "q12" / "12" -> 12 *)
+let parse_qubit_label label =
+  let label = String.trim label in
+  let digits =
+    if String.length label > 0 && (label.[0] = 'Q' || label.[0] = 'q') then
+      String.sub label 1 (String.length label - 1)
+    else label
+  in
+  int_of_string_opt (String.trim digits)
+
+(* "cx0_1: 0.0373; cx0_5: 0.0265" -> [(0, 1, 0.0373); (0, 5, 0.0265)] *)
+let parse_cnot_entries text =
+  String.split_on_char ';' text
+  |> List.filter_map (fun entry ->
+         let entry = String.trim entry in
+         if entry = "" then None
+         else begin
+           match String.index_opt entry ':' with
+           | None -> Some (Error (Printf.sprintf "bad CNOT entry %S" entry))
+           | Some colon ->
+             let name = String.trim (String.sub entry 0 colon) in
+             let value =
+               String.trim
+                 (String.sub entry (colon + 1) (String.length entry - colon - 1))
+             in
+             let name =
+               if String.length name > 2 && String.sub name 0 2 = "cx" then
+                 String.sub name 2 (String.length name - 2)
+               else name
+             in
+             (match (String.split_on_char '_' name, float_of_string_opt value) with
+             | [ a; b ], Some e -> begin
+               match (int_of_string_opt a, int_of_string_opt b) with
+               | Some u, Some v -> Some (Ok (u, v, e))
+               | _ -> Some (Error (Printf.sprintf "bad CNOT qubits in %S" entry))
+             end
+             | _ -> Some (Error (Printf.sprintf "bad CNOT entry %S" entry)))
+         end)
+
+let of_ibm_csv text =
+  match lines_of text with
+  | [] -> Error "empty CSV"
+  | header_line :: rows -> begin
+    match locate_columns (split_csv_line header_line) with
+    | Error _ as e -> e
+    | Ok columns -> begin
+      (* first pass: qubit count *)
+      let parsed_rows =
+        List.map
+          (fun line ->
+            let row = split_csv_line line in
+            match List.nth_opt row columns.qubit with
+            | None -> Error (Printf.sprintf "short row %S" line)
+            | Some label -> begin
+              match parse_qubit_label label with
+              | Some q when q >= 0 -> Ok (q, row)
+              | Some _ | None ->
+                Error (Printf.sprintf "bad qubit label %S" label)
+            end)
+          rows
+      in
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | Ok r :: rest -> collect (r :: acc) rest
+        | Error e :: _ -> Error e
+      in
+      match collect [] parsed_rows with
+      | Error _ as e -> e
+      | Ok rows when rows = [] -> Error "no data rows"
+      | Ok rows -> begin
+        let n = 1 + List.fold_left (fun acc (q, _) -> max acc q) 0 rows in
+        let calibration = Calibration.create n in
+        (* both directions of a link may be reported: average them *)
+        let link_sums : (int * int, float * int) Hashtbl.t = Hashtbl.create 32 in
+        let float_field index row =
+          Option.bind (field columns index row) float_of_string_opt
+        in
+        let error = ref None in
+        List.iter
+          (fun (q, row) ->
+            let default = Calibration.qubit calibration q in
+            Calibration.set_qubit calibration q
+              {
+                Calibration.t1_us =
+                  Option.value (float_field columns.t1 row)
+                    ~default:default.Calibration.t1_us;
+                t2_us =
+                  Option.value (float_field columns.t2 row)
+                    ~default:default.Calibration.t2_us;
+                error_1q =
+                  Option.value (float_field columns.single row)
+                    ~default:default.Calibration.error_1q;
+                error_readout =
+                  Option.value (float_field columns.readout row)
+                    ~default:default.Calibration.error_readout;
+              };
+            match field columns columns.cnot row with
+            | None -> ()
+            | Some cnot_text ->
+              List.iter
+                (fun entry ->
+                  match entry with
+                  | Ok (u, v, e) ->
+                    let key = (min u v, max u v) in
+                    let total, count =
+                      Option.value (Hashtbl.find_opt link_sums key)
+                        ~default:(0.0, 0)
+                    in
+                    Hashtbl.replace link_sums key (total +. e, count + 1)
+                  | Error message ->
+                    if !error = None then error := Some message)
+                (parse_cnot_entries cnot_text))
+          rows;
+        match !error with
+        | Some message -> Error message
+        | None -> begin
+          match
+            Hashtbl.fold
+              (fun (u, v) (total, count) acc ->
+                match acc with
+                | Error _ -> acc
+                | Ok couplers ->
+                  if u >= n || v >= n then
+                    Error (Printf.sprintf "CNOT entry references qubit %d" (max u v))
+                  else begin
+                    Calibration.set_link_error calibration u v
+                      (total /. float_of_int count);
+                    Ok ((u, v) :: couplers)
+                  end)
+              link_sums (Ok [])
+          with
+          | Error _ as e -> e
+          | Ok couplers -> Ok (calibration, List.sort compare couplers)
+        end
+      end
+    end
+  end
+
+let of_ibm_csv_exn text =
+  match of_ibm_csv text with Ok r -> r | Error m -> failwith m
+
+let device_of_ibm_csv ?gate_times ~name text =
+  match of_ibm_csv text with
+  | Error _ as e -> e
+  | Ok (calibration, coupling) -> begin
+    match Device.make ?gate_times ~name ~coupling calibration with
+    | device -> Ok device
+    | exception Invalid_argument message -> Error message
+  end
+
+let to_ibm_csv calibration =
+  let buffer = Buffer.create 512 in
+  Buffer.add_string buffer
+    "Qubit,T1 (us),T2 (us),Frequency (GHz),Readout error,Single-qubit U2 \
+     error rate,CNOT error rate\n";
+  let n = Calibration.num_qubits calibration in
+  let links = Calibration.links calibration in
+  for q = 0 to n - 1 do
+    let figures = Calibration.qubit calibration q in
+    let cnots =
+      links
+      |> List.filter_map (fun (u, v, e) ->
+             if u = q then Some (Printf.sprintf "cx%d_%d: %g" u v e)
+             else if v = q then Some (Printf.sprintf "cx%d_%d: %g" v u e)
+             else None)
+      |> String.concat "; "
+    in
+    Buffer.add_string buffer
+      (Printf.sprintf "Q%d,%g,%g,5.0,%g,%g,\"%s\"\n" q figures.Calibration.t1_us
+         figures.Calibration.t2_us figures.Calibration.error_readout
+         figures.Calibration.error_1q cnots)
+  done;
+  Buffer.contents buffer

@@ -1,0 +1,35 @@
+(** Import/export of IBM-style calibration CSVs.
+
+    IBM Quantum Experience published per-device calibration tables in CSV
+    form (the data source of the paper's Section 3); this module parses
+    that shape so a user holding downloaded reports can build a
+    {!Device.t} from them:
+
+    {v
+Qubit,T1 (µs),T2 (µs),Frequency (GHz),Readout error,Single-qubit U2 error rate,CNOT error rate
+Q0,83.4,41.2,5.23,0.031,0.0008,"cx0_1: 0.0373; cx0_5: 0.0265"
+Q1,71.2,55.1,5.11,0.028,0.0011,"cx1_0: 0.0373; cx1_2: 0.041"
+    v}
+
+    Parsing is tolerant: column order is derived from the header (matched
+    on keywords, so "T1 (µs)" and "T1 (us)" both work), quoted fields may
+    contain commas, the CNOT list accepts [cxA_B: e] entries separated by
+    semicolons, and both directions of a link may appear (the entries are
+    averaged). *)
+
+val of_ibm_csv : string -> (Calibration.t * (int * int) list, string) result
+(** Parse a CSV report into a calibration plus the coupler list implied
+    by the CNOT columns.  Qubit indices come from the [QN] labels; the
+    qubit count is [max index + 1]. *)
+
+val of_ibm_csv_exn : string -> Calibration.t * (int * int) list
+(** @raise Failure on parse errors. *)
+
+val device_of_ibm_csv :
+  ?gate_times:Device.gate_times -> name:string -> string ->
+  (Device.t, string) result
+(** Convenience: parse and assemble the device in one step. *)
+
+val to_ibm_csv : Calibration.t -> string
+(** Export a calibration in the same CSV shape (frequency column written
+    as 5.0 for every qubit — the library does not model frequencies). *)

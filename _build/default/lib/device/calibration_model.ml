@@ -1,0 +1,194 @@
+module Rng = Vqc_rng.Rng
+
+type link_noise = {
+  core_mean : float;
+  core_std : float;
+  bad_fraction : float;
+  bad_lo : float;
+  bad_hi : float;
+}
+
+type params = {
+  t1_mean_us : float;
+  t1_std_us : float;
+  t2_mean_us : float;
+  t2_std_us : float;
+  error_1q_mean : float;
+  error_1q_std : float;
+  error_2q : link_noise;
+  error_readout_mean : float;
+  error_readout_std : float;
+}
+
+let ibm_q20_params =
+  {
+    t1_mean_us = 80.32;
+    t1_std_us = 35.23;
+    t2_mean_us = 42.13;
+    t2_std_us = 13.34;
+    error_1q_mean = 0.006;
+    error_1q_std = 0.005;
+    (* aggregate: mean ~0.042, std ~0.025, range [0.02, 0.15] -- the
+       paper's mean 4.3%, std 3.02%, best 0.02, worst 0.15, 7.5x spread.
+       ~8 marginal couplers spread across the chip (so every wide region
+       carries a few, as in Figure 9) plus one standout worst link. *)
+    error_2q =
+      {
+        core_mean = 0.031;
+        core_std = 0.005;
+        bad_fraction = 0.20;
+        bad_lo = 0.055;
+        bad_hi = 0.15;
+      };
+    error_readout_mean = 0.035;
+    error_readout_std = 0.015;
+  }
+
+let ibm_q5_params =
+  {
+    t1_mean_us = 50.0;
+    t1_std_us = 15.0;
+    t2_mean_us = 30.0;
+    t2_std_us = 10.0;
+    error_1q_mean = 0.0015;
+    error_1q_std = 0.001;
+    (* aggregate: mean ~0.042, worst ~0.12 (paper Section 7) *)
+    error_2q =
+      {
+        core_mean = 0.026;
+        core_std = 0.005;
+        bad_fraction = 0.15;
+        bad_lo = 0.06;
+        bad_hi = 0.12;
+      };
+    error_readout_mean = 0.05;
+    error_readout_std = 0.02;
+  }
+
+let clamp lo hi x = Float.min hi (Float.max lo x)
+let clamp_2q = clamp 0.02 0.18
+let clamp_1q = clamp 0.0005 0.045
+let clamp_readout = clamp 0.005 0.25
+
+let default_spatial_weight = 0.4
+
+(* Pick roughly [fraction * n] defective qubits, spread across the index
+   range rather than i.i.d.: on published devices the weak couplers appear
+   in several places on the chip (paper Figure 9), not in one lucky-free
+   corner, so wide circuits cannot simply allocate around all of them. *)
+let spread_defective rng n ~fraction =
+  let defective = Array.make (max n 1) false in
+  if n > 0 && fraction > 0.0 then begin
+    let count =
+      max 1 (int_of_float (Float.round (fraction *. float_of_int n)))
+    in
+    let count = min count n in
+    let stride = float_of_int n /. float_of_int count in
+    for slot = 0 to count - 1 do
+      let jitter = Rng.float rng in
+      let q =
+        min (n - 1)
+          (int_of_float ((float_of_int slot +. jitter) *. stride))
+      in
+      defective.(q) <- true
+    done
+  end;
+  defective
+
+(* Log-normal parameters of a distribution with the given arithmetic mean
+   and standard deviation. *)
+let lognormal_params ~mean ~std =
+  let sigma2 = log (1.0 +. (std *. std /. (mean *. mean))) in
+  (log mean -. (sigma2 /. 2.0), sqrt sigma2)
+
+let generate ?(params = ibm_q20_params) ?(spatial_weight = default_spatial_weight)
+    rng ~coupling n =
+  if spatial_weight < 0.0 || spatial_weight > 1.0 then
+    invalid_arg "Calibration_model.generate: spatial_weight outside [0, 1]";
+  let c = Calibration.create n in
+  (* Latent per-qubit quality: fabrication quality varies smoothly across
+     the chip, so the error of a link is correlated with its endpoints'
+     quality.  Without this, i.i.d. link errors give the router far more
+     arbitrage than the published calibration data supports. *)
+  let quality = Array.init (max n 1) (fun _ -> Rng.gaussian rng ~mean:0.0 ~std:1.0) in
+  (* Defective couplers, stratified across the chip. *)
+  let coupling = List.sort compare coupling in
+  let defective_link =
+    spread_defective rng (List.length coupling)
+      ~fraction:params.error_2q.bad_fraction
+  in
+  for q = 0 to n - 1 do
+    let t1_us =
+      Rng.truncated_gaussian rng ~mean:params.t1_mean_us ~std:params.t1_std_us
+        ~lo:5.0 ~hi:(params.t1_mean_us +. (4.0 *. params.t1_std_us))
+    in
+    let t2_raw =
+      Rng.truncated_gaussian rng ~mean:params.t2_mean_us ~std:params.t2_std_us
+        ~lo:2.0 ~hi:(params.t2_mean_us +. (4.0 *. params.t2_std_us))
+    in
+    (* physical constraint: T2 <= 2 T1 *)
+    let t2_us = Float.min t2_raw (2.0 *. t1_us) in
+    let error_1q =
+      let mu, sigma =
+        lognormal_params ~mean:params.error_1q_mean ~std:params.error_1q_std
+      in
+      let z =
+        (spatial_weight *. quality.(q))
+        +. (sqrt (1.0 -. (spatial_weight *. spatial_weight))
+           *. Rng.gaussian rng ~mean:0.0 ~std:1.0)
+      in
+      clamp_1q (exp (mu +. (sigma *. z)))
+    in
+    let error_readout =
+      clamp_readout
+        (Rng.lognormal rng ~mean:params.error_readout_mean
+           ~std:params.error_readout_std)
+    in
+    Calibration.set_qubit c q { t1_us; t2_us; error_1q; error_readout }
+  done;
+  let noise = params.error_2q in
+  let idiosyncratic = sqrt (1.0 -. (spatial_weight *. spatial_weight)) in
+  (* one defective link per chip is the standout "worst link" of paper
+     Figure 9 (0.15 against a 0.05-0.10 tail) *)
+  let worst_slot =
+    let slots = ref [] in
+    Array.iteri (fun i d -> if d then slots := i :: !slots) defective_link;
+    match !slots with
+    | [] -> -1
+    | slots -> List.nth slots (Rng.int rng (List.length slots))
+  in
+  List.iteri
+    (fun index (u, v) ->
+      let e =
+        if index = worst_slot then Rng.uniform rng 0.12 noise.bad_hi
+        else if defective_link.(index) then
+          Rng.uniform rng noise.bad_lo (0.7 *. noise.bad_hi)
+        else begin
+          let neighborhood = (quality.(u) +. quality.(v)) /. sqrt 2.0 in
+          let z =
+            (spatial_weight *. neighborhood)
+            +. (idiosyncratic *. Rng.gaussian rng ~mean:0.0 ~std:1.0)
+          in
+          noise.core_mean +. (noise.core_std *. z)
+        end
+      in
+      Calibration.set_link_error c u v (clamp_2q e))
+    coupling;
+  c
+
+let ibm_q20 ~seed =
+  let rng = Rng.make seed in
+  let coupling = Topologies.ibm_q20_tokyo in
+  let calibration = generate ~params:ibm_q20_params rng ~coupling 20 in
+  Device.make ~name:"ibm-q20-tokyo" ~coupling calibration
+
+let ibm_q5 ~seed =
+  let rng = Rng.make seed in
+  let coupling = Topologies.ibm_q5_tenerife in
+  let calibration = generate ~params:ibm_q5_params rng ~coupling 5 in
+  Device.make ~name:"ibm-q5-tenerife" ~coupling calibration
+
+let uniform_device ~name ~coupling n ~error_2q =
+  let c = Calibration.create n in
+  List.iter (fun (u, v) -> Calibration.set_link_error c u v error_2q) coupling;
+  Device.make ~name ~coupling c

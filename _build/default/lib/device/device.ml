@@ -1,0 +1,200 @@
+module Graph = Vqc_graph.Graph
+module Paths = Vqc_graph.Paths
+
+type gate_times = {
+  t_1q_ns : float;
+  t_2q_ns : float;
+  t_measure_ns : float;
+}
+
+let default_gate_times =
+  { t_1q_ns = 80.0; t_2q_ns = 300.0; t_measure_ns = 1000.0 }
+
+type t = {
+  name : string;
+  calibration : Calibration.t;
+  gate_times : gate_times;
+  error_graph : Graph.t;
+  mutable hop_cache : int array array option;
+  mutable reliability_cache : float array array option;
+}
+
+let make ?(gate_times = default_gate_times) ~name ~coupling calibration =
+  let n = Calibration.num_qubits calibration in
+  let error_graph = Graph.create n in
+  List.iter
+    (fun (u, v) ->
+      match Calibration.link_error calibration u v with
+      | Some e -> Graph.add_edge error_graph u v e
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Device.make: coupler %d--%d has no calibration" u v))
+    coupling;
+  if n > 0 && not (Graph.is_connected error_graph) then
+    invalid_arg "Device.make: coupling map is not connected";
+  {
+    name;
+    calibration;
+    gate_times;
+    error_graph;
+    hop_cache = None;
+    reliability_cache = None;
+  }
+
+let coupling d = List.map (fun (u, v, _) -> (u, v)) (Graph.edges d.error_graph)
+
+let with_calibration d calibration =
+  make ~gate_times:d.gate_times ~name:d.name ~coupling:(coupling d) calibration
+
+let name d = d.name
+let num_qubits d = Calibration.num_qubits d.calibration
+let calibration d = d.calibration
+let gate_times d = d.gate_times
+
+let connected d u v = Graph.has_edge d.error_graph u v
+let neighbors d u = Graph.neighbor_ids d.error_graph u
+
+let link_error d u v =
+  match Graph.edge_weight d.error_graph u v with
+  | Some e -> e
+  | None ->
+    invalid_arg (Printf.sprintf "Device.link_error: %d--%d not coupled" u v)
+
+let cnot_success d u v = 1.0 -. link_error d u v
+let swap_success d u v = cnot_success d u v ** 3.0
+
+(* Guard against log 0 when a link error reaches 1. *)
+let neg_log_success error =
+  let p = Float.max 1e-12 (1.0 -. error) in
+  -.log p
+
+let error_graph d = Graph.copy d.error_graph
+let success_graph d = Graph.map_weights (fun _ _ e -> 1.0 -. e) d.error_graph
+
+let swap_cost_graph d =
+  Graph.map_weights (fun _ _ e -> 3.0 *. neg_log_success e) d.error_graph
+
+let hop_graph d = Graph.map_weights (fun _ _ _ -> 1.0) d.error_graph
+
+let hop_distance d =
+  match d.hop_cache with
+  | Some m -> m
+  | None ->
+    let m = Paths.all_pairs_hops d.error_graph in
+    d.hop_cache <- Some m;
+    m
+
+let reliability_distance d =
+  match d.reliability_cache with
+  | Some m -> m
+  | None ->
+    let m = Paths.all_pairs (swap_cost_graph d) in
+    d.reliability_cache <- Some m;
+    m
+
+let restrict d region =
+  let region = List.sort_uniq compare region in
+  if region = [] then invalid_arg "Device.restrict: empty region";
+  if not (Graph.is_connected_subset d.error_graph region) then
+    invalid_arg "Device.restrict: region is not connected";
+  let to_old = Array.of_list region in
+  let k = Array.length to_old in
+  let to_new = Hashtbl.create k in
+  Array.iteri (fun fresh old -> Hashtbl.replace to_new old fresh) to_old;
+  let sub_calibration = Calibration.create k in
+  Array.iteri
+    (fun fresh old ->
+      Calibration.set_qubit sub_calibration fresh (Calibration.qubit d.calibration old))
+    to_old;
+  let sub_coupling = ref [] in
+  Graph.iter_edges
+    (fun u v e ->
+      match (Hashtbl.find_opt to_new u, Hashtbl.find_opt to_new v) with
+      | Some nu, Some nv ->
+        Calibration.set_link_error sub_calibration nu nv e;
+        sub_coupling := (min nu nv, max nu nv) :: !sub_coupling
+      | _ -> ())
+    d.error_graph;
+  let sub =
+    make ~gate_times:d.gate_times ~name:(d.name ^ "/sub")
+      ~coupling:(List.sort compare !sub_coupling)
+      sub_calibration
+  in
+  (sub, to_old)
+
+let extreme_link better d =
+  match Graph.edges d.error_graph with
+  | [] -> invalid_arg "Device: no links"
+  | first :: rest ->
+    List.fold_left
+      (fun ((_, _, eb) as best) ((_, _, e) as candidate) ->
+        if better e eb then candidate else best)
+      first rest
+
+let strongest_link d = extreme_link ( < ) d
+let weakest_link d = extreme_link ( > ) d
+
+let to_string d =
+  let times = d.gate_times in
+  Printf.sprintf "device %s\ngate_times %g %g %g\n%s" d.name times.t_1q_ns
+    times.t_2q_ns times.t_measure_ns
+    (Calibration.to_string d.calibration)
+
+let of_string text =
+  match String.index_opt text '\n' with
+  | None -> Error "missing device header"
+  | Some first_break -> begin
+    let header = String.sub text 0 first_break in
+    let rest =
+      String.sub text (first_break + 1) (String.length text - first_break - 1)
+    in
+    match String.split_on_char ' ' header with
+    | [ "device"; name ] -> begin
+      match String.index_opt rest '\n' with
+      | None -> Error "missing gate_times line"
+      | Some second_break -> begin
+        let times_line = String.sub rest 0 second_break in
+        let body =
+          String.sub rest (second_break + 1)
+            (String.length rest - second_break - 1)
+        in
+        match String.split_on_char ' ' times_line with
+        | [ "gate_times"; t1q; t2q; tm ] -> begin
+          match
+            (float_of_string_opt t1q, float_of_string_opt t2q,
+             float_of_string_opt tm)
+          with
+          | Some t_1q_ns, Some t_2q_ns, Some t_measure_ns -> begin
+            match Calibration.of_string body with
+            | Error _ as e -> e
+            | Ok calibration -> begin
+              let coupling =
+                List.map (fun (u, v, _) -> (u, v)) (Calibration.links calibration)
+              in
+              match
+                make ~gate_times:{ t_1q_ns; t_2q_ns; t_measure_ns } ~name
+                  ~coupling calibration
+              with
+              | device -> Ok device
+              | exception Invalid_argument message -> Error message
+            end
+          end
+          | _ -> Error "bad gate_times values"
+        end
+        | _ -> Error "missing 'gate_times' line"
+      end
+    end
+    | _ -> Error "missing 'device NAME' header"
+  end
+
+let of_string_exn text =
+  match of_string text with Ok d -> d | Error message -> failwith message
+
+let pp ppf d =
+  Format.fprintf ppf "@[<v>device %s: %d qubits, %d couplers" d.name
+    (num_qubits d)
+    (Graph.edge_count d.error_graph);
+  Graph.iter_edges
+    (fun u v e -> Format.fprintf ppf "@,  %2d -- %-2d  e2q=%.4f" u v e)
+    d.error_graph;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,91 @@
+(** Architecture-level model of a NISQ machine: a coupling map plus the
+    current calibration and the gate-time model used for coherence-error
+    accounting.
+
+    The derived graphs are what the policies consume:
+    - {!error_graph}: edge weight = two-qubit error probability (paper
+      Figure 9's labels);
+    - {!success_graph}: edge weight = [1 - error];
+    - {!swap_cost_graph}: edge weight = [-3 log(1 - error)], the negated
+      log-reliability of one SWAP (3 CNOTs) across the link, so shortest
+      weighted paths are most-reliable SWAP routes (VQM, Section 5.3);
+    - {!hop_graph}: unit weights, the variation-unaware baseline metric. *)
+
+type gate_times = {
+  t_1q_ns : float;
+  t_2q_ns : float;
+  t_measure_ns : float;
+}
+
+val default_gate_times : gate_times
+(** 1q 80 ns, CNOT 300 ns, measurement 1000 ns — representative of IBM
+    superconducting devices of the paper's era. *)
+
+type t
+
+val make :
+  ?gate_times:gate_times ->
+  name:string ->
+  coupling:(int * int) list ->
+  Calibration.t ->
+  t
+(** Build a device.  Every coupler must have a link-error entry in the
+    calibration; every qubit of the calibration becomes a node.
+    @raise Invalid_argument on a coupler without calibration, an
+    out-of-range coupler, or a disconnected coupling map. *)
+
+val with_calibration : t -> Calibration.t -> t
+(** Same topology and gate times, new calibration (e.g. another day). *)
+
+val name : t -> string
+val num_qubits : t -> int
+val calibration : t -> Calibration.t
+val gate_times : t -> gate_times
+val coupling : t -> (int * int) list
+(** Undirected couplers, [(u, v)] with [u < v], sorted. *)
+
+val connected : t -> int -> int -> bool
+(** Whether a CNOT can be applied directly between two qubits. *)
+
+val neighbors : t -> int -> int list
+(** Qubits coupled to a qubit, in increasing order. *)
+
+val link_error : t -> int -> int -> float
+(** @raise Invalid_argument if the qubits are not coupled. *)
+
+val cnot_success : t -> int -> int -> float
+val swap_success : t -> int -> int -> float
+(** [swap_success d u v = (cnot_success d u v) ** 3.]. *)
+
+val error_graph : t -> Vqc_graph.Graph.t
+val success_graph : t -> Vqc_graph.Graph.t
+val swap_cost_graph : t -> Vqc_graph.Graph.t
+val hop_graph : t -> Vqc_graph.Graph.t
+
+val hop_distance : t -> int array array
+(** All-pairs hop distances over the coupling map (cached). *)
+
+val reliability_distance : t -> float array array
+(** All-pairs minimal [-3 log p] SWAP-route costs (cached). *)
+
+val restrict : t -> int list -> t * int array
+(** [restrict d region] is the sub-device induced by the (distinct)
+    listed qubits, renumbered [0 .. k-1] in increasing original order,
+    together with the new→original index map.  Calibration figures carry
+    over; the name gains a ["/sub"] suffix.  Used by the partitioning
+    case study (paper Section 8) to run a copy inside one region.
+    @raise Invalid_argument if the region is empty, out of range, or not
+    connected in the coupling map. *)
+
+val strongest_link : t -> int * int * float
+val weakest_link : t -> int * int * float
+(** Extremes by two-qubit error rate (strongest = lowest error). *)
+
+val to_string : t -> string
+(** Plain-text serialization: name, gate times, then the calibration
+    (couplers are exactly the calibrated links). *)
+
+val of_string : string -> (t, string) result
+val of_string_exn : string -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+(** Multi-day calibration histories (paper Sections 3.4, 4.4, 6.5).
+
+    Each link (and each qubit figure) gets a persistent {e base} quality
+    plus an AR(1) day-to-day deviation in log space, so strong links stay
+    strong and weak links stay weak over the horizon — the temporal
+    behaviour of paper Figure 8.  A per-day variability factor makes some
+    days calmer and some noisier, which drives the per-day spread of
+    benefit in Figure 14. *)
+
+type t
+
+val generate :
+  ?days:int ->
+  ?params:Calibration_model.params ->
+  ?persistence:float ->
+  ?daily_sigma:float ->
+  seed:int ->
+  coupling:(int * int) list ->
+  int ->
+  t
+(** [generate ~seed ~coupling n] draws a history ([days] defaults to 52,
+    the paper's horizon).  [persistence] is the AR(1) coefficient in
+    [\[0, 1)] (default 0.7); [daily_sigma] the log-space innovation scale
+    (default 0.22). *)
+
+val days : t -> int
+val day : t -> int -> Calibration.t
+(** @raise Invalid_argument when out of range. *)
+
+val all : t -> Calibration.t list
+
+val average : t -> Calibration.t
+(** Per-link / per-qubit arithmetic mean over all days — the "average
+    behaviour across 52 days" configuration the paper evaluates with. *)
+
+val link_series : t -> int -> int -> float array
+(** Day-by-day two-qubit error of one link.
+    @raise Not_found if the pair is not a coupler. *)
+
+val daily_dispersion : t -> float array
+(** Coefficient of variation (std/mean) of the link errors of each day —
+    the "variability of the day" axis of Figure 14. *)

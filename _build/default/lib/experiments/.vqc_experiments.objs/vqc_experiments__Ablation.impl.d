@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Context Float Format List Printf Report Vqc_circuit Vqc_device Vqc_mapper Vqc_opt Vqc_rng Vqc_sim Vqc_statevector Vqc_workloads

@@ -1,0 +1,1 @@
+lib/experiments/chip_render.ml: Buffer Format List Printf Vqc_device

@@ -1,0 +1,1 @@
+lib/experiments/chip_render.mli: Format Vqc_device

@@ -1,0 +1,1 @@
+lib/experiments/context.ml: Vqc_device

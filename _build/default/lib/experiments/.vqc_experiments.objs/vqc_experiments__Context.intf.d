@@ -1,0 +1,1 @@
+lib/experiments/context.mli: Vqc_device

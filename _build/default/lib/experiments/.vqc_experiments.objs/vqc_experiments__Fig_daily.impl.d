@@ -1,0 +1,1 @@
+lib/experiments/fig_daily.ml: Array Context Format List Printf Report Vqc_device Vqc_mapper Vqc_sim Vqc_workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig_partition.ml: Context Format List Report Vqc_partition Vqc_workloads

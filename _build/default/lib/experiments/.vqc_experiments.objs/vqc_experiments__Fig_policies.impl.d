@@ -1,0 +1,1 @@
+lib/experiments/fig_policies.ml: Chip_render Context Float Format List Printf Report Vqc_mapper Vqc_sim Vqc_workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig_q5.ml: Context Format List Report Vqc_device Vqc_mapper Vqc_sim Vqc_workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig_q5.mli: Context Format

@@ -1,0 +1,1 @@
+lib/experiments/fig_scaling.mli: Context Format

@@ -1,0 +1,1 @@
+lib/experiments/fig_variability.ml: Array Chip_render Context Format List Printf Report Vqc_device

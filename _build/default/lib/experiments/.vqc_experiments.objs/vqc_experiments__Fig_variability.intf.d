@@ -1,0 +1,1 @@
+lib/experiments/fig_variability.mli: Context Format

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablation Context Fig_daily Fig_partition Fig_policies Fig_q5 Fig_scaling Fig_variability Format List Table1

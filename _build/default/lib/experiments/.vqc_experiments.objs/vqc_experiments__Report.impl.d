@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Array Float Format List Printf String

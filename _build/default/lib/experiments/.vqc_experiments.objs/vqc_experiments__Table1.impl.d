@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Circuit Context Format List Report Vqc_circuit Vqc_mapper Vqc_workloads

@@ -1,0 +1,631 @@
+module Compiler = Vqc_mapper.Compiler
+module Allocation = Vqc_mapper.Allocation
+module Reliability = Vqc_sim.Reliability
+module Monte_carlo = Vqc_sim.Monte_carlo
+module Rng = Vqc_rng.Rng
+module Catalog = Vqc_workloads.Catalog
+
+let mah_sweep ppf (ctx : Context.t) =
+  Report.section ppf "Ablation: Maximum-Additional-Hops budget (VQM)";
+  let budgets = [ Some 0; Some 2; Some 4; Some 8; None ] in
+  let budget_label = function
+    | Some mah -> string_of_int mah
+    | None -> "unlimited"
+  in
+  let benchmarks = [ "bv-16"; "qft-12"; "rnd-LD" ] in
+  let rows =
+    List.concat_map
+      (fun name ->
+        let circuit = (Catalog.find name).Catalog.circuit in
+        let base =
+          Compiler.compile ctx.q20 Compiler.baseline circuit
+          |> fun c -> Reliability.pst ctx.q20 c.Compiler.physical
+        in
+        List.map
+          (fun budget ->
+            let policy =
+              match budget with
+              | Some mah -> Compiler.vqm_limited mah
+              | None -> Compiler.vqm
+            in
+            let compiled = Compiler.compile ctx.q20 policy circuit in
+            let pst = Reliability.pst ctx.q20 compiled.Compiler.physical in
+            [
+              name;
+              budget_label budget;
+              string_of_int (Compiler.swap_overhead compiled);
+              Report.ratio_cell (pst /. base);
+            ])
+          budgets)
+      benchmarks
+  in
+  Report.table ppf ~header:[ "workload"; "MAH"; "swaps"; "relative PST" ] rows
+
+let coherence_sweep ppf (ctx : Context.t) =
+  Report.section ppf "Ablation: coherence-error weighting";
+  let circuit = (Catalog.find "bv-20").Catalog.circuit in
+  let compiled = Compiler.compile ctx.q20 Compiler.baseline circuit in
+  let rows =
+    List.map
+      (fun scale ->
+        let b =
+          Reliability.analyze ~coherence_scale:scale ctx.q20
+            compiled.Compiler.physical
+        in
+        let gate_success =
+          b.Reliability.one_qubit_success *. b.Reliability.two_qubit_success
+          *. b.Reliability.measure_success
+        in
+        let gate_failure = 1.0 -. gate_success in
+        let coherence_failure = 1.0 -. b.Reliability.coherence_survival in
+        let ratio =
+          if coherence_failure > 0.0 then gate_failure /. coherence_failure
+          else Float.infinity
+        in
+        [
+          Printf.sprintf "%.2f" scale;
+          Report.float_cell b.Reliability.pst;
+          Report.float_cell b.Reliability.coherence_survival;
+          (if Float.is_integer ratio && ratio = Float.infinity then "inf"
+           else Printf.sprintf "%.1f" ratio);
+        ])
+      [ 0.0; Reliability.default_coherence_scale; 1.0 ]
+  in
+  Report.table ppf
+    ~header:
+      [ "coherence scale"; "PST (bv-20)"; "coherence survival"; "gate/coh ratio" ]
+    rows;
+  Format.fprintf ppf
+    "@[<v>[paper Section 4.4: gate errors ~16x more likely to fail a \
+     bv-20 trial than coherence errors -- the default scale is \
+     calibrated to that regime]@,@]"
+
+let activity_window ppf (ctx : Context.t) =
+  Report.section ppf "Ablation: VQA activity-analysis window (first-N layers)";
+  let windows = [ Some 1; Some 4; Some 16; None ] in
+  let rows =
+    List.concat_map
+      (fun name ->
+        let circuit = (Catalog.find name).Catalog.circuit in
+        let base =
+          Compiler.compile ctx.q20 Compiler.baseline circuit
+          |> fun c -> Reliability.pst ctx.q20 c.Compiler.physical
+        in
+        List.map
+          (fun window ->
+            let policy =
+              {
+                Compiler.vqa_vqm with
+                Compiler.allocations =
+                  [
+                    Allocation.Vqa
+                      { activity_window = window; readout_aware = false };
+                  ];
+              }
+            in
+            let compiled = Compiler.compile ctx.q20 policy circuit in
+            let pst = Reliability.pst ctx.q20 compiled.Compiler.physical in
+            [
+              name;
+              (match window with Some w -> string_of_int w | None -> "all");
+              Report.ratio_cell (pst /. base);
+            ])
+          windows)
+      [ "alu"; "bv-16" ]
+  in
+  Report.table ppf ~header:[ "workload"; "window"; "relative PST" ] rows
+
+let extended_suite ppf (ctx : Context.t) =
+  Report.section ppf
+    "Extension: policies on the extended suite (with functional check)";
+  let module Sv = Vqc_statevector.Statevector in
+  let rows =
+    List.map
+      (fun (entry : Catalog.entry) ->
+        let circuit = entry.Catalog.circuit in
+        let compile policy = Compiler.compile ctx.q20 policy circuit in
+        let base = compile Compiler.baseline in
+        let best = compile Compiler.vqa_vqm in
+        let pst compiled = Reliability.pst ctx.q20 compiled.Compiler.physical in
+        let source = Sv.measurement_distribution circuit in
+        let equivalent compiled =
+          Sv.distribution_distance source
+            (Sv.measurement_distribution compiled.Compiler.physical)
+          < 1e-9
+        in
+        [
+          entry.Catalog.name;
+          Report.float_cell (pst base);
+          Report.float_cell (pst best);
+          Report.ratio_cell (pst best /. pst base);
+          (if equivalent base && equivalent best then "ok"
+           else "MISMATCH");
+        ])
+      Catalog.extended_suite
+  in
+  Report.table ppf
+    ~header:
+      [ "workload"; "PST (baseline)"; "PST (VQA+VQM)"; "relative";
+        "function preserved" ]
+    rows
+
+let readout_extension ppf (ctx : Context.t) =
+  Report.section ppf
+    "Extension: readout-aware VQA (measured qubits prefer good readout)";
+  let rows =
+    List.map
+      (fun name ->
+        let circuit = (Catalog.find name).Catalog.circuit in
+        let analyze policy =
+          let compiled = Compiler.compile ctx.q20 policy circuit in
+          Reliability.analyze ctx.q20 compiled.Compiler.physical
+        in
+        let plain = analyze Compiler.vqa_vqm in
+        let extended = analyze Compiler.vqa_vqm_readout in
+        [
+          name;
+          Report.float_cell plain.Reliability.measure_success;
+          Report.float_cell extended.Reliability.measure_success;
+          Report.ratio_cell (extended.Reliability.pst /. plain.Reliability.pst);
+        ])
+      [ "bv-16"; "bv-10"; "qft-12"; "GHZ-3" ]
+  in
+  Report.table ppf
+    ~header:
+      [ "workload"; "measure succ (VQA+VQM)"; "measure succ (+readout)";
+        "PST gain" ]
+    rows;
+  Format.fprintf ppf
+    "@[<v>[the paper's VQA optimizes two-qubit links only; folding \
+     readout survival into region selection recovers measurement \
+     fidelity where the program leaves placement freedom (small \
+     programs); wide programs have no region choice and are \
+     unaffected]@,@]"
+
+let alap ppf (ctx : Context.t) =
+  Report.section ppf
+    "Extension: ALAP scheduling (delayed state preparation) vs ASAP";
+  let rows =
+    List.map
+      (fun name ->
+        let circuit = (Catalog.find name).Catalog.circuit in
+        let compiled = Compiler.compile ctx.q20 Compiler.vqa_vqm circuit in
+        let physical = compiled.Compiler.physical in
+        let asap = Reliability.analyze ctx.q20 physical in
+        let alap = Reliability.analyze ~alap:true ctx.q20 physical in
+        [
+          name;
+          Report.float_cell asap.Reliability.coherence_survival;
+          Report.float_cell alap.Reliability.coherence_survival;
+          Report.ratio_cell (alap.Reliability.pst /. asap.Reliability.pst);
+        ])
+      [ "bv-16"; "bv-20"; "qft-12"; "alu" ]
+  in
+  Report.table ppf
+    ~header:
+      [ "workload"; "coherence survival (ASAP)"; "coherence survival (ALAP)";
+        "PST gain" ]
+    rows;
+  Format.fprintf ppf
+    "@[<v>[a |0> qubit does not decohere, so pushing preparation later \
+     shortens idle exposure at zero gate cost; modest here because the \
+     model is calibrated to the paper's gate-error-dominated regime]@,@]"
+
+let staleness ppf (ctx : Context.t) =
+  Report.section ppf
+    "Extension: benefit of VQA+VQM under stale calibration (bv-16)";
+  let module Device = Vqc_device.Device in
+  let module History = Vqc_device.History in
+  let circuit = (Catalog.find "bv-16").Catalog.circuit in
+  let days = History.days ctx.history in
+  let device_on day = Device.with_calibration ctx.q20 (History.day ctx.history day) in
+  let delays = [ 0; 1; 3; 7; 14 ] in
+  let rows =
+    List.map
+      (fun delay ->
+        (* compile on day d, run on day d+delay; average over a few
+           starting days *)
+        let starts = [ 0; 10; 20; 30 ] in
+        let benefits =
+          List.map
+            (fun start ->
+              let run_day = min (days - 1) (start + delay) in
+              let compile_device = device_on start in
+              let run_device = device_on run_day in
+              let pst policy =
+                let compiled = Compiler.compile compile_device policy circuit in
+                Reliability.pst run_device compiled.Compiler.physical
+              in
+              pst Compiler.vqa_vqm /. pst Compiler.baseline)
+            starts
+        in
+        [
+          string_of_int delay;
+          Report.ratio_cell (Vqc_sim.Metrics.geomean benefits);
+        ])
+      delays
+  in
+  Report.table ppf
+    ~header:[ "calibration age (days)"; "relative PST (geomean of 4 runs)" ]
+    rows;
+  Format.fprintf ppf
+    "@[<v>[the paper's runtime model recompiles at every calibration \
+     cycle (footnote 2); this is what that discipline buys]@,@]"
+
+let seed_sweep ppf (_ : Context.t) =
+  Report.section ppf
+    "Seed sweep: VQA+VQM benefit across ten synthetic chips";
+  let seeds = List.init 10 (fun i -> i + 1) in
+  let contexts = List.map (fun seed -> Context.make ~seed) seeds in
+  let rows =
+    List.map
+      (fun name ->
+        let benefits =
+          List.map
+            (fun (ctx : Context.t) ->
+              let circuit = (Catalog.find name).Catalog.circuit in
+              let pst policy =
+                let compiled = Compiler.compile ctx.q20 policy circuit in
+                Reliability.pst ctx.q20 compiled.Compiler.physical
+              in
+              pst Compiler.vqa_vqm /. pst Compiler.baseline)
+            contexts
+        in
+        [
+          name;
+          Report.ratio_cell (Vqc_sim.Metrics.geomean benefits);
+          Report.ratio_cell (List.fold_left Float.min infinity benefits);
+          Report.ratio_cell (List.fold_left Float.max 0.0 benefits);
+        ])
+      [ "bv-16"; "bv-20"; "qft-12"; "rnd-SD"; "rnd-LD"; "alu" ]
+  in
+  Report.table ppf ~header:[ "workload"; "geomean"; "min"; "max" ] rows;
+  Format.fprintf ppf
+    "@[<v>[individual chips vary the way real machines do; the paper \
+     reports one machine's numbers]@,@]"
+
+let sabre ppf (ctx : Context.t) =
+  Report.section ppf
+    "Extension: layered A* (this paper) vs SABRE-style lookahead routing";
+  let rows =
+    List.map
+      (fun name ->
+        let circuit = (Catalog.find name).Catalog.circuit in
+        let evaluate policy =
+          let compiled = Compiler.compile ctx.q20 policy circuit in
+          ( Reliability.pst ctx.q20 compiled.Compiler.physical,
+            Compiler.swap_overhead compiled )
+        in
+        let base, _ = evaluate Compiler.baseline in
+        let vqa, _ = evaluate Compiler.vqa_vqm in
+        let sabre_pst, sabre_swaps = evaluate Compiler.sabre in
+        let noise_pst, noise_swaps = evaluate Compiler.noise_sabre in
+        [
+          name;
+          Report.ratio_cell 1.0;
+          Report.ratio_cell (vqa /. base);
+          Printf.sprintf "%s (%d sw)" (Report.ratio_cell (sabre_pst /. base))
+            sabre_swaps;
+          Printf.sprintf "%s (%d sw)" (Report.ratio_cell (noise_pst /. base))
+            noise_swaps;
+        ])
+      [ "bv-16"; "bv-20"; "qft-12"; "rnd-SD"; "rnd-LD"; "alu" ]
+  in
+  Report.table ppf
+    ~header:[ "workload"; "baseline"; "VQA+VQM"; "SABRE"; "noise-SABRE" ]
+    rows;
+  Format.fprintf ppf
+    "@[<v>[noise-SABRE = variability-aware placement + lookahead routing: \
+     the production lineage; its wins over the paper's A* formulation \
+     show how much the relative-PST figures depend on router strength]@,@]"
+
+let bridge ppf (ctx : Context.t) =
+  Report.section ppf "Extension: bridged CNOT execution vs plain VQM";
+  let module Circuit = Vqc_circuit.Circuit in
+  let rows =
+    List.map
+      (fun name ->
+        let circuit = (Catalog.find name).Catalog.circuit in
+        let evaluate policy =
+          let compiled = Compiler.compile ctx.q20 policy circuit in
+          let stats = Circuit.stats compiled.Compiler.physical in
+          ( Reliability.pst ctx.q20 compiled.Compiler.physical,
+            stats.Circuit.swap_gates,
+            stats.Circuit.cnot_gates )
+        in
+        let vqm_pst, vqm_swaps, vqm_cx = evaluate Compiler.vqm in
+        let bridge_pst, bridge_swaps, bridge_cx = evaluate Compiler.vqm_bridge in
+        [
+          name;
+          Printf.sprintf "%d swaps / %d cx" vqm_swaps vqm_cx;
+          Printf.sprintf "%d swaps / %d cx" bridge_swaps bridge_cx;
+          Report.ratio_cell (bridge_pst /. vqm_pst);
+        ])
+      [ "bv-16"; "bv-20"; "qft-12"; "rnd-LD"; "alu" ]
+  in
+  Report.table ppf
+    ~header:[ "workload"; "VQM"; "VQM + bridges"; "PST gain" ]
+    rows
+
+let topology ppf (ctx : Context.t) =
+  Report.section ppf
+    "Extension: VQA+VQM benefit across coupling-map generations";
+  let module Device = Vqc_device.Device in
+  let module Topologies = Vqc_device.Topologies in
+  let module Calibration_model = Vqc_device.Calibration_model in
+  let machines =
+    [
+      ("q20-tokyo (diagonals)", Topologies.ibm_q20_tokyo, 20);
+      ("melbourne-style ladder (14q)", Topologies.ibm_q16_melbourne, 14);
+      ("bristlecone-style 4x5", Topologies.bristlecone_like ~rows:4 ~cols:5, 20);
+      ("heavy-hex falcon (27q)", Topologies.heavy_hex_27, 27);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, coupling, n) ->
+        let rng = Vqc_rng.Rng.make (ctx.seed + 31) in
+        let calibration = Calibration_model.generate rng ~coupling n in
+        let device = Device.make ~name:label ~coupling calibration in
+        let benefit name =
+          let circuit = (Catalog.find name).Catalog.circuit in
+          let pst policy =
+            let compiled = Compiler.compile device policy circuit in
+            Reliability.pst device compiled.Compiler.physical
+          in
+          pst Compiler.vqa_vqm /. pst Compiler.baseline
+        in
+        let degree =
+          2.0 *. float_of_int (List.length coupling) /. float_of_int n
+        in
+        [
+          label;
+          Printf.sprintf "%.1f" degree;
+          Report.ratio_cell (benefit "bv-10");
+          Report.ratio_cell (benefit "qft-10");
+          Report.ratio_cell (benefit "alu-10");
+        ])
+      machines
+  in
+  Report.table ppf
+    ~header:[ "machine"; "avg degree"; "bv-10"; "qft-10"; "alu-10" ]
+    rows;
+  Format.fprintf ppf
+    "@[<v>[same calibration statistics on every map; only the coupling \
+     graph changes]@,@]"
+
+let trajectory ppf (ctx : Context.t) =
+  Report.section ppf
+    "Extension: observed answer accuracy under noisy-trajectory simulation \
+     (IBM-Q5 model, 20000 trials)";
+  let module Sv = Vqc_statevector.Statevector in
+  let module Trajectory = Vqc_statevector.Trajectory in
+  let module Density = Vqc_statevector.Density in
+  let rows =
+    List.map
+      (fun (entry : Catalog.entry) ->
+        let circuit = entry.Catalog.circuit in
+        let ideal = Sv.measurement_distribution circuit in
+        (* exact support accuracy from the density-matrix channel engine *)
+        let exact_accuracy physical =
+          let exact = Density.noisy_measurement_distribution ctx.q5 physical in
+          let support = List.map fst ideal in
+          List.fold_left
+            (fun acc (outcome, p) ->
+              if List.mem outcome support then acc +. p else acc)
+            0.0 exact
+        in
+        let evaluate policy =
+          let compiled = Compiler.compile ctx.q5 policy circuit in
+          let physical = compiled.Compiler.physical in
+          let pst = Reliability.pst ctx.q5 physical in
+          let histogram =
+            Trajectory.run ~trials:20_000
+              (Rng.make (ctx.seed + 77))
+              ctx.q5 physical
+          in
+          (pst, Trajectory.support_accuracy ~ideal histogram,
+           exact_accuracy physical)
+        in
+        let base_pst, base_acc, base_exact = evaluate Compiler.baseline in
+        let _, best_acc, best_exact = evaluate Compiler.vqa_vqm in
+        [
+          entry.Catalog.name;
+          Report.float_cell ~digits:2 base_pst;
+          Report.float_cell ~digits:2 base_acc;
+          Report.float_cell ~digits:2 base_exact;
+          Report.float_cell ~digits:2 best_acc;
+          Report.float_cell ~digits:2 best_exact;
+          Report.ratio_cell (best_acc /. base_acc);
+        ])
+      Catalog.q5_suite
+  in
+  Report.table ppf
+    ~header:
+      [ "benchmark"; "base PST"; "base P(ok) sampled"; "base P(ok) exact";
+        "vqa P(ok) sampled"; "vqa P(ok) exact"; "accuracy gain" ]
+    rows;
+  Format.fprintf ppf
+    "@[<v>[P(correct) >= PST: errors the algorithm tolerates still \
+     return the right answer -- the paper's PST is the conservative \
+     bound]@,@]";
+  (* readout mitigation stacks on top of the compile-time policies *)
+  let module Mitigation = Vqc_statevector.Mitigation in
+  let mitigation_rows =
+    List.map
+      (fun (entry : Catalog.entry) ->
+        let circuit = entry.Catalog.circuit in
+        let ideal = Sv.measurement_distribution circuit in
+        let compiled = Compiler.compile ctx.q5 Compiler.vqa_vqm circuit in
+        let physical = compiled.Compiler.physical in
+        let histogram =
+          Trajectory.run ~trials:20_000 (Rng.make (ctx.seed + 78)) ctx.q5 physical
+        in
+        let support frequencies =
+          let wanted = List.map fst ideal in
+          List.fold_left
+            (fun acc (o, p) -> if List.mem o wanted then acc +. p else acc)
+            0.0 frequencies
+        in
+        let raw = support (Trajectory.frequencies histogram) in
+        let mitigated =
+          support (Mitigation.correct_histogram ctx.q5 physical histogram)
+        in
+        [
+          entry.Catalog.name;
+          Report.float_cell ~digits:2 raw;
+          Report.float_cell ~digits:2 mitigated;
+        ])
+      Catalog.q5_suite
+  in
+  Format.fprintf ppf
+    "@[<v>readout mitigation on top of VQA+VQM (confusion-matrix \
+     inversion):@,@]";
+  Report.table ppf
+    ~header:[ "benchmark"; "P(ok) raw"; "P(ok) mitigated" ]
+    mitigation_rows
+
+let peephole ppf (ctx : Context.t) =
+  Report.section ppf
+    "Extension: peephole simplification of routed circuits";
+  let module Peephole = Vqc_opt.Peephole in
+  let module Circuit = Vqc_circuit.Circuit in
+  let rows =
+    List.concat_map
+      (fun name ->
+        let circuit = (Catalog.find name).Catalog.circuit in
+        List.map
+          (fun policy ->
+            let compiled = Compiler.compile ctx.q20 policy circuit in
+            let physical = compiled.Compiler.physical in
+            let optimized, stats = Peephole.optimize_with_stats physical in
+            let pst c = Reliability.pst ctx.q20 c in
+            [
+              name;
+              policy.Compiler.label;
+              string_of_int (Circuit.length physical);
+              string_of_int (Circuit.length optimized);
+              string_of_int stats.Peephole.cancelled;
+              Report.ratio_cell (pst optimized /. pst physical);
+            ])
+          [ Compiler.baseline; Compiler.vqa_vqm ])
+      [ "bv-16"; "qft-12"; "alu"; "grover-3" ]
+  in
+  Report.table ppf
+    ~header:
+      [ "workload"; "policy"; "gates"; "after peephole"; "cancelled";
+        "PST gain" ]
+    rows
+
+let crosstalk ppf (ctx : Context.t) =
+  Report.section ppf
+    "Extension: crosstalk between simultaneous two-qubit gates";
+  let module Crosstalk = Vqc_sim.Crosstalk in
+  let rows =
+    List.concat_map
+      (fun name ->
+        let circuit = (Catalog.find name).Catalog.circuit in
+        List.map
+          (fun strength ->
+            let pst policy =
+              let compiled = Compiler.compile ctx.q20 policy circuit in
+              Crosstalk.pst ~strength ctx.q20 compiled.Compiler.physical
+            in
+            let base = pst Compiler.baseline in
+            [
+              name;
+              Printf.sprintf "%.1f" strength;
+              Report.float_cell base;
+              Report.ratio_cell (pst Compiler.vqa_vqm /. base);
+            ])
+          [ 0.0; 0.3; 1.0 ])
+      [ "bv-16"; "qft-12" ]
+  in
+  Report.table ppf
+    ~header:
+      [ "workload"; "crosstalk strength"; "baseline PST"; "VQA+VQM benefit" ]
+    rows;
+  Format.fprintf ppf
+    "@[<v>[strength 0 reproduces the paper's independent-error model; the \
+     paper lists correlations as an open limitation (Section 9)]@,@]"
+
+let calibration_model ppf (ctx : Context.t) =
+  Report.section ppf
+    "Ablation: calibration-model shape (mixture vs naive log-normal fit)";
+  let module Device = Vqc_device.Device in
+  let module Calibration = Vqc_device.Calibration in
+  let module Topologies = Vqc_device.Topologies in
+  let coupling = Topologies.ibm_q20_tokyo in
+  (* naive model: i.i.d. log-normal links fit to the paper's mean/std *)
+  let lognormal_device seed =
+    let rng = Rng.make seed in
+    let c = Calibration.create 20 in
+    List.iter
+      (fun (u, v) ->
+        let e = Rng.lognormal rng ~mean:0.043 ~std:0.0302 in
+        Calibration.set_link_error c u v (Float.min 0.3 (Float.max 0.005 e)))
+      coupling;
+    Device.make ~name:"q20-lognormal" ~coupling c
+  in
+  let benefit device name =
+    let circuit = (Catalog.find name).Catalog.circuit in
+    let pst policy =
+      let compiled = Compiler.compile device policy circuit in
+      Reliability.pst device compiled.Compiler.physical
+    in
+    pst Compiler.vqa_vqm /. pst Compiler.baseline
+  in
+  let rows =
+    List.concat_map
+      (fun name ->
+        [
+          [
+            name; "core+defect mixture (default)";
+            Report.ratio_cell (benefit ctx.q20 name);
+          ];
+          [
+            name; "i.i.d. log-normal fit";
+            Report.ratio_cell (benefit (lognormal_device ctx.seed) name);
+          ];
+        ])
+      [ "bv-16"; "qft-12" ]
+  in
+  Report.table ppf ~header:[ "workload"; "link-error model"; "VQA+VQM benefit" ]
+    rows;
+  Format.fprintf ppf
+    "@[<v>[same mean/std either way, different shapes: the benefit is a \
+     property of the distribution's tails, not its moments.  With the \
+     final displacement-priced router both models land in the same \
+     range; an unbiased per-layer-greedy router on the log-normal's fat \
+     cheap tail produced 10-600x artifacts during development, which is \
+     why the mixture is the documented default]@,@]"
+
+let mc_crosscheck ppf (ctx : Context.t) =
+  Report.section ppf "Ablation: Monte-Carlo vs analytic PST";
+  let cases =
+    [ ("bv-16", Compiler.baseline); ("bv-16", Compiler.vqa_vqm);
+      ("alu", Compiler.vqa_vqm); ("GHZ-3", Compiler.baseline) ]
+  in
+  let rows =
+    List.map
+      (fun (name, policy) ->
+        let device = if name = "GHZ-3" then ctx.q5 else ctx.q20 in
+        let circuit = (Catalog.find name).Catalog.circuit in
+        let compiled = Compiler.compile device policy circuit in
+        let analytic = Reliability.pst device compiled.Compiler.physical in
+        let mc =
+          Monte_carlo.run ~trials:200_000
+            (Rng.make (ctx.seed + 99))
+            device compiled.Compiler.physical
+        in
+        [
+          name;
+          policy.Compiler.label;
+          Report.float_cell analytic;
+          Printf.sprintf "%.4f +/- %.4f" mc.Monte_carlo.pst mc.Monte_carlo.ci95;
+        ])
+      cases
+  in
+  Report.table ppf
+    ~header:[ "workload"; "policy"; "analytic PST"; "monte-carlo PST" ]
+    rows

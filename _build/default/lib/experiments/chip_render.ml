@@ -1,0 +1,73 @@
+module Device = Vqc_device.Device
+
+let default_weak_threshold = 0.06
+
+let grid ?(highlight = []) ?(weak_threshold = default_weak_threshold) ~rows
+    ~cols ppf device =
+  if Device.num_qubits device < rows * cols then
+    invalid_arg "Chip_render.grid: device smaller than the grid";
+  let node q =
+    let label = Printf.sprintf "%2d" q in
+    if List.mem q highlight then Printf.sprintf "[%s]" label
+    else Printf.sprintf "(%s)" label
+  in
+  let link u v =
+    if not (Device.connected device u v) then None
+    else begin
+      let e = Device.link_error device u v in
+      let flag = if e >= weak_threshold then "!" else "" in
+      Some (Printf.sprintf ".%03.0f%s" (1000.0 *. e) flag)
+    end
+  in
+  Format.fprintf ppf "@[<v>";
+  for r = 0 to rows - 1 do
+    (* node row with horizontal links *)
+    let buffer = Buffer.create 80 in
+    for c = 0 to cols - 1 do
+      let q = (r * cols) + c in
+      Buffer.add_string buffer (node q);
+      if c < cols - 1 then begin
+        match link q (q + 1) with
+        | Some label -> Buffer.add_string buffer (Printf.sprintf "-%-6s-" label)
+        | None -> Buffer.add_string buffer "        "
+      end
+    done;
+    Format.fprintf ppf "%s@," (Buffer.contents buffer);
+    (* vertical link row *)
+    if r < rows - 1 then begin
+      let buffer = Buffer.create 80 in
+      for c = 0 to cols - 1 do
+        let q = (r * cols) + c in
+        let cell =
+          match link q (q + cols) with
+          | Some label -> Printf.sprintf " %-6s" label
+          | None -> "       "
+        in
+        Buffer.add_string buffer (Printf.sprintf "%-12s" cell)
+      done;
+      Format.fprintf ppf "%s@," (Buffer.contents buffer)
+    end
+  done;
+  (* diagonals and any other non-grid couplers *)
+  let grid_link u v =
+    let du = abs (u - v) in
+    du = 1 && u / cols = v / cols || du = cols
+  in
+  let extras =
+    List.filter (fun (u, v) -> not (grid_link u v)) (Device.coupling device)
+  in
+  if extras <> [] then begin
+    Format.fprintf ppf "diagonal couplers:@,";
+    List.iter
+      (fun (u, v) ->
+        match link u v with
+        | Some label -> Format.fprintf ppf "  %2d--%-2d %s@," u v label
+        | None -> ())
+      extras
+  end;
+  Format.fprintf ppf
+    "(link labels are failure rates in thousandths; '!' marks links at or \
+     above %.0f%%)@,@]"
+    (100.0 *. weak_threshold)
+
+let q20 ?highlight ppf device = grid ?highlight ~rows:4 ~cols:5 ppf device

@@ -1,0 +1,23 @@
+(** ASCII rendering of a grid-shaped device with per-link error rates —
+    the visual form of the paper's Figure 9.
+
+    Works for row-major grid numbering (the Q20 Tokyo layout is 4x5);
+    horizontal and vertical couplers are drawn in place, diagonal
+    couplers are listed below the grid.  Weak links (error at or above
+    [weak_threshold]) are flagged with [!]; qubits in [highlight] are
+    drawn as [[q]] instead of [(q)] (e.g. a VQA region). *)
+
+val grid :
+  ?highlight:int list ->
+  ?weak_threshold:float ->
+  rows:int ->
+  cols:int ->
+  Format.formatter ->
+  Vqc_device.Device.t ->
+  unit
+(** @raise Invalid_argument if the device has fewer qubits than the
+    grid. *)
+
+val q20 :
+  ?highlight:int list -> Format.formatter -> Vqc_device.Device.t -> unit
+(** [grid ~rows:4 ~cols:5] with the default weak threshold (0.06). *)

@@ -1,0 +1,21 @@
+(** Shared experiment configuration: the simulated devices and calibration
+    histories every figure/table reproduction draws from.
+
+    Everything is derived deterministically from one seed, so a whole
+    experiment run is repeatable; pass a different seed to check that the
+    conclusions are not an artifact of one calibration draw. *)
+
+type t = {
+  seed : int;
+  history : Vqc_device.History.t;
+      (** 52 daily Q20 calibrations (Figures 8 and 14) *)
+  samples : Vqc_device.History.t;
+      (** 100 calibration reports (the distribution Figures 5–7) *)
+  q20 : Vqc_device.Device.t;
+      (** Q20 with the 52-day average calibration — the main configuration *)
+  q5 : Vqc_device.Device.t;  (** Q5 Tenerife (Section 7) *)
+}
+
+val make : seed:int -> t
+val default : t
+(** [make ~seed:2019]. *)

@@ -1,0 +1,44 @@
+module Device = Vqc_device.Device
+module History = Vqc_device.History
+module Compiler = Vqc_mapper.Compiler
+module Reliability = Vqc_sim.Reliability
+module Catalog = Vqc_workloads.Catalog
+
+let run ppf (ctx : Context.t) =
+  Report.section ppf "Figure 14: per-day relative PST for bv-16 (VQA+VQM)";
+  let circuit = (Catalog.find "bv-16").Catalog.circuit in
+  let dispersions = History.daily_dispersion ctx.history in
+  let benefits =
+    List.init (History.days ctx.history) (fun day ->
+        let device =
+          Device.with_calibration ctx.q20 (History.day ctx.history day)
+        in
+        let pst policy =
+          let compiled = Compiler.compile device policy circuit in
+          Reliability.pst device compiled.Compiler.physical
+        in
+        pst Compiler.vqa_vqm /. pst Compiler.baseline)
+  in
+  let points =
+    List.mapi
+      (fun day benefit ->
+        (Printf.sprintf "day %02d (cov %.2f)" (day + 1) dispersions.(day), benefit))
+      benefits
+  in
+  Report.series ppf ~title:"relative PST (VQA+VQM / baseline) per day" points;
+  let count = float_of_int (List.length benefits) in
+  let mean = List.fold_left ( +. ) 0.0 benefits /. count in
+  (* correlation between a day's dispersion and its benefit *)
+  let xs = Array.to_list dispersions in
+  let mean_of l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+  let mx = mean_of xs and my = mean_of benefits in
+  let zip = List.combine xs benefits in
+  let cov = mean_of (List.map (fun (x, y) -> (x -. mx) *. (y -. my)) zip) in
+  let sx = sqrt (mean_of (List.map (fun (x, _) -> (x -. mx) ** 2.0) zip)) in
+  let sy = sqrt (mean_of (List.map (fun (_, y) -> (y -. my) ** 2.0) zip)) in
+  Format.fprintf ppf
+    "@[<v>average benefit: %.2fx; correlation(day dispersion, benefit) = \
+     %.2f@,[paper: average marked by dotted line; larger benefit on \
+     higher-variability days]@,@]"
+    mean
+    (cov /. (sx *. sy))

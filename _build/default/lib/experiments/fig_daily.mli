@@ -1,0 +1,5 @@
+(** Section 6.5 / Figure 14: per-day benefit of VQA+VQM for bv-16 across
+    the 52-day calibration history, with each day's error-rate dispersion
+    (higher-variability days should show larger benefit). *)
+
+val run : Format.formatter -> Context.t -> unit

@@ -1,0 +1,36 @@
+module Catalog = Vqc_workloads.Catalog
+
+let run ppf (ctx : Context.t) =
+  Report.section ppf
+    "Figure 16: STPT, two weak copies vs one strong copy (normalized to \
+     two copies)";
+  let rows =
+    List.map
+      (fun (entry : Catalog.entry) ->
+        let cmp = Vqc_partition.Partition.compare_strategies ctx.q20 entry.circuit in
+        [
+          entry.name;
+          Report.float_cell ~digits:3 cmp.Vqc_partition.Partition.copy_x.pst;
+          Report.float_cell ~digits:3 cmp.Vqc_partition.Partition.copy_y.pst;
+          Report.float_cell ~digits:3 cmp.Vqc_partition.Partition.single.pst;
+          "1.00";
+          Report.float_cell ~digits:2
+            (cmp.Vqc_partition.Partition.stpt_single
+           /. cmp.Vqc_partition.Partition.stpt_two);
+        ])
+      Catalog.partition_suite
+  in
+  Report.table ppf
+    ~header:
+      [
+        "workload";
+        "PST copy-X";
+        "PST copy-Y";
+        "PST single";
+        "two copies (norm)";
+        "one strong copy";
+      ]
+    rows;
+  Format.fprintf ppf
+    "@[<v>[paper: two copies win for bv-10, one strong copy wins for \
+     qft-10 -- the decision is workload-dependent]@,@]"

@@ -1,0 +1,5 @@
+(** Section 8 / Figure 16: successful trials per unit time for two
+    concurrent weak copies vs one strong copy of the 10-qubit workloads
+    on the Q20 model, both normalized to the two-copy configuration. *)
+
+val run : Format.formatter -> Context.t -> unit

@@ -1,0 +1,81 @@
+module Compiler = Vqc_mapper.Compiler
+module Reliability = Vqc_sim.Reliability
+module Catalog = Vqc_workloads.Catalog
+
+let pst_under device policy circuit =
+  let compiled = Compiler.compile device policy circuit in
+  Reliability.pst device compiled.Compiler.physical
+
+let fig12 ppf (ctx : Context.t) =
+  Report.section ppf
+    "Figure 12: impact of VQM on PST (relative to variation-unaware baseline)";
+  let rows =
+    List.map
+      (fun (entry : Catalog.entry) ->
+        let base = pst_under ctx.q20 Compiler.baseline entry.circuit in
+        let vqm = pst_under ctx.q20 Compiler.vqm entry.circuit in
+        let limited = pst_under ctx.q20 (Compiler.vqm_limited 4) entry.circuit in
+        [
+          entry.name;
+          Report.float_cell base;
+          Report.ratio_cell 1.0;
+          Report.ratio_cell (vqm /. base);
+          Report.ratio_cell (limited /. base);
+        ])
+      Catalog.table1
+  in
+  Report.table ppf
+    ~header:
+      [ "workload"; "baseline PST"; "baseline"; "VQM"; "VQM (MAH=4)" ]
+    rows;
+  Format.fprintf ppf
+    "@[<v>[paper: every benchmark improves; qft and rnd-LD improve most; \
+     MAH=4 tracks unconstrained VQM]@,@]"
+
+let fig13 ppf (ctx : Context.t) =
+  Report.section ppf
+    "Figure 13: PST of native / baseline / VQM / VQA+VQM (normalized to \
+     baseline)";
+  let native_seeds = List.init 32 (fun i -> 1000 + i) in
+  let rows =
+    List.map
+      (fun (entry : Catalog.entry) ->
+        let base = pst_under ctx.q20 Compiler.baseline entry.circuit in
+        let vqm = pst_under ctx.q20 Compiler.vqm entry.circuit in
+        let best = pst_under ctx.q20 Compiler.vqa_vqm entry.circuit in
+        let native_psts =
+          List.map
+            (fun seed ->
+              pst_under ctx.q20 (Compiler.native ~seed) entry.circuit)
+            native_seeds
+        in
+        let count = float_of_int (List.length native_psts) in
+        let native_avg = List.fold_left ( +. ) 0.0 native_psts /. count in
+        let native_min = List.fold_left Float.min infinity native_psts in
+        let native_max = List.fold_left Float.max 0.0 native_psts in
+        [
+          entry.name;
+          Printf.sprintf "%.2fx [%.2f-%.2f]" (native_avg /. base)
+            (native_min /. base) (native_max /. base);
+          Report.ratio_cell 1.0;
+          Report.ratio_cell (vqm /. base);
+          Report.ratio_cell (best /. base);
+        ])
+      Catalog.table1
+  in
+  Report.table ppf
+    ~header:[ "workload"; "IBM native (avg [min-max])"; "baseline"; "VQM"; "VQA+VQM" ]
+    rows;
+  Format.fprintf ppf
+    "@[<v>[paper: baseline ~4x over native; VQA+VQM up to 1.7x over \
+     baseline and up to 7x over native]@,@]";
+  (* where VQA put qft-12 on the chip *)
+  let compiled =
+    Compiler.compile ctx.q20 Compiler.vqa_vqm
+      (Catalog.find "qft-12").Catalog.circuit
+  in
+  let region =
+    Vqc_mapper.Layout.used_physicals compiled.Compiler.initial
+  in
+  Format.fprintf ppf "@[<v>VQA's region for qft-12 (bracketed qubits):@,@]";
+  Chip_render.q20 ~highlight:region ppf ctx.q20

@@ -1,0 +1,11 @@
+(** Sections 5.4 and 6.3/6.4: the headline policy comparisons on the Q20
+    model (analytic PST; the Monte-Carlo engine converges to the same
+    values and is cross-checked by the test suite and the bench). *)
+
+val fig12 : Format.formatter -> Context.t -> unit
+(** Relative PST of VQM and hop-limited VQM (MAH=4) over the baseline,
+    per Table-1 benchmark. *)
+
+val fig13 : Format.formatter -> Context.t -> unit
+(** Relative PST of the IBM-native stand-in (32 random seeds, avg and
+    min/max), baseline, VQM and VQA+VQM, normalized to the baseline. *)

@@ -1,0 +1,53 @@
+module Device = Vqc_device.Device
+module Calibration = Vqc_device.Calibration
+module Compiler = Vqc_mapper.Compiler
+module Reliability = Vqc_sim.Reliability
+module Metrics = Vqc_sim.Metrics
+module Catalog = Vqc_workloads.Catalog
+
+let run ppf (ctx : Context.t) =
+  Report.section ppf "Table 3: baseline vs VQA+VQM on IBM-Q5 (Tenerife model)";
+  let s = Calibration.link_error_summary (Device.calibration ctx.q5) in
+  Format.fprintf ppf
+    "@[<v>Q5 two-qubit errors: mean %.1f%%, worst %.1f%%  [paper: avg \
+     4.2%%, worst 12%%]@,@]"
+    (100.0 *. s.Calibration.mean)
+    (100.0 *. s.Calibration.maximum);
+  let results =
+    List.map
+      (fun (entry : Catalog.entry) ->
+        let pst policy =
+          let compiled = Compiler.compile ctx.q5 policy entry.circuit in
+          Reliability.pst ctx.q5 compiled.Compiler.physical
+        in
+        let base = pst Compiler.baseline in
+        let best = pst Compiler.vqa_vqm in
+        (entry.name, base, best))
+      Catalog.q5_suite
+  in
+  let rows =
+    List.map
+      (fun (name, base, best) ->
+        [
+          name;
+          Report.float_cell ~digits:2 base;
+          Report.float_cell ~digits:2 best;
+          Report.ratio_cell (best /. base);
+        ])
+      results
+  in
+  let geo list = Metrics.geomean list in
+  let geomean_row =
+    [
+      "GeoMean";
+      Report.float_cell ~digits:2 (geo (List.map (fun (_, b, _) -> b) results));
+      Report.float_cell ~digits:2 (geo (List.map (fun (_, _, v) -> v) results));
+      Report.ratio_cell (geo (List.map (fun (_, b, v) -> v /. b) results));
+    ]
+  in
+  Report.table ppf
+    ~header:[ "benchmark"; "PST (baseline)"; "PST (VQA+VQM)"; "relative" ]
+    (rows @ [ geomean_row ]);
+  Format.fprintf ppf
+    "@[<v>[paper: bv-3 1.22x, bv-4 1.09x, TriSwap 1.90x, GHZ-3 1.35x, \
+     geomean 1.36x]@,@]"

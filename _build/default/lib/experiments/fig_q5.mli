@@ -1,0 +1,5 @@
+(** Section 7 / Table 3: baseline vs VQA+VQM on the IBM-Q5 Tenerife model
+    (the paper ran these four kernels on the real machine; we run them
+    through the same fault-injection methodology on the Q5 model). *)
+
+val run : Format.formatter -> Context.t -> unit

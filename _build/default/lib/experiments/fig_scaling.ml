@@ -1,0 +1,53 @@
+module Device = Vqc_device.Device
+module Calibration = Vqc_device.Calibration
+module Compiler = Vqc_mapper.Compiler
+module Reliability = Vqc_sim.Reliability
+module Catalog = Vqc_workloads.Catalog
+
+let benefit device circuit =
+  let pst policy =
+    let compiled = Compiler.compile device policy circuit in
+    Reliability.pst device compiled.Compiler.physical
+  in
+  pst Compiler.vqa_vqm /. pst Compiler.baseline
+
+let run ppf (ctx : Context.t) =
+  Report.section ppf "Table 2: sensitivity of VQA+VQM to error scaling (bv-16)";
+  let circuit = (Catalog.find "bv-16").Catalog.circuit in
+  let base_calibration = Device.calibration ctx.q20 in
+  let configs =
+    [
+      ("1x", "0.5*Cov-Base", 1.0, 0.5);
+      ("1x", "Cov-Base", 1.0, 1.0);
+      ("1x", "2*Cov-Base", 1.0, 2.0);
+      ("10x lower", "Cov-Base", 0.1, 1.0);
+      ("10x lower", "2*Cov-Base", 0.1, 2.0);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (mean_label, cov_label, mean_factor, cov_factor) ->
+        let calibration =
+          Calibration.scale_link_errors base_calibration ~mean_factor
+            ~cov_factor
+        in
+        let device = Device.with_calibration ctx.q20 calibration in
+        [
+          "bv-16";
+          mean_label;
+          cov_label;
+          Report.ratio_cell (benefit device circuit);
+        ])
+      configs
+  in
+  Report.table ppf
+    ~header:[ "benchmark"; "avg error rate"; "covariation"; "relative PST" ]
+    rows;
+  Format.fprintf ppf
+    "@[<v>[paper Table 2 rows: (1x, Cov-Base) 1.43x; (10x lower, \
+     Cov-Base) 2.02x; (10x lower, 2*Cov-Base) 2.59x]@,\
+     [the benefit-grows-with-relative-variation trend shows in the \
+     base-scale cov sweep; under independent errors a uniform 10x \
+     scaling maps a PST ratio r to r^0.1, so the paper's growth at '10x \
+     lower' cannot follow from gate-error scaling alone -- see \
+     EXPERIMENTS.md]@,@]"

@@ -1,0 +1,5 @@
+(** Section 6.6 / Table 2: sensitivity of the VQA+VQM benefit to scaled
+    error rates — 10x lower mean with the same coefficient of variation,
+    and with twice the coefficient of variation. *)
+
+val run : Format.formatter -> Context.t -> unit

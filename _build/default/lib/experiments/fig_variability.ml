@@ -1,0 +1,133 @@
+module Calibration = Vqc_device.Calibration
+module Device = Vqc_device.Device
+module History = Vqc_device.History
+
+let qubit_samples history field =
+  List.concat_map
+    (fun snapshot ->
+      List.init (Calibration.num_qubits snapshot) (fun q ->
+          field (Calibration.qubit snapshot q)))
+    (History.all history)
+
+let link_samples history =
+  List.concat_map
+    (fun snapshot -> List.map (fun (_, _, e) -> e) (Calibration.links snapshot))
+    (History.all history)
+
+let print_summary ppf label values =
+  let s = Calibration.summarize values in
+  Format.fprintf ppf "%s: mean=%.4g std=%.4g min=%.4g max=%.4g@," label
+    s.Calibration.mean s.Calibration.std s.Calibration.minimum
+    s.Calibration.maximum
+
+let fig5 ppf (ctx : Context.t) =
+  Report.section ppf "Figure 5: coherence-time distributions (IBM-Q20 model)";
+  let t1 = qubit_samples ctx.samples (fun q -> q.Calibration.t1_us) in
+  let t2 = qubit_samples ctx.samples (fun q -> q.Calibration.t2_us) in
+  Format.fprintf ppf "@[<v>";
+  print_summary ppf "T1 (us)   [paper: mean 80.32, std 35.23]" t1;
+  print_summary ppf "T2 (us)   [paper: mean 42.13, std 13.34]" t2;
+  Format.fprintf ppf "@]";
+  Report.histogram ppf ~title:"T1 coherence" ~unit_label:"us" t1;
+  Report.histogram ppf ~title:"T2 coherence" ~unit_label:"us" t2
+
+let fig6 ppf (ctx : Context.t) =
+  Report.section ppf "Figure 6: single-qubit gate-error distribution";
+  let errors =
+    qubit_samples ctx.samples (fun q -> 100.0 *. q.Calibration.error_1q)
+  in
+  Format.fprintf ppf "@[<v>";
+  print_summary ppf "1q error (%)  [paper: large fraction below 1%]" errors;
+  let below_1pct =
+    List.length (List.filter (fun e -> e < 1.0) errors) * 100
+    / List.length errors
+  in
+  Format.fprintf ppf "fraction below 1%%: %d%%@,@]" below_1pct;
+  Report.histogram ppf ~title:"single-qubit error" ~unit_label:"%" errors
+
+let fig7 ppf (ctx : Context.t) =
+  Report.section ppf "Figure 7: two-qubit gate-error distribution";
+  let errors = List.map (fun e -> 100.0 *. e) (link_samples ctx.samples) in
+  Format.fprintf ppf "@[<v>";
+  print_summary ppf "2q error (%)  [paper: mean 4.3, std 3.02]" errors;
+  Format.fprintf ppf "@]";
+  Report.histogram ppf ~title:"two-qubit error" ~unit_label:"%" errors
+
+(* Rank stability: Spearman correlation between each day's link ranking
+   and the average ranking — high when strong links stay strong. *)
+let rank_stability history =
+  let average = History.average history in
+  let links = Calibration.links average in
+  let rank_of values =
+    let indexed = List.mapi (fun i v -> (v, i)) values in
+    let sorted = List.sort compare indexed in
+    let ranks = Array.make (List.length values) 0.0 in
+    List.iteri (fun rank (_, i) -> ranks.(i) <- float_of_int rank) sorted;
+    ranks
+  in
+  let base_rank = rank_of (List.map (fun (_, _, e) -> e) links) in
+  let correlations =
+    List.map
+      (fun snapshot ->
+        let day_rank =
+          rank_of
+            (List.map (fun (u, v, _) -> Calibration.link_error_exn snapshot u v) links)
+        in
+        let n = float_of_int (Array.length base_rank) in
+        let d2 =
+          Array.to_list (Array.mapi (fun i r -> (r -. day_rank.(i)) ** 2.0) base_rank)
+          |> List.fold_left ( +. ) 0.0
+        in
+        1.0 -. (6.0 *. d2 /. (n *. ((n *. n) -. 1.0))))
+      (History.all history)
+  in
+  List.fold_left ( +. ) 0.0 correlations
+  /. float_of_int (List.length correlations)
+
+let fig8 ppf (ctx : Context.t) =
+  Report.section ppf "Figure 8: temporal variation of three links";
+  let average = History.average ctx.history in
+  let links = Calibration.links average in
+  let sorted = List.sort (fun (_, _, a) (_, _, b) -> compare a b) links in
+  let pick k = List.nth sorted k in
+  let strong = pick 0 in
+  let median = pick (List.length sorted / 2) in
+  let weak = pick (List.length sorted - 1) in
+  List.iter
+    (fun ((u, v, avg), label) ->
+      let series = History.link_series ctx.history u v in
+      let points =
+        Array.to_list
+          (Array.mapi
+             (fun day e -> (Printf.sprintf "day %02d" (day + 1), 100.0 *. e))
+             series)
+      in
+      (* print one in four days to keep the series readable *)
+      let thinned = List.filteri (fun i _ -> i mod 4 = 0) points in
+      Report.series ppf
+        ~title:
+          (Printf.sprintf "%s link CX%d_%d (52-day avg %.2f%%), CNOT error %%"
+             label u v (100.0 *. avg))
+        thinned)
+    [ (strong, "strong"); (median, "median"); (weak, "weak") ];
+  Format.fprintf ppf
+    "@[<v>rank stability (mean Spearman vs 52-day average): %.2f@,\
+     [paper: strong links tend to remain strong]@,@]"
+    (rank_stability ctx.history)
+
+let fig9 ppf (ctx : Context.t) =
+  Report.section ppf "Figure 9: IBM-Q20 layout with average failure rates";
+  Chip_render.q20 ppf ctx.q20;
+  let rows =
+    List.map
+      (fun (u, v, e) ->
+        [ Printf.sprintf "%d -- %d" u v; Report.float_cell ~digits:3 e ])
+      (Calibration.links (Device.calibration ctx.q20))
+  in
+  Report.table ppf ~header:[ "link"; "avg failure rate" ] rows;
+  let u, v, best = Device.strongest_link ctx.q20 in
+  let x, y, worst = Device.weakest_link ctx.q20 in
+  Format.fprintf ppf
+    "@[<v>best link %d--%d: %.3f; worst link %d--%d: %.3f; spread %.1fx@,\
+     [paper: best 0.02, worst 0.15, spread 7.5x]@,@]"
+    u v best x y worst (worst /. best)

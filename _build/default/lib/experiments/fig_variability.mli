@@ -1,0 +1,22 @@
+(** Section 3 characterization figures: the variability of the simulated
+    IBM-Q20 calibration data.
+
+    Each function prints one paper artifact and the summary statistics the
+    paper quotes, so the match can be checked at a glance. *)
+
+val fig5 : Format.formatter -> Context.t -> unit
+(** T1/T2 coherence-time distributions (20 qubits x 100 samples). *)
+
+val fig6 : Format.formatter -> Context.t -> unit
+(** Single-qubit gate-error distribution. *)
+
+val fig7 : Format.formatter -> Context.t -> unit
+(** Two-qubit gate-error distribution (all links x 100 samples). *)
+
+val fig8 : Format.formatter -> Context.t -> unit
+(** 52-day error series of three links (strong / median / weak), plus the
+    rank-stability statistic behind "strong links tend to remain strong". *)
+
+val fig9 : Format.formatter -> Context.t -> unit
+(** Q20 layout with average per-link failure rates, and the best/worst
+    spread (the paper's 7.5x). *)

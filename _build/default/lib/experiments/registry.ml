@@ -1,0 +1,51 @@
+type experiment = {
+  id : string;
+  title : string;
+  run : Format.formatter -> Context.t -> unit;
+}
+
+let all =
+  [
+    { id = "fig5"; title = "T1/T2 coherence distributions"; run = Fig_variability.fig5 };
+    { id = "fig6"; title = "single-qubit error distribution"; run = Fig_variability.fig6 };
+    { id = "fig7"; title = "two-qubit error distribution"; run = Fig_variability.fig7 };
+    { id = "fig8"; title = "temporal variation of link errors"; run = Fig_variability.fig8 };
+    { id = "fig9"; title = "Q20 layout and link failure rates"; run = Fig_variability.fig9 };
+    { id = "tab1"; title = "benchmark characteristics"; run = Table1.run };
+    { id = "fig12"; title = "VQM relative PST"; run = Fig_policies.fig12 };
+    { id = "fig13"; title = "native/baseline/VQM/VQA+VQM comparison"; run = Fig_policies.fig13 };
+    { id = "fig14"; title = "per-day VQA+VQM benefit (bv-16)"; run = Fig_daily.run };
+    { id = "tab2"; title = "sensitivity to error scaling"; run = Fig_scaling.run };
+    { id = "tab3"; title = "IBM-Q5 evaluation"; run = Fig_q5.run };
+    { id = "fig16"; title = "one strong copy vs two weak copies"; run = Fig_partition.run };
+    { id = "abl-mah"; title = "ablation: MAH budget sweep"; run = Ablation.mah_sweep };
+    { id = "abl-coherence"; title = "ablation: coherence weighting"; run = Ablation.coherence_sweep };
+    { id = "abl-window"; title = "ablation: VQA activity window"; run = Ablation.activity_window };
+    { id = "abl-mc"; title = "ablation: Monte-Carlo crosscheck"; run = Ablation.mc_crosscheck };
+    { id = "abl-model"; title = "ablation: calibration-model shape"; run = Ablation.calibration_model };
+    { id = "ext-suite"; title = "extension: extended benchmark suite"; run = Ablation.extended_suite };
+    { id = "ext-readout"; title = "extension: readout-aware VQA"; run = Ablation.readout_extension };
+    { id = "ext-crosstalk"; title = "extension: crosstalk model"; run = Ablation.crosstalk };
+    { id = "ext-peephole"; title = "extension: peephole simplification"; run = Ablation.peephole };
+    { id = "ext-trajectory"; title = "extension: noisy-trajectory accuracy"; run = Ablation.trajectory };
+    { id = "ext-topology"; title = "extension: cross-topology benefit"; run = Ablation.topology };
+    { id = "ext-bridge"; title = "extension: bridged CNOT execution"; run = Ablation.bridge };
+    { id = "ext-sabre"; title = "extension: SABRE-style routing"; run = Ablation.sabre };
+    { id = "ext-alap"; title = "extension: ALAP scheduling"; run = Ablation.alap };
+    { id = "ext-staleness"; title = "extension: stale-calibration study"; run = Ablation.staleness };
+    { id = "ext-seeds"; title = "seed sweep (error bars)"; run = Ablation.seed_sweep };
+  ]
+
+let find id =
+  match List.find_opt (fun e -> e.id = id) all with
+  | Some e -> e
+  | None -> raise Not_found
+
+let ids () = List.map (fun e -> e.id) all
+
+let run_all ppf ctx =
+  List.iter
+    (fun e ->
+      e.run ppf ctx;
+      Format.pp_print_flush ppf ())
+    all

@@ -1,0 +1,19 @@
+(** Experiment registry: every paper artifact (and ablation) by id. *)
+
+type experiment = {
+  id : string;  (** e.g. ["fig12"] *)
+  title : string;
+  run : Format.formatter -> Context.t -> unit;
+}
+
+val all : experiment list
+(** In paper order: fig5–fig9, tab1, fig12, fig13, fig14, tab2, tab3,
+    fig16, then the ablations. *)
+
+val find : string -> experiment
+(** @raise Not_found on an unknown id. *)
+
+val ids : unit -> string list
+
+val run_all : Format.formatter -> Context.t -> unit
+(** Run every experiment in order into one report. *)

@@ -1,0 +1,77 @@
+let table ppf ~header rows =
+  let arity = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> arity then
+        invalid_arg "Report.table: ragged row")
+    rows;
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    rows;
+  let render_row cells =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Format.fprintf ppf "  ";
+        Format.fprintf ppf "%-*s" widths.(i) cell)
+      cells;
+    Format.fprintf ppf "@,"
+  in
+  Format.fprintf ppf "@[<v>";
+  render_row header;
+  let rule = List.init arity (fun i -> String.make widths.(i) '-') in
+  render_row rule;
+  List.iter render_row rows;
+  Format.fprintf ppf "@]"
+
+let histogram ppf ?(bins = 12) ?(width = 50) ~title ~unit_label values =
+  if values = [] then invalid_arg "Report.histogram: empty sample";
+  if bins < 1 then invalid_arg "Report.histogram: need at least one bin";
+  let lo = List.fold_left Float.min (List.hd values) values in
+  let hi = List.fold_left Float.max (List.hd values) values in
+  let span = if hi > lo then hi -. lo else 1.0 in
+  let counts = Array.make bins 0 in
+  List.iter
+    (fun v ->
+      let index = int_of_float (float_of_int bins *. (v -. lo) /. span) in
+      let index = min (bins - 1) (max 0 index) in
+      counts.(index) <- counts.(index) + 1)
+    values;
+  let peak = Array.fold_left max 1 counts in
+  Format.fprintf ppf "@[<v>%s (n=%d, min=%.4g, max=%.4g %s)@," title
+    (List.length values) lo hi unit_label;
+  Array.iteri
+    (fun i count ->
+      let bin_lo = lo +. (span *. float_of_int i /. float_of_int bins) in
+      let bin_hi = lo +. (span *. float_of_int (i + 1) /. float_of_int bins) in
+      let bar = String.make (width * count / peak) '#' in
+      Format.fprintf ppf "  [%8.4g, %8.4g)  %4d  %s@," bin_lo bin_hi count bar)
+    counts;
+  Format.fprintf ppf "@]"
+
+let series ppf ?(width = 50) ~title points =
+  Format.fprintf ppf "@[<v>%s@," title;
+  let peak =
+    List.fold_left (fun acc (_, v) -> Float.max acc (Float.abs v)) 1e-12 points
+  in
+  let label_width =
+    List.fold_left (fun acc (label, _) -> max acc (String.length label)) 0 points
+  in
+  List.iter
+    (fun (label, v) ->
+      let bar =
+        String.make
+          (max 0 (int_of_float (float_of_int width *. Float.abs v /. peak)))
+          '#'
+      in
+      Format.fprintf ppf "  %-*s  %10.4g  %s@," label_width label v bar)
+    points;
+  Format.fprintf ppf "@]"
+
+let float_cell ?(digits = 4) v = Printf.sprintf "%.*f" digits v
+
+let ratio_cell v = Printf.sprintf "%.2fx" v
+
+let section ppf title =
+  Format.fprintf ppf "@,@[<v>%s@,%s@]@," title
+    (String.make (String.length title) '=')

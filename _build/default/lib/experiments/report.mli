@@ -1,0 +1,38 @@
+(** Plain-text rendering of experiment results: fixed-width tables, ASCII
+    histograms and day series — enough to eyeball every figure of the
+    paper in a terminal or a log file. *)
+
+val table :
+  Format.formatter -> header:string list -> string list list -> unit
+(** Render rows under a header with per-column width = max cell width.
+    Every row must have the header's arity.
+    @raise Invalid_argument on ragged rows. *)
+
+val histogram :
+  Format.formatter ->
+  ?bins:int ->
+  ?width:int ->
+  title:string ->
+  unit_label:string ->
+  float list ->
+  unit
+(** Horizontal-bar histogram of a sample ([bins] defaults to 12, bar
+    [width] to 50 characters).
+    @raise Invalid_argument on an empty sample. *)
+
+val series :
+  Format.formatter ->
+  ?width:int ->
+  title:string ->
+  (string * float) list ->
+  unit
+(** Labelled bar series (one row per point), scaled to the maximum. *)
+
+val float_cell : ?digits:int -> float -> string
+(** Fixed-point rendering ([digits] defaults to 4). *)
+
+val ratio_cell : float -> string
+(** ["1.43x"]-style rendering. *)
+
+val section : Format.formatter -> string -> unit
+(** Underlined section heading. *)

@@ -1,0 +1,30 @@
+open Vqc_circuit
+module Compiler = Vqc_mapper.Compiler
+module Catalog = Vqc_workloads.Catalog
+
+let run ppf (ctx : Context.t) =
+  Report.section ppf "Table 1: benchmark characteristics";
+  let rows =
+    List.map
+      (fun (entry : Catalog.entry) ->
+        let s = Circuit.stats entry.circuit in
+        let compiled = Compiler.compile ctx.q20 Compiler.baseline entry.circuit in
+        [
+          entry.name;
+          entry.description;
+          string_of_int (Circuit.num_qubits entry.circuit);
+          string_of_int s.Circuit.total_gates;
+          string_of_int s.Circuit.cnot_gates;
+          string_of_int s.Circuit.depth;
+          string_of_int (Compiler.swap_overhead compiled);
+        ])
+      Catalog.table1
+  in
+  Report.table ppf
+    ~header:
+      [ "workload"; "description"; "qubits"; "inst"; "cx"; "depth"; "swaps" ]
+    rows;
+  Format.fprintf ppf
+    "@[<v>[paper: alu 10q/299 inst/19 swaps; bv-16 16q/66/7; bv-20 \
+     20q/90/10; qft-12 12q/344/35; qft-14 14q/550/53; rnd-SD 20q/100/24; \
+     rnd-LD 20q/100/35]@,@]"

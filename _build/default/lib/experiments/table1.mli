@@ -1,0 +1,4 @@
+(** Table 1: benchmark characteristics — qubit counts, instruction counts
+    and the SWAPs the baseline compiler inserts on the Q20 model. *)
+
+val run : Format.formatter -> Context.t -> unit

@@ -1,0 +1,1 @@
+lib/mapper/allocation.ml: Array Circuit Float Fun Gate Hashtbl Layers Layout List Option Printf Vqc_circuit Vqc_device Vqc_graph Vqc_rng

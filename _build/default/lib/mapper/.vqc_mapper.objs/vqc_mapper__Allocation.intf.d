@@ -1,0 +1,1 @@
+lib/mapper/allocation.mli: Layout Vqc_circuit Vqc_device

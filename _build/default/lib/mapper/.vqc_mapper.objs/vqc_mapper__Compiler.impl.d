@@ -1,0 +1,1 @@
+lib/mapper/compiler.ml: Allocation Circuit Cost Float Gate Layout List Logs Printf Router Sabre Vqc_circuit Vqc_device

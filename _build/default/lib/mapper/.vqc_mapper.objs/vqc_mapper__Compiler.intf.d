@@ -1,0 +1,1 @@
+lib/mapper/compiler.mli: Allocation Circuit Cost Layout Router Vqc_circuit Vqc_device

@@ -1,0 +1,1 @@
+lib/mapper/cost.ml: Array Float List Printf Vqc_device Vqc_graph

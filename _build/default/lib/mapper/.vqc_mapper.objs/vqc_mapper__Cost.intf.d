@@ -1,0 +1,1 @@
+lib/mapper/cost.mli: Vqc_device

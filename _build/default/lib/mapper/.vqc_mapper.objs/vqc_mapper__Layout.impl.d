@@ -1,0 +1,1 @@
+lib/mapper/layout.ml: Array Buffer Format Fun List Printf

@@ -1,0 +1,1 @@
+lib/mapper/layout.mli: Format

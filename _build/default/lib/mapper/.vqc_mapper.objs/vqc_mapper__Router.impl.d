@@ -1,0 +1,1 @@
+lib/mapper/router.ml: Circuit Cost Gate Hashtbl Layers Layout List Logs Vqc_circuit Vqc_device Vqc_graph

@@ -1,0 +1,1 @@
+lib/mapper/router.mli: Circuit Cost Layout Vqc_circuit

@@ -1,0 +1,1 @@
+lib/mapper/sabre.ml: Array Circuit Cost Dag Gate Hashtbl Layout List Queue Router Vqc_circuit Vqc_device

@@ -1,0 +1,1 @@
+lib/mapper/sabre.mli: Circuit Cost Layout Router Vqc_circuit

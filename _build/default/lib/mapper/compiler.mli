@@ -1,0 +1,91 @@
+(** End-to-end compilation: allocation followed by routing.
+
+    The presets are the paper's policy matrix:
+    - {!baseline}: Zulehner-style locality allocation + SWAP-minimizing
+      A* routing (variation unaware, Section 4.5);
+    - {!vqm}: same allocation, reliability-cost routing (Section 5);
+    - {!vqm_limited}: VQM with the Maximum-Additional-Hops budget;
+    - {!vqa_vqm}: variation-aware allocation and routing (Section 6);
+    - {!native}: randomized allocation + naive per-gate routing, the
+      IBM-native-compiler stand-in of Section 6.4. *)
+
+open Vqc_circuit
+
+type routing =
+  | Astar_route of {
+      cost_model : Cost.model;
+      max_additional_hops : int option;
+      bridges : bool;  (** allow bridged CNOT execution (see {!Router.route}) *)
+    }
+  | Greedy_route of Cost.model
+  | Sabre_route of Cost.model
+      (** SABRE-style lookahead routing ({!Sabre.route}) — the modern
+          comparison point; with [Cost.Reliability] it is a noise-adaptive
+          SABRE. *)
+
+type policy = {
+  label : string;
+  allocations : Allocation.policy list;
+      (** candidate initial mappings *)
+  routings : routing list;
+      (** candidate routing strategies.
+
+          The compiler compiles every allocation x routing combination
+          and keeps the plan with the highest estimated gate reliability
+          ({!log_gate_reliability}).  This candidate selection is itself
+          part of being variation-aware: reliability-greedy routing can
+          lose to the plain SWAP-minimizing plan when the weak-link field
+          is dense (its detours displace bystander qubits and later
+          layers pay), and the compiler can see that from its own
+          estimates before anything runs — the paper's runtime model
+          (footnote 2: recompile at every calibration) does exactly this
+          kind of plan selection.  With a single allocation and routing
+          the policy degenerates to a fixed pipeline (the baseline). *)
+}
+
+val baseline : policy
+val vqm : policy
+val vqm_limited : int -> policy
+val vqa_vqm : policy
+val vqa_vqm_limited : int -> policy
+val native : seed:int -> policy
+
+val vqa_vqm_readout : policy
+(** Extension beyond the paper: VQA+VQM with the readout-aware placement
+    candidate ({!Allocation.vqa_readout}) added to the plan pool — the
+    paper's VQA optimizes two-qubit links only and can silently trade
+    measurement fidelity away. *)
+
+val vqm_bridge : policy
+(** Extension beyond the paper: VQM with bridged CNOT execution allowed
+    (and the bridge-free reliability and hop plans as fallback
+    candidates). *)
+
+val sabre : policy
+(** Extension beyond the paper: locality allocation + SABRE hop routing
+    (variation unaware). *)
+
+val noise_sabre : policy
+(** Extension beyond the paper: VQA allocation + reliability-weighted
+    SABRE — approximately the pipeline that descended from this paper
+    into production compilers. *)
+
+type compiled = {
+  policy : policy;
+  physical : Circuit.t;  (** routed circuit on the device's qubits *)
+  initial : Layout.t;
+  final : Layout.t;
+  stats : Router.stats;
+}
+
+val compile :
+  ?max_expansions:int -> Vqc_device.Device.t -> policy -> Circuit.t -> compiled
+(** @raise Invalid_argument if the program is wider than the device. *)
+
+val swap_overhead : compiled -> int
+(** SWAPs inserted by routing (program SWAPs excluded). *)
+
+val log_gate_reliability : Vqc_device.Device.t -> Circuit.t -> float
+(** Sum of [log p_success] over the gates of a physical circuit — the
+    compiler's internal yardstick for comparing candidate mappings
+    (coherence excluded; higher is better). *)

@@ -1,0 +1,87 @@
+module Device = Vqc_device.Device
+module Graph = Vqc_graph.Graph
+module Paths = Vqc_graph.Paths
+
+type model = Hops | Reliability
+
+type t = {
+  model : model;
+  device : Device.t;
+  cost_graph : Graph.t;  (* weight = cost of one SWAP across the edge *)
+  dist : float array array;  (* all-pairs cheapest swap-route cost *)
+  adjacency : float array array;
+  hop : int array array;
+}
+
+let execution_cost model device u v =
+  match model with
+  | Hops -> 0.0
+  | Reliability ->
+    let p = Float.max 1e-12 (Device.cnot_success device u v) in
+    -.log p
+
+let default_swap_bias = 3.2
+
+let make ?(swap_bias = default_swap_bias) device model =
+  let cost_graph =
+    match model with
+    | Hops -> Device.hop_graph device
+    | Reliability ->
+      (* The bias is relative to the device's mean SWAP cost so that its
+         effect is scale-free: when error rates shrink 10x, SWAPs become
+         10x cheaper and the router may roam proportionally further for
+         good links (paper Table 2's benefit *grows* at lower error
+         rates precisely because steering gets cheaper). *)
+      let raw = Device.swap_cost_graph device in
+      let total = Graph.fold_edges (fun _ _ w acc -> acc +. w) raw 0.0 in
+      let mean_swap_cost = total /. float_of_int (max 1 (Graph.edge_count raw)) in
+      Graph.map_weights (fun _ _ w -> w +. (swap_bias *. mean_swap_cost)) raw
+  in
+  let dist = Paths.all_pairs cost_graph in
+  let hop = Device.hop_distance device in
+  let n = Device.num_qubits device in
+  let couplers = Device.coupling device in
+  let execution u v = execution_cost model device u v in
+  let adjacency = Array.make_matrix n n 0.0 in
+  for p = 0 to n - 1 do
+    for q = 0 to n - 1 do
+      if p <> q then begin
+        let best = ref Float.infinity in
+        List.iter
+          (fun (a, b) ->
+            let route =
+              Float.min
+                (dist.(p).(a) +. dist.(q).(b))
+                (dist.(p).(b) +. dist.(q).(a))
+            in
+            let via = route +. execution a b in
+            if via < !best then best := via)
+          couplers;
+        adjacency.(p).(q) <- !best
+      end
+    done
+  done;
+  { model; device; cost_graph; dist; adjacency; hop }
+
+let model t = t.model
+let device t = t.device
+
+let swap_cost t u v =
+  match Graph.edge_weight t.cost_graph u v with
+  | Some w -> w
+  | None ->
+    invalid_arg (Printf.sprintf "Cost.swap_cost: %d--%d not coupled" u v)
+
+let cnot_cost t u v =
+  if not (Device.connected t.device u v) then
+    invalid_arg (Printf.sprintf "Cost.cnot_cost: %d--%d not coupled" u v);
+  execution_cost t.model t.device u v
+
+let distance t p q = t.dist.(p).(q)
+let entangle_cost t p q = t.adjacency.(p).(q)
+let hops_to_adjacency t p q = max 0 (t.hop.(p).(q) - 1)
+
+let route t p q =
+  match Paths.shortest_path t.cost_graph p q with
+  | Some path -> path
+  | None -> invalid_arg (Printf.sprintf "Cost.route: %d and %d disconnected" p q)

@@ -1,0 +1,387 @@
+open Vqc_circuit
+module Astar = Vqc_graph.Astar
+module Device = Vqc_device.Device
+
+let log_src = Logs.Src.create "vqc.router" ~doc:"SWAP-insertion routing"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type stats = {
+  swaps_inserted : int;
+  astar_expansions : int;
+  greedy_fallbacks : int;
+}
+
+type result = {
+  circuit : Circuit.t;
+  initial : Layout.t;
+  final : Layout.t;
+  stats : stats;
+}
+
+let physical_pair layout (a, b) =
+  (Layout.physical_of_program layout a, Layout.physical_of_program layout b)
+
+let executable cost layout pairs =
+  let device = Cost.device cost in
+  List.for_all
+    (fun pair ->
+      let u, v = physical_pair layout pair in
+      Device.connected device u v)
+    pairs
+
+(* ---- bridge execution (extension; see mli) ------------------------- *)
+
+(* Cheapest middle qubit for a bridged CNOT between physical [u] and [v]
+   (two CNOTs across each leg), if the pair sits at hop distance 2. *)
+let bridge_middle cost u v =
+  let device = Cost.device cost in
+  if Device.connected device u v then None
+  else begin
+    let best = ref None in
+    List.iter
+      (fun m ->
+        if Device.connected device m v then begin
+          let total = 2.0 *. (Cost.cnot_cost cost u m +. Cost.cnot_cost cost m v) in
+          match !best with
+          | Some (best_total, _) when best_total <= total -> ()
+          | _ -> best := Some (total, m)
+        end)
+      (Device.neighbors device u);
+    !best
+  end
+
+(* A layer's two-qubit obligations: program CNOTs may execute bridged
+   (when enabled), program SWAPs always need adjacency. *)
+type obligation = { operands : int * int; bridgeable : bool }
+
+let layer_obligations ~bridges layer =
+  List.filter_map
+    (fun gate ->
+      match gate with
+      | Gate.Cnot { control; target } ->
+        Some { operands = (control, target); bridgeable = bridges }
+      | Gate.Swap (a, b) -> Some { operands = (a, b); bridgeable = false }
+      | Gate.One_qubit _ | Gate.Measure _ | Gate.Barrier _ -> None)
+    layer
+
+let obligation_satisfied cost layout { operands; bridgeable } =
+  let u, v = physical_pair layout operands in
+  Device.connected (Cost.device cost) u v
+  || (bridgeable && bridge_middle cost u v <> None)
+
+(* Cost of executing one obligation under the current layout. *)
+let obligation_execution_cost cost layout { operands; bridgeable } =
+  let u, v = physical_pair layout operands in
+  if Device.connected (Cost.device cost) u v then Cost.cnot_cost cost u v
+  else if bridgeable then
+    match bridge_middle cost u v with
+    | Some (total, _) -> total
+    | None -> invalid_arg "Router: unsatisfied obligation at execution"
+  else invalid_arg "Router: unsatisfied obligation at execution"
+
+(* Mutable emission context shared by both routers. *)
+type emitter = {
+  mutable layout : Layout.t;
+  mutable rev_gates : Gate.t list;
+  mutable swaps : int;
+}
+
+let emit ctx gate = ctx.rev_gates <- gate :: ctx.rev_gates
+
+let emit_swap ctx u v =
+  emit ctx (Gate.Swap (u, v));
+  ctx.swaps <- ctx.swaps + 1;
+  ctx.layout <- Layout.swap_physical ctx.layout u v
+
+let emit_relabeled ctx gate =
+  emit ctx (Gate.relabel (Layout.physical_of_program ctx.layout) gate)
+
+(* Move the occupant of [src] along [path] until it is adjacent to the
+   path's last node, i.e. swap across every edge except the final one. *)
+let walk_adjacent ctx path =
+  let rec step = function
+    | a :: (b :: _ :: _ as rest) ->
+      emit_swap ctx a b;
+      step rest
+    | [ _; _ ] | [ _ ] | [] -> ()
+  in
+  step path
+
+(* Move the occupant of the path's head all the way to its last node. *)
+let walk_full ctx path =
+  let rec step = function
+    | a :: (b :: _ as rest) ->
+      emit_swap ctx a b;
+      step rest
+    | [ _ ] | [] -> ()
+  in
+  step path
+
+(* One-gate routing with no lookahead: pick the meeting coupler that
+   minimizes route + execution cost, drag the first operand onto it, then
+   bring the second operand adjacent. *)
+let greedy_satisfy ctx cost (a, b) =
+  let device = Cost.device cost in
+  let adjacent () =
+    let pa, pb = physical_pair ctx.layout (a, b) in
+    Device.connected device pa pb
+  in
+  if not (adjacent ()) then begin
+    let pa, pb = physical_pair ctx.layout (a, b) in
+    let best = ref None in
+    let consider anchor other total =
+      match !best with
+      | Some (best_total, _, _) when best_total <= total -> ()
+      | _ -> best := Some (total, anchor, other)
+    in
+    List.iter
+      (fun (x, y) ->
+        let execution = Cost.cnot_cost cost x y in
+        consider x y
+          (Cost.distance cost pa x +. Cost.distance cost pb y +. execution);
+        consider y x
+          (Cost.distance cost pa y +. Cost.distance cost pb x +. execution))
+      (Device.coupling device);
+    match !best with
+    | None -> invalid_arg "Router: device has no couplers"
+    | Some (_, anchor, _) ->
+      walk_full ctx (Cost.route cost pa anchor);
+      if not (adjacent ()) then begin
+        let _, pb = physical_pair ctx.layout (a, b) in
+        walk_adjacent ctx (Cost.route cost pb anchor)
+      end
+  end
+
+(* ---- layered A* routing -------------------------------------------
+
+   States are layouts plus an [executed] flag.  From a layout in which
+   every pair is adjacent, an "execute" transition pays the summed CNOT
+   execution costs and reaches the terminal state.  This makes the
+   search minimize route cost *and* execution-link cost together — under
+   the reliability model a free adjacency across a terrible link is not
+   a bargain (paper Algorithm 1: D covers the full cost to entangle). *)
+
+type search_state = { layout : Layout.t; swap_count : int; executed : bool }
+
+(* [default_lookahead] discounts the entangle cost of the following
+   layer's gates, charged at the execute transition: optimizing one layer
+   in isolation happily strands qubits in positions that cost the next
+   layer dearly (Zulehner et al. use a lookahead for the same reason). *)
+let default_lookahead = 0.5
+
+let layer_search cost ~max_additional_hops ~max_expansions ~lookahead
+    ~next_pairs layout obligations =
+  let couplers = Device.coupling (Cost.device cost) in
+  let min_moves l =
+    List.fold_left
+      (fun acc { operands; bridgeable } ->
+        let u, v = physical_pair l operands in
+        let direct = Cost.hops_to_adjacency cost u v in
+        acc + if bridgeable then max 0 (direct - 1) else direct)
+      0 obligations
+  in
+  let budget =
+    match max_additional_hops with
+    | None -> max_int
+    | Some mah -> min_moves layout + mah
+  in
+  let satisfied l = List.for_all (obligation_satisfied cost l) obligations in
+  let execution_cost l =
+    let this_layer =
+      List.fold_left
+        (fun acc obligation -> acc +. obligation_execution_cost cost l obligation)
+        0.0 obligations
+    in
+    let next_layer =
+      List.fold_left
+        (fun acc pair ->
+          let u, v = physical_pair l pair in
+          acc +. Cost.entangle_cost cost u v)
+        0.0 next_pairs
+    in
+    this_layer +. (lookahead *. next_layer)
+  in
+  let active l =
+    let set = Hashtbl.create 16 in
+    List.iter
+      (fun { operands; _ } ->
+        let u, v = physical_pair l operands in
+        Hashtbl.replace set u ();
+        Hashtbl.replace set v ())
+      obligations;
+    set
+  in
+  let successors state =
+    if state.executed then []
+    else begin
+      let active_set = active state.layout in
+      let touches u v = Hashtbl.mem active_set u || Hashtbl.mem active_set v in
+      let swaps =
+        List.filter_map
+          (fun (u, v) ->
+            if not (touches u v) then None
+            else begin
+              let layout = Layout.swap_physical state.layout u v in
+              let next =
+                { layout; swap_count = state.swap_count + 1; executed = false }
+              in
+              if next.swap_count + min_moves layout > budget then None
+              else Some (next, Cost.swap_cost cost u v)
+            end)
+          couplers
+      in
+      if satisfied state.layout then
+        ({ state with executed = true }, execution_cost state.layout) :: swaps
+      else swaps
+    end
+  in
+  let heuristic state =
+    if state.executed then 0.0
+    else
+      List.fold_left
+        (fun acc { operands; _ } ->
+          let u, v = physical_pair state.layout operands in
+          acc +. Cost.entangle_cost cost u v)
+        0.0 obligations
+  in
+  let problem =
+    {
+      Astar.start = { layout; swap_count = 0; executed = false };
+      is_goal = (fun state -> state.executed);
+      successors;
+      heuristic;
+      key =
+        (fun state ->
+          if state.executed then "X" ^ Layout.key state.layout
+          else Layout.key state.layout);
+    }
+  in
+  Astar.search_path ~max_expansions problem
+
+let route ?max_additional_hops ?(max_expansions = 100_000)
+    ?(lookahead = default_lookahead) ?(bridges = false) cost layout circuit =
+  let device = Cost.device cost in
+  let ctx = { layout; rev_gates = []; swaps = 0 } in
+  let expansions = ref 0 in
+  let fallbacks = ref 0 in
+  (* Returns true when every obligation of the layer is satisfiable. *)
+  let solve_layer obligations next_pairs =
+    List.for_all (obligation_satisfied cost ctx.layout) obligations
+    ||
+    match
+      layer_search cost ~max_additional_hops ~max_expansions ~lookahead
+        ~next_pairs ctx.layout obligations
+    with
+    | Some (states, _, expanded) ->
+      expansions := !expansions + expanded;
+      let rec replay = function
+        | a :: (b :: _ as rest) ->
+          (if not (Layout.equal a.layout b.layout) then
+             match Layout.diff_swap a.layout b.layout with
+             | Some (u, v) -> emit_swap ctx u v
+             | None -> invalid_arg "Router: non-swap A* transition");
+          replay rest
+        | [ _ ] | [] -> ()
+      in
+      replay states;
+      true
+    | None -> false
+  in
+  (* Emit a CNOT: directly when adjacent, else as a bridge through the
+     cheapest middle (guaranteed to exist once the layer is solved). *)
+  let emit_cnot control target =
+    let u = Layout.physical_of_program ctx.layout control in
+    let v = Layout.physical_of_program ctx.layout target in
+    if Device.connected device u v then
+      emit ctx (Gate.Cnot { control = u; target = v })
+    else begin
+      match bridge_middle cost u v with
+      | Some (_, m) ->
+        emit ctx (Gate.Cnot { control = u; target = m });
+        emit ctx (Gate.Cnot { control = m; target = v });
+        emit ctx (Gate.Cnot { control = u; target = m });
+        emit ctx (Gate.Cnot { control = m; target = v })
+      | None -> invalid_arg "Router: no bridge middle at emission"
+    end
+  in
+  let route_layer layer next_layer =
+    let next_pairs =
+      match next_layer with
+      | Some l -> Layers.two_qubit_pairs l
+      | None -> []
+    in
+    if solve_layer (layer_obligations ~bridges layer) next_pairs then
+      List.iter
+        (fun gate ->
+          match gate with
+          | Gate.Cnot { control; target } -> emit_cnot control target
+          | Gate.Swap _ | Gate.One_qubit _ | Gate.Measure _ | Gate.Barrier _
+            ->
+            emit_relabeled ctx gate)
+        layer
+    else begin
+      (* Expansion cap hit (or MAH budget unreachable): serialize the
+         layer — its gates are independent, so satisfying and emitting
+         them one at a time along cheapest routes is always sound. *)
+      incr fallbacks;
+      Log.warn (fun m ->
+          m "layer search exhausted (%d gates); serializing the layer"
+            (List.length layer));
+      let place gate =
+        (match gate with
+        | Gate.Cnot { control; target } ->
+          greedy_satisfy ctx cost (control, target)
+        | Gate.Swap (a, b) -> greedy_satisfy ctx cost (a, b)
+        | Gate.One_qubit _ | Gate.Measure _ | Gate.Barrier _ -> ());
+        emit_relabeled ctx gate
+      in
+      List.iter place layer
+    end
+  in
+  let rec walk_layers = function
+    | [] -> ()
+    | [ last ] -> route_layer last None
+    | layer :: (next :: _ as rest) ->
+      route_layer layer (Some next);
+      walk_layers rest
+  in
+  walk_layers (Layers.partition circuit);
+  {
+    circuit =
+      Circuit.of_gates
+        ~cbits:(Circuit.num_cbits circuit)
+        (Device.num_qubits device)
+        (List.rev ctx.rev_gates);
+    initial = layout;
+    final = ctx.layout;
+    stats =
+      {
+        swaps_inserted = ctx.swaps;
+        astar_expansions = !expansions;
+        greedy_fallbacks = !fallbacks;
+      };
+  }
+
+let route_greedy cost layout circuit =
+  let device = Cost.device cost in
+  let ctx = { layout; rev_gates = []; swaps = 0 } in
+  let place gate =
+    (match gate with
+    | Gate.Cnot { control; target } -> greedy_satisfy ctx cost (control, target)
+    | Gate.Swap (a, b) -> greedy_satisfy ctx cost (a, b)
+    | Gate.One_qubit _ | Gate.Measure _ | Gate.Barrier _ -> ());
+    emit_relabeled ctx gate
+  in
+  List.iter place (Circuit.gates circuit);
+  {
+    circuit =
+      Circuit.of_gates
+        ~cbits:(Circuit.num_cbits circuit)
+        (Device.num_qubits device)
+        (List.rev ctx.rev_gates);
+    initial = layout;
+    final = ctx.layout;
+    stats =
+      { swaps_inserted = ctx.swaps; astar_expansions = 0; greedy_fallbacks = 0 };
+  }

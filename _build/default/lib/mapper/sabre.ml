@@ -1,0 +1,189 @@
+open Vqc_circuit
+module Device = Vqc_device.Device
+
+(* Gates whose operands are routable obstacles: 2q gates only; everything
+   else executes unconditionally once its predecessors ran. *)
+let blocking gate =
+  match gate with
+  | Gate.Cnot _ | Gate.Swap _ -> true
+  | Gate.One_qubit _ | Gate.Measure _ | Gate.Barrier _ -> false
+
+let route ?(lookahead_size = 20) ?(lookahead_weight = 0.5) ?(decay = 0.001)
+    cost layout circuit =
+  let device = Cost.device cost in
+  let dag = Dag.build circuit in
+  let count = Dag.gate_count dag in
+  let gate_at = Dag.gate dag in
+  let predecessors_left =
+    Array.init count (Dag.predecessor_count dag)
+  in
+  let ctx = ref layout in
+  let output = ref [] in
+  let swaps = ref 0 in
+  let emit gate = output := gate :: !output in
+  let physical prog = Layout.physical_of_program !ctx prog in
+  let executable gate =
+    match gate with
+    | Gate.Cnot { control; target } ->
+      Device.connected device (physical control) (physical target)
+    | Gate.Swap (a, b) -> Device.connected device (physical a) (physical b)
+    | Gate.One_qubit _ | Gate.Measure _ | Gate.Barrier _ -> true
+  in
+  (* front layer as a mutable set of gate indices *)
+  let front = Hashtbl.create 16 in
+  Array.iteri
+    (fun i left -> if left = 0 then Hashtbl.replace front i ())
+    predecessors_left;
+  let complete index =
+    Hashtbl.remove front index;
+    List.iter
+      (fun s ->
+        predecessors_left.(s) <- predecessors_left.(s) - 1;
+        if predecessors_left.(s) = 0 then Hashtbl.replace front s ())
+      (Dag.successors dag index)
+  in
+  let executed = ref 0 in
+  let decay_factor = Array.make (Layout.physicals layout) 1.0 in
+  let decay_reset_period = 5 in
+  let since_reset = ref 0 in
+  (* flush every currently executable front gate (in index order for
+     determinism) to a fixpoint *)
+  let rec flush () =
+    let ready =
+      Hashtbl.fold (fun i () acc -> i :: acc) front []
+      |> List.sort compare
+      |> List.filter (fun i -> executable (gate_at i))
+    in
+    if ready <> [] then begin
+      List.iter
+        (fun i ->
+          emit (Gate.relabel physical (gate_at i));
+          incr executed;
+          complete i)
+        ready;
+      flush ()
+    end
+  in
+  let front_two_qubit () =
+    Hashtbl.fold
+      (fun i () acc -> if blocking (gate_at i) then i :: acc else acc)
+      front []
+    |> List.sort compare
+  in
+  (* bounded successor set for the lookahead term *)
+  let extended_set stuck =
+    let seen = Hashtbl.create 32 in
+    let queue = Queue.create () in
+    List.iter (fun i -> Queue.add i queue) stuck;
+    let result = ref [] in
+    let budget = ref lookahead_size in
+    while !budget > 0 && not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      List.iter
+        (fun s ->
+          if not (Hashtbl.mem seen s) then begin
+            Hashtbl.replace seen s ();
+            if blocking (gate_at s) && !budget > 0 then begin
+              result := s :: !result;
+              decr budget
+            end;
+            Queue.add s queue
+          end)
+        (Dag.successors dag i)
+    done;
+    !result
+  in
+  let gate_distance l index =
+    match (gate_at index) with
+    | Gate.Cnot { control; target } ->
+      Cost.distance cost
+        (Layout.physical_of_program l control)
+        (Layout.physical_of_program l target)
+    | Gate.Swap (a, b) ->
+      Cost.distance cost
+        (Layout.physical_of_program l a)
+        (Layout.physical_of_program l b)
+    | Gate.One_qubit _ | Gate.Measure _ | Gate.Barrier _ -> 0.0
+  in
+  let heuristic l stuck extended =
+    let mean indices =
+      match indices with
+      | [] -> 0.0
+      | _ ->
+        List.fold_left (fun acc i -> acc +. gate_distance l i) 0.0 indices
+        /. float_of_int (List.length indices)
+    in
+    mean stuck +. (lookahead_weight *. mean extended)
+  in
+  let candidate_swaps stuck =
+    let active = Hashtbl.create 16 in
+    List.iter
+      (fun i ->
+        List.iter
+          (fun q -> Hashtbl.replace active (physical q) ())
+          (Gate.qubits (gate_at i)))
+      stuck;
+    List.filter
+      (fun (u, v) -> Hashtbl.mem active u || Hashtbl.mem active v)
+      (Device.coupling device)
+  in
+  let steps_bound = (count * 32) + 1024 in
+  let steps = ref 0 in
+  while !executed < count do
+    incr steps;
+    if !steps > steps_bound then
+      invalid_arg "Sabre.route: routing failed to make progress";
+    flush ();
+    if !executed < count then begin
+      let stuck = front_two_qubit () in
+      if stuck = [] then
+        (* only possible transiently; flush will make progress *)
+        ()
+      else begin
+        let extended = extended_set stuck in
+        let best = ref None in
+        List.iter
+          (fun (u, v) ->
+            let trial = Layout.swap_physical !ctx u v in
+            let score =
+              heuristic trial stuck extended
+              *. decay_factor.(u) *. decay_factor.(v)
+              (* the swap itself costs reliability under the noise-aware
+                 model: fold it in so weak links are avoided *)
+              +. (Cost.swap_cost cost u v /. 100.0)
+            in
+            match !best with
+            | Some (best_score, _, _) when best_score <= score -> ()
+            | _ -> best := Some (score, u, v))
+          (candidate_swaps stuck);
+        match !best with
+        | None -> invalid_arg "Sabre.route: no candidate swap"
+        | Some (_, u, v) ->
+          emit (Gate.Swap (u, v));
+          incr swaps;
+          ctx := Layout.swap_physical !ctx u v;
+          decay_factor.(u) <- decay_factor.(u) +. decay;
+          decay_factor.(v) <- decay_factor.(v) +. decay;
+          incr since_reset;
+          if !since_reset >= decay_reset_period then begin
+            Array.fill decay_factor 0 (Array.length decay_factor) 1.0;
+            since_reset := 0
+          end
+      end
+    end
+  done;
+  {
+    Router.circuit =
+      Circuit.of_gates
+        ~cbits:(Circuit.num_cbits circuit)
+        (Device.num_qubits device)
+        (List.rev !output);
+    initial = layout;
+    final = !ctx;
+    stats =
+      {
+        Router.swaps_inserted = !swaps;
+        astar_expansions = 0;
+        greedy_fallbacks = 0;
+      };
+  }

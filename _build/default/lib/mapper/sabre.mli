@@ -1,0 +1,32 @@
+(** SABRE-style routing (Li, Ding & Xie, ASPLOS 2019) — the lookahead
+    swap heuristic that modern compilers (Qiskit's SabreSwap lineage)
+    ship, implemented here as an independent comparison point for the
+    paper's layered A* policies.  With a reliability distance matrix it
+    becomes a noise-adaptive SABRE, i.e. roughly what followed this
+    paper's ideas into production toolchains.
+
+    The algorithm maintains the DAG's {e front layer} (gates whose
+    predecessors have all executed).  Executable gates are flushed; when
+    the front layer is stuck, the SWAP minimizing
+
+    [ H = (1/|F|) sum_F d(gate) + w * (1/|E|) sum_E d(gate) ]
+
+    is applied, where [F] is the front layer, [E] a bounded set of
+    lookahead successors and [d] the distance between a gate's mapped
+    operands under the {!Cost.t} model; per-qubit decay factors break
+    ping-pong cycles. *)
+
+open Vqc_circuit
+
+val route :
+  ?lookahead_size:int ->
+  ?lookahead_weight:float ->
+  ?decay:float ->
+  Cost.t ->
+  Layout.t ->
+  Circuit.t ->
+  Router.result
+(** Route a program with SABRE.  [lookahead_size] bounds [E] (default
+    20), [lookahead_weight] is [w] (default 0.5), [decay] the per-use
+    qubit decay increment (default 0.001).
+    @raise Invalid_argument if the circuit is wider than the layout. *)

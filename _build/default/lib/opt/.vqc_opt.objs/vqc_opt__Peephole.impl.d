@@ -1,0 +1,1 @@
+lib/opt/peephole.ml: Array Circuit Float Format Fun Gate List Vqc_circuit

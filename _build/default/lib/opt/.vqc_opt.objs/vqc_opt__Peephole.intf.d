@@ -1,0 +1,1 @@
+lib/opt/peephole.mli: Circuit Format Vqc_circuit

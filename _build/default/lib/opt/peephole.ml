@@ -1,0 +1,142 @@
+open Vqc_circuit
+
+type stats = {
+  cancelled : int;
+  merged : int;
+  passes : int;
+}
+
+(* Outcome of combining two adjacent one-qubit gates on the same wire. *)
+type combination =
+  | Cancel  (** the pair is the identity *)
+  | Replace of Gate.one_qubit_kind  (** the pair fuses into one gate *)
+  | Keep  (** not combinable *)
+
+let two_pi = 2.0 *. Float.pi
+
+let trivial_angle theta =
+  let remainder = Float.rem theta two_pi in
+  Float.abs remainder < 1e-12
+  || Float.abs (Float.abs remainder -. two_pi) < 1e-12
+
+let fuse_rotation make a b =
+  let total = a +. b in
+  if trivial_angle total then Cancel else Replace (make total)
+
+let combine_one_qubit (first : Gate.one_qubit_kind)
+    (second : Gate.one_qubit_kind) =
+  match (first, second) with
+  | Gate.H, Gate.H | Gate.X, Gate.X | Gate.Y, Gate.Y | Gate.Z, Gate.Z
+  | Gate.S, Gate.Sdg | Gate.Sdg, Gate.S | Gate.T, Gate.Tdg | Gate.Tdg, Gate.T
+    ->
+    Cancel
+  | Gate.S, Gate.S | Gate.Sdg, Gate.Sdg -> Replace Gate.Z
+  | Gate.T, Gate.T -> Replace Gate.S
+  | Gate.Tdg, Gate.Tdg -> Replace Gate.Sdg
+  | Gate.Rz a, Gate.Rz b -> fuse_rotation (fun t -> Gate.Rz t) a b
+  | Gate.Rx a, Gate.Rx b -> fuse_rotation (fun t -> Gate.Rx t) a b
+  | Gate.Ry a, Gate.Ry b -> fuse_rotation (fun t -> Gate.Ry t) a b
+  | Gate.U1 a, Gate.U1 b -> fuse_rotation (fun t -> Gate.U1 t) a b
+  | _, _ -> Keep
+
+(* Self-inverse two-qubit pairs with identical operands. *)
+let two_qubit_pair_cancels a b =
+  match (a, b) with
+  | Gate.Cnot x, Gate.Cnot y -> x.control = y.control && x.target = y.target
+  | Gate.Swap (x1, x2), Gate.Swap (y1, y2) ->
+    (x1 = y1 && x2 = y2) || (x1 = y2 && x2 = y1)
+  | _, _ -> false
+
+(* One stack-based pass.  [slots] holds the surviving gates ([None] =
+   removed); [tops] is, per qubit, the slot indices of the gates still
+   live on that wire, most recent first — popping on cancellation exposes
+   earlier gates, so nested pairs like [H X X H] collapse in one pass. *)
+let pass circuit =
+  let n = Circuit.num_qubits circuit in
+  let gates = Array.of_list (Circuit.gates circuit) in
+  let slots = Array.map (fun g -> Some g) gates in
+  let tops = Array.make (max n 1) [] in
+  let cancelled = ref 0 and merged = ref 0 in
+  let top q = match tops.(q) with [] -> None | j :: _ -> Some j in
+  let pop q =
+    match tops.(q) with [] -> () | _ :: rest -> tops.(q) <- rest
+  in
+  let push q j = tops.(q) <- j :: tops.(q) in
+  let place index gate =
+    match gate with
+    | Gate.One_qubit (kind, q) -> begin
+      let previous =
+        match top q with
+        | Some j -> begin
+          match slots.(j) with
+          | Some (Gate.One_qubit (prev_kind, _)) -> Some (j, prev_kind)
+          | Some _ | None -> None
+        end
+        | None -> None
+      in
+      match previous with
+      | Some (j, prev_kind) -> begin
+        match combine_one_qubit prev_kind kind with
+        | Cancel ->
+          slots.(j) <- None;
+          slots.(index) <- None;
+          pop q;
+          cancelled := !cancelled + 2
+        | Replace fused ->
+          slots.(j) <- Some (Gate.One_qubit (fused, q));
+          slots.(index) <- None;
+          incr merged
+        | Keep -> push q index
+      end
+      | None -> push q index
+    end
+    | Gate.Cnot _ | Gate.Swap _ -> begin
+      let qs = Gate.qubits gate in
+      let common_top =
+        match List.map top qs with
+        | [ Some j; Some k ] when j = k -> Some j
+        | _ -> None
+      in
+      match common_top with
+      | Some j
+        when (match slots.(j) with
+             | Some prev -> two_qubit_pair_cancels prev gate
+             | None -> false) ->
+        slots.(j) <- None;
+        slots.(index) <- None;
+        List.iter pop qs;
+        cancelled := !cancelled + 2
+      | Some _ | None -> List.iter (fun q -> push q index) qs
+    end
+    | Gate.Measure { qubit; _ } -> push qubit index
+    | Gate.Barrier qs ->
+      let qs = if qs = [] then List.init n Fun.id else qs in
+      List.iter (fun q -> push q index) qs
+  in
+  Array.iteri place gates;
+  let survivors =
+    Array.to_list slots |> List.filter_map Fun.id
+  in
+  ( Circuit.of_gates ~cbits:(Circuit.num_cbits circuit)
+      (Circuit.num_qubits circuit) survivors,
+    !cancelled,
+    !merged )
+
+let optimize_with_stats ?(max_passes = 32) circuit =
+  if max_passes < 1 then invalid_arg "Peephole: need at least one pass";
+  let rec go current cancelled merged passes =
+    if passes >= max_passes then
+      (current, { cancelled; merged; passes })
+    else begin
+      let next, c, m = pass current in
+      if c = 0 && m = 0 then (current, { cancelled; merged; passes = passes + 1 })
+      else go next (cancelled + c) (merged + m) (passes + 1)
+    end
+  in
+  go circuit 0 0 0
+
+let optimize ?max_passes circuit = fst (optimize_with_stats ?max_passes circuit)
+
+let pp_stats ppf s =
+  Format.fprintf ppf "cancelled %d gates, merged %d rotation pairs (%d passes)"
+    s.cancelled s.merged s.passes

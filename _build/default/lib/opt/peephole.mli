@@ -1,0 +1,36 @@
+(** Peephole circuit optimization.
+
+    Fewer gates means fewer error opportunities, so local simplification
+    composes with the variability-aware policies: it shrinks the factor
+    every policy pays, without changing what the circuit computes (the
+    test suite proves equivalence with the state-vector oracle on random
+    circuits).
+
+    Rules, applied to gates that are adjacent on their qubits (no
+    intervening gate touches any shared operand):
+    - involution cancellation: [H H], [X X], [Y Y], [Z Z],
+      [CNOT CNOT] (same operands), [SWAP SWAP];
+    - inverse-pair cancellation: [S Sdg], [T Tdg] (both orders);
+    - same-axis rotation merging: [Rz(a) Rz(b) -> Rz(a+b)], likewise
+      [Rx], [Ry], [U1];
+    - phase promotion: [S S -> Z], [T T -> S], [Sdg Sdg -> Z],
+      [Tdg Tdg -> Sdg];
+    - identity elimination: rotations by multiples of 2pi (and merged
+      rotations that become one) disappear.
+
+    Measurements and barriers are fences: nothing moves across them. *)
+
+open Vqc_circuit
+
+type stats = {
+  cancelled : int;  (** gates removed by pair cancellation *)
+  merged : int;  (** rotation pairs fused into one gate *)
+  passes : int;  (** fixpoint iterations *)
+}
+
+val optimize : ?max_passes:int -> Circuit.t -> Circuit.t
+(** Simplify to a fixpoint ([max_passes] defaults to 32). *)
+
+val optimize_with_stats : ?max_passes:int -> Circuit.t -> Circuit.t * stats
+
+val pp_stats : Format.formatter -> stats -> unit

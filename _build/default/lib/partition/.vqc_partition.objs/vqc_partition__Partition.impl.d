@@ -1,0 +1,1 @@
+lib/partition/partition.ml: Array Circuit Float Hashtbl List Vqc_circuit Vqc_device Vqc_graph Vqc_mapper Vqc_sim

@@ -1,0 +1,1 @@
+lib/partition/partition.mli: Circuit Vqc_circuit Vqc_device Vqc_mapper

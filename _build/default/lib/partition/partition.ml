@@ -1,0 +1,156 @@
+open Vqc_circuit
+module Device = Vqc_device.Device
+module Graph = Vqc_graph.Graph
+module Kcore = Vqc_graph.Kcore
+module Compiler = Vqc_mapper.Compiler
+module Reliability = Vqc_sim.Reliability
+module Metrics = Vqc_sim.Metrics
+
+type copy = {
+  region : int list;
+  pst : float;
+  duration_ns : float;
+}
+
+type comparison = {
+  single : copy;
+  copy_x : copy;
+  copy_y : copy;
+  stpt_single : float;
+  stpt_two : float;
+}
+
+let recommend comparison =
+  if comparison.stpt_single > comparison.stpt_two then `One_strong_copy
+  else `Two_copies
+
+let evaluate_on_region ?(policy = Compiler.vqa_vqm) device region circuit =
+  let sub, _to_old = Device.restrict device region in
+  if Device.num_qubits sub < Circuit.num_qubits circuit then
+    invalid_arg "Partition: region smaller than the program";
+  let compiled = Compiler.compile sub policy circuit in
+  let breakdown = Reliability.analyze sub compiled.Compiler.physical in
+  {
+    region = List.sort compare region;
+    pst = breakdown.Reliability.pst;
+    duration_ns = breakdown.Reliability.duration_ns;
+  }
+
+(* Candidate splits: grow a connected [size]-region from every seed, then
+   grow a second region inside the complement from every remaining seed,
+   keeping the strongest complement growth per first region. *)
+let two_copy_candidates device ~size =
+  let success = Device.success_graph device in
+  let n = Graph.node_count success in
+  let seen = Hashtbl.create 16 in
+  let candidates = ref [] in
+  for seed = 0 to n - 1 do
+    match Kcore.grow_subgraph success ~size ~seed with
+    | None -> ()
+    | Some region_x ->
+      let blocked = Array.make n false in
+      List.iter (fun q -> blocked.(q) <- true) region_x;
+      (* complement graph: drop every edge touching region_x *)
+      let complement = Graph.copy success in
+      Graph.iter_edges
+        (fun u v _ ->
+          if blocked.(u) || blocked.(v) then Graph.remove_edge complement u v)
+        success;
+      let best_y = ref None in
+      for seed_y = 0 to n - 1 do
+        if not blocked.(seed_y) then
+          match Kcore.grow_subgraph complement ~size ~seed:seed_y with
+          | None -> ()
+          | Some region_y ->
+            if List.for_all (fun q -> not blocked.(q)) region_y then begin
+              let strength = Kcore.internal_strength success region_y in
+              match !best_y with
+              | Some (s, _) when s >= strength -> ()
+              | _ -> best_y := Some (strength, region_y)
+            end
+      done;
+      (match !best_y with
+      | None -> ()
+      | Some (_, region_y) ->
+        let key =
+          if region_x <= region_y then (region_x, region_y)
+          else (region_y, region_x)
+        in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          candidates := (region_x, region_y) :: !candidates
+        end)
+  done;
+  List.rev !candidates
+
+let single_copy_candidates device ~size =
+  let success = Device.success_graph device in
+  let n = Graph.node_count success in
+  let seen = Hashtbl.create 16 in
+  let regions = ref [] in
+  let consider region =
+    if not (Hashtbl.mem seen region) then begin
+      Hashtbl.replace seen region ();
+      regions := region :: !regions
+    end
+  in
+  for seed = 0 to n - 1 do
+    match Kcore.grow_subgraph success ~size ~seed with
+    | Some region -> consider region
+    | None -> ()
+  done;
+  consider (Kcore.strongest_subgraph success ~size);
+  List.rev !regions
+
+let compare_strategies ?(policy = Compiler.vqa_vqm) device circuit =
+  let size = Circuit.num_qubits circuit in
+  if 2 * size > Device.num_qubits device then
+    invalid_arg "Partition: program needs more than half the device";
+  let stpt_of c = Metrics.stpt ~pst:c.pst ~duration_ns:c.duration_ns in
+  (* The single copy may claim any connected region of the machine —
+     including the centre regions that no disjoint split can offer
+     (paper Figure 15: two copies "resort to the weaker links"). *)
+  let single =
+    match
+      List.map
+        (fun region -> evaluate_on_region ~policy device region circuit)
+        (single_copy_candidates device ~size)
+    with
+    | [] -> invalid_arg "Partition: no region candidates"
+    | first :: rest ->
+      List.fold_left
+        (fun champion candidate ->
+          if stpt_of candidate > stpt_of champion then candidate else champion)
+        first rest
+  in
+  let splits = two_copy_candidates device ~size in
+  if splits = [] then invalid_arg "Partition: no disjoint split found";
+  (* Two concurrent copies are submitted as one merged circuit, so both
+     share the shot clock of the slower copy. *)
+  let two_copy_stpt x y =
+    let shot = Float.max x.duration_ns y.duration_ns in
+    Metrics.stpt ~pst:x.pst ~duration_ns:shot
+    +. Metrics.stpt ~pst:y.pst ~duration_ns:shot
+  in
+  let scored =
+    List.map
+      (fun (rx, ry) ->
+        let x = evaluate_on_region ~policy device rx circuit in
+        let y = evaluate_on_region ~policy device ry circuit in
+        let x, y = if x.pst >= y.pst then (x, y) else (y, x) in
+        (two_copy_stpt x y, x, y))
+      splits
+  in
+  let best_total, copy_x, copy_y =
+    List.fold_left
+      (fun ((best, _, _) as champion) ((total, _, _) as candidate) ->
+        if total > best then candidate else champion)
+      (List.hd scored) (List.tl scored)
+  in
+  {
+    single;
+    copy_x;
+    copy_y;
+    stpt_single = stpt_of single;
+    stpt_two = best_total;
+  }

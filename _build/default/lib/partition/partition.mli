@@ -1,0 +1,62 @@
+(** Partitioning case study: one strong copy vs. two weak copies
+    (paper Section 8).
+
+    When a workload needs at most half the machine, the device can host
+    two concurrent copies of the program, doubling the trial rate at the
+    price of pushing one copy onto weaker qubits; or it can run a single
+    copy on the strongest region, maximizing per-trial PST.  The figure
+    of merit is STPT — successful trials per unit time. *)
+
+open Vqc_circuit
+
+type copy = {
+  region : int list;  (** device qubits hosting this copy, sorted *)
+  pst : float;
+  duration_ns : float;
+}
+
+type comparison = {
+  single : copy;
+      (** one copy on the best connected region of the full device —
+          including the centre regions no disjoint split can offer *)
+  copy_x : copy;  (** the stronger of the best two-copy split *)
+  copy_y : copy;  (** the weaker of the best two-copy split *)
+  stpt_single : float;
+  stpt_two : float;
+      (** both copies run inside one merged circuit, so they share the
+          shot clock of the slower copy:
+          [(pst_x + pst_y) / max duration] *)
+}
+
+val evaluate_on_region :
+  ?policy:Vqc_mapper.Compiler.policy ->
+  Vqc_device.Device.t ->
+  int list ->
+  Circuit.t ->
+  copy
+(** Compile and score one copy inside a region of the device (the policy
+    defaults to VQA+VQM).
+    @raise Invalid_argument if the region is smaller than the program or
+    not connected. *)
+
+val two_copy_candidates :
+  Vqc_device.Device.t -> size:int -> (int list * int list) list
+(** Disjoint connected region pairs of the given size, produced by
+    greedy strength-driven growth from every seed with the complement
+    re-grown around each remaining seed.  Deduplicated; never empty for
+    feasible sizes on the stock topologies. *)
+
+val recommend : comparison -> [ `One_strong_copy | `Two_copies ]
+(** The adaptive-partitioning decision the paper's Section 8 closes
+    with: pick whichever configuration yields more successful trials
+    per unit time. *)
+
+val compare_strategies :
+  ?policy:Vqc_mapper.Compiler.policy ->
+  Vqc_device.Device.t ->
+  Circuit.t ->
+  comparison
+(** Evaluate the single strong copy against the best two-copy split (the
+    split maximizing summed STPT, as the paper's exhaustive search does).
+    @raise Invalid_argument if the program needs more than half the
+    device or no disjoint split exists. *)

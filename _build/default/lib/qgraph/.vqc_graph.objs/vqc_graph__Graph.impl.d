@@ -1,0 +1,1 @@
+lib/qgraph/graph.ml: Array Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/qgraph/graph.mli: Format

@@ -1,0 +1,1 @@
+lib/qgraph/kcore.ml: Array Graph List Printf

@@ -1,0 +1,1 @@
+lib/qgraph/paths.ml: Array Graph List Pqueue Queue

@@ -1,0 +1,1 @@
+lib/qgraph/paths.mli: Graph

@@ -1,0 +1,119 @@
+type t = {
+  n : int;
+  adjacency : (int, float) Hashtbl.t array;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative node count";
+  { n; adjacency = Array.init n (fun _ -> Hashtbl.create 4) }
+
+let node_count g = g.n
+
+let check_node g u name =
+  if u < 0 || u >= g.n then
+    invalid_arg (Printf.sprintf "Graph.%s: node %d out of range [0, %d)" name u g.n)
+
+let add_edge g u v w =
+  check_node g u "add_edge";
+  check_node g v "add_edge";
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  Hashtbl.replace g.adjacency.(u) v w;
+  Hashtbl.replace g.adjacency.(v) u w
+
+let remove_edge g u v =
+  check_node g u "remove_edge";
+  check_node g v "remove_edge";
+  Hashtbl.remove g.adjacency.(u) v;
+  Hashtbl.remove g.adjacency.(v) u
+
+let edge_weight g u v =
+  check_node g u "edge_weight";
+  check_node g v "edge_weight";
+  Hashtbl.find_opt g.adjacency.(u) v
+
+let has_edge g u v = edge_weight g u v <> None
+
+let edge_weight_exn g u v =
+  match edge_weight g u v with Some w -> w | None -> raise Not_found
+
+let neighbors g u =
+  check_node g u "neighbors";
+  Hashtbl.fold (fun v w acc -> (v, w) :: acc) g.adjacency.(u) []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let neighbor_ids g u = List.map fst (neighbors g u)
+
+let degree g u =
+  check_node g u "degree";
+  Hashtbl.length g.adjacency.(u)
+
+let node_strength g u =
+  check_node g u "node_strength";
+  Hashtbl.fold (fun _ w acc -> acc +. w) g.adjacency.(u) 0.0
+
+let iter_edges f g =
+  for u = 0 to g.n - 1 do
+    let per_neighbor v w = if u < v then f u v w in
+    Hashtbl.iter per_neighbor g.adjacency.(u)
+  done
+
+let fold_edges f g init =
+  let acc = ref init in
+  iter_edges (fun u v w -> acc := f u v w !acc) g;
+  !acc
+
+let edges g =
+  fold_edges (fun u v w acc -> (u, v, w) :: acc) g []
+  |> List.sort compare
+
+let edge_count g = fold_edges (fun _ _ _ acc -> acc + 1) g 0
+
+let of_edges n edge_list =
+  let g = create n in
+  List.iter (fun (u, v, w) -> add_edge g u v w) edge_list;
+  g
+
+let copy g = of_edges g.n (edges g)
+
+let map_weights f g =
+  of_edges g.n (List.map (fun (u, v, w) -> (u, v, f u v w)) (edges g))
+
+let induced_subgraph g nodes =
+  List.iter (fun u -> check_node g u "induced_subgraph") nodes;
+  let keep = Array.make g.n false in
+  List.iter (fun u -> keep.(u) <- true) nodes;
+  let sub = create g.n in
+  iter_edges (fun u v w -> if keep.(u) && keep.(v) then add_edge sub u v w) g;
+  sub
+
+(* Reachability from a seed, restricted to nodes where [allowed] is true. *)
+let reachable_count g seed allowed =
+  let visited = Array.make g.n false in
+  let rec visit u count =
+    if visited.(u) then count
+    else begin
+      visited.(u) <- true;
+      Hashtbl.fold
+        (fun v _ acc -> if allowed.(v) then visit v acc else acc)
+        g.adjacency.(u) (count + 1)
+    end
+  in
+  visit seed 0
+
+let is_connected g =
+  if g.n = 0 then true
+  else reachable_count g 0 (Array.make g.n true) = g.n
+
+let is_connected_subset g nodes =
+  match List.sort_uniq compare nodes with
+  | [] -> false
+  | seed :: _ as distinct ->
+    List.iter (fun u -> check_node g u "is_connected_subset") distinct;
+    let allowed = Array.make g.n false in
+    List.iter (fun u -> allowed.(u) <- true) distinct;
+    reachable_count g seed allowed = List.length distinct
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph (%d nodes, %d edges)" g.n (edge_count g);
+  iter_edges (fun u v w -> Format.fprintf ppf "@,  %d -- %d  %.4f" u v w) g;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,76 @@
+(** Weighted undirected graphs over a dense range of integer nodes
+    [0 .. node_count - 1].
+
+    This is the common substrate for the device coupling maps: nodes are
+    physical qubits and edge weights carry whatever per-link quantity a
+    client cares about (failure rate, success probability, or a routing
+    cost such as [-log p_success]).  The structure is mutable; policies
+    that need a reweighted view use {!map_weights} to obtain a copy. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a graph with [n] nodes and no edges.
+    @raise Invalid_argument if [n < 0]. *)
+
+val node_count : t -> int
+
+val edge_count : t -> int
+(** Number of undirected edges. *)
+
+val add_edge : t -> int -> int -> float -> unit
+(** [add_edge g u v w] adds (or replaces) the undirected edge [u -- v] with
+    weight [w].  Self-loops are rejected.
+    @raise Invalid_argument on a self-loop or out-of-range node. *)
+
+val remove_edge : t -> int -> int -> unit
+(** Remove the edge if present; no-op otherwise. *)
+
+val has_edge : t -> int -> int -> bool
+
+val edge_weight : t -> int -> int -> float option
+
+val edge_weight_exn : t -> int -> int -> float
+(** @raise Not_found if the edge is absent. *)
+
+val neighbors : t -> int -> (int * float) list
+(** Adjacent nodes with edge weights, in increasing node order. *)
+
+val neighbor_ids : t -> int -> int list
+
+val degree : t -> int -> int
+
+val node_strength : t -> int -> float
+(** Weighted degree: the sum of incident edge weights (paper Section 5.3,
+    step 2: [d_i = sum_j w_ij]). *)
+
+val edges : t -> (int * int * float) list
+(** Every undirected edge exactly once as [(u, v, w)] with [u < v], sorted. *)
+
+val iter_edges : (int -> int -> float -> unit) -> t -> unit
+(** Iterate over each undirected edge once with [u < v]. *)
+
+val fold_edges : (int -> int -> float -> 'a -> 'a) -> t -> 'a -> 'a
+
+val of_edges : int -> (int * int * float) list -> t
+(** [of_edges n edges] builds an [n]-node graph from an edge list. *)
+
+val copy : t -> t
+
+val map_weights : (int -> int -> float -> float) -> t -> t
+(** [map_weights f g] is a fresh graph in which edge [u -- v] of weight [w]
+    has weight [f u v w] (called with [u < v]). *)
+
+val induced_subgraph : t -> int list -> t
+(** [induced_subgraph g nodes] keeps the same node numbering but only the
+    edges with both endpoints in [nodes]. *)
+
+val is_connected : t -> bool
+(** True when every node is reachable from node 0 (vacuously true for the
+    empty graph). *)
+
+val is_connected_subset : t -> int list -> bool
+(** True when the induced subgraph on the (distinct) listed nodes is
+    connected and the list is non-empty. *)
+
+val pp : Format.formatter -> t -> unit

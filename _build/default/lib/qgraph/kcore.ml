@@ -1,0 +1,132 @@
+(* Batagelj-Zaversnik O(m) core decomposition: process nodes in increasing
+   degree order, repeatedly removing the minimum-degree node; its degree at
+   removal time is its core number. *)
+let core_numbers g =
+  let n = Graph.node_count g in
+  let degree = Array.init n (Graph.degree g) in
+  let max_degree = Array.fold_left max 0 degree in
+  (* bucket sort nodes by current degree *)
+  let bin = Array.make (max_degree + 2) 0 in
+  Array.iter (fun d -> bin.(d) <- bin.(d) + 1) degree;
+  let start = ref 0 in
+  for d = 0 to max_degree do
+    let count = bin.(d) in
+    bin.(d) <- !start;
+    start := !start + count
+  done;
+  let pos = Array.make n 0 in
+  let vert = Array.make n 0 in
+  Array.iteri
+    (fun v d ->
+      pos.(v) <- bin.(d);
+      vert.(pos.(v)) <- v;
+      bin.(d) <- bin.(d) + 1)
+    degree;
+  for d = max_degree downto 1 do
+    bin.(d) <- bin.(d - 1)
+  done;
+  if max_degree >= 0 then bin.(0) <- 0;
+  let core = Array.copy degree in
+  for i = 0 to n - 1 do
+    let v = vert.(i) in
+    let lower_neighbor u =
+      if core.(u) > core.(v) then begin
+        (* swap u with the first node of its degree bucket, then shrink *)
+        let du = core.(u) in
+        let pu = pos.(u) in
+        let pw = bin.(du) in
+        let w = vert.(pw) in
+        if u <> w then begin
+          pos.(u) <- pw;
+          vert.(pu) <- w;
+          pos.(w) <- pu;
+          vert.(pw) <- u
+        end;
+        bin.(du) <- bin.(du) + 1;
+        core.(u) <- core.(u) - 1
+      end
+    in
+    List.iter lower_neighbor (Graph.neighbor_ids g v)
+  done;
+  core
+
+let k_core g k =
+  let core = core_numbers g in
+  let chosen = ref [] in
+  for v = Graph.node_count g - 1 downto 0 do
+    if core.(v) >= k then chosen := v :: !chosen
+  done;
+  !chosen
+
+let aggregate_strength g nodes =
+  List.fold_left (fun acc v -> acc +. Graph.node_strength g v) 0.0 nodes
+
+let internal_strength g nodes =
+  let inside = Array.make (Graph.node_count g) false in
+  List.iter (fun v -> inside.(v) <- true) nodes;
+  Graph.fold_edges
+    (fun u v w acc -> if inside.(u) && inside.(v) then acc +. w else acc)
+    g 0.0
+
+(* Grow a connected set from [seed], always adding the frontier node that
+   gains the most internal strength (ties broken by full-graph strength). *)
+let grow_from g size seed =
+  let n = Graph.node_count g in
+  let inside = Array.make n false in
+  inside.(seed) <- true;
+  let chosen = ref [ seed ] in
+  let gain v =
+    List.fold_left
+      (fun acc (u, w) -> if inside.(u) then acc +. w else acc)
+      0.0 (Graph.neighbors g v)
+  in
+  let exception No_candidate in
+  try
+    for _ = 2 to size do
+      let best = ref None in
+      let consider v =
+        if not inside.(v) then begin
+          let key = (gain v, Graph.node_strength g v) in
+          match !best with
+          | Some (best_key, _) when best_key >= key -> ()
+          | _ -> best := Some (key, v)
+        end
+      in
+      List.iter (fun u -> List.iter consider (Graph.neighbor_ids g u)) !chosen;
+      match !best with
+      | None -> raise No_candidate
+      | Some (_, v) ->
+        inside.(v) <- true;
+        chosen := v :: !chosen
+    done;
+    Some (List.sort compare !chosen)
+  with No_candidate -> None
+
+let grow_subgraph g ~size ~seed =
+  let n = Graph.node_count g in
+  if size < 1 || size > n then
+    invalid_arg
+      (Printf.sprintf "Kcore.grow_subgraph: size %d not in [1, %d]" size n);
+  if seed < 0 || seed >= n then
+    invalid_arg (Printf.sprintf "Kcore.grow_subgraph: seed %d out of range" seed);
+  grow_from g size seed
+
+let strongest_subgraph g ~size =
+  let n = Graph.node_count g in
+  if size < 1 || size > n then
+    invalid_arg
+      (Printf.sprintf "Kcore.strongest_subgraph: size %d not in [1, %d]" size n);
+  let best = ref None in
+  for seed = 0 to n - 1 do
+    match grow_from g size seed with
+    | None -> ()
+    | Some nodes ->
+      let key = (internal_strength g nodes, aggregate_strength g nodes) in
+      (match !best with
+      | Some (best_key, _) when best_key >= key -> ()
+      | _ -> best := Some (key, nodes))
+  done;
+  match !best with
+  | Some (_, nodes) -> nodes
+  | None ->
+    invalid_arg "Kcore.strongest_subgraph: no connected subset of that size"

@@ -1,0 +1,41 @@
+(** K-core decomposition and strongest-subgraph selection.
+
+    The VQA policy (paper Section 6.2) selects the connected [k]-node
+    subgraph with the highest {e aggregate node strength} (ANS, the sum of
+    weighted degrees of the chosen nodes) and restricts allocation to it.
+    The paper computes candidate dense regions with the k-core algorithm of
+    Batagelj and Zaversnik; {!core_numbers} is that algorithm, and
+    {!strongest_subgraph} combines it with a greedy strength-driven growth
+    from every seed node. *)
+
+val core_numbers : Graph.t -> int array
+(** [core_numbers g] gives for each node the largest [k] such that the node
+    belongs to the [k]-core of [g] (O(m) bucket algorithm). *)
+
+val k_core : Graph.t -> int -> int list
+(** Nodes whose core number is at least [k], in increasing order. *)
+
+val aggregate_strength : Graph.t -> int list -> float
+(** ANS of a node set: the sum of full-graph node strengths
+    [sum_i d_i] with [d_i = sum_j w_ij] (paper Section 6.2 step 1). *)
+
+val internal_strength : Graph.t -> int list -> float
+(** Sum of edge weights internal to the node set.  Used as a tie-breaker:
+    links leaving the allocated region cannot be exercised by the program,
+    so internal strength is what the schedule can actually use. *)
+
+val grow_subgraph : Graph.t -> size:int -> seed:int -> int list option
+(** Greedy strength-driven growth of a connected [size]-node subset from
+    one seed node ([None] when the seed's component is too small).
+    Result is sorted and contains [seed]. *)
+
+val strongest_subgraph : Graph.t -> size:int -> int list
+(** [strongest_subgraph g ~size:k] is a connected subset of [k] nodes
+    chosen to (heuristically) maximize its strength: grow greedily by
+    internal-strength gain from every possible seed and keep the best
+    result by (internal strength, ANS).  Internal strength is primary —
+    a program confined to the region can only exercise internal links,
+    and the paper's raw ANS (full-graph weighted degrees, Section 6.2)
+    rewards links that leave the region.  Result is sorted.
+    @raise Invalid_argument if [k] is not in [1 .. node_count] or if no
+    connected subset of size [k] exists. *)

@@ -1,0 +1,76 @@
+let infinity_cost = infinity
+
+let dijkstra g src =
+  let n = Graph.node_count g in
+  let dist = Array.make n infinity_cost in
+  let prev = Array.make n (-1) in
+  let settled = Array.make n false in
+  let queue = Pqueue.create () in
+  dist.(src) <- 0.0;
+  Pqueue.push queue 0.0 src;
+  let relax u (v, w) =
+    if w < 0.0 then invalid_arg "Paths.dijkstra: negative edge weight";
+    let candidate = dist.(u) +. w in
+    if candidate < dist.(v) then begin
+      dist.(v) <- candidate;
+      prev.(v) <- u;
+      Pqueue.push queue candidate v
+    end
+  in
+  let rec drain () =
+    match Pqueue.pop queue with
+    | None -> ()
+    | Some (d, u) ->
+      if not settled.(u) && d <= dist.(u) then begin
+        settled.(u) <- true;
+        List.iter (relax u) (Graph.neighbors g u)
+      end;
+      drain ()
+  in
+  drain ();
+  (dist, prev)
+
+let shortest_path g src dst =
+  if src = dst then Some [ src ]
+  else begin
+    let dist, prev = dijkstra g src in
+    if dist.(dst) = infinity_cost then None
+    else begin
+      let rec walk v acc = if v = src then v :: acc else walk prev.(v) (v :: acc) in
+      Some (walk dst [])
+    end
+  end
+
+let path_cost g path =
+  let rec total = function
+    | [] | [ _ ] -> 0.0
+    | u :: (v :: _ as rest) -> Graph.edge_weight_exn g u v +. total rest
+  in
+  total path
+
+let all_pairs g =
+  let n = Graph.node_count g in
+  Array.init n (fun src -> fst (dijkstra g src))
+
+let bfs_hops g src =
+  let n = Graph.node_count g in
+  let hops = Array.make n max_int in
+  hops.(src) <- 0;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let visit v =
+      if hops.(v) = max_int then begin
+        hops.(v) <- hops.(u) + 1;
+        Queue.add v queue
+      end
+    in
+    List.iter visit (Graph.neighbor_ids g u)
+  done;
+  hops
+
+let all_pairs_hops g =
+  Array.init (Graph.node_count g) (fun src -> bfs_hops g src)
+
+let hop_count g src dst = (bfs_hops g src).(dst)

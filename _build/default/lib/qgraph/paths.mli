@@ -1,0 +1,37 @@
+(** Shortest-path computations over {!Graph.t}.
+
+    Two distance notions are used by the mapper:
+    - {e hop distance} (unweighted BFS), the SWAP count of the baseline
+      variation-unaware policy;
+    - {e weighted distance} (Dijkstra over non-negative edge costs such as
+      [-log p_success]), the reliability cost used by VQM. *)
+
+val infinity_cost : float
+(** Distance reported for unreachable node pairs. *)
+
+val dijkstra : Graph.t -> int -> float array * int array
+(** [dijkstra g src] is [(dist, prev)]: [dist.(v)] is the least total edge
+    weight from [src] to [v] ({!infinity_cost} if unreachable) and
+    [prev.(v)] the predecessor of [v] on such a path ([-1] for [src] and
+    unreachable nodes).  Edge weights must be non-negative.
+    @raise Invalid_argument on a negative edge weight. *)
+
+val shortest_path : Graph.t -> int -> int -> int list option
+(** Minimum-weight path from [src] to [dst], inclusive of both endpoints.
+    [None] when unreachable; [Some [src]] when [src = dst]. *)
+
+val path_cost : Graph.t -> int list -> float
+(** Total edge weight along a node path.
+    @raise Not_found if consecutive nodes are not adjacent. *)
+
+val all_pairs : Graph.t -> float array array
+(** [all_pairs g] is the weighted distance matrix (repeated Dijkstra). *)
+
+val bfs_hops : Graph.t -> int -> int array
+(** Hop distances from a source; [max_int] when unreachable. *)
+
+val all_pairs_hops : Graph.t -> int array array
+(** Hop-distance matrix. *)
+
+val hop_count : Graph.t -> int -> int -> int
+(** BFS hop distance between a pair; [max_int] when unreachable. *)

@@ -1,0 +1,74 @@
+type 'a t = {
+  mutable prio : float array;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create () = { prio = [||]; data = [||]; size = 0 }
+
+let length q = q.size
+
+let is_empty q = q.size = 0
+
+let grow q x =
+  let capacity = Array.length q.prio in
+  if q.size = capacity then begin
+    let new_capacity = max 16 (2 * capacity) in
+    let prio = Array.make new_capacity 0.0 in
+    let data = Array.make new_capacity x in
+    Array.blit q.prio 0 prio 0 q.size;
+    Array.blit q.data 0 data 0 q.size;
+    q.prio <- prio;
+    q.data <- data
+  end
+
+let swap q i j =
+  let pi = q.prio.(i) and di = q.data.(i) in
+  q.prio.(i) <- q.prio.(j);
+  q.data.(i) <- q.data.(j);
+  q.prio.(j) <- pi;
+  q.data.(j) <- di
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if q.prio.(i) < q.prio.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < q.size && q.prio.(left) < q.prio.(!smallest) then smallest := left;
+  if right < q.size && q.prio.(right) < q.prio.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let push q prio x =
+  grow q x;
+  q.prio.(q.size) <- prio;
+  q.data.(q.size) <- x;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let prio = q.prio.(0) and x = q.data.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.prio.(0) <- q.prio.(q.size);
+      q.data.(0) <- q.data.(q.size);
+      sift_down q 0
+    end;
+    Some (prio, x)
+  end
+
+let peek q = if q.size = 0 then None else Some (q.prio.(0), q.data.(0))
+
+let clear q = q.size <- 0

@@ -1,0 +1,27 @@
+(** Mutable binary-heap priority queue with [float] priorities.
+
+    Lower priority values are served first.  Used by Dijkstra and by the A*
+    searches in the mapper.  Duplicate insertions of the same payload are
+    allowed; stale entries are the caller's concern (the usual
+    "lazy-deletion" Dijkstra idiom). *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Fresh empty queue. *)
+
+val length : 'a t -> int
+(** Number of queued entries (including any stale duplicates). *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q prio x] inserts [x] with priority [prio]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the entry with the smallest priority. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Return the smallest entry without removing it. *)
+
+val clear : 'a t -> unit

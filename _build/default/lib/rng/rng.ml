@@ -1,0 +1,122 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+(* SplitMix64: used to expand a seed into the xoshiro state and to derive
+   child generators. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let make seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let uint64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (uint64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+(* 53 random mantissa bits -> [0, 1) *)
+let float t =
+  let bits = Int64.shift_right_logical (uint64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let uniform t lo hi =
+  if hi < lo then invalid_arg "Rng.uniform: empty interval";
+  lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: non-positive bound";
+  (* rejection sampling to avoid modulo bias *)
+  let bound = Int64.of_int n in
+  let rec draw () =
+    let raw = Int64.shift_right_logical (uint64 t) 1 in
+    let value = Int64.rem raw bound in
+    if Int64.sub raw value > Int64.sub Int64.max_int (Int64.sub bound 1L) then
+      draw ()
+    else Int64.to_int value
+  in
+  draw ()
+
+let bool t = Int64.logand (uint64 t) 1L = 1L
+
+let bernoulli t p =
+  if p <= 0.0 then false else if p >= 1.0 then true else float t < p
+
+let gaussian t ~mean ~std =
+  let rec nonzero () =
+    let u = float t in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t in
+  let radius = sqrt (-2.0 *. log u1) in
+  mean +. (std *. radius *. cos (2.0 *. Float.pi *. u2))
+
+let lognormal t ~mean ~std =
+  if mean <= 0.0 || std <= 0.0 then
+    invalid_arg "Rng.lognormal: mean and std must be positive";
+  let sigma2 = log (1.0 +. (std *. std /. (mean *. mean))) in
+  let mu = log mean -. (sigma2 /. 2.0) in
+  exp (gaussian t ~mean:mu ~std:(sqrt sigma2))
+
+let truncated_gaussian t ~mean ~std ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.truncated_gaussian: empty interval";
+  let rec attempt k =
+    let x = gaussian t ~mean ~std in
+    if x >= lo && x <= hi then x
+    else if k >= 64 then Float.min hi (Float.max lo x)
+    else attempt (k + 1)
+  in
+  attempt 0
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: non-positive rate";
+  let rec nonzero () =
+    let u = float t in
+    if u > 0.0 then u else nonzero ()
+  in
+  -.log (nonzero ()) /. rate
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))

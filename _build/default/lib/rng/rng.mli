@@ -1,0 +1,61 @@
+(** Deterministic pseudo-random numbers (the xoshiro256** generator).
+
+    Every stochastic component of the reproduction — the synthetic
+    calibration model, the random benchmarks and the Monte-Carlo fault
+    injector — draws from an explicitly seeded generator so that each
+    experiment is bit-for-bit repeatable.  [split] derives an independent
+    child stream (via SplitMix64 reseeding), which lets one experiment
+    seed give every benchmark, day and trial batch its own stream without
+    correlation. *)
+
+type t
+
+val make : int -> t
+(** Seed a generator.  Different seeds give decorrelated streams. *)
+
+val copy : t -> t
+
+val split : t -> t
+(** Derive an independent child generator; the parent advances. *)
+
+val uint64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [\[lo, hi)].
+    @raise Invalid_argument if [hi < lo]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)].
+    @raise Invalid_argument if [n <= 0]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is true with probability [p] (clamped to [0, 1]). *)
+
+val gaussian : t -> mean:float -> std:float -> float
+(** Normal deviate (Box–Muller). *)
+
+val lognormal : t -> mean:float -> std:float -> float
+(** Log-normal deviate parameterized by the {e arithmetic} mean and
+    standard deviation of the distribution itself (not of the underlying
+    normal).  Both must be positive. *)
+
+val truncated_gaussian : t -> mean:float -> std:float -> lo:float -> hi:float -> float
+(** Normal deviate re-sampled (up to a bound) to land in [\[lo, hi\]];
+    falls back to clamping. *)
+
+val exponential : t -> rate:float -> float
+(** Exponential deviate with the given rate.
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)

@@ -1,0 +1,1 @@
+lib/sim/budget.ml: Circuit Float Format Gate Hashtbl List Option Printf Reliability Schedule Vqc_circuit Vqc_device

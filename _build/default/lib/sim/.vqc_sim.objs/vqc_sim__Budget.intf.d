@@ -1,0 +1,1 @@
+lib/sim/budget.mli: Circuit Format Vqc_circuit Vqc_device

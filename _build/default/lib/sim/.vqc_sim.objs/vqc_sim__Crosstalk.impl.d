@@ -1,0 +1,1 @@
+lib/sim/crosstalk.ml: Float Gate List Reliability Schedule Vqc_circuit Vqc_device

@@ -1,0 +1,1 @@
+lib/sim/crosstalk.mli: Circuit Gate Schedule Vqc_circuit Vqc_device

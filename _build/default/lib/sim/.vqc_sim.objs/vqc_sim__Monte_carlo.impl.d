@@ -1,0 +1,1 @@
+lib/sim/monte_carlo.ml: Array Circuit Crosstalk Float Format Gate List Reliability Schedule Vqc_circuit Vqc_rng

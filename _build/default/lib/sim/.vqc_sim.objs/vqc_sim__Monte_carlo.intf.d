@@ -1,0 +1,1 @@
+lib/sim/monte_carlo.mli: Circuit Format Vqc_circuit Vqc_device Vqc_rng

@@ -1,0 +1,1 @@
+lib/sim/reliability.ml: Circuit Format Gate List Schedule Vqc_circuit Vqc_device

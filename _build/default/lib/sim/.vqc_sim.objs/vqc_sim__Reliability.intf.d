@@ -1,0 +1,1 @@
+lib/sim/reliability.mli: Circuit Format Gate Schedule Vqc_circuit Vqc_device

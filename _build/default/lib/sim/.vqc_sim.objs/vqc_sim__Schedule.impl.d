@@ -1,0 +1,1 @@
+lib/sim/schedule.ml: Array Circuit Float Fun Gate List Vqc_circuit Vqc_device

@@ -1,0 +1,1 @@
+lib/sim/schedule.mli: Circuit Gate Vqc_circuit Vqc_device

@@ -1,0 +1,88 @@
+open Vqc_circuit
+module Device = Vqc_device.Device
+
+type resource =
+  | Link of int * int
+  | One_qubit_gates of int
+  | Readout of int
+  | Idle of int
+
+type line = {
+  resource : resource;
+  uses : int;
+  log_failure : float;
+  share : float;
+}
+
+let neg_log p = -.log (Float.max 1e-12 p)
+
+let analyze ?(coherence = true)
+    ?(coherence_scale = Reliability.default_coherence_scale) device circuit =
+  let table : (resource, float * int) Hashtbl.t = Hashtbl.create 32 in
+  let charge resource amount =
+    let total, uses =
+      Option.value (Hashtbl.find_opt table resource) ~default:(0.0, 0)
+    in
+    Hashtbl.replace table resource (total +. amount, uses + 1)
+  in
+  List.iter
+    (fun gate ->
+      let cost = neg_log (Reliability.gate_success device gate) in
+      match gate with
+      | Gate.One_qubit (_, q) -> charge (One_qubit_gates q) cost
+      | Gate.Cnot { control; target } ->
+        charge (Link (min control target, max control target)) cost
+      | Gate.Swap (a, b) -> charge (Link (min a b, max a b)) cost
+      | Gate.Measure { qubit; _ } -> charge (Readout qubit) cost
+      | Gate.Barrier _ -> ())
+    (Circuit.gates circuit);
+  if coherence then begin
+    let schedule = Schedule.build device circuit in
+    List.iter
+      (fun q ->
+        let survival =
+          Reliability.coherence_survival ~scale:coherence_scale device schedule q
+        in
+        let cost = neg_log survival in
+        if cost > 1e-12 then begin
+          let total, uses =
+            Option.value (Hashtbl.find_opt table (Idle q)) ~default:(0.0, 0)
+          in
+          (* idle lines count exposure, not operations *)
+          Hashtbl.replace table (Idle q) (total +. cost, uses)
+        end)
+      (Circuit.used_qubits circuit)
+  end;
+  let total =
+    Hashtbl.fold (fun _ (amount, _) acc -> acc +. amount) table 0.0
+  in
+  Hashtbl.fold
+    (fun resource (log_failure, uses) acc ->
+      {
+        resource;
+        uses;
+        log_failure;
+        share = (if total > 0.0 then log_failure /. total else 0.0);
+      }
+      :: acc)
+    table []
+  |> List.sort (fun a b -> compare b.log_failure a.log_failure)
+
+let total_log_failure lines =
+  List.fold_left (fun acc line -> acc +. line.log_failure) 0.0 lines
+
+let resource_label = function
+  | Link (u, v) -> Printf.sprintf "link %d--%d" u v
+  | One_qubit_gates q -> Printf.sprintf "1q gates on q%d" q
+  | Readout q -> Printf.sprintf "readout of q%d" q
+  | Idle q -> Printf.sprintf "idle decay of q%d" q
+
+let pp_line ppf line =
+  Format.fprintf ppf "%-20s %4d ops  -log p = %.4f  (%4.1f%%)"
+    (resource_label line.resource)
+    line.uses line.log_failure (100.0 *. line.share)
+
+let pp ppf lines =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun line -> Format.fprintf ppf "%a@," pp_line line) lines;
+  Format.fprintf ppf "total -log PST = %.4f@]" (total_log_failure lines)

@@ -1,0 +1,39 @@
+(** Error-budget analysis: where does a compiled circuit lose its PST?
+
+    Attributes each operation's [-log success] to the hardware resource
+    that executes it (a coupler, a qubit's 1q gates, a qubit's readout,
+    or a qubit's idle decoherence) and ranks the resources by their share
+    of the total log-failure.  This is the "explain" tool behind the
+    policies: the baseline's budget is dominated by a few weak links, and
+    the variation-aware plans show those lines shrinking. *)
+
+open Vqc_circuit
+
+type resource =
+  | Link of int * int  (** coupler, [u < v], charged by CNOT/SWAP use *)
+  | One_qubit_gates of int
+  | Readout of int
+  | Idle of int  (** coherence exposure of a qubit *)
+
+type line = {
+  resource : resource;
+  uses : int;  (** operations charged to the resource (0 for [Idle]) *)
+  log_failure : float;  (** total [-log success] attributed *)
+  share : float;  (** fraction of the circuit's total log-failure *)
+}
+
+val analyze :
+  ?coherence:bool ->
+  ?coherence_scale:float ->
+  Vqc_device.Device.t ->
+  Circuit.t ->
+  line list
+(** Budget lines sorted by decreasing [log_failure].  The sum of
+    [log_failure] equals [-log PST] (up to rounding); shares sum to 1
+    when the total is non-zero. *)
+
+val total_log_failure : line list -> float
+
+val pp_line : Format.formatter -> line -> unit
+val pp : Format.formatter -> line list -> unit
+(** Print the top lines of a budget as a table. *)

@@ -1,0 +1,60 @@
+open Vqc_circuit
+module Device = Vqc_device.Device
+
+let default_strength = 0.3
+
+(* Two couplers are adjacent when they share a qubit or some coupler
+   connects a qubit of one to a qubit of the other. *)
+let couplers_adjacent device (a1, a2) (b1, b2) =
+  a1 = b1 || a1 = b2 || a2 = b1 || a2 = b2
+  || Device.connected device a1 b1
+  || Device.connected device a1 b2
+  || Device.connected device a2 b1
+  || Device.connected device a2 b2
+
+let two_qubit_ops schedule =
+  List.filter_map
+    (fun timed ->
+      match timed.Schedule.gate with
+      | Gate.Cnot { control; target } -> Some (timed, (control, target))
+      | Gate.Swap (a, b) -> Some (timed, (a, b))
+      | Gate.One_qubit _ | Gate.Measure _ | Gate.Barrier _ -> None)
+    schedule.Schedule.ops
+
+let overlap a b =
+  a.Schedule.start_ns < b.Schedule.finish_ns
+  && b.Schedule.start_ns < a.Schedule.finish_ns
+
+let inflation_factors ?(strength = default_strength) device schedule =
+  if strength < 0.0 then invalid_arg "Crosstalk: negative strength";
+  let ops = two_qubit_ops schedule in
+  List.map
+    (fun (timed, coupler) ->
+      let neighbours =
+        List.length
+          (List.filter
+             (fun (other, other_coupler) ->
+               (not (other == timed))
+               && overlap timed other
+               && couplers_adjacent device coupler other_coupler)
+             ops)
+      in
+      (timed.Schedule.gate, 1.0 +. (strength *. float_of_int neighbours)))
+    ops
+
+let pst ?(strength = default_strength) ?coherence ?coherence_scale device
+    circuit =
+  let base = Reliability.analyze ?coherence ?coherence_scale device circuit in
+  let schedule = Schedule.build device circuit in
+  (* replace each 2q gate's success with its inflated version *)
+  let adjustment =
+    List.fold_left
+      (fun acc (gate, factor) ->
+        let e = 1.0 -. Reliability.gate_success device gate in
+        let inflated = Float.min 0.5 (e *. factor) in
+        acc
+        *. (Float.max 1e-12 (1.0 -. inflated) /. Float.max 1e-12 (1.0 -. e)))
+      1.0
+      (inflation_factors ~strength device schedule)
+  in
+  base.Reliability.pst *. adjustment

@@ -1,0 +1,38 @@
+(** Optional crosstalk extension to the error model.
+
+    The paper's model treats every operation as an independent Bernoulli
+    trial and lists "no correlations between errors" as a limitation
+    (Section 9).  This module supplies the simplest physically-motivated
+    refinement: two-qubit gates that execute {e simultaneously} on
+    {e adjacent} couplers (sharing a qubit or connected by a coupler)
+    interfere, inflating each other's error rates — the dominant
+    correlated-noise mechanism reported for fixed-frequency transmon
+    devices.
+
+    The inflation is multiplicative on the error rate:
+    [e' = min (e * (1 + strength * neighbours), 0.5)] where [neighbours]
+    counts simultaneous 2q gates on adjacent couplers (overlapping
+    execution windows in the ASAP schedule). *)
+
+open Vqc_circuit
+
+val default_strength : float
+(** 0.3 — a 2q gate running next to one simultaneous neighbour gets a
+    30% relative error increase, in the range reported by crosstalk
+    characterization studies of IBM devices. *)
+
+val inflation_factors :
+  ?strength:float -> Vqc_device.Device.t -> Schedule.t -> (Gate.t * float) list
+(** Per-two-qubit-gate inflation factor (>= 1) for a scheduled circuit,
+    in schedule order.  One-qubit gates and measurements are unaffected
+    (factor 1 entries are omitted only for non-2q gates). *)
+
+val pst :
+  ?strength:float ->
+  ?coherence:bool ->
+  ?coherence_scale:float ->
+  Vqc_device.Device.t ->
+  Circuit.t ->
+  float
+(** Analytic PST under the crosstalk-inflated error model.  With
+    [strength = 0] this equals {!Reliability.pst}. *)

@@ -1,0 +1,25 @@
+let relative ~baseline x =
+  if baseline <= 0.0 then invalid_arg "Metrics.relative: non-positive baseline";
+  x /. baseline
+
+let geomean values =
+  match values with
+  | [] -> invalid_arg "Metrics.geomean: empty list"
+  | _ ->
+    let log_sum =
+      List.fold_left
+        (fun acc v ->
+          if v <= 0.0 then invalid_arg "Metrics.geomean: non-positive value";
+          acc +. log v)
+        0.0 values
+    in
+    exp (log_sum /. float_of_int (List.length values))
+
+let stpt ~pst ~duration_ns =
+  if duration_ns <= 0.0 then invalid_arg "Metrics.stpt: non-positive duration";
+  pst /. (duration_ns *. 1e-9)
+
+let stpt_concurrent copies =
+  List.fold_left
+    (fun acc (pst, duration_ns) -> acc +. stpt ~pst ~duration_ns)
+    0.0 copies

@@ -1,0 +1,23 @@
+(** Figures of merit (paper Sections 4.1 and 8.2).
+
+    PST is the probability that one trial finishes error-free; STPT
+    (Successful Trials Per unit Time) additionally values trial rate, the
+    metric of the partitioning case study. *)
+
+val relative : baseline:float -> float -> float
+(** [relative ~baseline x = x /. baseline].
+    @raise Invalid_argument if [baseline <= 0]. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values.
+    @raise Invalid_argument on an empty list or a non-positive value. *)
+
+val stpt : pst:float -> duration_ns:float -> float
+(** Expected successful trials per second for back-to-back trials:
+    [pst / duration_seconds].
+    @raise Invalid_argument if [duration_ns <= 0]. *)
+
+val stpt_concurrent : (float * float) list -> float
+(** STPT of several copies running concurrently: each [(pst, duration)]
+    copy contributes its own trial stream; total successful trials per
+    second is the sum. *)

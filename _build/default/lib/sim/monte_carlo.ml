@@ -1,0 +1,76 @@
+open Vqc_circuit
+module Rng = Vqc_rng.Rng
+
+type result = {
+  trials : int;
+  successes : int;
+  pst : float;
+  ci95 : float;
+}
+
+let run ?(coherence = true)
+    ?(coherence_scale = Reliability.default_coherence_scale)
+    ?(crosstalk_strength = 0.0) ~trials rng device circuit =
+  if trials <= 0 then invalid_arg "Monte_carlo.run: need positive trials";
+  (* Per-operation failure probabilities, fixed across trials.  The order
+     of the events is irrelevant (a trial fails if ANY event fires), so
+     under crosstalk the two-qubit failures come from the schedule-order
+     inflation list and the rest from the circuit. *)
+  let one_qubit_and_measure_failures =
+    Circuit.gates circuit
+    |> List.filter_map (fun gate ->
+           match gate with
+           | Gate.Barrier _ | Gate.Cnot _ | Gate.Swap _ -> None
+           | Gate.One_qubit _ | Gate.Measure _ ->
+             Some (1.0 -. Reliability.gate_success device gate))
+  in
+  let two_qubit_failures =
+    if crosstalk_strength <= 0.0 then
+      Circuit.gates circuit
+      |> List.filter_map (fun gate ->
+             match gate with
+             | Gate.Cnot _ | Gate.Swap _ ->
+               Some (1.0 -. Reliability.gate_success device gate)
+             | Gate.One_qubit _ | Gate.Measure _ | Gate.Barrier _ -> None)
+    else
+      Crosstalk.inflation_factors ~strength:crosstalk_strength device
+        (Schedule.build device circuit)
+      |> List.map (fun (gate, factor) ->
+             let e = 1.0 -. Reliability.gate_success device gate in
+             Float.min 0.5 (e *. factor))
+  in
+  let gate_failures = one_qubit_and_measure_failures @ two_qubit_failures in
+  let coherence_failures =
+    if not coherence then []
+    else begin
+      let schedule = Schedule.build device circuit in
+      List.map
+        (fun q ->
+          1.0
+          -. Reliability.coherence_survival ~scale:coherence_scale device
+               schedule q)
+        (Circuit.used_qubits circuit)
+    end
+  in
+  let failure_probabilities =
+    Array.of_list (gate_failures @ coherence_failures)
+  in
+  let events = Array.length failure_probabilities in
+  let successes = ref 0 in
+  for _ = 1 to trials do
+    let rec error_free i =
+      i >= events
+      || ((not (Rng.bernoulli rng failure_probabilities.(i)))
+         && error_free (i + 1))
+    in
+    if error_free 0 then incr successes
+  done;
+  let pst = float_of_int !successes /. float_of_int trials in
+  let ci95 =
+    1.96 *. sqrt (Float.max 0.0 (pst *. (1.0 -. pst)) /. float_of_int trials)
+  in
+  { trials; successes = !successes; pst; ci95 }
+
+let pp_result ppf r =
+  Format.fprintf ppf "PST = %.4f +/- %.4f  (%d/%d trials)" r.pst r.ci95
+    r.successes r.trials

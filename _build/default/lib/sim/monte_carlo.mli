@@ -1,0 +1,34 @@
+(** Monte-Carlo fault-injection simulator (paper Section 4.3, Figure 10).
+
+    A trial executes the physical circuit and injects an error into each
+    operation with that operation's calibrated probability (and into each
+    active qubit with its coherence-decay probability over idle time); a
+    trial with any injected error is a failed trial.  PST is the fraction
+    of error-free trials.  The paper runs 1M trials per workload; the
+    engine precomputes per-operation failure probabilities so trials are
+    a vector of Bernoulli draws with early exit. *)
+
+open Vqc_circuit
+
+type result = {
+  trials : int;
+  successes : int;
+  pst : float;
+  ci95 : float;  (** half-width of the 95% normal-approximation interval *)
+}
+
+val run :
+  ?coherence:bool ->
+  ?coherence_scale:float ->
+  ?crosstalk_strength:float ->
+  trials:int ->
+  Vqc_rng.Rng.t ->
+  Vqc_device.Device.t ->
+  Circuit.t ->
+  result
+(** [crosstalk_strength] (default 0, the paper's independent-error model)
+    inflates simultaneous adjacent two-qubit gates per {!Crosstalk}.
+    @raise Invalid_argument if [trials <= 0] or the circuit uses an
+    uncoupled qubit pair. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,77 @@
+open Vqc_circuit
+module Device = Vqc_device.Device
+module Calibration = Vqc_device.Calibration
+
+type breakdown = {
+  pst : float;
+  one_qubit_success : float;
+  two_qubit_success : float;
+  measure_success : float;
+  coherence_survival : float;
+  duration_ns : float;
+}
+
+let gate_success device gate =
+  let calibration = Device.calibration device in
+  match gate with
+  | Gate.One_qubit (_, q) ->
+    1.0 -. (Calibration.qubit calibration q).Calibration.error_1q
+  | Gate.Cnot { control; target } -> Device.cnot_success device control target
+  | Gate.Swap (a, b) -> Device.swap_success device a b
+  | Gate.Measure { qubit; _ } ->
+    1.0 -. (Calibration.qubit calibration qubit).Calibration.error_readout
+  | Gate.Barrier _ -> 1.0
+
+let default_coherence_scale = 0.02
+
+let coherence_survival ?(scale = default_coherence_scale) device schedule q =
+  let idle = Schedule.idle_ns schedule q in
+  let figures = Calibration.qubit (Device.calibration device) q in
+  let t1_ns = figures.Calibration.t1_us *. 1000.0 in
+  let t2_ns = figures.Calibration.t2_us *. 1000.0 in
+  exp (-.scale *. idle *. ((1.0 /. t1_ns) +. (1.0 /. t2_ns)))
+
+let analyze ?(coherence = true) ?(coherence_scale = default_coherence_scale)
+    ?(alap = false) device circuit =
+  let schedule =
+    if alap then Schedule.build_alap device circuit
+    else Schedule.build device circuit
+  in
+  let one_q = ref 1.0 and two_q = ref 1.0 and measure = ref 1.0 in
+  let account gate =
+    let p = gate_success device gate in
+    match gate with
+    | Gate.One_qubit _ -> one_q := !one_q *. p
+    | Gate.Cnot _ | Gate.Swap _ -> two_q := !two_q *. p
+    | Gate.Measure _ -> measure := !measure *. p
+    | Gate.Barrier _ -> ()
+  in
+  List.iter account (Circuit.gates circuit);
+  let survival =
+    if not coherence then 1.0
+    else
+      List.fold_left
+        (fun acc q ->
+          acc *. coherence_survival ~scale:coherence_scale device schedule q)
+        1.0
+        (Circuit.used_qubits circuit)
+  in
+  {
+    pst = !one_q *. !two_q *. !measure *. survival;
+    one_qubit_success = !one_q;
+    two_qubit_success = !two_q;
+    measure_success = !measure;
+    coherence_survival = survival;
+    duration_ns = schedule.Schedule.duration_ns;
+  }
+
+let pst ?coherence ?coherence_scale ?alap device circuit =
+  (analyze ?coherence ?coherence_scale ?alap device circuit).pst
+
+let pp_breakdown ppf b =
+  Format.fprintf ppf
+    "@[<v>PST                 %.6f@,1q gate success     %.6f@,2q gate \
+     success     %.6f@,measure success     %.6f@,coherence survival  \
+     %.6f@,duration            %.0f ns@]"
+    b.pst b.one_qubit_success b.two_qubit_success b.measure_success
+    b.coherence_survival b.duration_ns

@@ -1,0 +1,135 @@
+open Vqc_circuit
+module Device = Vqc_device.Device
+
+type timed_gate = {
+  gate : Gate.t;
+  start_ns : float;
+  finish_ns : float;
+}
+
+type t = {
+  ops : timed_gate list;
+  duration_ns : float;
+  busy_ns : float array;
+  exposure_ns : float array;
+}
+
+let gate_duration_ns device gate =
+  let times = Device.gate_times device in
+  match gate with
+  | Gate.One_qubit _ -> times.Device.t_1q_ns
+  | Gate.Cnot _ -> times.Device.t_2q_ns
+  | Gate.Swap _ -> 3.0 *. times.Device.t_2q_ns
+  | Gate.Measure _ -> times.Device.t_measure_ns
+  | Gate.Barrier _ -> 0.0
+
+let build device circuit =
+  let n = Device.num_qubits device in
+  if Circuit.num_qubits circuit > n then
+    invalid_arg "Schedule.build: circuit wider than device";
+  let free_at = Array.make n 0.0 in
+  let busy_ns = Array.make n 0.0 in
+  let first_start = Array.make n Float.infinity in
+  let last_finish = Array.make n 0.0 in
+  let ops = ref [] in
+  let place gate =
+    match gate with
+    | Gate.Barrier qs ->
+      let qs = if qs = [] then List.init n Fun.id else qs in
+      let sync = List.fold_left (fun acc q -> Float.max acc free_at.(q)) 0.0 qs in
+      List.iter (fun q -> free_at.(q) <- sync) qs
+    | Gate.One_qubit _ | Gate.Cnot _ | Gate.Swap _ | Gate.Measure _ ->
+      let qs = Gate.qubits gate in
+      let start_ns =
+        List.fold_left (fun acc q -> Float.max acc free_at.(q)) 0.0 qs
+      in
+      let duration = gate_duration_ns device gate in
+      let finish_ns = start_ns +. duration in
+      List.iter
+        (fun q ->
+          free_at.(q) <- finish_ns;
+          busy_ns.(q) <- busy_ns.(q) +. duration;
+          first_start.(q) <- Float.min first_start.(q) start_ns;
+          last_finish.(q) <- Float.max last_finish.(q) finish_ns)
+        qs;
+      ops := { gate; start_ns; finish_ns } :: !ops
+  in
+  List.iter place (Circuit.gates circuit);
+  let exposure_ns =
+    Array.init n (fun q ->
+        if first_start.(q) = Float.infinity then 0.0
+        else last_finish.(q) -. first_start.(q))
+  in
+  let duration_ns = Array.fold_left Float.max 0.0 last_finish in
+  {
+    ops =
+      List.stable_sort
+        (fun a b -> Float.compare a.start_ns b.start_ns)
+        (List.rev !ops);
+    duration_ns;
+    busy_ns;
+    exposure_ns;
+  }
+
+let idle_ns schedule q =
+  Float.max 0.0 (schedule.exposure_ns.(q) -. schedule.busy_ns.(q))
+
+let build_alap device circuit =
+  let n = Device.num_qubits device in
+  if Circuit.num_qubits circuit > n then
+    invalid_arg "Schedule.build_alap: circuit wider than device";
+  let horizon = (build device circuit).duration_ns in
+  (* backward pass: each qubit's next-use time, initialized to the end *)
+  let due_at = Array.make n horizon in
+  let busy_ns = Array.make n 0.0 in
+  let first_start = Array.make n Float.infinity in
+  let last_finish = Array.make n 0.0 in
+  let ops = ref [] in
+  let place gate =
+    match gate with
+    | Gate.Barrier qs ->
+      let qs = if qs = [] then List.init n Fun.id else qs in
+      let sync = List.fold_left (fun acc q -> Float.min acc due_at.(q)) horizon qs in
+      List.iter (fun q -> due_at.(q) <- sync) qs
+    | Gate.One_qubit _ | Gate.Cnot _ | Gate.Swap _ | Gate.Measure _ ->
+      let qs = Gate.qubits gate in
+      let finish_ns =
+        List.fold_left (fun acc q -> Float.min acc due_at.(q)) horizon qs
+      in
+      let duration = gate_duration_ns device gate in
+      let start_ns = finish_ns -. duration in
+      List.iter
+        (fun q ->
+          due_at.(q) <- start_ns;
+          busy_ns.(q) <- busy_ns.(q) +. duration;
+          first_start.(q) <- Float.min first_start.(q) start_ns;
+          last_finish.(q) <- Float.max last_finish.(q) finish_ns)
+        qs;
+      ops := { gate; start_ns; finish_ns } :: !ops
+  in
+  List.iter place (List.rev (Circuit.gates circuit));
+  (* shift so the earliest start sits at 0 (pure relabeling of time) *)
+  let earliest =
+    List.fold_left (fun acc op -> Float.min acc op.start_ns) 0.0 !ops
+  in
+  let shift t = t -. earliest in
+  let exposure_ns =
+    Array.init n (fun q ->
+        if first_start.(q) = Float.infinity then 0.0
+        else last_finish.(q) -. first_start.(q))
+  in
+  let duration_ns =
+    List.fold_left (fun acc op -> Float.max acc (shift op.finish_ns)) 0.0 !ops
+  in
+  {
+    ops =
+      List.stable_sort
+        (fun a b -> Float.compare a.start_ns b.start_ns)
+        (List.map
+           (fun op ->
+             { op with start_ns = shift op.start_ns; finish_ns = shift op.finish_ns })
+           !ops);
+    duration_ns;
+    busy_ns;
+    exposure_ns;
+  }

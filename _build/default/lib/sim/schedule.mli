@@ -1,0 +1,40 @@
+(** ASAP scheduling of a physical (post-mapping) circuit onto a device's
+    gate-time model.
+
+    The schedule provides what the coherence-error model needs: the total
+    trial duration and, for each qubit, the {e exposure window} (from its
+    first gate to its last) and the idle time inside that window during
+    which the qubit holds state but performs no operation. *)
+
+open Vqc_circuit
+
+type timed_gate = {
+  gate : Gate.t;
+  start_ns : float;
+  finish_ns : float;
+}
+
+type t = {
+  ops : timed_gate list;  (** in start-time order *)
+  duration_ns : float;  (** completion time of the last gate *)
+  busy_ns : float array;  (** per-qubit total gate time *)
+  exposure_ns : float array;  (** per-qubit first-gate → last-gate window *)
+}
+
+val gate_duration_ns : Vqc_device.Device.t -> Gate.t -> float
+(** SWAPs cost three CNOT times; barriers cost zero. *)
+
+val build : Vqc_device.Device.t -> Circuit.t -> t
+(** ASAP schedule: each gate starts when all its qubits are free.
+    Barriers synchronize their qubits.
+    @raise Invalid_argument if the circuit is wider than the device. *)
+
+val build_alap : Vqc_device.Device.t -> Circuit.t -> t
+(** As-late-as-possible schedule: same total duration and dependency
+    order as {!build}, but every gate is pushed as late as its dependents
+    allow.  A qubit's first gate moves later, shrinking its exposure
+    window — the standard idle-reduction trick (a |0> qubit does not
+    decohere, so delaying state preparation costs nothing). *)
+
+val idle_ns : t -> int -> float
+(** [exposure - busy] for a qubit (0 for unused qubits). *)

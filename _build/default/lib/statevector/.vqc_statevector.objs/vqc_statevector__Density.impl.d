@@ -1,0 +1,1 @@
+lib/statevector/density.ml: Array Circuit Complex Gate Hashtbl List Matrices Option Printf Statevector Vqc_circuit Vqc_device Vqc_sim

@@ -1,0 +1,1 @@
+lib/statevector/density.mli: Circuit Gate Statevector Vqc_circuit Vqc_device

@@ -1,0 +1,1 @@
+lib/statevector/matrices.ml: Complex Float Gate Vqc_circuit

@@ -1,0 +1,1 @@
+lib/statevector/matrices.mli: Complex Gate Vqc_circuit

@@ -1,0 +1,1 @@
+lib/statevector/mitigation.ml: Float Hashtbl List Option Printf Statevector Trajectory Vqc_device

@@ -1,0 +1,1 @@
+lib/statevector/mitigation.mli: Circuit Trajectory Vqc_circuit Vqc_device

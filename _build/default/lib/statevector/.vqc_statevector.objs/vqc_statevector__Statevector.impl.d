@@ -1,0 +1,1 @@
+lib/statevector/statevector.ml: Array Circuit Complex Float Format Gate Hashtbl List Matrices Option Printf String Vqc_circuit Vqc_rng

@@ -1,0 +1,1 @@
+lib/statevector/statevector.mli: Circuit Complex Format Gate Vqc_circuit Vqc_rng

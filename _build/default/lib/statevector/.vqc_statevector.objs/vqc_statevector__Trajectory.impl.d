@@ -1,0 +1,1 @@
+lib/statevector/trajectory.ml: Array Circuit Gate Hashtbl List Option Statevector Vqc_circuit Vqc_device Vqc_rng Vqc_sim

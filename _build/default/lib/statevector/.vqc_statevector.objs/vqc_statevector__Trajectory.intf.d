@@ -1,0 +1,1 @@
+lib/statevector/trajectory.mli: Circuit Vqc_circuit Vqc_device Vqc_rng

@@ -1,0 +1,291 @@
+open Vqc_circuit
+module Device = Vqc_device.Device
+module Calibration = Vqc_device.Calibration
+module Schedule = Vqc_sim.Schedule
+module Reliability = Vqc_sim.Reliability
+
+(* Row-major d x d complex matrix, d = 2^n: entry (r, c) at r*d + c. *)
+type t = {
+  num_qubits : int;
+  dim : int;
+  re : float array;
+  im : float array;
+}
+
+let max_qubits = 12
+
+let init n =
+  if n < 0 || n > max_qubits then
+    invalid_arg
+      (Printf.sprintf "Density.init: %d qubits outside [0, %d]" n max_qubits);
+  let dim = 1 lsl n in
+  let size = dim * dim in
+  let re = Array.make size 0.0 and im = Array.make size 0.0 in
+  re.(0) <- 1.0;
+  { num_qubits = n; dim; re; im }
+
+let num_qubits rho = rho.num_qubits
+
+let of_statevector state =
+  let n = Statevector.num_qubits state in
+  let rho = init n in
+  for r = 0 to rho.dim - 1 do
+    let ar = Statevector.amplitude state r in
+    for c = 0 to rho.dim - 1 do
+      let ac = Statevector.amplitude state c in
+      (* rho[r,c] = a_r * conj(a_c) *)
+      let index = (r * rho.dim) + c in
+      rho.re.(index) <-
+        (ar.Complex.re *. ac.Complex.re) +. (ar.Complex.im *. ac.Complex.im);
+      rho.im.(index) <-
+        (ar.Complex.im *. ac.Complex.re) -. (ar.Complex.re *. ac.Complex.im)
+    done
+  done;
+  rho
+
+let trace rho =
+  let total = ref 0.0 in
+  for r = 0 to rho.dim - 1 do
+    total := !total +. rho.re.((r * rho.dim) + r)
+  done;
+  !total
+
+let purity rho =
+  (* tr(rho^2) = sum_{r,c} |rho[r,c]|^2 for Hermitian rho *)
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i re -> total := !total +. (re *. re) +. (rho.im.(i) *. rho.im.(i)))
+    rho.re;
+  !total
+
+let population rho basis =
+  if basis < 0 || basis >= rho.dim then
+    invalid_arg "Density.population: basis state out of range";
+  rho.re.((basis * rho.dim) + basis)
+
+(* Apply the 2x2 matrix [[a b][c d]] to the chosen bit of the ROW index,
+   for every column: the columns transform like statevectors. *)
+let apply_left rho q (a : Complex.t) b c d =
+  let bit = 1 lsl q in
+  let dim = rho.dim in
+  for row = 0 to dim - 1 do
+    if row land bit = 0 then begin
+      let row1 = row lor bit in
+      for col = 0 to dim - 1 do
+        let i0 = (row * dim) + col and i1 = (row1 * dim) + col in
+        let re0 = rho.re.(i0) and im0 = rho.im.(i0) in
+        let re1 = rho.re.(i1) and im1 = rho.im.(i1) in
+        rho.re.(i0) <-
+          (a.Complex.re *. re0) -. (a.Complex.im *. im0)
+          +. (b.Complex.re *. re1) -. (b.Complex.im *. im1);
+        rho.im.(i0) <-
+          (a.Complex.re *. im0) +. (a.Complex.im *. re0)
+          +. (b.Complex.re *. im1) +. (b.Complex.im *. re1);
+        rho.re.(i1) <-
+          (c.Complex.re *. re0) -. (c.Complex.im *. im0)
+          +. (d.Complex.re *. re1) -. (d.Complex.im *. im1);
+        rho.im.(i1) <-
+          (c.Complex.re *. im0) +. (c.Complex.im *. re0)
+          +. (d.Complex.re *. im1) +. (d.Complex.im *. re1)
+      done
+    end
+  done
+
+(* Right-multiplication by U+ acts on the COLUMN index with conj(U):
+   (rho U+)[r, c] = sum_k rho[r, k] conj(U[c, k]). *)
+let apply_right_dagger rho q (a : Complex.t) b c d =
+  let conj (z : Complex.t) = { z with Complex.im = -.z.Complex.im } in
+  let a = conj a and b = conj b and c = conj c and d = conj d in
+  let bit = 1 lsl q in
+  let dim = rho.dim in
+  for row = 0 to dim - 1 do
+    for col = 0 to dim - 1 do
+      if col land bit = 0 then begin
+        let col1 = col lor bit in
+        let i0 = (row * dim) + col and i1 = (row * dim) + col1 in
+        let re0 = rho.re.(i0) and im0 = rho.im.(i0) in
+        let re1 = rho.re.(i1) and im1 = rho.im.(i1) in
+        rho.re.(i0) <-
+          (a.Complex.re *. re0) -. (a.Complex.im *. im0)
+          +. (b.Complex.re *. re1) -. (b.Complex.im *. im1);
+        rho.im.(i0) <-
+          (a.Complex.re *. im0) +. (a.Complex.im *. re0)
+          +. (b.Complex.re *. im1) +. (b.Complex.im *. re1);
+        rho.re.(i1) <-
+          (c.Complex.re *. re0) -. (c.Complex.im *. im0)
+          +. (d.Complex.re *. re1) -. (d.Complex.im *. im1);
+        rho.im.(i1) <-
+          (c.Complex.re *. im0) +. (c.Complex.im *. re0)
+          +. (d.Complex.re *. im1) +. (d.Complex.im *. re1)
+      end
+    done
+  done
+
+(* permutation of basis states applied to rows then columns *)
+let apply_permutation rho permute =
+  let dim = rho.dim in
+  let size = dim * dim in
+  let re = Array.make size 0.0 and im = Array.make size 0.0 in
+  for row = 0 to dim - 1 do
+    let prow = permute row in
+    for col = 0 to dim - 1 do
+      let source = (row * dim) + col in
+      let target = (prow * dim) + permute col in
+      re.(target) <- rho.re.(source);
+      im.(target) <- rho.im.(source)
+    done
+  done;
+  Array.blit re 0 rho.re 0 size;
+  Array.blit im 0 rho.im 0 size
+
+let one_qubit_matrix = Matrices.one_qubit_matrix
+
+let apply_gate rho gate =
+  match gate with
+  | Gate.One_qubit (kind, q) ->
+    if q < 0 || q >= rho.num_qubits then
+      invalid_arg "Density.apply_gate: qubit out of range";
+    let a, b, c, d = one_qubit_matrix kind in
+    apply_left rho q a b c d;
+    apply_right_dagger rho q a b c d
+  | Gate.Cnot { control; target } ->
+    let cbit = 1 lsl control and tbit = 1 lsl target in
+    apply_permutation rho (fun basis ->
+        if basis land cbit <> 0 then basis lxor tbit else basis)
+  | Gate.Swap (qa, qb) ->
+    let abit = 1 lsl qa and bbit = 1 lsl qb in
+    apply_permutation rho (fun basis ->
+        let ba = basis land abit <> 0 and bb = basis land bbit <> 0 in
+        if ba = bb then basis else basis lxor abit lxor bbit)
+  | Gate.Measure _ | Gate.Barrier _ -> ()
+
+let copy rho =
+  {
+    num_qubits = rho.num_qubits;
+    dim = rho.dim;
+    re = Array.copy rho.re;
+    im = Array.copy rho.im;
+  }
+
+let accumulate ~weight target source =
+  Array.iteri (fun i re -> target.re.(i) <- target.re.(i) +. (weight *. re)) source.re;
+  Array.iteri (fun i im -> target.im.(i) <- target.im.(i) +. (weight *. im)) source.im
+
+let scale rho factor =
+  Array.iteri (fun i re -> rho.re.(i) <- factor *. re) rho.re;
+  Array.iteri (fun i im -> rho.im.(i) <- factor *. im) rho.im
+
+let paulis = [ Gate.X; Gate.Y; Gate.Z ]
+
+let apply_pauli_channel rho ~error operands =
+  if error < 0.0 || error > 1.0 then
+    invalid_arg "Density.apply_pauli_channel: error outside [0, 1]";
+  if error > 0.0 then begin
+    let conjugations =
+      match operands with
+      | [ q ] -> List.map (fun p -> [ Gate.One_qubit (p, q) ]) paulis
+      | [ qa; qb ] ->
+        (* 15 non-identity two-qubit Paulis *)
+        let legs = None :: List.map Option.some paulis in
+        List.concat_map
+          (fun la ->
+            List.filter_map
+              (fun lb ->
+                match (la, lb) with
+                | None, None -> None
+                | _ ->
+                  let gates =
+                    Option.to_list
+                      (Option.map (fun p -> Gate.One_qubit (p, qa)) la)
+                    @ Option.to_list
+                        (Option.map (fun p -> Gate.One_qubit (p, qb)) lb)
+                  in
+                  Some gates)
+              legs)
+          legs
+      | _ -> invalid_arg "Density.apply_pauli_channel: need 1 or 2 operands"
+    in
+    let share = error /. float_of_int (List.length conjugations) in
+    let original = copy rho in
+    scale rho (1.0 -. error);
+    List.iter
+      (fun gates ->
+        let branch = copy original in
+        List.iter (apply_gate branch) gates;
+        accumulate ~weight:share rho branch)
+      conjugations
+  end
+
+let measurement_distribution rho circuit =
+  let wiring = Statevector.measurement_wiring circuit in
+  let outcomes = Hashtbl.create 64 in
+  for basis = 0 to rho.dim - 1 do
+    let p = population rho basis in
+    if p > 1e-14 then begin
+      let outcome =
+        List.fold_left
+          (fun acc (cbit, wire) ->
+            if basis land (1 lsl wire) <> 0 then acc lor (1 lsl cbit) else acc)
+          0 wiring
+      in
+      let current = Option.value (Hashtbl.find_opt outcomes outcome) ~default:0.0 in
+      Hashtbl.replace outcomes outcome (current +. p)
+    end
+  done;
+  Hashtbl.fold (fun outcome p acc -> (outcome, p) :: acc) outcomes []
+  |> List.filter (fun (_, p) -> p > 1e-12)
+  |> List.sort compare
+
+let noisy_measurement_distribution ?(coherence = true)
+    ?(coherence_scale = Reliability.default_coherence_scale) device circuit =
+  let n = Circuit.num_qubits circuit in
+  let rho = init n in
+  List.iter
+    (fun gate ->
+      if Gate.is_unitary gate then begin
+        apply_gate rho gate;
+        let error = 1.0 -. Reliability.gate_success device gate in
+        if error > 0.0 then apply_pauli_channel rho ~error (Gate.qubits gate)
+      end)
+    (Circuit.gates circuit);
+  if coherence then begin
+    let schedule = Schedule.build device circuit in
+    List.iter
+      (fun q ->
+        let failure =
+          1.0
+          -. Reliability.coherence_survival ~scale:coherence_scale device
+               schedule q
+        in
+        if failure > 0.0 then apply_pauli_channel rho ~error:failure [ q ])
+      (Circuit.used_qubits circuit)
+  end;
+  (* readout confusion: independently flip each measured wire's bit *)
+  let calibration = Device.calibration device in
+  let wiring = Statevector.measurement_wiring circuit in
+  let clean = measurement_distribution rho circuit in
+  let flip_probability wire =
+    (Calibration.qubit calibration wire).Calibration.error_readout
+  in
+  let confused = Hashtbl.create 64 in
+  List.iter
+    (fun (outcome, p) ->
+      (* expand over flip patterns of the measured cbits *)
+      let rec expand wires acc_outcome acc_p =
+        match wires with
+        | [] ->
+          let current =
+            Option.value (Hashtbl.find_opt confused acc_outcome) ~default:0.0
+          in
+          Hashtbl.replace confused acc_outcome (current +. acc_p)
+        | (cbit, wire) :: rest ->
+          let r = flip_probability wire in
+          expand rest acc_outcome (acc_p *. (1.0 -. r));
+          if r > 0.0 then
+            expand rest (acc_outcome lxor (1 lsl cbit)) (acc_p *. r)
+      in
+      expand wiring outcome p)
+    clean;
+  Hashtbl.fold (fun outcome p acc -> (outcome, p) :: acc) confused []
+  |> List.filter (fun (_, p) -> p > 1e-12)
+  |> List.sort compare

@@ -1,0 +1,56 @@
+(** Exact density-matrix simulation of the noisy execution model.
+
+    This is the analytic ground truth behind {!Trajectory}: the same
+    Pauli-twirled gate channels, idle channels and readout confusion,
+    evolved exactly as quantum channels on the density matrix instead of
+    sampled trajectory by trajectory.  The trajectory histogram must
+    converge to {!noisy_measurement_distribution} — a property the test
+    suite checks — giving the noise engine an exact cross-validation.
+
+    Memory is [2^{2n+1}] floats: practical up to ~10 qubits, intended
+    for the small-device studies (Q5, restricted regions). *)
+
+open Vqc_circuit
+
+type t
+(** An [n]-qubit mixed state. *)
+
+val init : int -> t
+(** |0...0><0...0|.  @raise Invalid_argument if [n] outside [0, 12]. *)
+
+val num_qubits : t -> int
+
+val of_statevector : Statevector.t -> t
+(** The pure state's projector. *)
+
+val trace : t -> float
+(** 1 for any valid evolution (up to rounding). *)
+
+val purity : t -> float
+(** [tr(rho^2)]: 1 for pure states, decreasing under noise. *)
+
+val population : t -> int -> float
+(** Diagonal entry: probability of a basis state. *)
+
+val apply_gate : t -> Gate.t -> unit
+(** Unitary conjugation; [Measure]/[Barrier] are no-ops. *)
+
+val apply_pauli_channel : t -> error:float -> int list -> unit
+(** Uniform non-identity Pauli channel over one or two qubits with total
+    error probability [error] — exactly the channel {!Trajectory}
+    samples.  @raise Invalid_argument for other operand counts or an
+    error outside [0, 1]. *)
+
+val measurement_distribution : t -> Circuit.t -> (int * float) list
+(** Readout of the final state through the circuit's measurement wiring
+    (no readout noise); sorted by outcome, negligible entries dropped. *)
+
+val noisy_measurement_distribution :
+  ?coherence:bool ->
+  ?coherence_scale:float ->
+  Vqc_device.Device.t ->
+  Circuit.t ->
+  (int * float) list
+(** Evolve the circuit under the full noise model (per-gate Pauli
+    channels with calibrated error rates, terminal idle channels,
+    readout confusion) and return the exact outcome distribution. *)

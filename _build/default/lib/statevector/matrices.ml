@@ -1,0 +1,32 @@
+open Vqc_circuit
+
+let complex re im = { Complex.re; im }
+let c0 = complex 0.0 0.0
+let c1 = complex 1.0 0.0
+let ci = complex 0.0 1.0
+let cneg1 = complex (-1.0) 0.0
+let cnegi = complex 0.0 (-1.0)
+let inv_sqrt2 = 1.0 /. sqrt 2.0
+
+let phase theta = complex (cos theta) (sin theta)
+
+let one_qubit_matrix kind =
+  match kind with
+  | Gate.H ->
+    ( complex inv_sqrt2 0.0, complex inv_sqrt2 0.0,
+      complex inv_sqrt2 0.0, complex (-.inv_sqrt2) 0.0 )
+  | Gate.X -> (c0, c1, c1, c0)
+  | Gate.Y -> (c0, cnegi, ci, c0)
+  | Gate.Z -> (c1, c0, c0, cneg1)
+  | Gate.S -> (c1, c0, c0, ci)
+  | Gate.Sdg -> (c1, c0, c0, cnegi)
+  | Gate.T -> (c1, c0, c0, phase (Float.pi /. 4.0))
+  | Gate.Tdg -> (c1, c0, c0, phase (-.Float.pi /. 4.0))
+  | Gate.Rx theta ->
+    let c = cos (theta /. 2.0) and s = sin (theta /. 2.0) in
+    (complex c 0.0, complex 0.0 (-.s), complex 0.0 (-.s), complex c 0.0)
+  | Gate.Ry theta ->
+    let c = cos (theta /. 2.0) and s = sin (theta /. 2.0) in
+    (complex c 0.0, complex (-.s) 0.0, complex s 0.0, complex c 0.0)
+  | Gate.Rz theta -> (phase (-.theta /. 2.0), c0, c0, phase (theta /. 2.0))
+  | Gate.U1 theta -> (c1, c0, c0, phase theta)

@@ -1,0 +1,8 @@
+(** 2x2 unitaries of the one-qubit gate set (shared by the state-vector
+    and density-matrix engines). *)
+
+open Vqc_circuit
+
+val one_qubit_matrix :
+  Gate.one_qubit_kind -> Complex.t * Complex.t * Complex.t * Complex.t
+(** Row-major entries [(a, b, c, d)] of [[a b][c d]]. *)

@@ -1,0 +1,63 @@
+module Device = Vqc_device.Device
+module Calibration = Vqc_device.Calibration
+
+let correct ?(clip = true) device circuit observed =
+  let calibration = Device.calibration device in
+  let wiring = Statevector.measurement_wiring circuit in
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun (outcome, p) ->
+      let current = Option.value (Hashtbl.find_opt table outcome) ~default:0.0 in
+      Hashtbl.replace table outcome (current +. p))
+    observed;
+  (* invert one bit's symmetric confusion matrix at a time:
+     true = A^{-1} observed with A = [[1-r, r], [r, 1-r]] *)
+  List.iter
+    (fun (cbit, wire) ->
+      let r = (Calibration.qubit calibration wire).Calibration.error_readout in
+      if r > 0.0 then begin
+        let denominator = 1.0 -. (2.0 *. r) in
+        if Float.abs denominator < 1e-9 then
+          invalid_arg
+            (Printf.sprintf
+               "Mitigation: readout error of qubit %d is 1/2, not invertible"
+               wire);
+        let bit = 1 lsl cbit in
+        (* collect the affected outcome pairs first, then rewrite *)
+        let keys =
+          Hashtbl.fold (fun outcome _ acc -> outcome :: acc) table []
+          |> List.map (fun o -> min o (o lxor bit))
+          |> List.sort_uniq compare
+        in
+        List.iter
+          (fun low ->
+            let high = low lor bit in
+            let p_low = Option.value (Hashtbl.find_opt table low) ~default:0.0 in
+            let p_high = Option.value (Hashtbl.find_opt table high) ~default:0.0 in
+            let true_low = (((1.0 -. r) *. p_low) -. (r *. p_high)) /. denominator in
+            let true_high = (((1.0 -. r) *. p_high) -. (r *. p_low)) /. denominator in
+            Hashtbl.replace table low true_low;
+            Hashtbl.replace table high true_high)
+          keys
+      end)
+    wiring;
+  let corrected =
+    Hashtbl.fold (fun outcome p acc -> (outcome, p) :: acc) table []
+  in
+  let corrected =
+    if not clip then corrected
+    else begin
+      let clipped =
+        List.map (fun (o, p) -> (o, Float.max 0.0 p)) corrected
+      in
+      let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 clipped in
+      if total > 0.0 then List.map (fun (o, p) -> (o, p /. total)) clipped
+      else clipped
+    end
+  in
+  corrected
+  |> List.filter (fun (_, p) -> Float.abs p > 1e-12)
+  |> List.sort compare
+
+let correct_histogram ?clip device circuit histogram =
+  correct ?clip device circuit (Trajectory.frequencies histogram)

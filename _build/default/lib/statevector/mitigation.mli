@@ -1,0 +1,33 @@
+(** Readout-error mitigation by confusion-matrix inversion.
+
+    The calibration tells us each measured qubit's flip probability, so
+    the observed outcome distribution is the true one pushed through a
+    known tensor-product confusion matrix; applying the inverse undoes
+    it in expectation.  The standard NISQ post-processing step — the
+    measurement-error counterpart of the compile-time policies (use the
+    calibration everywhere it helps). *)
+
+open Vqc_circuit
+
+val correct :
+  ?clip:bool ->
+  Vqc_device.Device.t ->
+  Circuit.t ->
+  (int * float) list ->
+  (int * float) list
+(** [correct device circuit observed] applies the per-wire inverse
+    confusion matrices implied by the device's readout calibration and
+    the circuit's measurement wiring.  Inversion can produce small
+    negative quasi-probabilities on finite samples; [clip] (default
+    [true]) clamps them to zero and renormalizes.  Result sorted by
+    outcome.
+    @raise Invalid_argument if a wire's flip probability reaches 1/2
+    (the confusion matrix is singular there). *)
+
+val correct_histogram :
+  ?clip:bool ->
+  Vqc_device.Device.t ->
+  Circuit.t ->
+  Trajectory.histogram ->
+  (int * float) list
+(** Convenience: normalize a trajectory histogram and correct it. *)

@@ -1,0 +1,247 @@
+open Vqc_circuit
+module Rng = Vqc_rng.Rng
+
+type t = {
+  num_qubits : int;
+  re : float array;
+  im : float array;
+}
+
+let max_qubits = 24
+
+let init n =
+  if n < 0 || n > max_qubits then
+    invalid_arg
+      (Printf.sprintf "Statevector.init: %d qubits outside [0, %d]" n max_qubits);
+  let size = 1 lsl n in
+  let re = Array.make size 0.0 and im = Array.make size 0.0 in
+  re.(0) <- 1.0;
+  { num_qubits = n; re; im }
+
+let num_qubits s = s.num_qubits
+
+let copy s =
+  { num_qubits = s.num_qubits; re = Array.copy s.re; im = Array.copy s.im }
+
+let check_basis s index name =
+  if index < 0 || index >= Array.length s.re then
+    invalid_arg (Printf.sprintf "Statevector.%s: basis state out of range" name)
+
+let amplitude s index =
+  check_basis s index "amplitude";
+  { Complex.re = s.re.(index); im = s.im.(index) }
+
+let probability s index =
+  check_basis s index "probability";
+  (s.re.(index) *. s.re.(index)) +. (s.im.(index) *. s.im.(index))
+
+let norm s =
+  let total = ref 0.0 in
+  for i = 0 to Array.length s.re - 1 do
+    total := !total +. (s.re.(i) *. s.re.(i)) +. (s.im.(i) *. s.im.(i))
+  done;
+  !total
+
+let check_qubit s q =
+  if q < 0 || q >= s.num_qubits then
+    invalid_arg (Printf.sprintf "Statevector: qubit %d out of range" q)
+
+(* Apply a general 2x2 unitary [[a b][c d]] to one qubit: iterate over
+   every pair of basis states that differ in that qubit's bit. *)
+let apply_one_qubit s q (a : Complex.t) b c d =
+  check_qubit s q;
+  let bit = 1 lsl q in
+  let size = Array.length s.re in
+  let i = ref 0 in
+  while !i < size do
+    if !i land bit = 0 then begin
+      let j = !i lor bit in
+      let re0 = s.re.(!i) and im0 = s.im.(!i) in
+      let re1 = s.re.(j) and im1 = s.im.(j) in
+      s.re.(!i) <-
+        (a.Complex.re *. re0) -. (a.Complex.im *. im0)
+        +. (b.Complex.re *. re1) -. (b.Complex.im *. im1);
+      s.im.(!i) <-
+        (a.Complex.re *. im0) +. (a.Complex.im *. re0)
+        +. (b.Complex.re *. im1) +. (b.Complex.im *. re1);
+      s.re.(j) <-
+        (c.Complex.re *. re0) -. (c.Complex.im *. im0)
+        +. (d.Complex.re *. re1) -. (d.Complex.im *. im1);
+      s.im.(j) <-
+        (c.Complex.re *. im0) +. (c.Complex.im *. re0)
+        +. (d.Complex.re *. im1) +. (d.Complex.im *. re1)
+    end;
+    incr i
+  done
+
+let one_qubit_matrix = Matrices.one_qubit_matrix
+
+let apply_cnot s ~control ~target =
+  check_qubit s control;
+  check_qubit s target;
+  if control = target then invalid_arg "Statevector: cnot operands collide";
+  let cbit = 1 lsl control and tbit = 1 lsl target in
+  let size = Array.length s.re in
+  for i = 0 to size - 1 do
+    (* swap amplitudes of (c=1, t=0) with (c=1, t=1): visit each pair once *)
+    if i land cbit <> 0 && i land tbit = 0 then begin
+      let j = i lor tbit in
+      let re = s.re.(i) and im = s.im.(i) in
+      s.re.(i) <- s.re.(j);
+      s.im.(i) <- s.im.(j);
+      s.re.(j) <- re;
+      s.im.(j) <- im
+    end
+  done
+
+let apply_swap s a b =
+  check_qubit s a;
+  check_qubit s b;
+  if a = b then invalid_arg "Statevector: swap operands collide";
+  let abit = 1 lsl a and bbit = 1 lsl b in
+  let size = Array.length s.re in
+  for i = 0 to size - 1 do
+    (* swap amplitudes of (a=1, b=0) with (a=0, b=1): visit once *)
+    if i land abit <> 0 && i land bbit = 0 then begin
+      let j = (i lxor abit) lor bbit in
+      let re = s.re.(i) and im = s.im.(i) in
+      s.re.(i) <- s.re.(j);
+      s.im.(i) <- s.im.(j);
+      s.re.(j) <- re;
+      s.im.(j) <- im
+    end
+  done
+
+let apply_gate s gate =
+  match gate with
+  | Gate.One_qubit (kind, q) ->
+    let a, b, c, d = one_qubit_matrix kind in
+    apply_one_qubit s q a b c d
+  | Gate.Cnot { control; target } -> apply_cnot s ~control ~target
+  | Gate.Swap (a, b) -> apply_swap s a b
+  | Gate.Measure _ | Gate.Barrier _ -> ()
+
+let run circuit =
+  let s = init (Circuit.num_qubits circuit) in
+  List.iter (apply_gate s) (Circuit.gates circuit);
+  s
+
+let probabilities s = Array.init (Array.length s.re) (probability s)
+
+(* cbit -> final wire location.  A routed circuit may SWAP through an
+   already-measured qubit, relocating the recorded state; by the deferred
+   measurement principle, reading the wire's *final* location at the end
+   of a purely-unitary simulation is exact as long as nothing but SWAPs
+   (and controls, which act classically) touch the measured wire. *)
+let measurement_map circuit =
+  let tag_of_wire = Hashtbl.create 8 in
+  (* wire -> cbit *)
+  let seen_cbits = Hashtbl.create 8 in
+  let fail_on_tagged gate q =
+    if Hashtbl.mem tag_of_wire q then
+      invalid_arg
+        (Printf.sprintf
+           "Statevector: gate %s rewrites already-measured qubit %d"
+           (Gate.to_string gate) q)
+  in
+  List.iter
+    (fun gate ->
+      match gate with
+      | Gate.Measure { qubit; cbit } ->
+        if Hashtbl.mem seen_cbits cbit then
+          invalid_arg
+            (Printf.sprintf "Statevector: classical bit %d written twice" cbit);
+        fail_on_tagged gate qubit;
+        Hashtbl.replace seen_cbits cbit ();
+        Hashtbl.replace tag_of_wire qubit cbit
+      | Gate.Swap (a, b) ->
+        let tag_a = Hashtbl.find_opt tag_of_wire a in
+        let tag_b = Hashtbl.find_opt tag_of_wire b in
+        Hashtbl.remove tag_of_wire a;
+        Hashtbl.remove tag_of_wire b;
+        Option.iter (fun c -> Hashtbl.replace tag_of_wire b c) tag_a;
+        Option.iter (fun c -> Hashtbl.replace tag_of_wire a c) tag_b
+      | Gate.One_qubit (_, q) -> fail_on_tagged gate q
+      | Gate.Cnot { control; target } ->
+        (* a measured wire may act as a (classical) control, but may not
+           be rewritten as a target *)
+        ignore control;
+        fail_on_tagged gate target
+      | Gate.Barrier _ -> ())
+    (Circuit.gates circuit);
+  Hashtbl.fold (fun wire cbit acc -> (cbit, wire) :: acc) tag_of_wire []
+
+let measurement_wiring = measurement_map
+
+let measurement_distribution circuit =
+  let wiring = measurement_map circuit in
+  let s = run circuit in
+  let outcomes = Hashtbl.create 64 in
+  let size = Array.length s.re in
+  for basis = 0 to size - 1 do
+    let p = probability s basis in
+    if p > 1e-12 then begin
+      let outcome =
+        List.fold_left
+          (fun acc (cbit, qubit) ->
+            if basis land (1 lsl qubit) <> 0 then acc lor (1 lsl cbit) else acc)
+          0 wiring
+      in
+      let current = Option.value (Hashtbl.find_opt outcomes outcome) ~default:0.0 in
+      Hashtbl.replace outcomes outcome (current +. p)
+    end
+  done;
+  Hashtbl.fold (fun outcome p acc -> (outcome, p) :: acc) outcomes []
+  |> List.filter (fun (_, p) -> p > 1e-12)
+  |> List.sort compare
+
+let distribution_distance a b =
+  let table = Hashtbl.create 64 in
+  List.iter (fun (k, p) -> Hashtbl.replace table k p) a;
+  let overlap_keys = Hashtbl.copy table in
+  List.iter (fun (k, _) -> Hashtbl.replace overlap_keys k 0.0) b;
+  let b_table = Hashtbl.create 64 in
+  List.iter (fun (k, p) -> Hashtbl.replace b_table k p) b;
+  let total =
+    Hashtbl.fold
+      (fun k _ acc ->
+        let pa = Option.value (Hashtbl.find_opt table k) ~default:0.0 in
+        let pb = Option.value (Hashtbl.find_opt b_table k) ~default:0.0 in
+        acc +. Float.abs (pa -. pb))
+      overlap_keys 0.0
+  in
+  total /. 2.0
+
+let sample rng circuit ~trials =
+  if trials <= 0 then invalid_arg "Statevector.sample: need positive trials";
+  let distribution = measurement_distribution circuit in
+  let counts = Hashtbl.create 16 in
+  for _ = 1 to trials do
+    let u = Rng.float rng in
+    let rec pick acc = function
+      | [] -> fst (List.hd (List.rev distribution))
+      | (outcome, p) :: rest ->
+        if u < acc +. p then outcome else pick (acc +. p) rest
+    in
+    let outcome = pick 0.0 distribution in
+    let current = Option.value (Hashtbl.find_opt counts outcome) ~default:0 in
+    Hashtbl.replace counts outcome (current + 1)
+  done;
+  Hashtbl.fold (fun outcome count acc -> (outcome, count) :: acc) counts []
+  |> List.sort compare
+
+let bits_of_basis n basis =
+  String.init n (fun b ->
+      if basis land (1 lsl (n - 1 - b)) <> 0 then '1' else '0')
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>state (%d qubits)" s.num_qubits;
+  Array.iteri
+    (fun basis _ ->
+      let p = probability s basis in
+      if p > 1e-9 then
+        Format.fprintf ppf "@,  |%s>  %.4f%+.4fi  (p=%.4f)"
+          (bits_of_basis s.num_qubits basis)
+          s.re.(basis) s.im.(basis) p)
+    s.re;
+  Format.fprintf ppf "@]"

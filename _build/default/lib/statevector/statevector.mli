@@ -1,0 +1,75 @@
+(** Dense state-vector simulation of ideal (noiseless) circuits.
+
+    This is the functional-correctness oracle of the repository: a
+    compiled circuit must compute the same function as its source
+    program, and comparing their measurement distributions under ideal
+    execution proves it end-to-end (the routed SWAPs, the relabelled
+    gates, the measurement wiring).  The fault-injection engine
+    ({!Vqc_sim.Monte_carlo}) answers "how often does a trial survive";
+    this module answers "is the surviving trial computing the right
+    thing".
+
+    Memory is [2^{n+1}] floats; practical up to ~20 qubits. *)
+
+open Vqc_circuit
+
+type t
+(** An [n]-qubit pure state. *)
+
+val init : int -> t
+(** [init n] is |0...0> on [n] qubits.
+    @raise Invalid_argument if [n < 0] or [n > 24]. *)
+
+val num_qubits : t -> int
+
+val copy : t -> t
+
+val amplitude : t -> int -> Complex.t
+(** Amplitude of a basis state (qubit 0 is the least-significant bit).
+    @raise Invalid_argument when out of range. *)
+
+val probability : t -> int -> float
+(** Probability of a basis state. *)
+
+val norm : t -> float
+(** Total probability (1 up to rounding for any unitary circuit). *)
+
+val apply_gate : t -> Gate.t -> unit
+(** Apply a gate in place.  [Measure] and [Barrier] are no-ops here —
+    measurement is handled by {!measurement_distribution} (this module
+    simulates the pre-measurement state).
+    @raise Invalid_argument on out-of-range operands. *)
+
+val run : Circuit.t -> t
+(** Fresh |0...0> state evolved through all unitary gates of a circuit. *)
+
+val probabilities : t -> float array
+(** Probability of every basis state (length [2^n]). *)
+
+val measurement_wiring : Circuit.t -> (int * int) list
+(** The final [(cbit, wire)] readout map of a circuit, with measured
+    wires tracked through any subsequent SWAPs (deferred-measurement
+    wire following; routed circuits SWAP through measured qubits).
+    @raise Invalid_argument if a classical bit is written twice or a
+    non-SWAP gate rewrites a measured wire. *)
+
+val measurement_distribution : Circuit.t -> (int * float) list
+(** Ideal-execution distribution over {e classical-bit} outcomes: run
+    the circuit, then marginalize the final state onto the classical
+    register according to the circuit's [Measure] gates (for circuits
+    that measure at the end, the standard NISQ shape).  Keys are cbit
+    strings (cbit 0 = least-significant bit); entries with probability
+    below 1e-12 are dropped; result is sorted by key.
+    @raise Invalid_argument if a classical bit is written twice. *)
+
+val distribution_distance : (int * float) list -> (int * float) list -> float
+(** Total-variation distance between two outcome distributions
+    (0 = identical, 1 = disjoint). *)
+
+val sample : Vqc_rng.Rng.t -> Circuit.t -> trials:int -> (int * int) list
+(** Sample classical outcomes of ideal execution: [(outcome, count)]
+    pairs, sorted by outcome.  A cheap stand-in for running the program
+    on a perfect machine. *)
+
+val pp : Format.formatter -> t -> unit
+(** Print non-negligible amplitudes. *)

@@ -1,0 +1,133 @@
+open Vqc_circuit
+module Rng = Vqc_rng.Rng
+module Device = Vqc_device.Device
+module Calibration = Vqc_device.Calibration
+module Schedule = Vqc_sim.Schedule
+module Reliability = Vqc_sim.Reliability
+
+type histogram = (int * int) list
+
+let pauli_gates = [| Gate.X; Gate.Y; Gate.Z |]
+
+let inject_random_pauli rng state q =
+  let kind = pauli_gates.(Rng.int rng 3) in
+  Statevector.apply_gate state (Gate.One_qubit (kind, q))
+
+(* A gate error scrambles the gate's operands: a uniformly random
+   non-identity Pauli over the operand set (Pauli twirling turns coherent
+   gate errors into exactly this channel). *)
+let inject_gate_error rng state gate =
+  match Gate.qubits gate with
+  | [ q ] -> inject_random_pauli rng state q
+  | [ a; b ] ->
+    (* pick one of the 15 non-identity two-qubit Paulis: draw both legs
+       until at least one is non-identity *)
+    let leg () = Rng.int rng 4 in
+    let rec draw () =
+      let la = leg () and lb = leg () in
+      if la = 0 && lb = 0 then draw () else (la, lb)
+    in
+    let la, lb = draw () in
+    if la > 0 then
+      Statevector.apply_gate state (Gate.One_qubit (pauli_gates.(la - 1), a));
+    if lb > 0 then
+      Statevector.apply_gate state (Gate.One_qubit (pauli_gates.(lb - 1), b))
+  | _ -> ()
+
+let sample_basis rng state =
+  let u = Rng.float rng in
+  let size = 1 lsl Statevector.num_qubits state in
+  let rec walk acc basis =
+    if basis >= size - 1 then basis
+    else begin
+      let acc = acc +. Statevector.probability state basis in
+      if u < acc then basis else walk acc (basis + 1)
+    end
+  in
+  walk 0.0 0
+
+let run ?(coherence = true)
+    ?(coherence_scale = Reliability.default_coherence_scale) ~trials rng device
+    circuit =
+  if trials <= 0 then invalid_arg "Trajectory.run: need positive trials";
+  let n = Circuit.num_qubits circuit in
+  if n > Device.num_qubits device then
+    invalid_arg "Trajectory.run: circuit wider than device";
+  let calibration = Device.calibration device in
+  let wiring = Statevector.measurement_wiring circuit in
+  let schedule = Schedule.build device circuit in
+  let unitaries = List.filter Gate.is_unitary (Circuit.gates circuit) in
+  (* validate couplings and precompute per-gate error rates once *)
+  let gate_plan =
+    List.map (fun gate -> (gate, 1.0 -. Reliability.gate_success device gate)) unitaries
+  in
+  let idle_failure q =
+    if not coherence then 0.0
+    else
+      1.0 -. Reliability.coherence_survival ~scale:coherence_scale device schedule q
+  in
+  let readout_error q = (Calibration.qubit calibration q).Calibration.error_readout in
+  let active = Circuit.used_qubits circuit in
+  let counts = Hashtbl.create 64 in
+  for _ = 1 to trials do
+    let state = Statevector.init n in
+    List.iter
+      (fun (gate, failure) ->
+        Statevector.apply_gate state gate;
+        if failure > 0.0 && Rng.bernoulli rng failure then
+          inject_gate_error rng state gate)
+      gate_plan;
+    (* idle decoherence as a terminal Pauli kick per exposed qubit *)
+    List.iter
+      (fun q -> if Rng.bernoulli rng (idle_failure q) then inject_random_pauli rng state q)
+      active;
+    let basis = sample_basis rng state in
+    let outcome =
+      List.fold_left
+        (fun acc (cbit, wire) ->
+          let bit = basis land (1 lsl wire) <> 0 in
+          (* readout error flips the recorded bit *)
+          let bit = if Rng.bernoulli rng (readout_error wire) then not bit else bit in
+          if bit then acc lor (1 lsl cbit) else acc)
+        0 wiring
+    in
+    let current = Option.value (Hashtbl.find_opt counts outcome) ~default:0 in
+    Hashtbl.replace counts outcome (current + 1)
+  done;
+  Hashtbl.fold (fun outcome count acc -> (outcome, count) :: acc) counts []
+  |> List.sort compare
+
+let frequencies histogram =
+  let total =
+    float_of_int (List.fold_left (fun acc (_, c) -> acc + c) 0 histogram)
+  in
+  List.map (fun (outcome, count) -> (outcome, float_of_int count /. total)) histogram
+
+let top_outcome_accuracy ~ideal histogram =
+  if ideal = [] then invalid_arg "Trajectory: empty ideal distribution";
+  if histogram = [] then invalid_arg "Trajectory: empty histogram";
+  let best, _ =
+    List.fold_left
+      (fun ((_, best_p) as champion) ((_, p) as candidate) ->
+        if p > best_p then candidate else champion)
+      (List.hd ideal) (List.tl ideal)
+  in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 histogram in
+  let hits = Option.value (List.assoc_opt best histogram) ~default:0 in
+  float_of_int hits /. float_of_int total
+
+let support_accuracy ~ideal histogram =
+  if ideal = [] then invalid_arg "Trajectory: empty ideal distribution";
+  if histogram = [] then invalid_arg "Trajectory: empty histogram";
+  let support = List.map fst ideal in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 histogram in
+  let hits =
+    List.fold_left
+      (fun acc (outcome, count) ->
+        if List.mem outcome support then acc + count else acc)
+      0 histogram
+  in
+  float_of_int hits /. float_of_int total
+
+let total_variation ~ideal histogram =
+  Statevector.distribution_distance ideal (frequencies histogram)

@@ -1,0 +1,53 @@
+(** Noisy quantum-trajectory simulation (Monte-Carlo wavefunction).
+
+    The PST methodology counts a trial as lost the moment any error
+    fires; a real machine still returns {e some} outcome, which is
+    sometimes right anyway.  This engine simulates what the machine
+    returns: each trial evolves the ideal state but injects a uniformly
+    random Pauli error on a gate's operands with that gate's calibrated
+    error probability (Pauli-twirled noise), flips sampled readout bits
+    with the per-qubit readout error, and applies idle-decoherence Pauli
+    kicks.  The observed outcome histogram connects PST to application
+    success: [P(correct) >= PST] always, and the gap is the share of
+    errors the algorithm tolerates.
+
+    Cost per trial is a full state-vector evolution — intended for
+    physical circuits of up to ~14 qubits (use {!Vqc_device.Device.restrict}
+    to carve a region out of a larger machine). *)
+
+open Vqc_circuit
+
+type histogram = (int * int) list
+(** [(classical outcome, trial count)] pairs, sorted by outcome. *)
+
+val run :
+  ?coherence:bool ->
+  ?coherence_scale:float ->
+  trials:int ->
+  Vqc_rng.Rng.t ->
+  Vqc_device.Device.t ->
+  Circuit.t ->
+  histogram
+(** Simulate [trials] noisy executions of a physical circuit.
+    @raise Invalid_argument if [trials <= 0], the circuit is wider than
+    the device, or a two-qubit gate spans uncoupled qubits. *)
+
+val frequencies : histogram -> (int * float) list
+(** Normalize a histogram to an outcome distribution. *)
+
+val top_outcome_accuracy : ideal:(int * float) list -> histogram -> float
+(** Fraction of trials that returned the ideal distribution's most
+    probable outcome — the figure of merit for search-style kernels.
+    @raise Invalid_argument on an empty ideal distribution or empty
+    histogram. *)
+
+val support_accuracy : ideal:(int * float) list -> histogram -> float
+(** Fraction of trials whose outcome lies in the ideal distribution's
+    support — the metric for which [accuracy >= PST] holds for every
+    kernel (an error-free trial always lands in the ideal support).
+    For deterministic kernels it coincides with
+    {!top_outcome_accuracy}. *)
+
+val total_variation : ideal:(int * float) list -> histogram -> float
+(** Total-variation distance between the observed frequencies and the
+    ideal distribution (0 = noiseless). *)

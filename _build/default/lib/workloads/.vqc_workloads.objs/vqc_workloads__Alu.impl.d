@@ -1,0 +1,1 @@
+lib/workloads/alu.ml: Circuit Fun Gate List Stdgates Vqc_circuit

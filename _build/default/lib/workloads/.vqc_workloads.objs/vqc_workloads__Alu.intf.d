@@ -1,0 +1,1 @@
+lib/workloads/alu.mli: Circuit Vqc_circuit

@@ -1,0 +1,1 @@
+lib/workloads/bv.ml: Circuit Gate List Option Vqc_circuit

@@ -1,0 +1,1 @@
+lib/workloads/catalog.ml: Alu Bv Circuit Dj Ghz Grover List Qaoa Qft Rnd Triswap Vqc_circuit Wstate

@@ -1,0 +1,1 @@
+lib/workloads/dj.ml: Circuit Gate List Vqc_circuit

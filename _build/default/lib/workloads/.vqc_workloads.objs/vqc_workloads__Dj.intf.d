@@ -1,0 +1,1 @@
+lib/workloads/dj.mli: Circuit Vqc_circuit

@@ -1,0 +1,1 @@
+lib/workloads/ghz.ml: Circuit Gate List Vqc_circuit

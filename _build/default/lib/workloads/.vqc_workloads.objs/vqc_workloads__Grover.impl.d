@@ -1,0 +1,1 @@
+lib/workloads/grover.ml: Circuit Fun Gate List Stdgates Vqc_circuit

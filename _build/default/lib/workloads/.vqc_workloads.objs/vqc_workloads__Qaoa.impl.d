@@ -1,0 +1,1 @@
+lib/workloads/qaoa.ml: Circuit Gate List Vqc_circuit

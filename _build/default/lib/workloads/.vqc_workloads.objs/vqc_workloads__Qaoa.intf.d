@@ -1,0 +1,1 @@
+lib/workloads/qaoa.mli: Circuit Vqc_circuit

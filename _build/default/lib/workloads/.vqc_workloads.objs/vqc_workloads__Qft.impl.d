@@ -1,0 +1,1 @@
+lib/workloads/qft.ml: Circuit Float Fun Gate List Stdgates Vqc_circuit

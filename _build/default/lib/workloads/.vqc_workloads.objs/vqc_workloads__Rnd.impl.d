@@ -1,0 +1,1 @@
+lib/workloads/rnd.ml: Array Circuit Fun Gate List Vqc_circuit Vqc_rng

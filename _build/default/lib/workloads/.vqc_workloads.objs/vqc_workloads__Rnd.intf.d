@@ -1,0 +1,1 @@
+lib/workloads/rnd.mli: Circuit Vqc_circuit

@@ -1,0 +1,1 @@
+lib/workloads/stdgates.ml: Gate Printf Vqc_circuit

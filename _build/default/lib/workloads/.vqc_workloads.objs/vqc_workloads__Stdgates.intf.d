@@ -1,0 +1,1 @@
+lib/workloads/stdgates.mli: Gate Vqc_circuit

@@ -1,0 +1,1 @@
+lib/workloads/triswap.ml: Circuit Gate Vqc_circuit

@@ -1,0 +1,1 @@
+lib/workloads/triswap.mli: Circuit Vqc_circuit

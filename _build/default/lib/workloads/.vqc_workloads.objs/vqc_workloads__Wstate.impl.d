@@ -1,0 +1,1 @@
+lib/workloads/wstate.ml: Circuit Gate List Stdgates Vqc_circuit

@@ -1,0 +1,1 @@
+lib/workloads/wstate.mli: Circuit Vqc_circuit

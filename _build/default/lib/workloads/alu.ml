@@ -1,0 +1,40 @@
+open Vqc_circuit
+
+(* Cuccaro et al. ripple-carry adder.  Qubit plan for an n-bit adder:
+   carry-in = 0, a_i = 1 + 2i, b_i = 2 + 2i, carry-out = 2n + 1.
+   MAJ(c, b, a)  = cx a b; cx a c; ccx c b a
+   UMA(c, b, a)  = ccx c b a; cx a c; cx c b *)
+let adder ?(rounds = 1) n =
+  if n < 1 then invalid_arg "Alu.adder: need at least 1 bit";
+  if rounds < 1 then invalid_arg "Alu.adder: need at least 1 round";
+  let qubits = (2 * n) + 2 in
+  let cin = 0 in
+  let a i = 1 + (2 * i) in
+  let b i = 2 + (2 * i) in
+  let cout = (2 * n) + 1 in
+  let cx control target = Gate.Cnot { control; target } in
+  let maj c bq aq = [ cx aq bq; cx aq c ] @ Stdgates.toffoli c bq aq in
+  let uma c bq aq = Stdgates.toffoli c bq aq @ [ cx aq c; cx c bq ] in
+  let carry_into i = if i = 0 then cin else a (i - 1) in
+  let majs = List.concat_map (fun i -> maj (carry_into i) (b i) (a i)) (List.init n Fun.id) in
+  let carry = [ cx (a (n - 1)) cout ] in
+  let umas =
+    List.concat_map
+      (fun k ->
+        let i = n - 1 - k in
+        uma (carry_into i) (b i) (a i))
+      (List.init n Fun.id)
+  in
+  (* prepare a nontrivial input so the sum exercises the carries *)
+  let prep =
+    List.concat (List.init n (fun i -> [ Gate.One_qubit (Gate.X, a i); Gate.One_qubit (Gate.H, b i) ]))
+  in
+  let one_round = majs @ carry @ umas in
+  let body = List.concat (List.init rounds (fun _ -> one_round)) in
+  let readout =
+    List.init n (fun i -> Gate.Measure { qubit = b i; cbit = i })
+    @ [ Gate.Measure { qubit = cout; cbit = n } ]
+  in
+  Circuit.of_gates ~cbits:(n + 1) qubits (prep @ body @ readout)
+
+let circuit = adder ~rounds:2 4

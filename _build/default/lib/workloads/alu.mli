@@ -1,0 +1,17 @@
+(** Quantum adder kernel ("alu" in Table 1): a Cuccaro ripple-carry adder
+    with Toffolis expanded by {!Stdgates.toffoli}.
+
+    An [n]-bit adder uses [2n + 2] qubits (operand A, operand B, carry-in,
+    carry-out); the paper's 10-qubit "alu" is the 4-bit instance. *)
+
+open Vqc_circuit
+
+val adder : ?rounds:int -> int -> Circuit.t
+(** [adder n]: [n]-bit ripple-carry adder over [2n + 2] qubits, with
+    operand-B and carry-out measured.  [rounds] (default 1) repeats the
+    addition (B += A per round), scaling the kernel's length.
+    @raise Invalid_argument if [n < 1] or [rounds < 1]. *)
+
+val circuit : Circuit.t
+(** The paper's 10-qubit instance: [adder ~rounds:2 4] (two additions,
+    ~290 instructions — Table 1 lists 299 for "alu"). *)

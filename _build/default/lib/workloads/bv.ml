@@ -1,0 +1,21 @@
+open Vqc_circuit
+
+let circuit ?secret n =
+  if n < 2 then invalid_arg "Bv.circuit: need at least 2 qubits";
+  let data = n - 1 in
+  let secret = Option.value secret ~default:((1 lsl data) - 1) in
+  let ancilla = data in
+  let prep =
+    List.init data (fun q -> Gate.One_qubit (Gate.H, q))
+    @ [ Gate.One_qubit (Gate.X, ancilla); Gate.One_qubit (Gate.H, ancilla) ]
+  in
+  let oracle =
+    List.init data (fun q ->
+        if secret land (1 lsl q) <> 0 then
+          [ Gate.Cnot { control = q; target = ancilla } ]
+        else [])
+    |> List.concat
+  in
+  let unprep = List.init data (fun q -> Gate.One_qubit (Gate.H, q)) in
+  let readout = List.init data (fun q -> Gate.Measure { qubit = q; cbit = q }) in
+  Circuit.of_gates ~cbits:data n (prep @ oracle @ unprep @ readout)

@@ -1,0 +1,15 @@
+(** Bernstein–Vazirani kernels (paper benchmarks bv-16, bv-20, bv-3/4,
+    bv-10).
+
+    The oracle encodes a hidden bit string; one ancilla qubit is entangled
+    with every data qubit whose secret bit is 1, giving the hub-and-spokes
+    entanglement pattern the paper calls out ("one qubit entangled with
+    the rest").  Data qubits are measured at the end. *)
+
+open Vqc_circuit
+
+val circuit : ?secret:int -> int -> Circuit.t
+(** [circuit n] is the [n]-qubit kernel: [n - 1] data qubits plus one
+    ancilla (the last qubit).  [secret] is the hidden string over the data
+    qubits (default: all ones, the worst case for communication).
+    @raise Invalid_argument if [n < 2]. *)

@@ -1,0 +1,79 @@
+open Vqc_circuit
+
+type entry = {
+  name : string;
+  description : string;
+  circuit : Circuit.t;
+}
+
+let table1 =
+  [
+    { name = "alu"; description = "quantum adder (4-bit Cuccaro)"; circuit = Alu.circuit };
+    { name = "bv-16"; description = "Bernstein-Vazirani, 16 qubits"; circuit = Bv.circuit 16 };
+    { name = "bv-20"; description = "Bernstein-Vazirani, 20 qubits"; circuit = Bv.circuit 20 };
+    { name = "qft-12"; description = "Quantum Fourier Transform, 12 qubits"; circuit = Qft.circuit 12 };
+    { name = "qft-14"; description = "Quantum Fourier Transform, 14 qubits"; circuit = Qft.circuit 14 };
+    {
+      name = "rnd-SD";
+      description = "random CNOTs, short-distance communication";
+      circuit = Rnd.short_distance ();
+    };
+    {
+      name = "rnd-LD";
+      description = "random CNOTs, long-distance communication";
+      circuit = Rnd.long_distance ();
+    };
+  ]
+
+let q5_suite =
+  [
+    { name = "bv-3"; description = "Bernstein-Vazirani, 3 qubits"; circuit = Bv.circuit 3 };
+    { name = "bv-4"; description = "Bernstein-Vazirani, 4 qubits"; circuit = Bv.circuit 4 };
+    { name = "TriSwap"; description = "three-qubit state rotation"; circuit = Triswap.circuit };
+    { name = "GHZ-3"; description = "3-qubit GHZ preparation"; circuit = Ghz.circuit 3 };
+  ]
+
+let partition_suite =
+  [
+    { name = "alu-10"; description = "quantum adder, 10 qubits"; circuit = Alu.adder 4 };
+    { name = "bv-10"; description = "Bernstein-Vazirani, 10 qubits"; circuit = Bv.circuit 10 };
+    { name = "qft-10"; description = "Quantum Fourier Transform, 10 qubits"; circuit = Qft.circuit 10 };
+  ]
+
+let extended_suite =
+  [
+    {
+      name = "dj-8";
+      description = "Deutsch-Jozsa, 8 qubits, balanced oracle";
+      circuit = Dj.circuit (Dj.Balanced 0b1010110) 8;
+    };
+    {
+      name = "grover-2";
+      description = "Grover search, 2 qubits, 1 iteration";
+      circuit = Grover.circuit ~marked:0b11 2;
+    };
+    {
+      name = "grover-3";
+      description = "Grover search, 3 qubits, 2 iterations";
+      circuit = Grover.circuit ~marked:0b101 3;
+    };
+    {
+      name = "w-6";
+      description = "W-state preparation, 6 qubits";
+      circuit = Wstate.circuit 6;
+    };
+    {
+      name = "qaoa-12";
+      description = "QAOA MaxCut ansatz, 12-qubit ring, 2 layers";
+      circuit = Qaoa.ring_maxcut ~layers:2 12;
+    };
+  ]
+
+let all = table1 @ q5_suite @ partition_suite @ extended_suite
+
+let find name =
+  match List.find_opt (fun e -> e.name = name) all with
+  | Some entry -> entry
+  | None -> raise Not_found
+
+let names () = List.map (fun e -> e.name) all

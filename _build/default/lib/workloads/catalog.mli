@@ -1,0 +1,32 @@
+(** Benchmark catalog: the suites used in the paper's evaluation. *)
+
+open Vqc_circuit
+
+type entry = {
+  name : string;
+  description : string;
+  circuit : Circuit.t;
+}
+
+val table1 : entry list
+(** The seven Q20 micro-benchmarks of Table 1: alu, bv-16, bv-20, qft-12,
+    qft-14, rnd-SD, rnd-LD. *)
+
+val q5_suite : entry list
+(** The Section 7 real-machine suite: bv-3, bv-4, TriSwap, GHZ-3. *)
+
+val partition_suite : entry list
+(** The Section 8 10-qubit workloads: alu-10, bv-10, qft-10. *)
+
+val extended_suite : entry list
+(** Kernels beyond the paper's benchmarks: Deutsch–Jozsa, Grover search,
+    W-state preparation and a QAOA MaxCut ansatz — the application
+    classes the paper's introduction motivates. *)
+
+val all : entry list
+(** Every catalog entry, names unique. *)
+
+val find : string -> entry
+(** @raise Not_found on an unknown name. *)
+
+val names : unit -> string list

@@ -1,0 +1,30 @@
+open Vqc_circuit
+
+type oracle = Constant | Balanced of int
+
+let circuit oracle n =
+  if n < 2 then invalid_arg "Dj.circuit: need at least 2 qubits";
+  let data = n - 1 in
+  let ancilla = data in
+  (match oracle with
+  | Constant -> ()
+  | Balanced mask ->
+    if mask <= 0 || mask >= 1 lsl data then
+      invalid_arg "Dj.circuit: balanced mask out of range");
+  let prep =
+    List.init data (fun q -> Gate.One_qubit (Gate.H, q))
+    @ [ Gate.One_qubit (Gate.X, ancilla); Gate.One_qubit (Gate.H, ancilla) ]
+  in
+  let oracle_gates =
+    match oracle with
+    | Constant -> []
+    | Balanced mask ->
+      List.concat
+        (List.init data (fun q ->
+             if mask land (1 lsl q) <> 0 then
+               [ Gate.Cnot { control = q; target = ancilla } ]
+             else []))
+  in
+  let unprep = List.init data (fun q -> Gate.One_qubit (Gate.H, q)) in
+  let readout = List.init data (fun q -> Gate.Measure { qubit = q; cbit = q }) in
+  Circuit.of_gates ~cbits:data n (prep @ oracle_gates @ unprep @ readout)

@@ -1,0 +1,18 @@
+(** Deutsch–Jozsa kernels: decide whether an oracle is constant or
+    balanced with one query.  The data register reads all-zeros for a
+    constant oracle and something non-zero for a balanced one.
+
+    Structurally a sibling of Bernstein–Vazirani (hub entanglement into
+    one ancilla) — an extended-suite benchmark beyond the paper's seven. *)
+
+open Vqc_circuit
+
+type oracle =
+  | Constant  (** f(x) = 0: the oracle applies nothing *)
+  | Balanced of int
+      (** parity of the masked bits; the mask must be non-zero *)
+
+val circuit : oracle -> int -> Circuit.t
+(** [circuit oracle n]: [n - 1] data qubits plus one ancilla.
+    @raise Invalid_argument if [n < 2] or a balanced mask is zero /
+    out of range. *)

@@ -1,0 +1,9 @@
+open Vqc_circuit
+
+let circuit n =
+  if n < 2 then invalid_arg "Ghz.circuit: need at least 2 qubits";
+  let chain =
+    List.init (n - 1) (fun i -> Gate.Cnot { control = i; target = i + 1 })
+  in
+  let readout = List.init n (fun q -> Gate.Measure { qubit = q; cbit = q }) in
+  Circuit.of_gates n ((Gate.One_qubit (Gate.H, 0) :: chain) @ readout)

@@ -1,0 +1,7 @@
+(** GHZ-state preparation (GHZ-3 on the IBM-Q5 suite): a Hadamard and a
+    CNOT chain entangling all qubits, then full measurement. *)
+
+open Vqc_circuit
+
+val circuit : int -> Circuit.t
+(** @raise Invalid_argument if [n < 2]. *)

@@ -1,0 +1,44 @@
+open Vqc_circuit
+
+let h q = Gate.One_qubit (Gate.H, q)
+let x q = Gate.One_qubit (Gate.X, q)
+
+(* cz via h + cx + h on the target *)
+let cz a b = [ h b; Gate.Cnot { control = a; target = b }; h b ]
+
+(* phase-flip the all-ones state of the register *)
+let flip_all_ones = function
+  | [ a; b ] -> cz a b
+  | [ a; b; c ] -> Stdgates.ccz a b c
+  | _ -> invalid_arg "Grover: unsupported register width"
+
+(* phase-flip exactly [marked]: conjugate the all-ones flip with X on the
+   zero bits *)
+let oracle qubits marked =
+  let mask_x =
+    List.concat
+      (List.mapi
+         (fun i q -> if marked land (1 lsl i) = 0 then [ x q ] else [])
+         qubits)
+  in
+  mask_x @ flip_all_ones qubits @ mask_x
+
+(* inversion about the mean: H X (flip all-ones) X H *)
+let diffusion qubits =
+  let hs = List.map h qubits in
+  let xs = List.map x qubits in
+  hs @ xs @ flip_all_ones qubits @ xs @ hs
+
+let circuit ~marked n =
+  if n <> 2 && n <> 3 then invalid_arg "Grover.circuit: n must be 2 or 3";
+  if marked < 0 || marked >= 1 lsl n then
+    invalid_arg "Grover.circuit: marked state out of range";
+  let qubits = List.init n Fun.id in
+  let iterations = if n = 2 then 1 else 2 in
+  let iteration = oracle qubits marked @ diffusion qubits in
+  let body =
+    List.map h qubits
+    @ List.concat (List.init iterations (fun _ -> iteration))
+  in
+  let readout = List.init n (fun q -> Gate.Measure { qubit = q; cbit = q }) in
+  Circuit.of_gates n (body @ readout)

@@ -1,0 +1,15 @@
+(** Grover search kernels on 2 or 3 data qubits (extended suite).
+
+    2 qubits: a single iteration finds the marked state with
+    probability 1.  3 qubits: two iterations reach ~94.5%.  Phase
+    oracles and the diffusion operator are built from {!Stdgates.ccz}
+    (3 qubits) or a CZ (2 qubits), so everything decomposes to the
+    native gate set. *)
+
+open Vqc_circuit
+
+val circuit : marked:int -> int -> Circuit.t
+(** [circuit ~marked n] for [n] in {2, 3}; [marked] is the basis state
+    the oracle flips.
+    @raise Invalid_argument if [n] is not 2 or 3, or [marked] is out of
+    range. *)

@@ -1,0 +1,24 @@
+open Vqc_circuit
+
+(* exp(-i gamma Z_a Z_b) up to global phase: cx a b; rz(2 gamma) b; cx a b *)
+let zz_coupling gamma a b =
+  [
+    Gate.Cnot { control = a; target = b };
+    Gate.One_qubit (Gate.Rz (2.0 *. gamma), b);
+    Gate.Cnot { control = a; target = b };
+  ]
+
+let ring_maxcut ?(layers = 1) ?(gamma = 0.7) ?(beta = 0.4) n =
+  if n < 3 then invalid_arg "Qaoa.ring_maxcut: need at least 3 qubits";
+  if layers < 1 then invalid_arg "Qaoa.ring_maxcut: need at least 1 layer";
+  let edges = (n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)) in
+  let one_layer =
+    List.concat_map (fun (a, b) -> zz_coupling gamma a b) edges
+    @ List.init n (fun q -> Gate.One_qubit (Gate.Rx (2.0 *. beta), q))
+  in
+  let body =
+    List.init n (fun q -> Gate.One_qubit (Gate.H, q))
+    @ List.concat (List.init layers (fun _ -> one_layer))
+  in
+  let readout = List.init n (fun q -> Gate.Measure { qubit = q; cbit = q }) in
+  Circuit.of_gates n (body @ readout)

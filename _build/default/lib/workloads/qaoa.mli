@@ -1,0 +1,12 @@
+(** QAOA MaxCut ansatz on a ring (extended suite): alternating cost
+    layers (ZZ phase couplings along ring edges, 2 CNOTs each) and mixer
+    layers (Rx on every qubit) — the canonical near-term variational
+    kernel, with nearest-neighbour-friendly structure. *)
+
+open Vqc_circuit
+
+val ring_maxcut : ?layers:int -> ?gamma:float -> ?beta:float -> int -> Circuit.t
+(** [ring_maxcut n]: the depth-[layers] (default 1) ansatz on the
+    [n]-cycle with cost angle [gamma] (default 0.7) and mixer angle
+    [beta] (default 0.4), all qubits measured.
+    @raise Invalid_argument if [n < 3] or [layers < 1]. *)

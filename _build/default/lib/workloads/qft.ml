@@ -1,0 +1,17 @@
+open Vqc_circuit
+
+let circuit n =
+  if n < 1 then invalid_arg "Qft.circuit: need at least 1 qubit";
+  let body =
+    List.concat_map
+      (fun i ->
+        Gate.One_qubit (Gate.H, i)
+        :: List.concat
+             (List.init (n - 1 - i) (fun k ->
+                  let j = i + 1 + k in
+                  let theta = Float.pi /. Float.of_int (1 lsl (j - i)) in
+                  Stdgates.cphase theta j i)))
+      (List.init n Fun.id)
+  in
+  let readout = List.init n (fun q -> Gate.Measure { qubit = q; cbit = q }) in
+  Circuit.of_gates n (body @ readout)

@@ -1,0 +1,10 @@
+(** Quantum Fourier Transform kernels (qft-12, qft-14, qft-10).
+
+    Every qubit is phase-coupled with every other (the all-to-all
+    entanglement pattern of Table 1), each controlled phase expanding to
+    two CNOTs ({!Stdgates.cphase}).  All qubits are measured. *)
+
+open Vqc_circuit
+
+val circuit : int -> Circuit.t
+(** @raise Invalid_argument if [n < 1]. *)

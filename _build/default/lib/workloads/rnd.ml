@@ -1,0 +1,32 @@
+open Vqc_circuit
+module Rng = Vqc_rng.Rng
+
+let random_cnots ~seed ~qubits ~gates ~pair_ok =
+  let candidates =
+    List.init qubits (fun a ->
+        List.filter_map
+          (fun b -> if b <> a && pair_ok a b then Some (a, b) else None)
+          (List.init qubits Fun.id))
+    |> List.concat
+    |> Array.of_list
+  in
+  if Array.length candidates = 0 then
+    invalid_arg "Rnd.random_cnots: no admissible qubit pair";
+  let rng = Rng.make seed in
+  let body =
+    List.init gates (fun i ->
+        if i mod 5 >= 3 then Gate.One_qubit (Gate.H, Rng.int rng qubits)
+        else begin
+          let control, target = Rng.choose rng candidates in
+          Gate.Cnot { control; target }
+        end)
+  in
+  let readout = List.init qubits (fun q -> Gate.Measure { qubit = q; cbit = q }) in
+  Circuit.of_gates qubits (body @ readout)
+
+let short_distance ?(seed = 17) ?(qubits = 20) ?(gates = 100) () =
+  random_cnots ~seed ~qubits ~gates ~pair_ok:(fun a b -> abs (a - b) <= 2)
+
+let long_distance ?(seed = 23) ?(qubits = 20) ?(gates = 100) () =
+  let span = max 2 (qubits / 2) in
+  random_cnots ~seed ~qubits ~gates ~pair_ok:(fun a b -> abs (a - b) >= span)

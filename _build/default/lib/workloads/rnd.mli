@@ -1,0 +1,24 @@
+(** Seeded random CNOT kernels (rnd-SD and rnd-LD in Table 1).
+
+    The two benchmarks differ in their communication pattern: rnd-SD
+    draws CNOTs between {e nearby} program qubits (index distance at most
+    [span]), so a locality-preserving mapping can serve most of them
+    directly; rnd-LD draws pairs at index distance at least [span], which
+    forces long SWAP routes regardless of the initial placement. *)
+
+open Vqc_circuit
+
+val short_distance : ?seed:int -> ?qubits:int -> ?gates:int -> unit -> Circuit.t
+(** rnd-SD: defaults 20 qubits, 100 gates (3/5 CNOT, 2/5 single-qubit),
+    CNOT index span at most 2, all qubits measured. *)
+
+val long_distance : ?seed:int -> ?qubits:int -> ?gates:int -> unit -> Circuit.t
+(** rnd-LD: same shape with CNOT index span at least half the machine. *)
+
+val random_cnots :
+  seed:int -> qubits:int -> gates:int -> pair_ok:(int -> int -> bool) ->
+  Circuit.t
+(** General form: [gates] operations (two Hadamards per five gates, the
+    rest CNOTs on uniformly drawn pairs satisfying [pair_ok]), then a
+    full measurement round (not counted in [gates]).
+    @raise Invalid_argument if no qubit pair satisfies [pair_ok]. *)

@@ -1,0 +1,50 @@
+open Vqc_circuit
+
+let distinct3 a b c name =
+  if a = b || b = c || a = c then
+    invalid_arg (Printf.sprintf "Stdgates.%s: operands must be distinct" name)
+
+let cx control target = Gate.Cnot { control; target }
+
+let toffoli a b c =
+  distinct3 a b c "toffoli";
+  [
+    Gate.One_qubit (Gate.H, c);
+    cx b c;
+    Gate.One_qubit (Gate.Tdg, c);
+    cx a c;
+    Gate.One_qubit (Gate.T, c);
+    cx b c;
+    Gate.One_qubit (Gate.Tdg, c);
+    cx a c;
+    Gate.One_qubit (Gate.T, b);
+    Gate.One_qubit (Gate.T, c);
+    Gate.One_qubit (Gate.H, c);
+    cx a b;
+    Gate.One_qubit (Gate.T, a);
+    Gate.One_qubit (Gate.Tdg, b);
+    cx a b;
+  ]
+
+let cphase theta a b =
+  if a = b then invalid_arg "Stdgates.cphase: operands must be distinct";
+  [
+    Gate.One_qubit (Gate.U1 (theta /. 2.0), a);
+    cx a b;
+    Gate.One_qubit (Gate.U1 (-.theta /. 2.0), b);
+    cx a b;
+    Gate.One_qubit (Gate.U1 (theta /. 2.0), b);
+  ]
+
+let cry theta c t =
+  if c = t then invalid_arg "Stdgates.cry: operands must be distinct";
+  [
+    Gate.One_qubit (Gate.Ry (theta /. 2.0), t);
+    cx c t;
+    Gate.One_qubit (Gate.Ry (-.theta /. 2.0), t);
+    cx c t;
+  ]
+
+let ccz a b c =
+  distinct3 a b c "ccz";
+  (Gate.One_qubit (Gate.H, c) :: toffoli a b c) @ [ Gate.One_qubit (Gate.H, c) ]

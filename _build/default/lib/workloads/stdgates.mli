@@ -1,0 +1,22 @@
+(** Composite gates expanded into the library's native gate set. *)
+
+open Vqc_circuit
+
+val toffoli : int -> int -> int -> Gate.t list
+(** [toffoli a b c]: doubly-controlled NOT on target [c], expanded into
+    the standard 6-CNOT Clifford+T network.
+    @raise Invalid_argument if operands are not distinct. *)
+
+val cphase : float -> int -> int -> Gate.t list
+(** [cphase theta a b]: controlled-phase, expanded as
+    [u1(t/2) a; cx a b; u1(-t/2) b; cx a b; u1(t/2) b] (2 CNOTs).
+    @raise Invalid_argument if operands are not distinct. *)
+
+val cry : float -> int -> int -> Gate.t list
+(** [cry theta c t]: controlled-Ry, expanded as
+    [ry(t/2) t; cx c t; ry(-t/2) t; cx c t] (2 CNOTs).
+    @raise Invalid_argument if operands are not distinct. *)
+
+val ccz : int -> int -> int -> Gate.t list
+(** [ccz a b c]: doubly-controlled Z — [h c; toffoli a b c; h c].
+    @raise Invalid_argument if operands are not distinct. *)

@@ -1,0 +1,15 @@
+open Vqc_circuit
+
+let circuit =
+  let gates =
+    [
+      Gate.One_qubit (Gate.X, 0);
+      Gate.Swap (0, 1);
+      Gate.Swap (1, 2);
+      Gate.Swap (0, 2);
+      Gate.Measure { qubit = 0; cbit = 0 };
+      Gate.Measure { qubit = 1; cbit = 1 };
+      Gate.Measure { qubit = 2; cbit = 2 };
+    ]
+  in
+  Circuit.of_gates 3 gates

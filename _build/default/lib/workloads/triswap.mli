@@ -1,0 +1,10 @@
+(** TriSwap kernel (IBM-Q5 suite, Table 3): cyclically rotate the states
+    of three qubits with SWAPs — 9 CNOTs once decomposed, the most
+    SWAP-intensive of the Q5 benchmarks, which is why the paper sees its
+    largest real-machine win (1.9x) here. *)
+
+open Vqc_circuit
+
+val circuit : Circuit.t
+(** Three qubits: prepare [|100>], rotate with two SWAPs plus a checking
+    SWAP, measure all three. *)

@@ -1,0 +1,19 @@
+open Vqc_circuit
+
+(* Standard cascade: start from |10...0>; at step i move amplitude from
+   qubit i-1 onto qubit i with a controlled-Ry whose angle keeps exactly
+   1/(n-i+1) of the remaining weight behind, then a CNOT re-localizes the
+   excitation. *)
+let circuit n =
+  if n < 2 then invalid_arg "Wstate.circuit: need at least 2 qubits";
+  let steps =
+    List.concat
+      (List.init (n - 1) (fun k ->
+           let i = k + 1 in
+           let remaining = float_of_int (n - i + 1) in
+           let theta = 2.0 *. acos (sqrt (1.0 /. remaining)) in
+           Stdgates.cry theta (i - 1) i
+           @ [ Gate.Cnot { control = i; target = i - 1 } ]))
+  in
+  let readout = List.init n (fun q -> Gate.Measure { qubit = q; cbit = q }) in
+  Circuit.of_gates n ((Gate.One_qubit (Gate.X, 0) :: steps) @ readout)

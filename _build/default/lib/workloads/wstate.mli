@@ -1,0 +1,9 @@
+(** W-state preparation (extended suite): the equal superposition of all
+    one-hot basis states, built from a controlled-Ry cascade — a chain
+    entanglement pattern distinct from GHZ's and BV's. *)
+
+open Vqc_circuit
+
+val circuit : int -> Circuit.t
+(** [circuit n] prepares |W_n> and measures every qubit.
+    @raise Invalid_argument if [n < 2]. *)

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Float List Printf QCheck2 QCheck_alcotest Vqc_circuit Vqc_workloads

@@ -1,0 +1,1 @@
+test/test_density.ml: Alcotest Float List Printf Vqc_circuit Vqc_device Vqc_rng Vqc_statevector Vqc_workloads

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Array Float Fun List Vqc_device Vqc_graph Vqc_rng

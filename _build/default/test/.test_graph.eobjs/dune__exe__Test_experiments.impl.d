@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Buffer Float Format Fun List Printf String Vqc_device Vqc_experiments Vqc_mapper Vqc_sim Vqc_workloads

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float Fun List QCheck2 QCheck_alcotest Vqc_graph

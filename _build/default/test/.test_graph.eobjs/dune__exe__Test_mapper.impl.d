@@ -1,0 +1,1 @@
+test/test_mapper.ml: Alcotest Float List QCheck2 QCheck_alcotest Vqc_circuit Vqc_device Vqc_experiments Vqc_mapper Vqc_rng Vqc_sim Vqc_workloads

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Float List QCheck2 QCheck_alcotest Vqc_circuit Vqc_opt Vqc_statevector Vqc_workloads

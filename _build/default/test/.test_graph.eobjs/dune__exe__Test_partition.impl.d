@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Float List Vqc_circuit Vqc_device Vqc_experiments Vqc_partition Vqc_sim Vqc_workloads

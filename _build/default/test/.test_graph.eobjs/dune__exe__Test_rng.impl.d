@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Float Fun List Vqc_rng

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float List Vqc_circuit Vqc_device Vqc_experiments Vqc_mapper Vqc_rng Vqc_sim Vqc_workloads

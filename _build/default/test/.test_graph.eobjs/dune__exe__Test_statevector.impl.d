@@ -1,0 +1,1 @@
+test/test_statevector.ml: Alcotest Array Float List Option QCheck2 QCheck_alcotest Vqc_circuit Vqc_device Vqc_experiments Vqc_mapper Vqc_rng Vqc_statevector Vqc_workloads

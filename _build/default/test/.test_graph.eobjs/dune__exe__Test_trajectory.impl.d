@@ -1,0 +1,1 @@
+test/test_trajectory.ml: Alcotest Float List Option Vqc_circuit Vqc_device Vqc_mapper Vqc_rng Vqc_sim Vqc_statevector Vqc_workloads

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Vqc_circuit Vqc_workloads

@@ -1,0 +1,403 @@
+(* Tests for the circuit substrate: gates, circuits, layering and the
+   OpenQASM subset. *)
+
+module Gate = Vqc_circuit.Gate
+module Circuit = Vqc_circuit.Circuit
+module Layers = Vqc_circuit.Layers
+module Qasm = Vqc_circuit.Qasm
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cx c t = Gate.Cnot { control = c; target = t }
+let h q = Gate.One_qubit (Gate.H, q)
+let meas q = Gate.Measure { qubit = q; cbit = q }
+
+(* ---- Gate ---------------------------------------------------------- *)
+
+let test_gate_qubits () =
+  Alcotest.(check (list int)) "1q" [ 3 ] (Gate.qubits (h 3));
+  Alcotest.(check (list int)) "cx" [ 1; 2 ] (Gate.qubits (cx 1 2));
+  Alcotest.(check (list int)) "swap" [ 4; 0 ] (Gate.qubits (Gate.Swap (4, 0)));
+  Alcotest.(check (list int)) "measure" [ 2 ] (Gate.qubits (meas 2));
+  Alcotest.(check (list int)) "barrier" [] (Gate.qubits (Gate.Barrier []))
+
+let test_gate_classifiers () =
+  check "cx is 2q" true (Gate.is_two_qubit (cx 0 1));
+  check "swap is 2q" true (Gate.is_two_qubit (Gate.Swap (0, 1)));
+  check "h is not 2q" false (Gate.is_two_qubit (h 0));
+  check "measure not unitary" false (Gate.is_unitary (meas 0));
+  check "barrier not unitary" false (Gate.is_unitary (Gate.Barrier []));
+  check "rz unitary" true (Gate.is_unitary (Gate.One_qubit (Gate.Rz 0.1, 0)))
+
+let test_gate_relabel () =
+  let shifted = Gate.relabel (fun q -> q + 10) (cx 1 2) in
+  check "relabeled" true (Gate.equal shifted (cx 11 12));
+  let measured = Gate.relabel (fun q -> q + 1) (meas 0) in
+  check "cbit untouched" true
+    (Gate.equal measured (Gate.Measure { qubit = 1; cbit = 0 }));
+  check "collision raises" true
+    (try
+       let _ = Gate.relabel (fun _ -> 0) (cx 1 2) in
+       false
+     with Invalid_argument _ -> true)
+
+let test_gate_equal_distinguishes_angles () =
+  check "same angle" true
+    (Gate.equal (Gate.One_qubit (Gate.Rz 0.5, 0)) (Gate.One_qubit (Gate.Rz 0.5, 0)));
+  check "different angle" false
+    (Gate.equal (Gate.One_qubit (Gate.Rz 0.5, 0)) (Gate.One_qubit (Gate.Rz 0.6, 0)));
+  check "different kind" false
+    (Gate.equal (Gate.One_qubit (Gate.Rz 0.5, 0)) (Gate.One_qubit (Gate.Rx 0.5, 0)))
+
+(* ---- Circuit ------------------------------------------------------- *)
+
+let ghz3 = Circuit.of_gates 3 [ h 0; cx 0 1; cx 1 2; meas 0; meas 1; meas 2 ]
+
+let test_circuit_sizes () =
+  check_int "qubits" 3 (Circuit.num_qubits ghz3);
+  check_int "cbits default to qubits" 3 (Circuit.num_cbits ghz3);
+  check_int "length" 6 (Circuit.length ghz3)
+
+let test_circuit_validation () =
+  let raises f = try f () |> ignore; false with Invalid_argument _ -> true in
+  check "qubit range" true (raises (fun () -> Circuit.of_gates 2 [ h 5 ]));
+  check "cbit range" true
+    (raises (fun () ->
+         Circuit.of_gates ~cbits:1 2 [ Gate.Measure { qubit = 0; cbit = 1 } ]));
+  check "cx collision" true (raises (fun () -> Circuit.of_gates 2 [ cx 1 1 ]));
+  check "negative size" true (raises (fun () -> Circuit.create (-1)))
+
+let test_circuit_concat_and_relabel () =
+  let a = Circuit.of_gates 2 [ h 0 ] in
+  let b = Circuit.of_gates 2 [ cx 0 1 ] in
+  let joined = Circuit.concat a b in
+  check_int "joined length" 2 (Circuit.length joined);
+  let swapped = Circuit.relabel (fun q -> 1 - q) joined in
+  check "relabel flips" true
+    (List.nth (Circuit.gates swapped) 1 = cx 1 0);
+  check "size mismatch raises" true
+    (try
+       let _ = Circuit.concat a (Circuit.create 3) in
+       false
+     with Invalid_argument _ -> true)
+
+let test_used_qubits () =
+  let c = Circuit.of_gates 5 [ h 1; cx 3 1 ] in
+  Alcotest.(check (list int)) "used" [ 1; 3 ] (Circuit.used_qubits c)
+
+let test_stats () =
+  let c =
+    Circuit.of_gates 3
+      [ h 0; h 1; cx 0 1; Gate.Swap (1, 2); meas 0; Gate.Barrier [] ]
+  in
+  let s = Circuit.stats c in
+  check_int "total excludes barrier" 5 s.Circuit.total_gates;
+  check_int "1q" 2 s.Circuit.one_qubit_gates;
+  check_int "2q" 2 s.Circuit.two_qubit_gates;
+  check_int "cx" 1 s.Circuit.cnot_gates;
+  check_int "swap" 1 s.Circuit.swap_gates;
+  check_int "measures" 1 s.Circuit.measurements;
+  check_int "qubits used" 3 s.Circuit.qubits_used
+
+let test_depth () =
+  (* h0 and h1 parallel; cx 0 1 after both; cx 1 2 after that *)
+  let c = Circuit.of_gates 3 [ h 0; h 1; cx 0 1; cx 1 2 ] in
+  check_int "depth" 3 (Circuit.stats c).Circuit.depth;
+  let empty = Circuit.create 3 in
+  check_int "empty depth" 0 (Circuit.stats empty).Circuit.depth
+
+let test_barrier_synchronizes_depth () =
+  (* without barrier, h2 is parallel with h0; with barrier it waits *)
+  let without = Circuit.of_gates 3 [ h 0; h 2 ] in
+  check_int "parallel" 1 (Circuit.stats without).Circuit.depth;
+  let with_barrier = Circuit.of_gates 3 [ h 0; Gate.Barrier []; h 2 ] in
+  check_int "barrier serializes" 2 (Circuit.stats with_barrier).Circuit.depth
+
+let test_interaction_counts () =
+  let c = Circuit.of_gates 3 [ cx 0 1; cx 1 0; cx 1 2 ] in
+  Alcotest.(check (list (pair (pair int int) int)))
+    "unordered pair counts"
+    [ ((0, 1), 2); ((1, 2), 1) ]
+    (Circuit.interaction_counts c)
+
+let test_qubit_activity () =
+  let c = Circuit.of_gates 3 [ cx 0 1; cx 1 2; h 0 ] in
+  Alcotest.(check (array int)) "activity" [| 1; 2; 1 |] (Circuit.qubit_activity c)
+
+let test_decompose_swaps () =
+  let c = Circuit.of_gates 2 [ Gate.Swap (0, 1) ] in
+  let expanded = Circuit.decompose_swaps c in
+  Alcotest.(check (list bool))
+    "three cnots"
+    [ true; true; true ]
+    (List.map (function Gate.Cnot _ -> true | _ -> false) (Circuit.gates expanded));
+  check_int "3 gates" 3 (Circuit.length expanded)
+
+(* ---- Layers -------------------------------------------------------- *)
+
+let test_layer_partition () =
+  let c = Circuit.of_gates 4 [ cx 0 1; cx 2 3; cx 1 2 ] in
+  let layers = Layers.partition c in
+  check_int "two layers" 2 (List.length layers);
+  check_int "first layer parallel" 2 (List.length (List.hd layers))
+
+let test_layers_disjoint_and_ordered () =
+  let c =
+    Circuit.of_gates 4 [ h 0; cx 0 1; h 2; cx 2 3; cx 1 2; meas 0; meas 1 ]
+  in
+  let layers = Layers.partition c in
+  List.iter
+    (fun layer ->
+      let qubits = List.concat_map Gate.qubits layer in
+      check "disjoint qubits per layer" true
+        (List.length qubits = List.length (List.sort_uniq compare qubits)))
+    layers;
+  (* flattening layers preserves per-qubit gate order *)
+  let flat = List.concat layers in
+  let projection gates q =
+    List.filter (fun g -> List.mem q (Gate.qubits g)) gates
+  in
+  for q = 0 to 3 do
+    check "projection preserved" true
+      (List.for_all2 Gate.equal
+         (projection (Circuit.gates c) q)
+         (projection flat q))
+  done
+
+let test_two_qubit_pairs () =
+  let layer = [ h 0; cx 1 2; Gate.Swap (3, 4) ] in
+  Alcotest.(check (list (pair int int)))
+    "pairs" [ (1, 2); (3, 4) ]
+    (Layers.two_qubit_pairs layer)
+
+let test_layer_count_matches_depth () =
+  let c = Circuit.of_gates 3 [ h 0; cx 0 1; cx 1 2; meas 2 ] in
+  check_int "count = depth" (Circuit.stats c).Circuit.depth (Layers.count c)
+
+(* ---- Dag ------------------------------------------------------------ *)
+
+module Dag = Vqc_circuit.Dag
+
+let test_dag_structure () =
+  (* h0; cx01; h1; cx12 *)
+  let c = Circuit.of_gates 3 [ h 0; cx 0 1; h 1; cx 1 2 ] in
+  let d = Dag.build c in
+  check_int "4 gates" 4 (Dag.gate_count d);
+  Alcotest.(check (list int)) "front" [ 0 ] (Dag.front d);
+  Alcotest.(check (list int)) "h0 enables cx01" [ 1 ] (Dag.successors d 0);
+  Alcotest.(check (list int)) "cx01 enables h1" [ 2 ] (Dag.successors d 1);
+  Alcotest.(check (list int)) "cx12 depends on h1" [ 2 ] (Dag.predecessors d 3);
+  check_int "no predecessors at front" 0 (Dag.predecessor_count d 0)
+
+let test_dag_parallel_fronts () =
+  let c = Circuit.of_gates 4 [ cx 0 1; cx 2 3; cx 1 2 ] in
+  let d = Dag.build c in
+  Alcotest.(check (list int)) "two independent fronts" [ 0; 1 ] (Dag.front d);
+  Alcotest.(check (array int)) "asap levels" [| 0; 0; 1 |] (Dag.asap_levels d);
+  check_int "critical path" 2 (Dag.critical_path_length d)
+
+let test_dag_matches_layers_depth () =
+  let c = (Vqc_workloads.Catalog.find "qft-12").Vqc_workloads.Catalog.circuit in
+  let d = Dag.build c in
+  check_int "critical path equals layer count" (Layers.count c)
+    (Dag.critical_path_length d)
+
+let test_dag_barrier_fences () =
+  let c = Circuit.of_gates 2 [ h 0; Gate.Barrier []; h 1 ] in
+  let d = Dag.build c in
+  Alcotest.(check (list int)) "h1 waits on the barrier" [ 1 ]
+    (Dag.predecessors d 2);
+  check_int "empty dag" 0 (Dag.critical_path_length (Dag.build (Circuit.create 2)))
+
+(* ---- Qasm ---------------------------------------------------------- *)
+
+let test_qasm_roundtrip_ghz () =
+  let text = Qasm.to_string ghz3 in
+  match Qasm.of_string text with
+  | Ok parsed -> check "roundtrip" true (Circuit.equal ghz3 parsed)
+  | Error m -> Alcotest.fail m
+
+let test_qasm_roundtrip_angles () =
+  let c =
+    Circuit.of_gates 2
+      [
+        Gate.One_qubit (Gate.Rz 0.12345, 0);
+        Gate.One_qubit (Gate.Rx (-1.5), 1);
+        Gate.One_qubit (Gate.U1 (Float.pi /. 8.0), 0);
+        Gate.One_qubit (Gate.Tdg, 1);
+        Gate.Swap (0, 1);
+      ]
+  in
+  match Qasm.of_string (Qasm.to_string c) with
+  | Ok parsed -> check "roundtrip with angles" true (Circuit.equal c parsed)
+  | Error m -> Alcotest.fail m
+
+let test_qasm_parse_standard_program () =
+  let program =
+    {|OPENQASM 2.0;
+include "qelib1.inc";
+// a comment
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/2) q[2];
+barrier q;
+measure q[0] -> c[0];
+|}
+  in
+  match Qasm.of_string program with
+  | Ok c ->
+    check_int "3 qubits" 3 (Circuit.num_qubits c);
+    check_int "5 gates" 5 (Circuit.length c);
+    (match List.nth (Circuit.gates c) 2 with
+    | Gate.One_qubit (Gate.Rz a, 2) ->
+      Alcotest.(check (float 1e-12)) "angle" (Float.pi /. 2.0) a
+    | g -> Alcotest.failf "unexpected gate %s" (Gate.to_string g))
+  | Error m -> Alcotest.fail m
+
+let test_qasm_whole_register_forms () =
+  let program =
+    "qreg q[3]; creg c[3]; h q; measure q -> c;"
+  in
+  match Qasm.of_string program with
+  | Ok c ->
+    check_int "3 h + 3 measures" 6 (Circuit.length c)
+  | Error m -> Alcotest.fail m
+
+let test_qasm_multiple_registers_flatten () =
+  let program = "qreg a[2]; qreg b[2]; creg c[4]; cx a[1],b[0];" in
+  match Qasm.of_string program with
+  | Ok c ->
+    check_int "4 qubits" 4 (Circuit.num_qubits c);
+    check "flat indices" true
+      (List.hd (Circuit.gates c) = cx 1 2)
+  | Error m -> Alcotest.fail m
+
+let test_qasm_angle_arithmetic () =
+  List.iter
+    (fun (expr, expected) ->
+      let program = Printf.sprintf "qreg q[1]; rz(%s) q[0];" expr in
+      match Qasm.of_string program with
+      | Ok c -> begin
+        match Circuit.gates c with
+        | [ Gate.One_qubit (Gate.Rz a, 0) ] ->
+          Alcotest.(check (float 1e-9)) expr expected a
+        | _ -> Alcotest.failf "bad parse of %s" expr
+      end
+      | Error m -> Alcotest.fail m)
+    [
+      ("1.5", 1.5);
+      ("pi", Float.pi);
+      ("-pi/4", -.Float.pi /. 4.0);
+      ("2*pi/3", 2.0 *. Float.pi /. 3.0);
+      ("(1+2)*3", 9.0);
+      ("1e-3", 1e-3);
+    ]
+
+let test_qasm_errors () =
+  let bad text =
+    match Qasm.of_string text with Ok _ -> false | Error _ -> true
+  in
+  check "unknown gate" true (bad "qreg q[1]; frob q[0];");
+  check "range" true (bad "qreg q[2]; h q[5];");
+  check "unknown register" true (bad "qreg q[2]; h r[0];");
+  check "measure arrow" true (bad "qreg q[1]; creg c[1]; measure q[0];");
+  check "rz without angle" true (bad "qreg q[1]; rz q[0];")
+
+let gen_circuit =
+  QCheck2.Gen.(
+    let* n = int_range 2 6 in
+    let gate =
+      let* kind = int_bound 3 in
+      let* q = int_bound (n - 1) in
+      match kind with
+      | 0 -> return (h q)
+      | 1 ->
+        let* angle = float_range (-3.0) 3.0 in
+        return (Gate.One_qubit (Gate.Rz angle, q))
+      | 2 ->
+        let* other = int_bound (n - 2) in
+        let t = if other >= q then other + 1 else other in
+        return (cx q t)
+      | _ -> return (meas q)
+    in
+    let* gates = list_size (int_bound 30) gate in
+    return (Circuit.of_gates n gates))
+
+let prop_qasm_roundtrip =
+  QCheck2.Test.make ~name:"qasm roundtrips arbitrary circuits" ~count:200
+    gen_circuit (fun c ->
+      match Qasm.of_string (Qasm.to_string c) with
+      | Ok parsed -> Circuit.equal c parsed
+      | Error _ -> false)
+
+let prop_layers_cover_all_gates =
+  QCheck2.Test.make ~name:"layer partition preserves the gate multiset"
+    ~count:200 gen_circuit (fun c ->
+      let flat = List.concat (Layers.partition c) in
+      List.length flat = Circuit.length c)
+
+let prop_depth_le_length =
+  QCheck2.Test.make ~name:"depth never exceeds gate count" ~count:200
+    gen_circuit (fun c ->
+      (Circuit.stats c).Circuit.depth <= Circuit.length c)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "vqc_circuit"
+    [
+      ( "gate",
+        [
+          Alcotest.test_case "qubits" `Quick test_gate_qubits;
+          Alcotest.test_case "classifiers" `Quick test_gate_classifiers;
+          Alcotest.test_case "relabel" `Quick test_gate_relabel;
+          Alcotest.test_case "equality" `Quick test_gate_equal_distinguishes_angles;
+        ] );
+      ( "circuit",
+        [
+          Alcotest.test_case "sizes" `Quick test_circuit_sizes;
+          Alcotest.test_case "validation" `Quick test_circuit_validation;
+          Alcotest.test_case "concat/relabel" `Quick test_circuit_concat_and_relabel;
+          Alcotest.test_case "used qubits" `Quick test_used_qubits;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "depth" `Quick test_depth;
+          Alcotest.test_case "barrier depth" `Quick test_barrier_synchronizes_depth;
+          Alcotest.test_case "interactions" `Quick test_interaction_counts;
+          Alcotest.test_case "activity" `Quick test_qubit_activity;
+          Alcotest.test_case "swap decomposition" `Quick test_decompose_swaps;
+        ] );
+      ( "layers",
+        [
+          Alcotest.test_case "partition" `Quick test_layer_partition;
+          Alcotest.test_case "disjoint and ordered" `Quick
+            test_layers_disjoint_and_ordered;
+          Alcotest.test_case "two qubit pairs" `Quick test_two_qubit_pairs;
+          Alcotest.test_case "count = depth" `Quick test_layer_count_matches_depth;
+        ]
+        @ qcheck [ prop_layers_cover_all_gates; prop_depth_le_length ] );
+      ( "dag",
+        [
+          Alcotest.test_case "structure" `Quick test_dag_structure;
+          Alcotest.test_case "parallel fronts" `Quick test_dag_parallel_fronts;
+          Alcotest.test_case "matches layer depth" `Quick
+            test_dag_matches_layers_depth;
+          Alcotest.test_case "barrier fences" `Quick test_dag_barrier_fences;
+        ] );
+      ( "qasm",
+        [
+          Alcotest.test_case "ghz roundtrip" `Quick test_qasm_roundtrip_ghz;
+          Alcotest.test_case "angle roundtrip" `Quick test_qasm_roundtrip_angles;
+          Alcotest.test_case "standard program" `Quick
+            test_qasm_parse_standard_program;
+          Alcotest.test_case "whole-register forms" `Quick
+            test_qasm_whole_register_forms;
+          Alcotest.test_case "multiple registers" `Quick
+            test_qasm_multiple_registers_flatten;
+          Alcotest.test_case "angle arithmetic" `Quick test_qasm_angle_arithmetic;
+          Alcotest.test_case "parse errors" `Quick test_qasm_errors;
+        ]
+        @ qcheck [ prop_qasm_roundtrip ] );
+    ]

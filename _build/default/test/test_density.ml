@@ -1,0 +1,179 @@
+(* Tests for the exact density-matrix engine, including the verification
+   triangle: the trajectory sampler's histogram must converge to the
+   density matrix's exact noisy distribution. *)
+
+module Gate = Vqc_circuit.Gate
+module Circuit = Vqc_circuit.Circuit
+module Calibration = Vqc_device.Calibration
+module Device = Vqc_device.Device
+module Sv = Vqc_statevector.Statevector
+module Density = Vqc_statevector.Density
+module Trajectory = Vqc_statevector.Trajectory
+module Rng = Vqc_rng.Rng
+
+let check = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let cx c t = Gate.Cnot { control = c; target = t }
+let h q = Gate.One_qubit (Gate.H, q)
+let meas q = Gate.Measure { qubit = q; cbit = q }
+
+let test_init_is_pure_ground () =
+  let rho = Density.init 2 in
+  check_float "trace" 1.0 (Density.trace rho);
+  check_float "purity" 1.0 (Density.purity rho);
+  check_float "p(00)" 1.0 (Density.population rho 0)
+
+let test_unitaries_match_statevector () =
+  let gates =
+    [
+      h 0; cx 0 1; Gate.One_qubit (Gate.T, 1); Gate.One_qubit (Gate.Ry 0.7, 2);
+      cx 1 2; Gate.Swap (0, 2); Gate.One_qubit (Gate.Rz (-1.2), 0);
+    ]
+  in
+  let rho = Density.init 3 in
+  let state = Sv.init 3 in
+  List.iter
+    (fun gate ->
+      Density.apply_gate rho gate;
+      Sv.apply_gate state gate)
+    gates;
+  for basis = 0 to 7 do
+    check_float
+      (Printf.sprintf "population %d" basis)
+      (Sv.probability state basis)
+      (Density.population rho basis)
+  done;
+  check_float "still pure" 1.0 (Density.purity rho);
+  check_float "trace preserved" 1.0 (Density.trace rho)
+
+let test_of_statevector () =
+  let state = Sv.init 2 in
+  Sv.apply_gate state (h 0);
+  Sv.apply_gate state (cx 0 1);
+  let rho = Density.of_statevector state in
+  check_float "purity" 1.0 (Density.purity rho);
+  check_float "p(00)" 0.5 (Density.population rho 0);
+  check_float "p(11)" 0.5 (Density.population rho 3)
+
+let test_pauli_channel_properties () =
+  let rho = Density.init 2 in
+  Density.apply_gate rho (h 0);
+  Density.apply_gate rho (cx 0 1);
+  Density.apply_pauli_channel rho ~error:0.2 [ 0 ];
+  check "trace preserved" true (Float.abs (Density.trace rho -. 1.0) < 1e-9);
+  check "purity dropped" true (Density.purity rho < 0.999);
+  Density.apply_pauli_channel rho ~error:0.1 [ 0; 1 ];
+  check "trace still preserved" true
+    (Float.abs (Density.trace rho -. 1.0) < 1e-9);
+  (* zero-error channel is a no-op *)
+  let before = Density.purity rho in
+  Density.apply_pauli_channel rho ~error:0.0 [ 0 ];
+  check_float "no-op at zero error" before (Density.purity rho)
+
+let test_full_depolarization_is_uniform () =
+  (* complete 1q Pauli scrambling of a |+> qubit gives the maximally
+     mixed qubit: p(0) = p(1) = 1/2 with purity 1/2 *)
+  let rho = Density.init 1 in
+  Density.apply_gate rho (h 0);
+  (* error 3/4 of uniform X/Y/Z mixing equals full depolarizing *)
+  Density.apply_pauli_channel rho ~error:0.75 [ 0 ];
+  check "p(0) = 1/2" true (Float.abs (Density.population rho 0 -. 0.5) < 1e-9);
+  check "purity 1/2" true (Float.abs (Density.purity rho -. 0.5) < 1e-9)
+
+let noisy_device () =
+  let coupling = [ (0, 1); (1, 2) ] in
+  let c = Calibration.create 3 in
+  for q = 0 to 2 do
+    Calibration.set_qubit c q
+      { Calibration.t1_us = 60.; t2_us = 35.; error_1q = 0.004; error_readout = 0.05 }
+  done;
+  Calibration.set_link_error c 0 1 0.04;
+  Calibration.set_link_error c 1 2 0.09;
+  Device.make ~name:"noisy3" ~coupling c
+
+let test_noiseless_distribution_matches_statevector () =
+  let circuit = Vqc_workloads.Ghz.circuit 3 in
+  let rho = Density.init 3 in
+  List.iter (Density.apply_gate rho) (Circuit.gates circuit);
+  let dm = Density.measurement_distribution rho circuit in
+  let sv = Sv.measurement_distribution circuit in
+  check "identical distributions" true
+    (Sv.distribution_distance dm sv < 1e-9)
+
+let test_trajectory_converges_to_density () =
+  (* the verification triangle: sampled noisy trajectories vs the exact
+     channel evolution *)
+  let device = noisy_device () in
+  List.iter
+    (fun circuit ->
+      let exact = Density.noisy_measurement_distribution device circuit in
+      let histogram = Trajectory.run ~trials:60_000 (Rng.make 11) device circuit in
+      let observed = Trajectory.frequencies histogram in
+      check "distributions agree" true
+        (Sv.distribution_distance exact observed < 0.02))
+    [
+      Vqc_workloads.Ghz.circuit 3;
+      Circuit.of_gates 3 [ Gate.One_qubit (Gate.X, 0); cx 0 1; cx 1 2; meas 0; meas 1; meas 2 ];
+      Vqc_workloads.Wstate.circuit 3;
+    ]
+
+let test_noisy_distribution_is_normalized () =
+  let device = noisy_device () in
+  let circuit = Vqc_workloads.Ghz.circuit 3 in
+  let d = Density.noisy_measurement_distribution device circuit in
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 d in
+  check "normalized" true (Float.abs (total -. 1.0) < 1e-9);
+  List.iter (fun (_, p) -> check "positive" true (p > 0.0)) d
+
+let test_readout_confusion_applied () =
+  (* pure |0> with 10% readout error reads 1 with probability 0.1 *)
+  let c = Calibration.create 1 in
+  Calibration.set_qubit c 0
+    { Calibration.t1_us = 1e9; t2_us = 1e9; error_1q = 0.0; error_readout = 0.10 };
+  let device = Device.make ~name:"ro" ~coupling:[] c in
+  let circuit = Circuit.of_gates 1 [ meas 0 ] in
+  match Density.noisy_measurement_distribution device circuit with
+  | [ (0, p0); (1, p1) ] ->
+    check_float "p(0)" 0.9 p0;
+    check_float "p(1)" 0.1 p1
+  | other -> Alcotest.failf "unexpected distribution (%d)" (List.length other)
+
+let test_rejects_bad_inputs () =
+  let raises f = try f () |> ignore; false with Invalid_argument _ -> true in
+  check "too many qubits" true (raises (fun () -> Density.init 13));
+  let rho = Density.init 2 in
+  check "channel arity" true
+    (raises (fun () -> Density.apply_pauli_channel rho ~error:0.1 [ 0; 1; 0 ]));
+  check "error range" true
+    (raises (fun () -> Density.apply_pauli_channel rho ~error:1.5 [ 0 ]))
+
+let () =
+  Alcotest.run "vqc_density"
+    [
+      ( "states",
+        [
+          Alcotest.test_case "pure ground" `Quick test_init_is_pure_ground;
+          Alcotest.test_case "unitaries = statevector" `Quick
+            test_unitaries_match_statevector;
+          Alcotest.test_case "of_statevector" `Quick test_of_statevector;
+        ] );
+      ( "channels",
+        [
+          Alcotest.test_case "pauli channel" `Quick test_pauli_channel_properties;
+          Alcotest.test_case "full depolarization" `Quick
+            test_full_depolarization_is_uniform;
+          Alcotest.test_case "bad inputs" `Quick test_rejects_bad_inputs;
+        ] );
+      ( "noisy distributions",
+        [
+          Alcotest.test_case "noiseless = statevector" `Quick
+            test_noiseless_distribution_matches_statevector;
+          Alcotest.test_case "normalized" `Quick
+            test_noisy_distribution_is_normalized;
+          Alcotest.test_case "readout confusion" `Quick
+            test_readout_confusion_applied;
+          Alcotest.test_case "trajectory converges" `Slow
+            test_trajectory_converges_to_density;
+        ] );
+    ]

@@ -1,0 +1,483 @@
+(* Tests for the device substrate: calibration data, topologies, the
+   synthetic calibration model, histories and sub-device extraction. *)
+
+module Calibration = Vqc_device.Calibration
+module Device = Vqc_device.Device
+module Topologies = Vqc_device.Topologies
+module Calibration_model = Vqc_device.Calibration_model
+module History = Vqc_device.History
+module Rng = Vqc_rng.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---- Calibration --------------------------------------------------- *)
+
+let sample_calibration () =
+  let c = Calibration.create 3 in
+  Calibration.set_qubit c 0
+    { Calibration.t1_us = 80.0; t2_us = 40.0; error_1q = 0.001; error_readout = 0.02 };
+  Calibration.set_link_error c 0 1 0.03;
+  Calibration.set_link_error c 1 2 0.10;
+  c
+
+let test_calibration_basics () =
+  let c = sample_calibration () in
+  check_int "qubits" 3 (Calibration.num_qubits c);
+  check_float "t1" 80.0 (Calibration.qubit c 0).Calibration.t1_us;
+  check_float "link" 0.03 (Calibration.link_error_exn c 0 1);
+  check_float "link symmetric" 0.03 (Calibration.link_error_exn c 1 0);
+  check "missing link" true (Calibration.link_error c 0 2 = None);
+  check_int "two links" 2 (List.length (Calibration.links c))
+
+let test_calibration_validation () =
+  let c = Calibration.create 2 in
+  let raises f = try f () |> ignore; false with Invalid_argument _ -> true in
+  check "self link" true (raises (fun () -> Calibration.set_link_error c 1 1 0.1));
+  check "probability range" true
+    (raises (fun () -> Calibration.set_link_error c 0 1 1.5));
+  check "qubit range" true (raises (fun () -> Calibration.qubit c 5))
+
+let test_calibration_copy_is_deep () =
+  let c = sample_calibration () in
+  let d = Calibration.copy c in
+  Calibration.set_link_error d 0 1 0.5;
+  check_float "original intact" 0.03 (Calibration.link_error_exn c 0 1)
+
+let test_summarize () =
+  let s = Calibration.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+  check_float "mean" 2.5 s.Calibration.mean;
+  check_float "min" 1.0 s.Calibration.minimum;
+  check_float "max" 4.0 s.Calibration.maximum;
+  check "std" true (Float.abs (s.Calibration.std -. sqrt 1.25) < 1e-9)
+
+let test_scale_link_errors () =
+  let c = sample_calibration () in
+  let scaled = Calibration.scale_link_errors c ~mean_factor:0.1 ~cov_factor:1.0 in
+  let before = Calibration.link_error_summary c in
+  let after = Calibration.link_error_summary scaled in
+  check "mean scaled" true
+    (Float.abs (after.Calibration.mean -. (0.1 *. before.Calibration.mean)) < 1e-9);
+  (* coefficient of variation preserved *)
+  let cov s = s.Calibration.std /. s.Calibration.mean in
+  check "cov preserved" true (Float.abs (cov after -. cov before) < 1e-9);
+  (* a gentle widening that stays clear of the clamp *)
+  let widened = Calibration.scale_link_errors c ~mean_factor:0.5 ~cov_factor:1.2 in
+  let after2 = Calibration.link_error_summary widened in
+  check "cov widened" true (Float.abs (cov after2 -. (1.2 *. cov before)) < 1e-9)
+
+let test_serialization_roundtrip () =
+  let c = sample_calibration () in
+  match Calibration.of_string (Calibration.to_string c) with
+  | Ok parsed ->
+    check_int "qubits" 3 (Calibration.num_qubits parsed);
+    check_float "link survives" 0.10 (Calibration.link_error_exn parsed 1 2);
+    check_float "qubit survives" 80.0 (Calibration.qubit parsed 0).Calibration.t1_us
+  | Error m -> Alcotest.fail m
+
+let test_serialization_errors () =
+  let bad text =
+    match Calibration.of_string text with Ok _ -> false | Error _ -> true
+  in
+  check "empty" true (bad "");
+  check "garbage header" true (bad "hello");
+  check "bad record" true (bad "qubits 2\nfrob 1 2 3")
+
+(* ---- Topologies ---------------------------------------------------- *)
+
+let test_q20_tokyo_shape () =
+  let coupling = Topologies.ibm_q20_tokyo in
+  check_int "43 couplers" 43 (List.length coupling);
+  List.iter
+    (fun (u, v) ->
+      check "range" true (u >= 0 && v < 20);
+      check "ordered" true (u < v))
+    coupling;
+  check "no duplicates" true
+    (List.length (List.sort_uniq compare coupling) = List.length coupling)
+
+let test_q5_tenerife_shape () =
+  check_int "6 couplers" 6 (List.length Topologies.ibm_q5_tenerife)
+
+let connected coupling n =
+  let g = Vqc_graph.Graph.create n in
+  List.iter (fun (u, v) -> Vqc_graph.Graph.add_edge g u v 1.0) coupling;
+  Vqc_graph.Graph.is_connected g
+
+let test_extended_topologies () =
+  check_int "melbourne couplers" 19 (List.length Topologies.ibm_q16_melbourne);
+  check "melbourne connected" true (connected Topologies.ibm_q16_melbourne 14);
+  check_int "heavy-hex couplers" 28 (List.length Topologies.heavy_hex_27);
+  check "heavy-hex connected" true (connected Topologies.heavy_hex_27 27);
+  (* heavy hex: degree at most 3 *)
+  let degree = Array.make 27 0 in
+  List.iter
+    (fun (u, v) ->
+      degree.(u) <- degree.(u) + 1;
+      degree.(v) <- degree.(v) + 1)
+    Topologies.heavy_hex_27;
+  Array.iter (fun d -> check "degree <= 3" true (d <= 3)) degree;
+  let bristlecone = Topologies.bristlecone_like ~rows:3 ~cols:3 in
+  (* 12 grid edges + 8 diagonals *)
+  check_int "bristlecone couplers" 20 (List.length bristlecone);
+  check "bristlecone connected" true (connected bristlecone 9)
+
+let test_generators () =
+  check_int "linear edges" 4 (List.length (Topologies.linear 5));
+  check_int "ring edges" 5 (List.length (Topologies.ring 5));
+  check_int "grid 2x3 edges" 7 (List.length (Topologies.grid ~rows:2 ~cols:3));
+  check_int "k4 edges" 6 (List.length (Topologies.fully_connected 4));
+  check "ring too small" true
+    (try
+       let _ = Topologies.ring 2 in
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Device -------------------------------------------------------- *)
+
+let tiny_device () =
+  let c = Calibration.create 3 in
+  Calibration.set_link_error c 0 1 0.02;
+  Calibration.set_link_error c 1 2 0.10;
+  Device.make ~name:"tiny" ~coupling:[ (0, 1); (1, 2) ] c
+
+let test_device_basics () =
+  let d = tiny_device () in
+  check_int "qubits" 3 (Device.num_qubits d);
+  check "connected pair" true (Device.connected d 0 1);
+  check "not connected" false (Device.connected d 0 2);
+  check_float "link error" 0.10 (Device.link_error d 1 2);
+  check_float "cnot success" 0.98 (Device.cnot_success d 0 1);
+  check_float "swap success" (0.98 ** 3.0) (Device.swap_success d 0 1)
+
+let test_device_validation () =
+  let raises f = try f () |> ignore; false with Invalid_argument _ -> true in
+  check "uncalibrated coupler" true
+    (raises (fun () ->
+         Device.make ~name:"x" ~coupling:[ (0, 1) ] (Calibration.create 2)));
+  let c = Calibration.create 3 in
+  Calibration.set_link_error c 0 1 0.1;
+  check "disconnected map" true
+    (raises (fun () -> Device.make ~name:"x" ~coupling:[ (0, 1) ] c))
+
+let test_device_extreme_links () =
+  let d = tiny_device () in
+  let u, v, e = Device.strongest_link d in
+  check "strongest" true ((u, v, e) = (0, 1, 0.02));
+  let u, v, e = Device.weakest_link d in
+  check "weakest" true ((u, v, e) = (1, 2, 0.10))
+
+let test_device_distances () =
+  let d = tiny_device () in
+  let hops = Device.hop_distance d in
+  check_int "hop 0-2" 2 hops.(0).(2);
+  let rel = Device.reliability_distance d in
+  check_float "reliability 0-1" (-3.0 *. log 0.98) rel.(0).(1);
+  check "longer is costlier" true (rel.(0).(2) > rel.(0).(1))
+
+let test_device_restrict () =
+  let d = tiny_device () in
+  let sub, to_old = Device.restrict d [ 1; 2 ] in
+  check_int "sub qubits" 2 (Device.num_qubits sub);
+  Alcotest.(check (array int)) "index map" [| 1; 2 |] to_old;
+  check_float "link error carried" 0.10 (Device.link_error sub 0 1);
+  check "disconnected region rejected" true
+    (try
+       let _ = Device.restrict d [ 0; 2 ] in
+       false
+     with Invalid_argument _ -> true)
+
+let test_device_serialization_roundtrip () =
+  let d = tiny_device () in
+  match Device.of_string (Device.to_string d) with
+  | Ok parsed ->
+    Alcotest.(check string) "name" (Device.name d) (Device.name parsed);
+    check_float "link carried" 0.10 (Device.link_error parsed 1 2);
+    Alcotest.(check (list (pair int int)))
+      "coupling carried" (Device.coupling d) (Device.coupling parsed);
+    check_float "gate times carried" (Device.gate_times d).Device.t_2q_ns
+      (Device.gate_times parsed).Device.t_2q_ns
+  | Error m -> Alcotest.fail m
+
+let test_device_serialization_errors () =
+  let bad text =
+    match Device.of_string text with Ok _ -> false | Error _ -> true
+  in
+  check "empty" true (bad "");
+  check "no gate_times" true (bad "device x\nqubits 2\n");
+  check "garbage" true (bad "hello\nworld\n")
+
+let test_with_calibration_swaps_errors () =
+  let d = tiny_device () in
+  let c2 = Calibration.create 3 in
+  Calibration.set_link_error c2 0 1 0.05;
+  Calibration.set_link_error c2 1 2 0.05;
+  let d2 = Device.with_calibration d c2 in
+  check_float "new error" 0.05 (Device.link_error d2 0 1);
+  check_float "old device intact" 0.02 (Device.link_error d 0 1)
+
+(* ---- Calibration model --------------------------------------------- *)
+
+let test_model_matches_paper_q20_stats () =
+  (* pool link samples over several draws to beat sampling noise *)
+  let rng = Rng.make 99 in
+  let samples = ref [] in
+  for _ = 1 to 40 do
+    let c =
+      Calibration_model.generate rng ~coupling:Topologies.ibm_q20_tokyo 20
+    in
+    samples :=
+      List.map (fun (_, _, e) -> e) (Calibration.links c) @ !samples
+  done;
+  let s = Calibration.summarize !samples in
+  (* paper: mean 4.3%, std 3.02%, best 0.02, worst 0.15 *)
+  check "mean near 4.3%" true (Float.abs (s.Calibration.mean -. 0.043) < 0.008);
+  check "std in range" true (s.Calibration.std > 0.015 && s.Calibration.std < 0.045);
+  check "best near 2%" true (s.Calibration.minimum >= 0.015 && s.Calibration.minimum < 0.035);
+  check "worst above 10%" true (s.Calibration.maximum > 0.10);
+  check "spread at least 4x" true
+    (s.Calibration.maximum /. s.Calibration.minimum > 4.0)
+
+let test_model_t1_t2_stats () =
+  let rng = Rng.make 7 in
+  let t1 = ref [] and t2 = ref [] in
+  for _ = 1 to 40 do
+    let c = Calibration_model.generate rng ~coupling:Topologies.ibm_q20_tokyo 20 in
+    for q = 0 to 19 do
+      let figures = Calibration.qubit c q in
+      t1 := figures.Calibration.t1_us :: !t1;
+      t2 := figures.Calibration.t2_us :: !t2;
+      check "T2 <= 2 T1" true
+        (figures.Calibration.t2_us <= (2.0 *. figures.Calibration.t1_us) +. 1e-9)
+    done
+  done;
+  let s1 = Calibration.summarize !t1 and s2 = Calibration.summarize !t2 in
+  check "T1 mean near 80" true (Float.abs (s1.Calibration.mean -. 80.32) < 8.0);
+  check "T2 mean near 42" true (Float.abs (s2.Calibration.mean -. 42.13) < 5.0)
+
+let test_model_determinism () =
+  let draw seed =
+    let rng = Rng.make seed in
+    Calibration_model.generate rng ~coupling:Topologies.ibm_q5_tenerife 5
+  in
+  check "same seed same calibration" true
+    (Calibration.to_string (draw 5) = Calibration.to_string (draw 5));
+  check "different seed differs" true
+    (Calibration.to_string (draw 5) <> Calibration.to_string (draw 6))
+
+let test_spread_defective () =
+  let rng = Rng.make 3 in
+  let defective = Calibration_model.spread_defective rng 40 ~fraction:0.2 in
+  let count = Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 defective in
+  check "about 8 defects" true (count >= 6 && count <= 10);
+  (* stratified: both halves get some *)
+  let first_half = Array.sub defective 0 20 and second_half = Array.sub defective 20 20 in
+  check "spread over halves" true
+    (Array.exists Fun.id first_half && Array.exists Fun.id second_half);
+  let none = Calibration_model.spread_defective rng 40 ~fraction:0.0 in
+  check "zero fraction" true (not (Array.exists Fun.id none))
+
+let test_uniform_device_is_uniform () =
+  let d =
+    Calibration_model.uniform_device ~name:"u" ~coupling:(Topologies.linear 4) 4
+      ~error_2q:0.05
+  in
+  List.iter
+    (fun (u, v) -> check_float "same error" 0.05 (Device.link_error d u v))
+    (Device.coupling d)
+
+let test_ready_made_devices () =
+  let q20 = Calibration_model.ibm_q20 ~seed:1 in
+  check_int "q20 qubits" 20 (Device.num_qubits q20);
+  let q5 = Calibration_model.ibm_q5 ~seed:1 in
+  check_int "q5 qubits" 5 (Device.num_qubits q5);
+  check_int "q5 couplers" 6 (List.length (Device.coupling q5))
+
+(* ---- Calibration_io -------------------------------------------------- *)
+
+module Calibration_io = Vqc_device.Calibration_io
+
+let sample_csv =
+  {|Qubit,T1 (µs),T2 (µs),Frequency (GHz),Readout error,Single-qubit U2 error rate,CNOT error rate
+Q0,83.4,41.2,5.23,0.031,0.0008,"cx0_1: 0.0373; cx0_2: 0.0265"
+Q1,71.2,55.1,5.11,0.028,0.0011,"cx1_0: 0.0373; cx1_2: 0.041"
+Q2,64.0,38.7,5.02,0.045,0.0009,"cx2_0: 0.0265; cx2_1: 0.043"
+|}
+
+let test_ibm_csv_parses () =
+  match Calibration_io.of_ibm_csv sample_csv with
+  | Error m -> Alcotest.fail m
+  | Ok (calibration, coupling) ->
+    check_int "3 qubits" 3 (Calibration.num_qubits calibration);
+    Alcotest.(check (list (pair int int)))
+      "couplers" [ (0, 1); (0, 2); (1, 2) ] coupling;
+    check_float "t1" 83.4 (Calibration.qubit calibration 0).Calibration.t1_us;
+    check_float "readout" 0.045
+      (Calibration.qubit calibration 2).Calibration.error_readout;
+    check_float "1q error" 0.0011
+      (Calibration.qubit calibration 1).Calibration.error_1q;
+    (* both directions reported identically -> averaged unchanged *)
+    check_float "symmetric link" 0.0373
+      (Calibration.link_error_exn calibration 0 1);
+    (* asymmetric pair averaged *)
+    check_float "averaged link" ((0.041 +. 0.043) /. 2.0)
+      (Calibration.link_error_exn calibration 1 2)
+
+let test_ibm_csv_to_device () =
+  match Calibration_io.device_of_ibm_csv ~name:"from-csv" sample_csv with
+  | Error m -> Alcotest.fail m
+  | Ok device ->
+    check_int "qubits" 3 (Device.num_qubits device);
+    check "coupled" true (Device.connected device 0 2)
+
+let test_ibm_csv_roundtrip () =
+  let original, _ = Calibration_io.of_ibm_csv_exn sample_csv in
+  let exported = Calibration_io.to_ibm_csv original in
+  let reparsed, coupling = Calibration_io.of_ibm_csv_exn exported in
+  check_int "couplers survive" 3 (List.length coupling);
+  check_float "link survives" 0.0373 (Calibration.link_error_exn reparsed 0 1);
+  check_float "t1 survives" 83.4 (Calibration.qubit reparsed 0).Calibration.t1_us
+
+let test_ibm_csv_errors () =
+  let bad text =
+    match Calibration_io.of_ibm_csv text with Ok _ -> false | Error _ -> true
+  in
+  check "empty" true (bad "");
+  check "no qubit column" true (bad "A,B\n1,2\n");
+  check "bad label" true (bad "Qubit,T1\nXX,1\n");
+  check "bad cnot entry" true
+    (bad "Qubit,CNOT error rate\nQ0,\"cx0_zero: 0.1\"\n");
+  check "dangling cnot reference" true
+    (bad "Qubit,CNOT error rate\nQ0,\"cx0_9: 0.1\"\n")
+
+(* ---- History ------------------------------------------------------- *)
+
+let history () =
+  History.generate ~days:30 ~seed:11 ~coupling:Topologies.ibm_q20_tokyo 20
+
+let test_history_shape () =
+  let h = history () in
+  check_int "days" 30 (History.days h);
+  check_int "each day 20 qubits" 20 (Calibration.num_qubits (History.day h 0));
+  check_int "all" 30 (List.length (History.all h));
+  check "out of range" true
+    (try
+       let _ = History.day h 30 in
+       false
+     with Invalid_argument _ -> true)
+
+let test_history_average_is_mean () =
+  let h = history () in
+  let average = History.average h in
+  let u, v, _ = List.hd (Calibration.links average) in
+  let series = History.link_series h u v in
+  let expected =
+    Array.fold_left ( +. ) 0.0 series /. float_of_int (Array.length series)
+  in
+  check_float "average equals mean of series" expected
+    (Calibration.link_error_exn average u v)
+
+let test_history_links_persist_rank () =
+  (* strong links should tend to remain strong: correlation between first
+     and second half averages should be clearly positive *)
+  let h = history () in
+  let average = History.average h in
+  let links = Calibration.links average in
+  let half_mean lo hi (u, v) =
+    let series = History.link_series h u v in
+    let total = ref 0.0 in
+    for i = lo to hi - 1 do
+      total := !total +. series.(i)
+    done;
+    !total /. float_of_int (hi - lo)
+  in
+  let xs = List.map (fun (u, v, _) -> half_mean 0 15 (u, v)) links in
+  let ys = List.map (fun (u, v, _) -> half_mean 15 30 (u, v)) links in
+  let mean_of l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+  let mx = mean_of xs and my = mean_of ys in
+  let num =
+    List.fold_left2 (fun acc x y -> acc +. ((x -. mx) *. (y -. my))) 0.0 xs ys
+  in
+  let sx = sqrt (mean_of (List.map (fun x -> (x -. mx) ** 2.0) xs)) in
+  let sy = sqrt (mean_of (List.map (fun y -> (y -. my) ** 2.0) ys)) in
+  let correlation = num /. float_of_int (List.length xs) /. (sx *. sy) in
+  check "halves correlate" true (correlation > 0.4)
+
+let test_history_dispersion_varies () =
+  let h = history () in
+  let dispersion = History.daily_dispersion h in
+  let lo = Array.fold_left Float.min infinity dispersion in
+  let hi = Array.fold_left Float.max 0.0 dispersion in
+  check "some days calmer than others" true (hi > lo *. 1.2)
+
+let test_history_unknown_link () =
+  let h = history () in
+  check "raises" true
+    (try
+       let _ = History.link_series h 0 19 in
+       false
+     with Not_found -> true)
+
+let () =
+  Alcotest.run "vqc_device"
+    [
+      ( "calibration",
+        [
+          Alcotest.test_case "basics" `Quick test_calibration_basics;
+          Alcotest.test_case "validation" `Quick test_calibration_validation;
+          Alcotest.test_case "deep copy" `Quick test_calibration_copy_is_deep;
+          Alcotest.test_case "summarize" `Quick test_summarize;
+          Alcotest.test_case "error scaling" `Quick test_scale_link_errors;
+          Alcotest.test_case "serialization" `Quick test_serialization_roundtrip;
+          Alcotest.test_case "serialization errors" `Quick
+            test_serialization_errors;
+        ] );
+      ( "topologies",
+        [
+          Alcotest.test_case "q20 tokyo" `Quick test_q20_tokyo_shape;
+          Alcotest.test_case "q5 tenerife" `Quick test_q5_tenerife_shape;
+          Alcotest.test_case "generators" `Quick test_generators;
+          Alcotest.test_case "extended topologies" `Quick
+            test_extended_topologies;
+        ] );
+      ( "device",
+        [
+          Alcotest.test_case "basics" `Quick test_device_basics;
+          Alcotest.test_case "validation" `Quick test_device_validation;
+          Alcotest.test_case "extreme links" `Quick test_device_extreme_links;
+          Alcotest.test_case "distances" `Quick test_device_distances;
+          Alcotest.test_case "restrict" `Quick test_device_restrict;
+          Alcotest.test_case "serialization" `Quick
+            test_device_serialization_roundtrip;
+          Alcotest.test_case "serialization errors" `Quick
+            test_device_serialization_errors;
+          Alcotest.test_case "with_calibration" `Quick
+            test_with_calibration_swaps_errors;
+        ] );
+      ( "calibration model",
+        [
+          Alcotest.test_case "q20 stats" `Slow test_model_matches_paper_q20_stats;
+          Alcotest.test_case "coherence stats" `Slow test_model_t1_t2_stats;
+          Alcotest.test_case "determinism" `Quick test_model_determinism;
+          Alcotest.test_case "spread defects" `Quick test_spread_defective;
+          Alcotest.test_case "uniform device" `Quick test_uniform_device_is_uniform;
+          Alcotest.test_case "ready-made devices" `Quick test_ready_made_devices;
+        ] );
+      ( "ibm csv",
+        [
+          Alcotest.test_case "parses" `Quick test_ibm_csv_parses;
+          Alcotest.test_case "to device" `Quick test_ibm_csv_to_device;
+          Alcotest.test_case "roundtrip" `Quick test_ibm_csv_roundtrip;
+          Alcotest.test_case "errors" `Quick test_ibm_csv_errors;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "shape" `Quick test_history_shape;
+          Alcotest.test_case "average is mean" `Quick test_history_average_is_mean;
+          Alcotest.test_case "rank persistence" `Slow test_history_links_persist_rank;
+          Alcotest.test_case "dispersion varies" `Quick
+            test_history_dispersion_varies;
+          Alcotest.test_case "unknown link" `Quick test_history_unknown_link;
+        ] );
+    ]

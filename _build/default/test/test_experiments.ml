@@ -1,0 +1,261 @@
+(* Tests for the experiment layer: reporting helpers, the registry, and
+   smoke + shape checks for the paper-artifact reproductions. *)
+
+module Report = Vqc_experiments.Report
+module Registry = Vqc_experiments.Registry
+module Context = Vqc_experiments.Context
+module Compiler = Vqc_mapper.Compiler
+module Reliability = Vqc_sim.Reliability
+module Catalog = Vqc_workloads.Catalog
+module Calibration = Vqc_device.Calibration
+module Device = Vqc_device.Device
+module History = Vqc_device.History
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let render f =
+  let buffer = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buffer in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buffer
+
+(* ---- Report -------------------------------------------------------- *)
+
+let test_table_renders_aligned () =
+  let text =
+    render (fun ppf ->
+        Report.table ppf ~header:[ "a"; "beta" ]
+          [ [ "1"; "2" ]; [ "333"; "4" ] ])
+  in
+  check "header present" true (String.length text > 0);
+  check "has rule" true
+    (String.split_on_char '\n' text
+    |> List.exists (fun l -> String.length l > 0 && l.[0] = '-'))
+
+let test_table_rejects_ragged () =
+  check "raises" true
+    (try
+       render (fun ppf -> Report.table ppf ~header:[ "a"; "b" ] [ [ "1" ] ])
+       |> ignore;
+       false
+     with Invalid_argument _ -> true)
+
+let test_histogram_renders () =
+  let text =
+    render (fun ppf ->
+        Report.histogram ppf ~bins:4 ~title:"t" ~unit_label:"u"
+          [ 1.0; 2.0; 2.5; 9.0 ])
+  in
+  check "bars present" true (String.contains text '#');
+  check "empty raises" true
+    (try
+       render (fun ppf ->
+           Report.histogram ppf ~title:"t" ~unit_label:"u" [])
+       |> ignore;
+       false
+     with Invalid_argument _ -> true)
+
+let test_series_renders () =
+  let text =
+    render (fun ppf -> Report.series ppf ~title:"s" [ ("d1", 1.0); ("d2", 2.0) ])
+  in
+  check "labels present" true
+    (String.length text > 0
+    && String.split_on_char '\n' text |> List.exists (fun l ->
+           String.length l >= 4 && String.trim l <> "" && String.trim l <> "s"))
+
+let test_cells () =
+  Alcotest.(check string) "float" "0.1235" (Report.float_cell 0.12345);
+  Alcotest.(check string) "digits" "0.12" (Report.float_cell ~digits:2 0.12345);
+  Alcotest.(check string) "ratio" "1.43x" (Report.ratio_cell 1.43)
+
+(* ---- Chip_render ----------------------------------------------------- *)
+
+module Chip_render = Vqc_experiments.Chip_render
+
+let test_chip_render_q20 () =
+  let ctx = Context.default in
+  let text = render (fun ppf -> Chip_render.q20 ppf ctx.Context.q20) in
+  check "renders all 20 nodes" true
+    (List.for_all
+       (fun q ->
+         let needle = Printf.sprintf "(%2d)" q in
+         let rec scan i =
+           i + String.length needle <= String.length text
+           && (String.sub text i (String.length needle) = needle || scan (i + 1))
+         in
+         scan 0)
+       (List.init 20 Fun.id));
+  check "mentions diagonals" true
+    (String.length text > 0
+    &&
+    let rec contains i =
+      i + 8 <= String.length text
+      && (String.sub text i 8 = "diagonal" || contains (i + 1))
+    in
+    contains 0)
+
+let test_chip_render_highlight () =
+  let ctx = Context.default in
+  let text =
+    render (fun ppf -> Chip_render.q20 ~highlight:[ 7 ] ppf ctx.Context.q20)
+  in
+  let rec contains needle i =
+    i + String.length needle <= String.length text
+    && (String.sub text i (String.length needle) = needle
+       || contains needle (i + 1))
+  in
+  check "highlighted node bracketed" true (contains "[ 7]" 0)
+
+let test_chip_render_rejects_small_device () =
+  let device = Vqc_device.Calibration_model.ibm_q5 ~seed:1 in
+  check "raises" true
+    (try
+       render (fun ppf -> Chip_render.q20 ppf device) |> ignore;
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Context ------------------------------------------------------- *)
+
+let test_context_is_deterministic () =
+  let a = Context.make ~seed:3 and b = Context.make ~seed:3 in
+  let text ctx =
+    Calibration.to_string (Device.calibration ctx.Context.q20)
+  in
+  Alcotest.(check string) "same q20" (text a) (text b);
+  check "52-day history" true (History.days a.Context.history = 52);
+  check "100 samples" true (History.days a.Context.samples = 100)
+
+let test_context_q20_is_average_of_history () =
+  let ctx = Context.make ~seed:3 in
+  let average = History.average ctx.Context.history in
+  Alcotest.(check string) "q20 carries the average calibration"
+    (Calibration.to_string average)
+    (Calibration.to_string (Device.calibration ctx.Context.q20))
+
+(* ---- Registry ------------------------------------------------------ *)
+
+let test_registry_complete () =
+  let ids = Registry.ids () in
+  List.iter
+    (fun id -> check (id ^ " registered") true (List.mem id ids))
+    [
+      "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "tab1"; "fig12"; "fig13";
+      "fig14"; "tab2"; "tab3"; "fig16";
+    ];
+  check_int "ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  check "unknown id" true
+    (try
+       let _ = Registry.find "fig99" in
+       false
+     with Not_found -> true)
+
+(* Run the cheap experiments end to end; expensive ones (fig13, fig14,
+   fig16) are exercised by the bench harness. *)
+let test_cheap_experiments_smoke () =
+  let ctx = Context.make ~seed:3 in
+  List.iter
+    (fun id ->
+      let e = Registry.find id in
+      let text = render (fun ppf -> e.Registry.run ppf ctx) in
+      check (id ^ " produces output") true (String.length text > 100))
+    [ "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "tab1"; "tab3" ]
+
+(* ---- headline shape checks (the paper's qualitative claims) -------- *)
+
+let pst ctx policy name =
+  let circuit = (Catalog.find name).Catalog.circuit in
+  let compiled = Compiler.compile ctx.Context.q20 policy circuit in
+  Reliability.pst ctx.Context.q20 compiled.Compiler.physical
+
+let test_policies_never_hurt_on_default_chip () =
+  let ctx = Context.default in
+  List.iter
+    (fun name ->
+      let base = pst ctx Compiler.baseline name in
+      let vqm = pst ctx Compiler.vqm name in
+      let best = pst ctx Compiler.vqa_vqm name in
+      check (name ^ ": vqm >= baseline") true (vqm >= base *. 0.999);
+      check (name ^ ": vqa+vqm >= baseline") true (best >= base *. 0.999))
+    [ "bv-16"; "bv-20"; "rnd-SD" ]
+
+let test_vqa_vqm_improves_somewhere () =
+  let ctx = Context.default in
+  let improvements =
+    List.map
+      (fun name -> pst ctx Compiler.vqa_vqm name /. pst ctx Compiler.baseline name)
+      [ "bv-16"; "bv-20"; "rnd-SD" ]
+  in
+  check "max improvement >= 1.2x" true
+    (List.fold_left Float.max 0.0 improvements >= 1.2)
+
+let test_baseline_beats_native_on_average () =
+  let ctx = Context.default in
+  let name = "bv-16" in
+  let base = pst ctx Compiler.baseline name in
+  let native_psts =
+    List.map (fun seed -> pst ctx (Compiler.native ~seed) name)
+      (List.init 8 (fun i -> 100 + i))
+  in
+  let avg =
+    List.fold_left ( +. ) 0.0 native_psts
+    /. float_of_int (List.length native_psts)
+  in
+  check "baseline above average native" true (base > avg)
+
+let test_q5_policies_improve () =
+  let ctx = Context.default in
+  let q5 = ctx.Context.q5 in
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let run policy =
+        let compiled = Compiler.compile q5 policy e.Catalog.circuit in
+        Reliability.pst q5 compiled.Compiler.physical
+      in
+      check (e.Catalog.name ^ " q5 no regression") true
+        (run Compiler.vqa_vqm >= run Compiler.baseline *. 0.999))
+    Catalog.q5_suite
+
+let () =
+  Alcotest.run "vqc_experiments"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "table" `Quick test_table_renders_aligned;
+          Alcotest.test_case "ragged table" `Quick test_table_rejects_ragged;
+          Alcotest.test_case "histogram" `Quick test_histogram_renders;
+          Alcotest.test_case "series" `Quick test_series_renders;
+          Alcotest.test_case "cells" `Quick test_cells;
+        ] );
+      ( "chip render",
+        [
+          Alcotest.test_case "q20" `Quick test_chip_render_q20;
+          Alcotest.test_case "highlight" `Quick test_chip_render_highlight;
+          Alcotest.test_case "small device" `Quick
+            test_chip_render_rejects_small_device;
+        ] );
+      ( "context",
+        [
+          Alcotest.test_case "deterministic" `Quick test_context_is_deterministic;
+          Alcotest.test_case "q20 = history average" `Quick
+            test_context_q20_is_average_of_history;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "smoke" `Slow test_cheap_experiments_smoke;
+        ] );
+      ( "paper shape",
+        [
+          Alcotest.test_case "policies never hurt" `Slow
+            test_policies_never_hurt_on_default_chip;
+          Alcotest.test_case "improvement exists" `Slow
+            test_vqa_vqm_improves_somewhere;
+          Alcotest.test_case "baseline beats native" `Slow
+            test_baseline_beats_native_on_average;
+          Alcotest.test_case "q5 improves" `Slow test_q5_policies_improve;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+(* Tests for the peephole optimizer, anchored by the state-vector oracle:
+   optimization must never change what a circuit computes. *)
+
+module Gate = Vqc_circuit.Gate
+module Circuit = Vqc_circuit.Circuit
+module Peephole = Vqc_opt.Peephole
+module Sv = Vqc_statevector.Statevector
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cx c t = Gate.Cnot { control = c; target = t }
+let h q = Gate.One_qubit (Gate.H, q)
+let x q = Gate.One_qubit (Gate.X, q)
+let rz theta q = Gate.One_qubit (Gate.Rz theta, q)
+let t q = Gate.One_qubit (Gate.T, q)
+let meas q = Gate.Measure { qubit = q; cbit = q }
+
+let length_after gates =
+  Circuit.length (Peephole.optimize (Circuit.of_gates 3 gates))
+
+let test_cancels_involutions () =
+  check_int "hh" 0 (length_after [ h 0; h 0 ]);
+  check_int "xx" 0 (length_after [ x 1; x 1 ]);
+  check_int "cnot pair" 0 (length_after [ cx 0 1; cx 0 1 ]);
+  check_int "swap pair" 0 (length_after [ Gate.Swap (0, 1); Gate.Swap (1, 0) ]);
+  check_int "s sdg" 0
+    (length_after [ Gate.One_qubit (Gate.S, 0); Gate.One_qubit (Gate.Sdg, 0) ])
+
+let test_nested_pairs_collapse () =
+  check_int "h x x h" 0 (length_after [ h 0; x 0; x 0; h 0 ]);
+  check_int "deep nesting" 0
+    (length_after [ h 0; x 0; t 0; Gate.One_qubit (Gate.Tdg, 0); x 0; h 0 ])
+
+let test_does_not_cancel_across_blockers () =
+  check_int "gate on same wire blocks" 3 (length_after [ h 0; t 0; h 0 ]);
+  check_int "measure blocks" 3 (length_after [ h 0; meas 0; h 0 ]);
+  check_int "barrier blocks" 3 (length_after [ h 0; Gate.Barrier [ 0 ]; h 0 ]);
+  (* cnot pair with a gate on the control in between survives *)
+  check_int "intervening control gate" 3
+    (length_after [ cx 0 1; h 0; cx 0 1 ])
+
+let test_cancel_across_unrelated_wire_activity () =
+  (* activity on another qubit does not block cancellation *)
+  check_int "independent wire" 1 (length_after [ h 0; h 2; h 0 ])
+
+let test_merges_rotations () =
+  let optimized = Peephole.optimize (Circuit.of_gates 2 [ rz 0.3 0; rz 0.4 0 ]) in
+  (match Circuit.gates optimized with
+  | [ Gate.One_qubit (Gate.Rz total, 0) ] ->
+    Alcotest.(check (float 1e-12)) "sum" 0.7 total
+  | _ -> Alcotest.fail "expected one fused rz");
+  check_int "full turn disappears" 0
+    (length_after [ rz Float.pi 0; rz Float.pi 0 ]);
+  check_int "t t -> s" 1 (length_after [ t 0; t 0 ])
+
+let test_mixed_kinds_not_merged () =
+  check_int "rz rx kept" 2 (length_after [ rz 0.3 0; Gate.One_qubit (Gate.Rx 0.4, 0) ])
+
+let test_stats_reported () =
+  let _, stats =
+    Peephole.optimize_with_stats (Circuit.of_gates 2 [ h 0; h 0; rz 0.1 1; rz 0.2 1 ])
+  in
+  check_int "cancelled" 2 stats.Peephole.cancelled;
+  check_int "merged" 1 stats.Peephole.merged;
+  check "at least one pass" true (stats.Peephole.passes >= 1)
+
+let test_preserves_measures_and_cbits () =
+  let c = Circuit.of_gates ~cbits:2 3 [ h 0; h 0; meas 0; Gate.Measure { qubit = 2; cbit = 1 } ] in
+  let optimized = Peephole.optimize c in
+  check_int "cbits kept" 2 (Circuit.num_cbits optimized);
+  check_int "both measures kept" 2
+    (Circuit.stats optimized).Circuit.measurements
+
+let test_real_kernel_shrinks () =
+  (* qft's cphase chains contain fusable u1 rotations after... they don't
+     cancel structurally, but bv's double-H prep does when composed with
+     itself *)
+  let bv = (Vqc_workloads.Catalog.find "bv-16").Vqc_workloads.Catalog.circuit in
+  let doubled =
+    Circuit.of_gates 16
+      (List.filter Gate.is_unitary (Circuit.gates bv)
+      @ List.filter Gate.is_unitary (Circuit.gates bv))
+  in
+  let optimized = Peephole.optimize doubled in
+  check "self-composition shrinks" true
+    (Circuit.length optimized < Circuit.length doubled)
+
+let gen_unitary_circuit =
+  QCheck2.Gen.(
+    let* n = int_range 2 5 in
+    let gate =
+      let* kind = int_bound 7 in
+      let* q = int_bound (n - 1) in
+      match kind with
+      | 0 -> return (h q)
+      | 1 -> return (x q)
+      | 2 -> return (t q)
+      | 3 ->
+        let* angle = float_range (-6.0) 6.0 in
+        return (rz angle q)
+      | 4 ->
+        let* angle = float_range (-6.0) 6.0 in
+        return (Gate.One_qubit (Gate.Ry angle, q))
+      | _ ->
+        let* other = int_bound (n - 2) in
+        let target = if other >= q then other + 1 else other in
+        if kind = 7 then return (Gate.Swap (q, target))
+        else return (cx q target)
+    in
+    let* body = list_size (int_bound 40) gate in
+    let readout = List.init n meas in
+    return (Circuit.of_gates n (body @ readout)))
+
+let prop_optimization_preserves_function =
+  QCheck2.Test.make ~name:"peephole preserves the computed function"
+    ~count:150 gen_unitary_circuit (fun circuit ->
+      let optimized = Peephole.optimize circuit in
+      Sv.distribution_distance
+        (Sv.measurement_distribution circuit)
+        (Sv.measurement_distribution optimized)
+      < 1e-9)
+
+let prop_optimization_never_grows =
+  QCheck2.Test.make ~name:"peephole never grows a circuit" ~count:150
+    gen_unitary_circuit (fun circuit ->
+      Circuit.length (Peephole.optimize circuit) <= Circuit.length circuit)
+
+let prop_optimization_idempotent =
+  QCheck2.Test.make ~name:"peephole is idempotent" ~count:100
+    gen_unitary_circuit (fun circuit ->
+      let once = Peephole.optimize circuit in
+      Circuit.equal once (Peephole.optimize once))
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "vqc_opt"
+    [
+      ( "cancellation",
+        [
+          Alcotest.test_case "involutions" `Quick test_cancels_involutions;
+          Alcotest.test_case "nested pairs" `Quick test_nested_pairs_collapse;
+          Alcotest.test_case "blockers" `Quick test_does_not_cancel_across_blockers;
+          Alcotest.test_case "independent wires" `Quick
+            test_cancel_across_unrelated_wire_activity;
+        ] );
+      ( "merging",
+        [
+          Alcotest.test_case "rotations" `Quick test_merges_rotations;
+          Alcotest.test_case "mixed kinds" `Quick test_mixed_kinds_not_merged;
+          Alcotest.test_case "stats" `Quick test_stats_reported;
+          Alcotest.test_case "measures kept" `Quick
+            test_preserves_measures_and_cbits;
+          Alcotest.test_case "real kernel" `Quick test_real_kernel_shrinks;
+        ] );
+      ( "properties",
+        qcheck
+          [
+            prop_optimization_preserves_function;
+            prop_optimization_never_grows;
+            prop_optimization_idempotent;
+          ] );
+    ]

@@ -1,0 +1,170 @@
+(* Tests for the deterministic RNG: reproducibility, stream independence
+   and the first two moments of each distribution. *)
+
+module Rng = Vqc_rng.Rng
+
+let check = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-12))
+
+let sample n f =
+  let rng = Rng.make 42 in
+  List.init n (fun _ -> f rng)
+
+let mean values =
+  List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)
+
+let std values =
+  let m = mean values in
+  sqrt (mean (List.map (fun x -> (x -. m) ** 2.0) values))
+
+let test_determinism () =
+  let a = Rng.make 7 and b = Rng.make 7 in
+  for _ = 1 to 100 do
+    check_float "same stream" (Rng.float a) (Rng.float b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.make 7 and b = Rng.make 8 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Float.equal (Rng.float a) (Rng.float b)) then differs := true
+  done;
+  check "different seeds differ" true !differs
+
+let test_copy_is_independent () =
+  let a = Rng.make 7 in
+  let b = Rng.copy a in
+  check_float "copies agree" (Rng.float a) (Rng.float b);
+  let _ = Rng.float a in
+  (* advancing one does not advance the other *)
+  let a2 = Rng.float a and b2 = Rng.float b in
+  check "streams diverge after unequal draws" false (Float.equal a2 b2)
+
+let test_split_decorrelates () =
+  let parent = Rng.make 7 in
+  let child = Rng.split parent in
+  let xs = List.init 50 (fun _ -> Rng.float parent) in
+  let ys = List.init 50 (fun _ -> Rng.float child) in
+  check "split streams differ" true (xs <> ys)
+
+let test_float_range () =
+  List.iter
+    (fun x -> check "in [0,1)" true (x >= 0.0 && x < 1.0))
+    (sample 10_000 Rng.float)
+
+let test_uniform_range () =
+  List.iter
+    (fun x -> check "in [lo,hi)" true (x >= -2.0 && x < 3.0))
+    (sample 10_000 (fun r -> Rng.uniform r (-2.0) 3.0))
+
+let test_uniform_rejects_empty () =
+  let rng = Rng.make 1 in
+  check "raises" true
+    (try
+       let _ = Rng.uniform rng 1.0 0.0 in
+       false
+     with Invalid_argument _ -> true)
+
+let test_int_range_and_coverage () =
+  let rng = Rng.make 1 in
+  let seen = Array.make 7 false in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 7 in
+    check "in range" true (x >= 0 && x < 7);
+    seen.(x) <- true
+  done;
+  check "all values hit" true (Array.for_all Fun.id seen)
+
+let test_int_rejects_nonpositive () =
+  let rng = Rng.make 1 in
+  check "raises" true
+    (try
+       let _ = Rng.int rng 0 in
+       false
+     with Invalid_argument _ -> true)
+
+let test_bernoulli_edges () =
+  let rng = Rng.make 1 in
+  check "p=0 never" false (Rng.bernoulli rng 0.0);
+  check "p=1 always" true (Rng.bernoulli rng 1.0);
+  check "p<0 never" false (Rng.bernoulli rng (-0.5));
+  check "p>1 always" true (Rng.bernoulli rng 1.5)
+
+let test_bernoulli_rate () =
+  let hits =
+    List.length (List.filter Fun.id (sample 20_000 (fun r -> Rng.bernoulli r 0.3)))
+  in
+  let rate = float_of_int hits /. 20_000.0 in
+  check "rate near 0.3" true (Float.abs (rate -. 0.3) < 0.02)
+
+let test_gaussian_moments () =
+  let xs = sample 40_000 (fun r -> Rng.gaussian r ~mean:2.0 ~std:3.0) in
+  check "mean" true (Float.abs (mean xs -. 2.0) < 0.1);
+  check "std" true (Float.abs (std xs -. 3.0) < 0.1)
+
+let test_lognormal_moments () =
+  let xs = sample 60_000 (fun r -> Rng.lognormal r ~mean:0.04 ~std:0.03) in
+  check "positive" true (List.for_all (fun x -> x > 0.0) xs);
+  check "mean" true (Float.abs (mean xs -. 0.04) < 0.004;);
+  check "std" true (Float.abs (std xs -. 0.03) < 0.006)
+
+let test_truncated_gaussian_bounds () =
+  List.iter
+    (fun x -> check "within bounds" true (x >= 1.0 && x <= 2.0))
+    (sample 5_000 (fun r ->
+         Rng.truncated_gaussian r ~mean:0.0 ~std:5.0 ~lo:1.0 ~hi:2.0))
+
+let test_exponential_mean () =
+  let xs = sample 40_000 (fun r -> Rng.exponential r ~rate:2.0) in
+  check "positive" true (List.for_all (fun x -> x >= 0.0) xs);
+  check "mean 1/rate" true (Float.abs (mean xs -. 0.5) < 0.02)
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.make 11 in
+  let a = Array.init 20 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
+
+let test_choose () =
+  let rng = Rng.make 11 in
+  for _ = 1 to 100 do
+    let x = Rng.choose rng [| 5; 6; 7 |] in
+    check "member" true (List.mem x [ 5; 6; 7 ])
+  done;
+  check "empty raises" true
+    (try
+       let _ = Rng.choose rng [||] in
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "vqc_rng"
+    [
+      ( "streams",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_copy_is_independent;
+          Alcotest.test_case "split" `Quick test_split_decorrelates;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "uniform range" `Quick test_uniform_range;
+          Alcotest.test_case "uniform empty" `Quick test_uniform_rejects_empty;
+          Alcotest.test_case "int range" `Quick test_int_range_and_coverage;
+          Alcotest.test_case "int nonpositive" `Quick test_int_rejects_nonpositive;
+          Alcotest.test_case "bernoulli edges" `Quick test_bernoulli_edges;
+          Alcotest.test_case "bernoulli rate" `Slow test_bernoulli_rate;
+          Alcotest.test_case "gaussian moments" `Slow test_gaussian_moments;
+          Alcotest.test_case "lognormal moments" `Slow test_lognormal_moments;
+          Alcotest.test_case "truncated gaussian" `Quick
+            test_truncated_gaussian_bounds;
+          Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+          Alcotest.test_case "shuffle permutation" `Quick
+            test_shuffle_is_permutation;
+          Alcotest.test_case "choose" `Quick test_choose;
+        ] );
+    ]

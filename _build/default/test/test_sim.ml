@@ -1,0 +1,415 @@
+(* Tests for the simulator: scheduling, analytic reliability, Monte-Carlo
+   agreement and metrics. *)
+
+module Gate = Vqc_circuit.Gate
+module Circuit = Vqc_circuit.Circuit
+module Calibration = Vqc_device.Calibration
+module Device = Vqc_device.Device
+module Schedule = Vqc_sim.Schedule
+module Reliability = Vqc_sim.Reliability
+module Monte_carlo = Vqc_sim.Monte_carlo
+module Metrics = Vqc_sim.Metrics
+module Rng = Vqc_rng.Rng
+
+let check = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let cx c t = Gate.Cnot { control = c; target = t }
+let h q = Gate.One_qubit (Gate.H, q)
+let meas q = Gate.Measure { qubit = q; cbit = q }
+
+(* A 3-qubit line with known error rates. *)
+let device ?(e01 = 0.02) ?(e12 = 0.05) () =
+  let c = Calibration.create 3 in
+  for q = 0 to 2 do
+    Calibration.set_qubit c q
+      {
+        Calibration.t1_us = 80.0;
+        t2_us = 40.0;
+        error_1q = 0.001;
+        error_readout = 0.03;
+      }
+  done;
+  Calibration.set_link_error c 0 1 e01;
+  Calibration.set_link_error c 1 2 e12;
+  Device.make ~name:"line3" ~coupling:[ (0, 1); (1, 2) ] c
+
+(* ---- Schedule ------------------------------------------------------ *)
+
+let test_gate_durations () =
+  let d = device () in
+  let times = Device.gate_times d in
+  check_float "1q" times.Device.t_1q_ns (Schedule.gate_duration_ns d (h 0));
+  check_float "cx" times.Device.t_2q_ns (Schedule.gate_duration_ns d (cx 0 1));
+  check_float "swap = 3 cx" (3.0 *. times.Device.t_2q_ns)
+    (Schedule.gate_duration_ns d (Gate.Swap (0, 1)));
+  check_float "measure" times.Device.t_measure_ns
+    (Schedule.gate_duration_ns d (meas 0));
+  check_float "barrier free" 0.0 (Schedule.gate_duration_ns d (Gate.Barrier []))
+
+let test_schedule_serializes_dependencies () =
+  let d = device () in
+  let c = Circuit.of_gates 3 [ h 0; cx 0 1; cx 1 2 ] in
+  let s = Schedule.build d c in
+  (* h(80) then cx(300) then cx(300) all share qubit chains *)
+  check_float "duration" (80.0 +. 300.0 +. 300.0) s.Schedule.duration_ns
+
+let test_schedule_parallelism () =
+  let d = device () in
+  let c = Circuit.of_gates 3 [ h 0; h 1; h 2 ] in
+  let s = Schedule.build d c in
+  check_float "parallel 1q" 80.0 s.Schedule.duration_ns
+
+let test_schedule_idle_accounting () =
+  let d = device () in
+  (* qubit 0: h at t=0..80, then cx 0 1 can only start after qubit 1's
+     longer prep? both free at 80: cx from 80..380.  Make qubit 1 idle by
+     giving qubit 0 two gates first. *)
+  let c = Circuit.of_gates 3 [ h 0; h 0; cx 0 1; h 1 ] in
+  let s = Schedule.build d c in
+  (* qubit 1's exposure starts at its first gate (cx at 160), so no idle
+     before it; busy = 300 + 80, exposure = 380 *)
+  check_float "q1 idle" 0.0 (Schedule.idle_ns s 1);
+  check_float "q0 busy" (80.0 +. 80.0 +. 300.0) s.Schedule.busy_ns.(0);
+  (* unused qubit: zero exposure *)
+  check_float "q2 exposure" 0.0 s.Schedule.exposure_ns.(2)
+
+let test_schedule_idle_gap () =
+  let d = device () in
+  (* q2 acts at t=0 (h) and then waits for cx 1 2 which waits for cx 0 1 *)
+  let c = Circuit.of_gates 3 [ h 2; cx 0 1; cx 1 2 ] in
+  let s = Schedule.build d c in
+  (* q2: h 0..80, cx 300..600 -> idle 220 *)
+  check_float "q2 idle" 220.0 (Schedule.idle_ns s 2)
+
+let test_schedule_barrier_sync () =
+  let d = device () in
+  let c = Circuit.of_gates 3 [ h 0; Gate.Barrier []; h 2 ] in
+  let s = Schedule.build d c in
+  check_float "h2 delayed by barrier" 160.0 s.Schedule.duration_ns
+
+let test_alap_same_duration_less_idle () =
+  let d = device () in
+  (* q2 acts early then waits; ALAP delays its prep *)
+  let c = Circuit.of_gates 3 [ h 2; cx 0 1; cx 1 2 ] in
+  let asap = Schedule.build d c in
+  let alap = Schedule.build_alap d c in
+  check_float "same duration" asap.Schedule.duration_ns alap.Schedule.duration_ns;
+  check "q2 idle shrinks" true
+    (Schedule.idle_ns alap 2 < Schedule.idle_ns asap 2);
+  check_float "alap q2 idle gone" 0.0 (Schedule.idle_ns alap 2);
+  check_float "busy time unchanged" asap.Schedule.busy_ns.(2)
+    alap.Schedule.busy_ns.(2)
+
+let test_alap_respects_dependencies () =
+  let d = device () in
+  let c = Circuit.of_gates 3 [ h 0; cx 0 1; cx 1 2; meas 2 ] in
+  let alap = Schedule.build_alap d c in
+  (* per-qubit op order must match program order *)
+  let starts_on q =
+    List.filter_map
+      (fun op ->
+        if List.mem q (Gate.qubits op.Schedule.gate) then
+          Some op.Schedule.start_ns
+        else None)
+      alap.Schedule.ops
+  in
+  List.iter
+    (fun q ->
+      let starts = starts_on q in
+      check "sorted starts" true (starts = List.sort compare starts))
+    [ 0; 1; 2 ];
+  check "no negative times" true
+    (List.for_all (fun op -> op.Schedule.start_ns >= -1e-9) alap.Schedule.ops)
+
+let test_alap_improves_reliability () =
+  let d = device () in
+  let c = Circuit.of_gates 3 [ h 2; cx 0 1; cx 1 2; meas 2 ] in
+  check "alap pst at least asap pst" true
+    (Reliability.pst ~alap:true d c >= Reliability.pst d c -. 1e-12)
+
+let test_schedule_rejects_wide_circuit () =
+  let d = device () in
+  check "raises" true
+    (try
+       let _ = Schedule.build d (Circuit.of_gates 5 [ h 4 ]) in
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Reliability --------------------------------------------------- *)
+
+let test_gate_success_values () =
+  let d = device () in
+  check_float "1q" 0.999 (Reliability.gate_success d (h 0));
+  check_float "cx" 0.98 (Reliability.gate_success d (cx 0 1));
+  check_float "swap" (0.95 ** 3.0) (Reliability.gate_success d (Gate.Swap (1, 2)));
+  check_float "measure" 0.97 (Reliability.gate_success d (meas 0));
+  check_float "barrier" 1.0 (Reliability.gate_success d (Gate.Barrier []))
+
+let test_gate_success_uncoupled_raises () =
+  let d = device () in
+  check "raises" true
+    (try
+       let _ = Reliability.gate_success d (cx 0 2) in
+       false
+     with Invalid_argument _ -> true)
+
+let test_analyze_product () =
+  let d = device () in
+  let c = Circuit.of_gates 3 [ h 0; cx 0 1; meas 0 ] in
+  let b = Reliability.analyze ~coherence:false d c in
+  check_float "1q" 0.999 b.Reliability.one_qubit_success;
+  check_float "2q" 0.98 b.Reliability.two_qubit_success;
+  check_float "measure" 0.97 b.Reliability.measure_success;
+  check_float "coherence off" 1.0 b.Reliability.coherence_survival;
+  check_float "pst is the product" (0.999 *. 0.98 *. 0.97) b.Reliability.pst
+
+let test_coherence_scale_monotone () =
+  let d = device () in
+  (* force an idle window on q2 *)
+  let c = Circuit.of_gates 3 [ h 2; cx 0 1; cx 1 2 ] in
+  let low = Reliability.pst ~coherence_scale:0.01 d c in
+  let high = Reliability.pst ~coherence_scale:1.0 d c in
+  check "more coherence weight, less PST" true (high < low);
+  let off = Reliability.pst ~coherence:false d c in
+  check "coherence only hurts" true (low <= off)
+
+let test_paper_gate_vs_coherence_regime () =
+  (* Section 4.4: gate errors are ~16x more likely to fail a bv-20 trial
+     than coherence errors; pin the default scale to that ballpark on the
+     simulated Q20. *)
+  let ctx = Vqc_experiments.Context.default in
+  let q20 = ctx.Vqc_experiments.Context.q20 in
+  let circuit = (Vqc_workloads.Catalog.find "bv-20").Vqc_workloads.Catalog.circuit in
+  let compiled =
+    Vqc_mapper.Compiler.compile q20 Vqc_mapper.Compiler.baseline circuit
+  in
+  let b = Reliability.analyze q20 compiled.Vqc_mapper.Compiler.physical in
+  let gate_failure =
+    1.0
+    -. (b.Reliability.one_qubit_success *. b.Reliability.two_qubit_success
+      *. b.Reliability.measure_success)
+  in
+  let coherence_failure = 1.0 -. b.Reliability.coherence_survival in
+  let ratio = gate_failure /. coherence_failure in
+  check "gate errors dominate" true (ratio > 6.0 && ratio < 60.0)
+
+(* ---- Monte-Carlo --------------------------------------------------- *)
+
+let test_monte_carlo_matches_analytic () =
+  let d = device () in
+  let c = Circuit.of_gates 3 [ h 0; cx 0 1; cx 1 2; meas 0; meas 1; meas 2 ] in
+  let analytic = Reliability.pst d c in
+  let mc = Monte_carlo.run ~trials:100_000 (Rng.make 5) d c in
+  check "within 4 sigma" true
+    (Float.abs (mc.Monte_carlo.pst -. analytic) < 4.0 *. (mc.Monte_carlo.ci95 /. 1.96) +. 1e-6)
+
+let test_monte_carlo_perfect_device () =
+  let perfect = device ~e01:0.0 ~e12:0.0 () in
+  (* zero out the qubit errors too *)
+  let calibration = Device.calibration perfect in
+  for q = 0 to 2 do
+    Calibration.set_qubit calibration q
+      { Calibration.t1_us = 1e9; t2_us = 1e9; error_1q = 0.0; error_readout = 0.0 }
+  done;
+  let c = Circuit.of_gates 3 [ h 0; cx 0 1; meas 0 ] in
+  let mc = Monte_carlo.run ~trials:1_000 (Rng.make 1) perfect c in
+  check_float "all trials succeed" 1.0 mc.Monte_carlo.pst
+
+let test_monte_carlo_determinism () =
+  let d = device () in
+  let c = Circuit.of_gates 3 [ cx 0 1; cx 1 2 ] in
+  let a = Monte_carlo.run ~trials:10_000 (Rng.make 3) d c in
+  let b = Monte_carlo.run ~trials:10_000 (Rng.make 3) d c in
+  check "same seed same estimate" true
+    (a.Monte_carlo.successes = b.Monte_carlo.successes)
+
+let test_monte_carlo_rejects_bad_trials () =
+  let d = device () in
+  check "raises" true
+    (try
+       let _ = Monte_carlo.run ~trials:0 (Rng.make 1) d (Circuit.create 3) in
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Budget --------------------------------------------------------- *)
+
+module Budget = Vqc_sim.Budget
+
+let test_budget_sums_to_log_pst () =
+  let d = device () in
+  let c = Circuit.of_gates 3 [ h 0; cx 0 1; cx 1 2; meas 0; meas 2 ] in
+  let lines = Budget.analyze d c in
+  let total = Budget.total_log_failure lines in
+  check "total equals -log PST" true
+    (Float.abs (total +. log (Reliability.pst d c)) < 1e-9);
+  let share_sum = List.fold_left (fun acc l -> acc +. l.Budget.share) 0.0 lines in
+  check "shares sum to 1" true (Float.abs (share_sum -. 1.0) < 1e-9)
+
+let test_budget_ranks_weak_link_first () =
+  let d = device ~e01:0.01 ~e12:0.20 () in
+  let c = Circuit.of_gates 3 [ cx 0 1; cx 1 2 ] in
+  match Budget.analyze ~coherence:false d c with
+  | { Budget.resource = Budget.Link (1, 2); uses = 1; _ } :: _ -> ()
+  | other ->
+    Alcotest.failf "weak link not ranked first (%d lines)" (List.length other)
+
+let test_budget_attributes_swaps_to_links () =
+  let d = device () in
+  let c = Circuit.of_gates 3 [ Gate.Swap (0, 1) ] in
+  match Budget.analyze ~coherence:false d c with
+  | [ { Budget.resource = Budget.Link (0, 1); log_failure; _ } ] ->
+    check "swap = 3 cnots worth" true
+      (Float.abs (log_failure +. (3.0 *. log 0.98)) < 1e-9)
+  | other -> Alcotest.failf "unexpected budget (%d lines)" (List.length other)
+
+(* ---- Crosstalk ----------------------------------------------------- *)
+
+module Crosstalk = Vqc_sim.Crosstalk
+
+let test_crosstalk_serial_circuit_unaffected () =
+  (* a fully serial circuit has no simultaneous 2q gates *)
+  let d = device () in
+  let c = Circuit.of_gates 3 [ cx 0 1; cx 1 2; cx 0 1 ] in
+  let schedule = Schedule.build d c in
+  List.iter
+    (fun (_, factor) -> check_float "factor 1" 1.0 factor)
+    (Crosstalk.inflation_factors d schedule);
+  check_float "pst unchanged" (Reliability.pst d c) (Crosstalk.pst d c)
+
+let test_crosstalk_parallel_adjacent_gates_inflate () =
+  (* 4-qubit line: cx 0-1 and cx 2-3 run simultaneously on adjacent
+     couplers (1-2 connects them) *)
+  let cal = Calibration.create 4 in
+  List.iter
+    (fun (u, v) -> Calibration.set_link_error cal u v 0.05)
+    [ (0, 1); (1, 2); (2, 3) ];
+  let d = Device.make ~name:"line4" ~coupling:[ (0, 1); (1, 2); (2, 3) ] cal in
+  let c = Circuit.of_gates 4 [ cx 0 1; cx 2 3 ] in
+  let schedule = Schedule.build d c in
+  List.iter
+    (fun (_, factor) ->
+      check_float "one neighbour each" (1.0 +. Crosstalk.default_strength)
+        factor)
+    (Crosstalk.inflation_factors d schedule);
+  check "pst drops under crosstalk" true (Crosstalk.pst d c < Reliability.pst d c);
+  check_float "strength zero is the base model" (Reliability.pst d c)
+    (Crosstalk.pst ~strength:0.0 d c)
+
+let test_crosstalk_distant_gates_unaffected () =
+  (* 6-qubit line: cx 0-1 and cx 4-5 are far apart *)
+  let cal = Calibration.create 6 in
+  List.iter
+    (fun (u, v) -> Calibration.set_link_error cal u v 0.05)
+    [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5) ];
+  let d =
+    Device.make ~name:"line6"
+      ~coupling:[ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5) ]
+      cal
+  in
+  let c = Circuit.of_gates 6 [ cx 0 1; cx 4 5 ] in
+  check_float "no interference" (Reliability.pst d c) (Crosstalk.pst d c)
+
+let test_crosstalk_monte_carlo_agrees () =
+  let cal = Calibration.create 4 in
+  List.iter
+    (fun (u, v) -> Calibration.set_link_error cal u v 0.05)
+    [ (0, 1); (1, 2); (2, 3) ];
+  let d = Device.make ~name:"line4" ~coupling:[ (0, 1); (1, 2); (2, 3) ] cal in
+  let c = Circuit.of_gates 4 [ cx 0 1; cx 2 3; meas 0; meas 2 ] in
+  let analytic = Crosstalk.pst ~strength:1.0 d c in
+  let mc =
+    Monte_carlo.run ~crosstalk_strength:1.0 ~trials:100_000 (Rng.make 7) d c
+  in
+  check "mc within 4 sigma of crosstalk analytic" true
+    (Float.abs (mc.Monte_carlo.pst -. analytic)
+    < (4.0 *. (mc.Monte_carlo.ci95 /. 1.96)) +. 1e-6)
+
+(* ---- Metrics ------------------------------------------------------- *)
+
+let test_relative () =
+  check_float "ratio" 2.0 (Metrics.relative ~baseline:0.2 0.4);
+  check "zero baseline raises" true
+    (try
+       let _ = Metrics.relative ~baseline:0.0 1.0 in
+       false
+     with Invalid_argument _ -> true)
+
+let test_geomean () =
+  check_float "geomean" 2.0 (Metrics.geomean [ 1.0; 2.0; 4.0 ]);
+  check_float "singleton" 3.0 (Metrics.geomean [ 3.0 ]);
+  let raises f = try f () |> ignore; false with Invalid_argument _ -> true in
+  check "empty raises" true (raises (fun () -> Metrics.geomean []));
+  check "non-positive raises" true (raises (fun () -> Metrics.geomean [ 1.0; 0.0 ]))
+
+let test_stpt () =
+  (* PST 0.5, duration 1 ms -> 500 successful trials per second *)
+  check_float "stpt" 500.0 (Metrics.stpt ~pst:0.5 ~duration_ns:1e6);
+  check_float "concurrent adds"
+    (500.0 +. 250.0)
+    (Metrics.stpt_concurrent [ (0.5, 1e6); (0.25, 1e6) ])
+
+let () =
+  Alcotest.run "vqc_sim"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "durations" `Quick test_gate_durations;
+          Alcotest.test_case "serializes deps" `Quick
+            test_schedule_serializes_dependencies;
+          Alcotest.test_case "parallelism" `Quick test_schedule_parallelism;
+          Alcotest.test_case "idle accounting" `Quick test_schedule_idle_accounting;
+          Alcotest.test_case "idle gap" `Quick test_schedule_idle_gap;
+          Alcotest.test_case "barrier sync" `Quick test_schedule_barrier_sync;
+          Alcotest.test_case "alap idle" `Quick test_alap_same_duration_less_idle;
+          Alcotest.test_case "alap dependencies" `Quick
+            test_alap_respects_dependencies;
+          Alcotest.test_case "alap reliability" `Quick
+            test_alap_improves_reliability;
+          Alcotest.test_case "wide circuit" `Quick
+            test_schedule_rejects_wide_circuit;
+        ] );
+      ( "reliability",
+        [
+          Alcotest.test_case "gate success" `Quick test_gate_success_values;
+          Alcotest.test_case "uncoupled cx" `Quick
+            test_gate_success_uncoupled_raises;
+          Alcotest.test_case "analytic product" `Quick test_analyze_product;
+          Alcotest.test_case "coherence scale" `Quick test_coherence_scale_monotone;
+          Alcotest.test_case "paper regime" `Slow
+            test_paper_gate_vs_coherence_regime;
+        ] );
+      ( "monte-carlo",
+        [
+          Alcotest.test_case "matches analytic" `Slow
+            test_monte_carlo_matches_analytic;
+          Alcotest.test_case "perfect device" `Quick test_monte_carlo_perfect_device;
+          Alcotest.test_case "determinism" `Quick test_monte_carlo_determinism;
+          Alcotest.test_case "bad trials" `Quick test_monte_carlo_rejects_bad_trials;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "sums to -log PST" `Quick test_budget_sums_to_log_pst;
+          Alcotest.test_case "ranks weak link" `Quick
+            test_budget_ranks_weak_link_first;
+          Alcotest.test_case "swap attribution" `Quick
+            test_budget_attributes_swaps_to_links;
+        ] );
+      ( "crosstalk",
+        [
+          Alcotest.test_case "serial unaffected" `Quick
+            test_crosstalk_serial_circuit_unaffected;
+          Alcotest.test_case "parallel adjacent inflates" `Quick
+            test_crosstalk_parallel_adjacent_gates_inflate;
+          Alcotest.test_case "distant unaffected" `Quick
+            test_crosstalk_distant_gates_unaffected;
+          Alcotest.test_case "monte-carlo agrees" `Slow
+            test_crosstalk_monte_carlo_agrees;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "relative" `Quick test_relative;
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "stpt" `Quick test_stpt;
+        ] );
+    ]

@@ -1,0 +1,416 @@
+(* Tests for the ideal state-vector simulator, plus the end-to-end
+   functional checks it enables: a compiled circuit must compute the same
+   classical outcome distribution as its source program. *)
+
+module Gate = Vqc_circuit.Gate
+module Circuit = Vqc_circuit.Circuit
+module Sv = Vqc_statevector.Statevector
+module Compiler = Vqc_mapper.Compiler
+module Calibration_model = Vqc_device.Calibration_model
+module Catalog = Vqc_workloads.Catalog
+module Rng = Vqc_rng.Rng
+
+let check = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let cx c t = Gate.Cnot { control = c; target = t }
+let h q = Gate.One_qubit (Gate.H, q)
+let x q = Gate.One_qubit (Gate.X, q)
+let meas q = Gate.Measure { qubit = q; cbit = q }
+
+(* ---- elementary states ---------------------------------------------- *)
+
+let test_init_is_ground_state () =
+  let s = Sv.init 3 in
+  check_float "p(|000>)" 1.0 (Sv.probability s 0);
+  check_float "norm" 1.0 (Sv.norm s);
+  check "rejects huge registers" true
+    (try
+       let _ = Sv.init 30 in
+       false
+     with Invalid_argument _ -> true)
+
+let test_x_flips () =
+  let s = Sv.init 2 in
+  Sv.apply_gate s (x 1);
+  check_float "p(|10>)" 1.0 (Sv.probability s 0b10)
+
+let test_h_superposition () =
+  let s = Sv.init 1 in
+  Sv.apply_gate s (h 0);
+  check_float "p(0)" 0.5 (Sv.probability s 0);
+  check_float "p(1)" 0.5 (Sv.probability s 1)
+
+let test_h_squared_is_identity () =
+  let s = Sv.init 1 in
+  Sv.apply_gate s (h 0);
+  Sv.apply_gate s (h 0);
+  check_float "back to |0>" 1.0 (Sv.probability s 0)
+
+let test_bell_state () =
+  let s = Sv.init 2 in
+  Sv.apply_gate s (h 0);
+  Sv.apply_gate s (cx 0 1);
+  check_float "p(00)" 0.5 (Sv.probability s 0b00);
+  check_float "p(11)" 0.5 (Sv.probability s 0b11);
+  check_float "p(01)" 0.0 (Sv.probability s 0b01)
+
+let test_swap_moves_amplitude () =
+  let s = Sv.init 2 in
+  Sv.apply_gate s (x 0);
+  Sv.apply_gate s (Gate.Swap (0, 1));
+  check_float "p(|10>)" 1.0 (Sv.probability s 0b10)
+
+let test_swap_equals_three_cnots () =
+  let direct = Sv.init 3 in
+  Sv.apply_gate direct (h 0);
+  Sv.apply_gate direct (Gate.One_qubit (Gate.T, 1));
+  Sv.apply_gate direct (x 1);
+  Sv.apply_gate direct (Gate.Swap (0, 1));
+  let expanded = Sv.init 3 in
+  Sv.apply_gate expanded (h 0);
+  Sv.apply_gate expanded (Gate.One_qubit (Gate.T, 1));
+  Sv.apply_gate expanded (x 1);
+  Sv.apply_gate expanded (cx 0 1);
+  Sv.apply_gate expanded (cx 1 0);
+  Sv.apply_gate expanded (cx 0 1);
+  for basis = 0 to 7 do
+    check_float "amplitudes agree"
+      (Sv.probability direct basis)
+      (Sv.probability expanded basis)
+  done
+
+let test_rotation_identities () =
+  (* Rz(pi) = Z up to global phase; check probabilities after H *)
+  let with_gates gates =
+    let s = Sv.init 1 in
+    List.iter (Sv.apply_gate s) gates;
+    Sv.probabilities s
+  in
+  let a = with_gates [ h 0; Gate.One_qubit (Gate.Rz Float.pi, 0); h 0 ] in
+  let b = with_gates [ h 0; Gate.One_qubit (Gate.Z, 0); h 0 ] in
+  Array.iteri (fun i p -> check_float "rz(pi) ~ z" p b.(i)) a;
+  (* S = T^2 *)
+  let s1 = with_gates [ h 0; Gate.One_qubit (Gate.S, 0); h 0 ] in
+  let t2 = with_gates [ h 0; Gate.One_qubit (Gate.T, 0); Gate.One_qubit (Gate.T, 0); h 0 ] in
+  Array.iteri (fun i p -> check_float "s = t^2" p t2.(i)) s1
+
+let test_unitarity_preserves_norm () =
+  let rng = Rng.make 5 in
+  let s = Sv.init 4 in
+  for _ = 1 to 50 do
+    let q = Rng.int rng 4 in
+    let other = (q + 1 + Rng.int rng 3) mod 4 in
+    let gate =
+      match Rng.int rng 5 with
+      | 0 -> h q
+      | 1 -> Gate.One_qubit (Gate.Rz (Rng.uniform rng (-3.0) 3.0), q)
+      | 2 -> Gate.One_qubit (Gate.Ry (Rng.uniform rng (-3.0) 3.0), q)
+      | 3 -> cx q other
+      | _ -> Gate.Swap (q, other)
+    in
+    Sv.apply_gate s gate
+  done;
+  check "norm stays 1" true (Float.abs (Sv.norm s -. 1.0) < 1e-9)
+
+(* ---- measurement distributions -------------------------------------- *)
+
+let test_ghz_distribution () =
+  let circuit = Vqc_workloads.Ghz.circuit 3 in
+  match Sv.measurement_distribution circuit with
+  | [ (0b000, p0); (0b111, p1) ] ->
+    check_float "p(000)" 0.5 p0;
+    check_float "p(111)" 0.5 p1
+  | other ->
+    Alcotest.failf "unexpected GHZ distribution (%d entries)"
+      (List.length other)
+
+let test_bv_recovers_secret () =
+  (* Bernstein-Vazirani is deterministic: the data register reads the
+     secret with probability 1 *)
+  let secret = 0b1011 in
+  let circuit = Vqc_workloads.Bv.circuit ~secret 6 in
+  match Sv.measurement_distribution circuit with
+  | [ (outcome, p) ] ->
+    check_float "deterministic" 1.0 p;
+    Alcotest.(check int) "reads the secret" secret outcome
+  | other ->
+    Alcotest.failf "BV should be deterministic, got %d outcomes"
+      (List.length other)
+
+let test_triswap_rotates () =
+  (* excitation on qubit 0; swap(0,1) moves it to 1, swap(1,2) to 2,
+     swap(0,2) back to 0 *)
+  match Sv.measurement_distribution Vqc_workloads.Triswap.circuit with
+  | [ (outcome, p) ] ->
+    check_float "deterministic" 1.0 p;
+    Alcotest.(check int) "excitation returns to qubit 0" 0b001 outcome
+  | other ->
+    Alcotest.failf "TriSwap should be deterministic, got %d outcomes"
+      (List.length other)
+
+(* ---- extended-suite kernels (functional correctness) ----------------- *)
+
+let test_deutsch_jozsa_distinguishes () =
+  (match Sv.measurement_distribution (Vqc_workloads.Dj.circuit Vqc_workloads.Dj.Constant 5) with
+  | [ (0, p) ] -> check_float "constant reads zero" 1.0 p
+  | _ -> Alcotest.fail "constant oracle should be deterministic zero");
+  match
+    Sv.measurement_distribution
+      (Vqc_workloads.Dj.circuit (Vqc_workloads.Dj.Balanced 0b0110) 5)
+  with
+  | [ (outcome, p) ] ->
+    check_float "balanced deterministic" 1.0 p;
+    check "balanced reads non-zero" true (outcome <> 0);
+    Alcotest.(check int) "reads the mask" 0b0110 outcome
+  | _ -> Alcotest.fail "balanced oracle should be deterministic"
+
+let test_grover_finds_marked () =
+  (* 2 qubits: exact; 3 qubits: ~94.5% after two iterations *)
+  List.iter
+    (fun marked ->
+      let outcomes =
+        Sv.measurement_distribution (Vqc_workloads.Grover.circuit ~marked 2)
+      in
+      let p = Option.value (List.assoc_opt marked outcomes) ~default:0.0 in
+      check "2-qubit grover exact" true (Float.abs (p -. 1.0) < 1e-9))
+    [ 0b00; 0b01; 0b10; 0b11 ];
+  let outcomes =
+    Sv.measurement_distribution (Vqc_workloads.Grover.circuit ~marked:0b101 3)
+  in
+  let p = Option.value (List.assoc_opt 0b101 outcomes) ~default:0.0 in
+  check "3-qubit grover amplifies" true (p > 0.9)
+
+let test_wstate_uniform_one_hot () =
+  let n = 5 in
+  let outcomes = Sv.measurement_distribution (Vqc_workloads.Wstate.circuit n) in
+  Alcotest.(check int) "n outcomes" n (List.length outcomes);
+  List.iter
+    (fun (outcome, p) ->
+      check "one-hot" true
+        (outcome > 0 && outcome land (outcome - 1) = 0);
+      check_float "uniform" (1.0 /. float_of_int n) p)
+    outcomes
+
+let test_qaoa_structure () =
+  let module Circuit = Vqc_circuit.Circuit in
+  let c = Vqc_workloads.Qaoa.ring_maxcut ~layers:2 6 in
+  let s = Circuit.stats c in
+  (* 2 layers x 6 ring edges x 2 CNOTs *)
+  Alcotest.(check int) "cx count" 24 s.Circuit.cnot_gates;
+  check "valid distribution" true
+    (let outcomes = Sv.measurement_distribution c in
+     let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 outcomes in
+     Float.abs (total -. 1.0) < 1e-9)
+
+let test_distribution_distance () =
+  let a = [ (0, 0.5); (3, 0.5) ] in
+  check_float "identical" 0.0 (Sv.distribution_distance a a);
+  check_float "disjoint" 1.0
+    (Sv.distribution_distance a [ (1, 0.5); (2, 0.5) ]);
+  check_float "half-overlap" 0.5
+    (Sv.distribution_distance a [ (0, 0.5); (2, 0.5) ])
+
+let test_sampling_matches_distribution () =
+  let circuit = Vqc_workloads.Ghz.circuit 2 in
+  let samples = Sv.sample (Rng.make 3) circuit ~trials:10_000 in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 samples in
+  Alcotest.(check int) "all trials counted" 10_000 total;
+  List.iter
+    (fun (outcome, count) ->
+      check "only 00 and 11" true (outcome = 0b00 || outcome = 0b11);
+      check "roughly half" true (abs (count - 5000) < 300))
+    samples
+
+let test_double_write_rejected () =
+  let circuit =
+    Circuit.of_gates 2
+      [ Gate.Measure { qubit = 0; cbit = 0 }; Gate.Measure { qubit = 1; cbit = 0 } ]
+  in
+  check "raises" true
+    (try
+       let _ = Sv.measurement_distribution circuit in
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- end-to-end compiler correctness --------------------------------- *)
+
+(* The compiled circuit (on the device's physical qubits, SWAPs inserted,
+   measurements rewired) must produce exactly the source program's
+   classical outcome distribution under ideal execution. *)
+let assert_functionally_equivalent device policy circuit =
+  let compiled = Compiler.compile device policy circuit in
+  let source = Sv.measurement_distribution circuit in
+  let routed = Sv.measurement_distribution compiled.Compiler.physical in
+  let distance = Sv.distribution_distance source routed in
+  check "compiled circuit computes the same function" true (distance < 1e-9)
+
+let test_compiled_bv_still_finds_secret () =
+  let device = Calibration_model.ibm_q5 ~seed:21 in
+  let circuit = Vqc_workloads.Bv.circuit ~secret:0b101 4 in
+  List.iter
+    (fun policy -> assert_functionally_equivalent device policy circuit)
+    [
+      Compiler.baseline; Compiler.vqm; Compiler.vqa_vqm;
+      Compiler.native ~seed:1; Compiler.sabre; Compiler.noise_sabre;
+    ]
+
+let test_bridge_routing_is_equivalent () =
+  (* bridged CNOT execution must preserve the function; a line device
+     makes hop-2 pairs common *)
+  let device =
+    Calibration_model.uniform_device ~name:"line6"
+      ~coupling:(Vqc_device.Topologies.linear 6) 6 ~error_2q:0.03
+  in
+  List.iter
+    (fun circuit ->
+      assert_functionally_equivalent device Compiler.vqm_bridge circuit)
+    [
+      Vqc_workloads.Bv.circuit 5;
+      Vqc_workloads.Qft.circuit 4;
+      Vqc_workloads.Ghz.circuit 6;
+      Circuit.of_gates 5 [ cx 0 2; cx 2 4; cx 0 4; meas 0; meas 2; meas 4 ];
+    ]
+
+let test_bridge_emits_bridges_on_sparse_device () =
+  (* route from a pinned identity layout: entangling the two ends of a
+     3-line must bridge (no SWAPs, 4 CNOTs) instead of swapping *)
+  let module Router = Vqc_mapper.Router in
+  let module Cost = Vqc_mapper.Cost in
+  let module Layout = Vqc_mapper.Layout in
+  let device =
+    Calibration_model.uniform_device ~name:"line3"
+      ~coupling:(Vqc_device.Topologies.linear 3) 3 ~error_2q:0.03
+  in
+  let program = Circuit.of_gates 3 [ cx 0 2; meas 0; meas 2 ] in
+  let layout = Layout.identity ~programs:3 ~physicals:3 in
+  let cost = Cost.make device Cost.Reliability in
+  let routed = Router.route ~bridges:true cost layout program in
+  let stats = Circuit.stats routed.Router.circuit in
+  Alcotest.(check int) "no swaps" 0 stats.Circuit.swap_gates;
+  Alcotest.(check int) "bridge = 4 cnots" 4 stats.Circuit.cnot_gates;
+  (* and the bridged circuit computes the original function *)
+  let source = Sv.measurement_distribution program in
+  let bridged = Sv.measurement_distribution routed.Router.circuit in
+  check "bridge preserves function" true
+    (Sv.distribution_distance source bridged < 1e-9)
+
+let test_compiled_q5_suite_is_equivalent () =
+  let device = Calibration_model.ibm_q5 ~seed:21 in
+  List.iter
+    (fun (entry : Catalog.entry) ->
+      assert_functionally_equivalent device Compiler.vqa_vqm entry.Catalog.circuit)
+    Catalog.q5_suite
+
+let test_compiled_kernels_on_q20_are_equivalent () =
+  (* 16 physical qubits is 65k amplitudes: cheap.  Use a restricted Q20
+     so routed circuits stay simulable. *)
+  let ctx = Vqc_experiments.Context.default in
+  let q20 = ctx.Vqc_experiments.Context.q20 in
+  let region = [ 0; 1; 2; 3; 5; 6; 7; 8; 10; 11; 12; 13 ] in
+  let device, _ = Vqc_device.Device.restrict q20 region in
+  List.iter
+    (fun circuit ->
+      List.iter
+        (fun policy -> assert_functionally_equivalent device policy circuit)
+        [ Compiler.baseline; Compiler.vqa_vqm ])
+    [
+      Vqc_workloads.Qft.circuit 5;
+      Vqc_workloads.Bv.circuit 8;
+      Vqc_workloads.Ghz.circuit 6;
+      Vqc_workloads.Alu.adder 2;
+    ]
+
+let gen_small_program =
+  (* unitary body followed by terminal measurements (the NISQ program
+     shape the simulator's deferred-measurement readout supports) *)
+  QCheck2.Gen.(
+    let* n = int_range 2 5 in
+    let gate =
+      let* kind = int_bound 3 in
+      let* q = int_bound (n - 1) in
+      match kind with
+      | 0 -> return (h q)
+      | 1 ->
+        let* angle = float_range (-3.0) 3.0 in
+        return (Gate.One_qubit (Gate.Ry angle, q))
+      | _ ->
+        let* other = int_bound (n - 2) in
+        let t = if other >= q then other + 1 else other in
+        return (cx q t)
+    in
+    let* body = list_size (int_bound 15) gate in
+    let* measured = list_size (int_range 1 n) (int_bound (n - 1)) in
+    let readout = List.map meas (List.sort_uniq compare measured) in
+    return (Circuit.of_gates n (body @ readout)))
+
+let prop_sabre_preserves_function =
+  QCheck2.Test.make ~name:"sabre routing preserves the computed function"
+    ~count:40 gen_small_program (fun circuit ->
+      let device =
+        Calibration_model.uniform_device ~name:"line"
+          ~coupling:(Vqc_device.Topologies.linear 6) 6 ~error_2q:0.03
+      in
+      let compiled = Compiler.compile device Compiler.noise_sabre circuit in
+      let source = Sv.measurement_distribution circuit in
+      let routed = Sv.measurement_distribution compiled.Compiler.physical in
+      Sv.distribution_distance source routed < 1e-9)
+
+let prop_compilation_preserves_function =
+  QCheck2.Test.make ~name:"compilation preserves the computed function"
+    ~count:40 gen_small_program (fun circuit ->
+      let device =
+        Calibration_model.uniform_device ~name:"line"
+          ~coupling:(Vqc_device.Topologies.linear 6) 6 ~error_2q:0.03
+      in
+      let compiled = Compiler.compile device Compiler.vqa_vqm circuit in
+      let source = Sv.measurement_distribution circuit in
+      let routed = Sv.measurement_distribution compiled.Compiler.physical in
+      Sv.distribution_distance source routed < 1e-9)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "vqc_statevector"
+    [
+      ( "states",
+        [
+          Alcotest.test_case "ground state" `Quick test_init_is_ground_state;
+          Alcotest.test_case "x flips" `Quick test_x_flips;
+          Alcotest.test_case "h superposition" `Quick test_h_superposition;
+          Alcotest.test_case "h involutive" `Quick test_h_squared_is_identity;
+          Alcotest.test_case "bell state" `Quick test_bell_state;
+          Alcotest.test_case "swap" `Quick test_swap_moves_amplitude;
+          Alcotest.test_case "swap = 3 cnots" `Quick test_swap_equals_three_cnots;
+          Alcotest.test_case "rotation identities" `Quick test_rotation_identities;
+          Alcotest.test_case "unitarity" `Quick test_unitarity_preserves_norm;
+        ] );
+      ( "measurement",
+        [
+          Alcotest.test_case "ghz" `Quick test_ghz_distribution;
+          Alcotest.test_case "bv secret" `Quick test_bv_recovers_secret;
+          Alcotest.test_case "triswap" `Quick test_triswap_rotates;
+          Alcotest.test_case "deutsch-jozsa" `Quick test_deutsch_jozsa_distinguishes;
+          Alcotest.test_case "grover" `Quick test_grover_finds_marked;
+          Alcotest.test_case "w-state" `Quick test_wstate_uniform_one_hot;
+          Alcotest.test_case "qaoa" `Quick test_qaoa_structure;
+          Alcotest.test_case "distance" `Quick test_distribution_distance;
+          Alcotest.test_case "sampling" `Slow test_sampling_matches_distribution;
+          Alcotest.test_case "double write" `Quick test_double_write_rejected;
+        ] );
+      ( "compiler equivalence",
+        [
+          Alcotest.test_case "bv finds secret after routing" `Quick
+            test_compiled_bv_still_finds_secret;
+          Alcotest.test_case "bridge routing" `Quick
+            test_bridge_routing_is_equivalent;
+          Alcotest.test_case "bridge on sparse device" `Quick
+            test_bridge_emits_bridges_on_sparse_device;
+          Alcotest.test_case "q5 suite" `Quick test_compiled_q5_suite_is_equivalent;
+          Alcotest.test_case "q20 kernels" `Slow
+            test_compiled_kernels_on_q20_are_equivalent;
+        ]
+        @ qcheck
+            [ prop_compilation_preserves_function; prop_sabre_preserves_function ]
+      );
+    ]

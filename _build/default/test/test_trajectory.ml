@@ -1,0 +1,215 @@
+(* Tests for the noisy trajectory engine. *)
+
+module Gate = Vqc_circuit.Gate
+module Circuit = Vqc_circuit.Circuit
+module Calibration = Vqc_device.Calibration
+module Device = Vqc_device.Device
+module Sv = Vqc_statevector.Statevector
+module Trajectory = Vqc_statevector.Trajectory
+module Reliability = Vqc_sim.Reliability
+module Compiler = Vqc_mapper.Compiler
+module Rng = Vqc_rng.Rng
+
+let check = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let cx c t = Gate.Cnot { control = c; target = t }
+let h q = Gate.One_qubit (Gate.H, q)
+let meas q = Gate.Measure { qubit = q; cbit = q }
+
+let noiseless_device n coupling =
+  let c = Calibration.create n in
+  for q = 0 to n - 1 do
+    Calibration.set_qubit c q
+      { Calibration.t1_us = 1e9; t2_us = 1e9; error_1q = 0.0; error_readout = 0.0 }
+  done;
+  List.iter (fun (u, v) -> Calibration.set_link_error c u v 0.0) coupling;
+  Device.make ~name:"noiseless" ~coupling c
+
+let noisy_device () =
+  let coupling = [ (0, 1); (1, 2) ] in
+  let c = Calibration.create 3 in
+  for q = 0 to 2 do
+    Calibration.set_qubit c q
+      { Calibration.t1_us = 80.; t2_us = 40.; error_1q = 0.002; error_readout = 0.03 }
+  done;
+  List.iter (fun (u, v) -> Calibration.set_link_error c u v 0.05) coupling;
+  Device.make ~name:"noisy3" ~coupling c
+
+let test_noiseless_matches_ideal () =
+  let device = noiseless_device 3 [ (0, 1); (1, 2) ] in
+  let circuit = Vqc_workloads.Ghz.circuit 3 in
+  let histogram = Trajectory.run ~trials:4000 (Rng.make 1) device circuit in
+  let ideal = Sv.measurement_distribution circuit in
+  check "tv small" true (Trajectory.total_variation ~ideal histogram < 0.03);
+  List.iter
+    (fun (outcome, _) -> check "only ideal outcomes" true (outcome = 0 || outcome = 7))
+    histogram
+
+let test_histogram_accounting () =
+  let device = noisy_device () in
+  let circuit = Circuit.of_gates 3 [ h 0; cx 0 1; meas 0; meas 1 ] in
+  let histogram = Trajectory.run ~trials:5000 (Rng.make 2) device circuit in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 histogram in
+  Alcotest.(check int) "all trials counted" 5000 total;
+  let freqs = Trajectory.frequencies histogram in
+  check_float "frequencies normalized" 1.0
+    (List.fold_left (fun acc (_, p) -> acc +. p) 0.0 freqs)
+
+let test_noise_degrades_but_respects_pst_bound () =
+  (* P(correct outcome) >= PST: the trials that survive error-free always
+     report an ideal outcome *)
+  let device = noisy_device () in
+  let circuit =
+    Circuit.of_gates 3 [ Gate.One_qubit (Gate.X, 0); cx 0 1; meas 0; meas 1 ]
+  in
+  (* ideal outcome is deterministic: 0b11 *)
+  let ideal = Sv.measurement_distribution circuit in
+  let histogram = Trajectory.run ~trials:20_000 (Rng.make 3) device circuit in
+  let accuracy = Trajectory.top_outcome_accuracy ~ideal histogram in
+  let pst = Reliability.pst device circuit in
+  check "noise visible" true (accuracy < 0.999);
+  check "accuracy at least PST" true (accuracy >= pst -. 0.02)
+
+let test_readout_errors_flip_bits () =
+  (* only readout noise: |0> should misread roughly 10% of the time *)
+  let c = Calibration.create 1 in
+  Calibration.set_qubit c 0
+    { Calibration.t1_us = 1e9; t2_us = 1e9; error_1q = 0.0; error_readout = 0.10 };
+  let device = Device.make ~name:"ro" ~coupling:[] c in
+  let circuit = Circuit.of_gates 1 [ meas 0 ] in
+  let histogram = Trajectory.run ~trials:20_000 (Rng.make 4) device circuit in
+  let ones = Option.value (List.assoc_opt 1 histogram) ~default:0 in
+  let rate = float_of_int ones /. 20_000.0 in
+  check "flip rate near 10%" true (Float.abs (rate -. 0.10) < 0.01)
+
+let test_determinism () =
+  let device = noisy_device () in
+  let circuit = Vqc_workloads.Ghz.circuit 3 in
+  let a = Trajectory.run ~trials:2000 (Rng.make 9) device circuit in
+  let b = Trajectory.run ~trials:2000 (Rng.make 9) device circuit in
+  check "same seed same histogram" true (a = b)
+
+let test_policies_improve_observed_accuracy () =
+  (* end to end: on the Q5 model, VQA+VQM's compiled TriSwap returns the
+     right answer more often than the baseline's *)
+  let device = Vqc_device.Calibration_model.ibm_q5 ~seed:21 in
+  let circuit = Vqc_workloads.Triswap.circuit in
+  let ideal = Sv.measurement_distribution circuit in
+  let accuracy policy seed =
+    let compiled = Compiler.compile device policy circuit in
+    let histogram =
+      Trajectory.run ~trials:20_000 (Rng.make seed) device
+        compiled.Compiler.physical
+    in
+    Trajectory.top_outcome_accuracy ~ideal histogram
+  in
+  let base = accuracy Compiler.baseline 5 in
+  let best = accuracy Compiler.vqa_vqm 5 in
+  check "variation-aware answers more often correctly" true (best > base)
+
+let test_support_accuracy_bounds_pst () =
+  (* GHZ's ideal support has two outcomes; support accuracy must
+     lower-bound at PST while top-outcome accuracy caps near 0.5 *)
+  let device = noisy_device () in
+  let circuit = Vqc_workloads.Ghz.circuit 3 in
+  let ideal = Sv.measurement_distribution circuit in
+  let histogram = Trajectory.run ~trials:20_000 (Rng.make 6) device circuit in
+  let support = Trajectory.support_accuracy ~ideal histogram in
+  let top = Trajectory.top_outcome_accuracy ~ideal histogram in
+  let pst = Reliability.pst device circuit in
+  check "support >= PST" true (support >= pst -. 0.02);
+  check "top outcome near half of support" true
+    (Float.abs (top -. (support /. 2.0)) < 0.05)
+
+(* ---- readout mitigation --------------------------------------------- *)
+
+module Mitigation = Vqc_statevector.Mitigation
+
+let readout_only_device r =
+  let c = Calibration.create 2 in
+  for q = 0 to 1 do
+    Calibration.set_qubit c q
+      { Calibration.t1_us = 1e9; t2_us = 1e9; error_1q = 0.0; error_readout = r }
+  done;
+  Calibration.set_link_error c 0 1 0.0;
+  Device.make ~name:"ro2" ~coupling:[ (0, 1) ] c
+
+let test_mitigation_inverts_exact_confusion () =
+  (* exact distribution through the confusion channel, then corrected:
+     must recover the ideal exactly *)
+  let device = readout_only_device 0.08 in
+  let circuit = Vqc_workloads.Ghz.circuit 2 in
+  let ideal = Sv.measurement_distribution circuit in
+  let noisy =
+    Vqc_statevector.Density.noisy_measurement_distribution device circuit
+  in
+  check "confusion visible" true (Sv.distribution_distance ideal noisy > 0.05);
+  let corrected = Mitigation.correct ~clip:false device circuit noisy in
+  check "exactly recovered" true
+    (Sv.distribution_distance ideal corrected < 1e-9)
+
+let test_mitigation_improves_sampled_histogram () =
+  let device = readout_only_device 0.10 in
+  let circuit = Vqc_workloads.Ghz.circuit 2 in
+  let ideal = Sv.measurement_distribution circuit in
+  let histogram = Trajectory.run ~trials:40_000 (Rng.make 8) device circuit in
+  let raw_distance =
+    Sv.distribution_distance ideal (Trajectory.frequencies histogram)
+  in
+  let corrected = Mitigation.correct_histogram device circuit histogram in
+  let corrected_distance = Sv.distribution_distance ideal corrected in
+  check "mitigation shrinks the distance" true
+    (corrected_distance < raw_distance /. 3.0);
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 corrected in
+  check "normalized after clipping" true (Float.abs (total -. 1.0) < 1e-9)
+
+let test_mitigation_rejects_singular_confusion () =
+  let device = readout_only_device 0.5 in
+  let circuit = Vqc_workloads.Ghz.circuit 2 in
+  check "raises at r = 1/2" true
+    (try
+       let _ = Mitigation.correct device circuit [ (0, 1.0) ] in
+       false
+     with Invalid_argument _ -> true)
+
+let test_rejects_bad_inputs () =
+  let device = noisy_device () in
+  let raises f = try f () |> ignore; false with Invalid_argument _ -> true in
+  check "zero trials" true
+    (raises (fun () ->
+         Trajectory.run ~trials:0 (Rng.make 1) device (Circuit.create 2)));
+  check "too wide" true
+    (raises (fun () ->
+         Trajectory.run ~trials:10 (Rng.make 1) device (Circuit.create 9)))
+
+let () =
+  Alcotest.run "vqc_trajectory"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "noiseless = ideal" `Quick test_noiseless_matches_ideal;
+          Alcotest.test_case "histogram accounting" `Quick test_histogram_accounting;
+          Alcotest.test_case "PST lower-bounds accuracy" `Slow
+            test_noise_degrades_but_respects_pst_bound;
+          Alcotest.test_case "readout flips" `Slow test_readout_errors_flip_bits;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "support accuracy" `Slow
+            test_support_accuracy_bounds_pst;
+          Alcotest.test_case "rejects bad inputs" `Quick test_rejects_bad_inputs;
+        ] );
+      ( "mitigation",
+        [
+          Alcotest.test_case "exact inversion" `Quick
+            test_mitigation_inverts_exact_confusion;
+          Alcotest.test_case "sampled improvement" `Slow
+            test_mitigation_improves_sampled_histogram;
+          Alcotest.test_case "singular confusion" `Quick
+            test_mitigation_rejects_singular_confusion;
+        ] );
+      ( "end to end",
+        [
+          Alcotest.test_case "policies improve accuracy" `Slow
+            test_policies_improve_observed_accuracy;
+        ] );
+    ]

@@ -1,0 +1,312 @@
+(* Tests for the benchmark kernels: structure, entanglement patterns and
+   catalog consistency. *)
+
+module Gate = Vqc_circuit.Gate
+module Circuit = Vqc_circuit.Circuit
+module Catalog = Vqc_workloads.Catalog
+module Bv = Vqc_workloads.Bv
+module Qft = Vqc_workloads.Qft
+module Alu = Vqc_workloads.Alu
+module Ghz = Vqc_workloads.Ghz
+module Rnd = Vqc_workloads.Rnd
+module Triswap = Vqc_workloads.Triswap
+module Stdgates = Vqc_workloads.Stdgates
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- Stdgates ------------------------------------------------------ *)
+
+let test_toffoli_expansion () =
+  let gates = Stdgates.toffoli 0 1 2 in
+  let cx_count =
+    List.length (List.filter (function Gate.Cnot _ -> true | _ -> false) gates)
+  in
+  check_int "6 CNOTs" 6 cx_count;
+  check_int "15 gates" 15 (List.length gates);
+  check "distinct operands required" true
+    (try
+       let _ = Stdgates.toffoli 0 0 2 in
+       false
+     with Invalid_argument _ -> true)
+
+let test_cphase_expansion () =
+  let gates = Stdgates.cphase 0.5 0 1 in
+  let cx_count =
+    List.length (List.filter (function Gate.Cnot _ -> true | _ -> false) gates)
+  in
+  check_int "2 CNOTs" 2 cx_count;
+  check_int "5 gates" 5 (List.length gates)
+
+(* ---- Bernstein-Vazirani -------------------------------------------- *)
+
+let test_bv_structure () =
+  let c = Bv.circuit 16 in
+  check_int "16 qubits" 16 (Circuit.num_qubits c);
+  let s = Circuit.stats c in
+  (* all-ones secret: 15 oracle CNOTs, all into the ancilla *)
+  check_int "15 CNOTs" 15 s.Circuit.cnot_gates;
+  check_int "15 measures" 15 s.Circuit.measurements;
+  (* hub pattern: every CNOT targets the ancilla (last qubit) *)
+  List.iter
+    (fun gate ->
+      match gate with
+      | Gate.Cnot { target; _ } -> check_int "hub target" 15 target
+      | Gate.One_qubit _ | Gate.Swap _ | Gate.Measure _ | Gate.Barrier _ -> ())
+    (Circuit.gates c)
+
+let test_bv_secret_controls_oracle () =
+  let c = Bv.circuit ~secret:0b101 4 in
+  let controls =
+    List.filter_map
+      (function Gate.Cnot { control; _ } -> Some control | _ -> None)
+      (Circuit.gates c)
+  in
+  Alcotest.(check (list int)) "only secret bits" [ 0; 2 ] (List.sort compare controls)
+
+let test_bv_rejects_tiny () =
+  check "raises" true
+    (try
+       let _ = Bv.circuit 1 in
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- QFT ------------------------------------------------------------ *)
+
+let test_qft_structure () =
+  let n = 6 in
+  let c = Qft.circuit n in
+  check_int "qubits" n (Circuit.num_qubits c);
+  let s = Circuit.stats c in
+  (* n*(n-1)/2 controlled phases, 2 CNOTs each *)
+  check_int "cx count" (n * (n - 1)) s.Circuit.cnot_gates;
+  check_int "measures" n s.Circuit.measurements;
+  (* all-to-all interaction pattern *)
+  let pairs = Circuit.interaction_counts c in
+  check_int "every pair interacts" (n * (n - 1) / 2) (List.length pairs)
+
+let test_qft_instruction_count_matches_table1 () =
+  (* paper Table 1: qft-12 has 344 instructions; ours counts 354
+     (12 h + 66 cphase x 5 gates + 12 measures) *)
+  let s = Circuit.stats (Qft.circuit 12) in
+  check "within 5% of Table 1" true (abs (s.Circuit.total_gates - 344) < 20)
+
+(* ---- ALU ------------------------------------------------------------ *)
+
+let test_alu_structure () =
+  let c = Alu.circuit in
+  check_int "10 qubits" 10 (Circuit.num_qubits c);
+  let s = Circuit.stats c in
+  check "instruction count near Table 1's 299" true
+    (abs (s.Circuit.total_gates - 299) < 30);
+  check_int "measures (4 sum bits + carry)" 5 s.Circuit.measurements
+
+let test_alu_rounds_scale () =
+  let one = Circuit.stats (Alu.adder 4) in
+  let two = Circuit.stats (Alu.adder ~rounds:2 4) in
+  check "two rounds roughly doubles gates" true
+    (two.Circuit.total_gates > (2 * one.Circuit.total_gates) - 30);
+  check "raises on zero rounds" true
+    (try
+       let _ = Alu.adder ~rounds:0 2 in
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- GHZ / TriSwap --------------------------------------------------- *)
+
+let test_ghz_structure () =
+  let c = Ghz.circuit 5 in
+  let s = Circuit.stats c in
+  check_int "chain of CNOTs" 4 s.Circuit.cnot_gates;
+  check_int "one hadamard" 1 s.Circuit.one_qubit_gates;
+  check_int "all measured" 5 s.Circuit.measurements
+
+let test_triswap_structure () =
+  let s = Circuit.stats Triswap.circuit in
+  check_int "three swaps" 3 s.Circuit.swap_gates;
+  check_int "three qubits" 3 (Circuit.num_qubits Triswap.circuit)
+
+(* ---- Random kernels -------------------------------------------------- *)
+
+let test_rnd_short_distance_span () =
+  let c = Rnd.short_distance () in
+  check_int "20 qubits" 20 (Circuit.num_qubits c);
+  List.iter
+    (fun gate ->
+      match gate with
+      | Gate.Cnot { control; target } ->
+        check "span at most 2" true (abs (control - target) <= 2)
+      | Gate.One_qubit _ | Gate.Swap _ | Gate.Measure _ | Gate.Barrier _ -> ())
+    (Circuit.gates c)
+
+let test_rnd_long_distance_span () =
+  let c = Rnd.long_distance () in
+  List.iter
+    (fun gate ->
+      match gate with
+      | Gate.Cnot { control; target } ->
+        check "span at least 10" true (abs (control - target) >= 10)
+      | Gate.One_qubit _ | Gate.Swap _ | Gate.Measure _ | Gate.Barrier _ -> ())
+    (Circuit.gates c)
+
+let test_rnd_is_seeded () =
+  let a = Rnd.short_distance ~seed:4 () in
+  let b = Rnd.short_distance ~seed:4 () in
+  let c = Rnd.short_distance ~seed:5 () in
+  check "same seed same circuit" true (Circuit.equal a b);
+  check "different seed differs" true (not (Circuit.equal a c))
+
+let test_rnd_gate_budget () =
+  let c = Rnd.short_distance ~gates:50 ~qubits:10 () in
+  let s = Circuit.stats c in
+  check_int "body + measures" (50 + 10) s.Circuit.total_gates
+
+let test_rnd_rejects_impossible_filter () =
+  check "raises" true
+    (try
+       let _ =
+         Rnd.random_cnots ~seed:1 ~qubits:4 ~gates:10 ~pair_ok:(fun _ _ -> false)
+       in
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Catalog --------------------------------------------------------- *)
+
+let test_catalog_names_unique () =
+  let names = Catalog.names () in
+  check_int "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_catalog_find () =
+  let entry = Catalog.find "bv-16" in
+  check_int "16 qubits" 16 (Circuit.num_qubits entry.Catalog.circuit);
+  check "unknown raises" true
+    (try
+       let _ = Catalog.find "nope" in
+       false
+     with Not_found -> true)
+
+let test_catalog_table1_matches_paper_qubits () =
+  List.iter
+    (fun (name, qubits) ->
+      let entry = Catalog.find name in
+      check_int name qubits (Circuit.num_qubits entry.Catalog.circuit))
+    [
+      ("alu", 10); ("bv-16", 16); ("bv-20", 20); ("qft-12", 12);
+      ("qft-14", 14); ("rnd-SD", 20); ("rnd-LD", 20);
+    ]
+
+let test_catalog_suites_fit_their_devices () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      check (e.Catalog.name ^ " fits Q5") true
+        (Circuit.num_qubits e.Catalog.circuit <= 5))
+    Catalog.q5_suite;
+  List.iter
+    (fun (e : Catalog.entry) ->
+      check_int (e.Catalog.name ^ " uses 10 qubits") 10
+        (Circuit.num_qubits e.Catalog.circuit))
+    Catalog.partition_suite
+
+let test_extended_suite_shapes () =
+  List.iter
+    (fun (name, qubits) ->
+      let entry = Catalog.find name in
+      check_int name qubits (Circuit.num_qubits entry.Catalog.circuit))
+    [ ("dj-8", 8); ("grover-2", 2); ("grover-3", 3); ("w-6", 6); ("qaoa-12", 12) ]
+
+let test_dj_validation () =
+  let raises f = try f () |> ignore; false with Invalid_argument _ -> true in
+  check "tiny" true (raises (fun () -> Vqc_workloads.Dj.circuit Vqc_workloads.Dj.Constant 1));
+  check "zero mask" true
+    (raises (fun () -> Vqc_workloads.Dj.circuit (Vqc_workloads.Dj.Balanced 0) 4))
+
+let test_grover_validation () =
+  let raises f = try f () |> ignore; false with Invalid_argument _ -> true in
+  check "width" true (raises (fun () -> Vqc_workloads.Grover.circuit ~marked:0 4));
+  check "marked range" true
+    (raises (fun () -> Vqc_workloads.Grover.circuit ~marked:9 3))
+
+let test_wstate_and_qaoa_validation () =
+  let raises f = try f () |> ignore; false with Invalid_argument _ -> true in
+  check "w too small" true (raises (fun () -> Vqc_workloads.Wstate.circuit 1));
+  check "qaoa too small" true
+    (raises (fun () -> Vqc_workloads.Qaoa.ring_maxcut 2));
+  check "qaoa layers" true
+    (raises (fun () -> Vqc_workloads.Qaoa.ring_maxcut ~layers:0 5))
+
+let test_cry_and_ccz_expansions () =
+  let cx_count gates =
+    List.length (List.filter (function Gate.Cnot _ -> true | _ -> false) gates)
+  in
+  check_int "cry has 2 CNOTs" 2 (cx_count (Stdgates.cry 0.7 0 1));
+  check_int "ccz has 6 CNOTs" 6 (cx_count (Stdgates.ccz 0 1 2))
+
+let test_all_catalog_circuits_end_in_measurement () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let s = Circuit.stats e.Catalog.circuit in
+      check (e.Catalog.name ^ " measures") true (s.Circuit.measurements > 0))
+    Catalog.all
+
+let () =
+  Alcotest.run "vqc_workloads"
+    [
+      ( "stdgates",
+        [
+          Alcotest.test_case "toffoli" `Quick test_toffoli_expansion;
+          Alcotest.test_case "cphase" `Quick test_cphase_expansion;
+        ] );
+      ( "bernstein-vazirani",
+        [
+          Alcotest.test_case "structure" `Quick test_bv_structure;
+          Alcotest.test_case "secret" `Quick test_bv_secret_controls_oracle;
+          Alcotest.test_case "tiny" `Quick test_bv_rejects_tiny;
+        ] );
+      ( "qft",
+        [
+          Alcotest.test_case "structure" `Quick test_qft_structure;
+          Alcotest.test_case "table 1 size" `Quick
+            test_qft_instruction_count_matches_table1;
+        ] );
+      ( "alu",
+        [
+          Alcotest.test_case "structure" `Quick test_alu_structure;
+          Alcotest.test_case "rounds" `Quick test_alu_rounds_scale;
+        ] );
+      ( "small kernels",
+        [
+          Alcotest.test_case "ghz" `Quick test_ghz_structure;
+          Alcotest.test_case "triswap" `Quick test_triswap_structure;
+        ] );
+      ( "random",
+        [
+          Alcotest.test_case "short distance" `Quick test_rnd_short_distance_span;
+          Alcotest.test_case "long distance" `Quick test_rnd_long_distance_span;
+          Alcotest.test_case "seeded" `Quick test_rnd_is_seeded;
+          Alcotest.test_case "gate budget" `Quick test_rnd_gate_budget;
+          Alcotest.test_case "impossible filter" `Quick
+            test_rnd_rejects_impossible_filter;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "unique names" `Quick test_catalog_names_unique;
+          Alcotest.test_case "find" `Quick test_catalog_find;
+          Alcotest.test_case "table 1 qubits" `Quick
+            test_catalog_table1_matches_paper_qubits;
+          Alcotest.test_case "suites fit devices" `Quick
+            test_catalog_suites_fit_their_devices;
+          Alcotest.test_case "all measured" `Quick
+            test_all_catalog_circuits_end_in_measurement;
+        ] );
+      ( "extended suite",
+        [
+          Alcotest.test_case "shapes" `Quick test_extended_suite_shapes;
+          Alcotest.test_case "dj validation" `Quick test_dj_validation;
+          Alcotest.test_case "grover validation" `Quick test_grover_validation;
+          Alcotest.test_case "wstate/qaoa validation" `Quick
+            test_wstate_and_qaoa_validation;
+          Alcotest.test_case "cry/ccz expansions" `Quick
+            test_cry_and_ccz_expansions;
+        ] );
+    ]
