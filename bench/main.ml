@@ -42,6 +42,21 @@ let monte_carlo_test ctx trials =
            (Monte_carlo.run ~trials (Rng.make 1) device
               compiled.Compiler.physical)))
 
+(* Serial vs parallel Monte-Carlo on the same workload and seed: the
+   estimates are bit-identical by construction, so the ratio of these
+   two rows is pure engine speedup. *)
+let monte_carlo_parallel_test ctx ~jobs trials =
+  let circuit = (Catalog.find "bv-16").Catalog.circuit in
+  let device = ctx.Context.q20 in
+  let compiled = Compiler.compile device Compiler.vqa_vqm circuit in
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "monte-carlo-parallel/bv-16/%d-trials/%d-jobs"
+             trials jobs)
+    (Bechamel.Staged.stage (fun () ->
+         ignore
+           (Monte_carlo.run ~jobs ~trials (Rng.make 1) device
+              compiled.Compiler.physical)))
+
 let analytic_test ctx =
   let circuit = (Catalog.find "qft-14").Catalog.circuit in
   let device = ctx.Context.q20 in
@@ -66,6 +81,12 @@ let run_timings () =
         analytic_test ctx;
       ]
   in
+  let parallel_tests =
+    Test.make_grouped ~name:"monte-carlo-parallel"
+      (List.sort_uniq compare [ 1; 2; 4; Domain.recommended_domain_count () ]
+      |> List.map (fun jobs -> monte_carlo_parallel_test ctx ~jobs 200_000))
+  in
+  let tests = Test.make_grouped ~name:"all" [ tests; parallel_tests ] in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
   let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
   let results =

@@ -1,42 +1,66 @@
 (* Run paper-artifact reproductions by id: `vqc-experiments fig12 tab3`,
-   or everything with `vqc-experiments all`. *)
+   or everything with `vqc-experiments all`.  `--jobs N` fans the
+   requested ids across N domains via the execution engine; each
+   experiment renders into its own buffer and the buffers are printed in
+   request order, so stdout is byte-identical for every N. *)
 
 module Registry = Vqc_experiments.Registry
 module Context = Vqc_experiments.Context
+module Pool = Vqc_engine.Pool
 
 open Cmdliner
 
-let run_ids seed ids =
-  let ctx = Context.make ~seed in
-  let ppf = Format.std_formatter in
-  let run_one id =
-    match id with
-    | "all" ->
-      Registry.run_all ppf ctx;
-      Ok ()
-    | id -> begin
-      match Registry.find id with
-      | e ->
-        e.Registry.run ppf ctx;
-        Format.pp_print_flush ppf ();
-        Ok ()
-      | exception Not_found ->
-        Error
-          (Printf.sprintf "unknown experiment %S; available: %s" id
-             (String.concat ", " ("all" :: Registry.ids ())))
-    end
-  in
-  let rec run_list = function
-    | [] -> Ok ()
-    | id :: rest -> begin
-      match run_one id with Ok () -> run_list rest | Error _ as e -> e
-    end
-  in
-  match run_list (if ids = [] then [ "all" ] else ids) with
-  | Ok () -> 0
+let resolve ids =
+  let requested = if ids = [] then [ "all" ] else ids in
+  let expand id = if id = "all" then Registry.ids () else [ id ] in
+  match
+    List.find_opt
+      (fun id -> id <> "all" && not (List.mem id (Registry.ids ())))
+      requested
+  with
+  | Some unknown ->
+    Error
+      (Printf.sprintf "unknown experiment %S; available: %s" unknown
+         (String.concat ", " ("all" :: Registry.ids ())))
+  | None -> Ok (List.concat_map expand requested)
+
+let progress_reporter total =
+  if total < 2 then None
+  else
+    Some
+      (fun (p : Pool.progress) ->
+        Printf.eprintf "[%d/%d] experiments done (last %.1fs, total %.1fs)\n%!"
+          p.Pool.completed p.Pool.total p.Pool.chunk_seconds
+          p.Pool.elapsed_seconds)
+
+let run_ids seed jobs ids =
+  if jobs < 1 then begin
+    prerr_endline "vqc-experiments: --jobs must be at least 1";
+    exit 1
+  end;
+  match resolve ids with
   | Error message ->
     prerr_endline message;
     1
+  | Ok ids ->
+    (* Each task gets its own deterministic context (contexts derive
+       everything from the seed) and its own buffer, so tasks share no
+       mutable state; ctx.jobs lets the heavy sweeps inside fig14 /
+       abl-seeds / abl-mc fan out too. *)
+    let outputs =
+      Pool.with_pool ~jobs (fun pool ->
+          Pool.map ?report:(progress_reporter (List.length ids)) pool
+            ~f:(fun _ id ->
+              let ctx = Context.make ~seed |> Context.with_jobs jobs in
+              let buffer = Buffer.create 4096 in
+              let ppf = Format.formatter_of_buffer buffer in
+              (Registry.find id).Registry.run ppf ctx;
+              Format.pp_print_flush ppf ();
+              Buffer.contents buffer)
+            ids)
+    in
+    List.iter print_string outputs;
+    0
 
 let seed_term =
   let doc =
@@ -44,6 +68,14 @@ let seed_term =
      representative chip)."
   in
   Arg.(value & opt int 2 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let jobs_term =
+  let doc =
+    "Worker domains for the execution engine (default 1).  Experiment \
+     ids — and the sweeps inside them — are fanned across the pool; \
+     results and output are identical for every value."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
 
 let ids_term =
   let doc = "Experiment ids (fig5..fig16, tab1..tab3, abl-*, or 'all')." in
@@ -53,6 +85,6 @@ let cmd =
   let doc = "reproduce the figures and tables of the ASPLOS'19 paper" in
   Cmd.v
     (Cmd.info "vqc-experiments" ~doc)
-    Term.(const run_ids $ seed_term $ ids_term)
+    Term.(const run_ids $ seed_term $ jobs_term $ ids_term)
 
 let () = exit (Cmd.eval' cmd)

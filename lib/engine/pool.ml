@@ -1,0 +1,149 @@
+type t = {
+  size : int;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  work_available : Condition.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* Workers sleep on [work_available] between fan-outs and run queued
+   chunk closures to completion.  A closure owns all its bookkeeping
+   (results slot, error slot, completion counter), so several [map]
+   calls — including from nested pools on other domains — can share the
+   queue safely. *)
+let rec worker_loop pool =
+  Mutex.lock pool.lock;
+  while Queue.is_empty pool.queue && not pool.stopping do
+    Condition.wait pool.work_available pool.lock
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.lock
+  else begin
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.lock;
+    task ();
+    worker_loop pool
+  end
+
+let create ?jobs () =
+  let size =
+    match jobs with Some n -> n | None -> Domain.recommended_domain_count ()
+  in
+  if size < 1 then invalid_arg "Pool.create: need at least one worker";
+  let pool =
+    {
+      size;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let jobs pool = pool.size
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  let workers = pool.workers in
+  pool.stopping <- true;
+  pool.workers <- [];
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join workers
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+type progress = {
+  total : int;
+  completed : int;
+  chunk_index : int;
+  chunk_size : int;
+  chunk_seconds : float;
+  elapsed_seconds : float;
+}
+
+let map ?(chunk_size = 1) ?report pool ~f xs =
+  if chunk_size < 1 then invalid_arg "Pool.map: chunk_size must be >= 1";
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let nchunks = (n + chunk_size - 1) / chunk_size in
+    let results = Array.make n None in
+    (* lowest-chunk-index failure wins, whatever the completion order *)
+    let error = ref None in
+    let completed_chunks = ref 0 in
+    let completed_tasks = ref 0 in
+    let finished = Condition.create () in
+    let started_at = now () in
+    let run_chunk k =
+      let lo = k * chunk_size in
+      let hi = min n (lo + chunk_size) - 1 in
+      let chunk_started = now () in
+      (try
+         for i = lo to hi do
+           results.(i) <- Some (f i items.(i))
+         done
+       with exn ->
+         let backtrace = Printexc.get_raw_backtrace () in
+         Mutex.lock pool.lock;
+         (match !error with
+         | Some (k', _, _) when k' <= k -> ()
+         | _ -> error := Some (k, exn, backtrace));
+         Mutex.unlock pool.lock);
+      let finished_at = now () in
+      Mutex.lock pool.lock;
+      incr completed_chunks;
+      completed_tasks := !completed_tasks + (hi - lo + 1);
+      (match report with
+      | None -> ()
+      | Some fn ->
+        fn
+          {
+            total = n;
+            completed = !completed_tasks;
+            chunk_index = k;
+            chunk_size = hi - lo + 1;
+            chunk_seconds = finished_at -. chunk_started;
+            elapsed_seconds = finished_at -. started_at;
+          });
+      if !completed_chunks = nchunks then Condition.broadcast finished;
+      Mutex.unlock pool.lock
+    in
+    Mutex.lock pool.lock;
+    for k = 0 to nchunks - 1 do
+      Queue.push (fun () -> run_chunk k) pool.queue
+    done;
+    Condition.broadcast pool.work_available;
+    (* the calling domain is a worker too: drain the queue, then wait
+       for chunks still in flight on other domains *)
+    let rec drain () =
+      if not (Queue.is_empty pool.queue) then begin
+        let task = Queue.pop pool.queue in
+        Mutex.unlock pool.lock;
+        task ();
+        Mutex.lock pool.lock;
+        drain ()
+      end
+    in
+    drain ();
+    while !completed_chunks < nchunks do
+      Condition.wait finished pool.lock
+    done;
+    Mutex.unlock pool.lock;
+    (match !error with
+    | Some (_, exn, backtrace) -> Printexc.raise_with_backtrace exn backtrace
+    | None -> ());
+    Array.to_list (Array.map Option.get results)
+  end
+
+let map_reduce ?chunk_size ?report pool ~f ~combine ~init xs =
+  map ?chunk_size ?report pool ~f xs |> List.fold_left combine init

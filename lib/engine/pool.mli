@@ -1,0 +1,81 @@
+(** Deterministic parallel execution engine ([Domain]-backed worker pool).
+
+    Every headline number of the reproduction — PST per benchmark, the
+    52-day daily study, seed sweeps, Monte-Carlo fault injection — is
+    embarrassingly parallel: an indexed list of independent tasks whose
+    results are combined in index order.  This pool fans such task lists
+    across OCaml 5 domains while keeping the results {e bit-identical
+    regardless of worker count}: tasks are split into contiguous chunks
+    by index, each chunk is a unit of scheduling, and results land in an
+    index-addressed array, so neither completion order nor the number of
+    domains can influence the output.  Callers that need randomness give
+    each task (or chunk) its own pre-split {!Vqc_rng.Rng} stream keyed
+    by index — see {!Vqc_sim.Monte_carlo} for the canonical use.
+
+    A pool is cheap: [jobs - 1] worker domains plus the calling domain,
+    which participates in the work (so [jobs = 1] spawns nothing and
+    runs everything inline, in index order).  Worker domains block on a
+    condition variable between fan-outs. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ?jobs ()] starts a pool of [jobs] workers (default
+    {!Domain.recommended_domain_count}, i.e. the hardware parallelism;
+    always overridable).  [jobs - 1] domains are spawned — the caller of
+    {!map} is the remaining worker.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** Worker count the pool was created with (including the caller). *)
+
+val shutdown : t -> unit
+(** Stop the worker domains and join them.  Idempotent.  Outstanding
+    tasks already queued are finished first. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ?jobs f] runs [f] with a fresh pool and shuts it down
+    afterwards (also on exception). *)
+
+(** Telemetry handed to the optional reporter after each chunk
+    completes.  Reporters run serialized (under the pool lock) but from
+    whichever domain finished the chunk — keep them short, and do not
+    call back into the pool from one. *)
+type progress = {
+  total : int;  (** tasks in this fan-out *)
+  completed : int;  (** tasks finished so far, including this chunk *)
+  chunk_index : int;  (** index of the chunk that just finished *)
+  chunk_size : int;  (** tasks in that chunk *)
+  chunk_seconds : float;  (** wall-clock time of that chunk *)
+  elapsed_seconds : float;  (** wall clock since the fan-out started *)
+}
+
+val map :
+  ?chunk_size:int ->
+  ?report:(progress -> unit) ->
+  t ->
+  f:(int -> 'a -> 'b) ->
+  'a list ->
+  'b list
+(** [map pool ~f [x0; x1; ...]] is [[f 0 x0; f 1 x1; ...]], computed on
+    the pool's workers.  Tasks are grouped into contiguous chunks of
+    [chunk_size] (default 1); within a chunk tasks run in index order.
+    The result list order — and, provided [f] is deterministic per
+    [(index, element)], its content — is independent of the worker
+    count.  If any task raises, the remaining queued chunks still run;
+    at the join the exception of the lowest-indexed failing chunk is
+    re-raised (with its backtrace) on the calling domain.
+    @raise Invalid_argument if [chunk_size < 1]. *)
+
+val map_reduce :
+  ?chunk_size:int ->
+  ?report:(progress -> unit) ->
+  t ->
+  f:(int -> 'a -> 'b) ->
+  combine:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a list ->
+  'acc
+(** [map_reduce pool ~f ~combine ~init xs] folds [combine] over the
+    results of {!map} in index order — a deterministic parallel fold:
+    [combine (... (combine init (f 0 x0)) ...) (f n xn)]. *)

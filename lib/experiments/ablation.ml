@@ -252,32 +252,40 @@ let staleness ppf (ctx : Context.t) =
     "@[<v>[the paper's runtime model recompiles at every calibration \
      cycle (footnote 2); this is what that discipline buys]@,@]"
 
-let seed_sweep ppf (_ : Context.t) =
+let seed_sweep ppf (outer : Context.t) =
   Report.section ppf
     "Seed sweep: VQA+VQM benefit across ten synthetic chips";
   let seeds = List.init 10 (fun i -> i + 1) in
-  let contexts = List.map (fun seed -> Context.make ~seed) seeds in
+  let workloads = [ "bv-16"; "bv-20"; "qft-12"; "rnd-SD"; "rnd-LD"; "alu" ] in
+  (* one task per seed: build that chip and score every workload on it;
+     the pool returns the per-seed columns in seed order *)
+  let columns =
+    Vqc_engine.Pool.with_pool ~jobs:outer.jobs (fun pool ->
+        Vqc_engine.Pool.map pool
+          ~f:(fun _ seed ->
+            let ctx = Context.make ~seed in
+            List.map
+              (fun name ->
+                let circuit = (Catalog.find name).Catalog.circuit in
+                let pst policy =
+                  let compiled = Compiler.compile ctx.q20 policy circuit in
+                  Reliability.pst ctx.q20 compiled.Compiler.physical
+                in
+                pst Compiler.vqa_vqm /. pst Compiler.baseline)
+              workloads)
+          seeds)
+  in
   let rows =
-    List.map
-      (fun name ->
-        let benefits =
-          List.map
-            (fun (ctx : Context.t) ->
-              let circuit = (Catalog.find name).Catalog.circuit in
-              let pst policy =
-                let compiled = Compiler.compile ctx.q20 policy circuit in
-                Reliability.pst ctx.q20 compiled.Compiler.physical
-              in
-              pst Compiler.vqa_vqm /. pst Compiler.baseline)
-            contexts
-        in
+    List.mapi
+      (fun i name ->
+        let benefits = List.map (fun column -> List.nth column i) columns in
         [
           name;
           Report.ratio_cell (Vqc_sim.Metrics.geomean benefits);
           Report.ratio_cell (List.fold_left Float.min infinity benefits);
           Report.ratio_cell (List.fold_left Float.max 0.0 benefits);
         ])
-      [ "bv-16"; "bv-20"; "qft-12"; "rnd-SD"; "rnd-LD"; "alu" ]
+      workloads
   in
   Report.table ppf ~header:[ "workload"; "geomean"; "min"; "max" ] rows;
   Format.fprintf ppf
@@ -614,7 +622,7 @@ let mc_crosscheck ppf (ctx : Context.t) =
         let compiled = Compiler.compile device policy circuit in
         let analytic = Reliability.pst device compiled.Compiler.physical in
         let mc =
-          Monte_carlo.run ~trials:200_000
+          Monte_carlo.run ~jobs:ctx.jobs ~trials:200_000
             (Rng.make (ctx.seed + 99))
             device compiled.Compiler.physical
         in

@@ -5,6 +5,7 @@ module Calibration_model = Vqc_device.Calibration_model
 
 type t = {
   seed : int;
+  jobs : int;
   history : History.t;
   samples : History.t;
   q20 : Device.t;
@@ -12,6 +13,7 @@ type t = {
 }
 
 let make ~seed =
+  let jobs = 1 in
   let coupling = Topologies.ibm_q20_tokyo in
   let history = History.generate ~days:52 ~seed ~coupling 20 in
   let samples = History.generate ~days:100 ~seed:(seed + 1) ~coupling 20 in
@@ -19,7 +21,11 @@ let make ~seed =
     Device.make ~name:"ibm-q20-tokyo" ~coupling (History.average history)
   in
   let q5 = Calibration_model.ibm_q5 ~seed:((10 * seed) + 1) in
-  { seed; history; samples; q20; q5 }
+  { seed; jobs; history; samples; q20; q5 }
+
+let with_jobs jobs ctx =
+  if jobs < 1 then invalid_arg "Context.with_jobs: need at least one job";
+  { ctx with jobs }
 
 (* Seed 2 is the default "representative chip": among the first 30 seeds
    its policy response is closest to the paper's headline ratios (the

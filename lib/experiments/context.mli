@@ -7,6 +7,8 @@
 
 type t = {
   seed : int;
+  jobs : int;
+      (** worker-domain budget for the engine-backed sweeps (default 1) *)
   history : Vqc_device.History.t;
       (** 52 daily Q20 calibrations (Figures 8 and 14) *)
   samples : Vqc_device.History.t;
@@ -17,5 +19,14 @@ type t = {
 }
 
 val make : seed:int -> t
+(** Single-job context: the engine-backed sweeps run inline. *)
+
+val with_jobs : int -> t -> t
+(** [with_jobs jobs ctx] sets the worker-domain budget handed to
+    {!Vqc_engine.Pool} by the sweeps that fan out (the per-day study,
+    the seed sweep, the Monte-Carlo crosscheck); it never affects
+    results, only wall-clock time.
+    @raise Invalid_argument if [jobs < 1]. *)
+
 val default : t
-(** [make ~seed:2019]. *)
+(** [make ~seed:2]. *)

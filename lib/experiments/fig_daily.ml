@@ -3,21 +3,27 @@ module History = Vqc_device.History
 module Compiler = Vqc_mapper.Compiler
 module Reliability = Vqc_sim.Reliability
 module Catalog = Vqc_workloads.Catalog
+module Pool = Vqc_engine.Pool
 
 let run ppf (ctx : Context.t) =
   Report.section ppf "Figure 14: per-day relative PST for bv-16 (VQA+VQM)";
   let circuit = (Catalog.find "bv-16").Catalog.circuit in
   let dispersions = History.daily_dispersion ctx.history in
+  (* each day is an independent compile + analysis; fan the 52 of them
+     across the pool (results come back in day order regardless) *)
   let benefits =
-    List.init (History.days ctx.history) (fun day ->
-        let device =
-          Device.with_calibration ctx.q20 (History.day ctx.history day)
-        in
-        let pst policy =
-          let compiled = Compiler.compile device policy circuit in
-          Reliability.pst device compiled.Compiler.physical
-        in
-        pst Compiler.vqa_vqm /. pst Compiler.baseline)
+    Pool.with_pool ~jobs:ctx.jobs (fun pool ->
+        Pool.map pool
+          ~f:(fun _ day ->
+            let device =
+              Device.with_calibration ctx.q20 (History.day ctx.history day)
+            in
+            let pst policy =
+              let compiled = Compiler.compile device policy circuit in
+              Reliability.pst device compiled.Compiler.physical
+            in
+            pst Compiler.vqa_vqm /. pst Compiler.baseline)
+          (List.init (History.days ctx.history) Fun.id))
   in
   let points =
     List.mapi

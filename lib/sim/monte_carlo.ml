@@ -1,5 +1,6 @@
 open Vqc_circuit
 module Rng = Vqc_rng.Rng
+module Pool = Vqc_engine.Pool
 
 type result = {
   trials : int;
@@ -8,10 +9,17 @@ type result = {
   ci95 : float;
 }
 
+(* Trials per unit of parallel work.  Fixed (never derived from the
+   worker count) so the chunk boundaries — and therefore each chunk's
+   split-off RNG stream — are identical whatever [jobs] is. *)
+let chunk_trials = 4096
+
 let run ?(coherence = true)
     ?(coherence_scale = Reliability.default_coherence_scale)
-    ?(crosstalk_strength = 0.0) ~trials rng device circuit =
+    ?(crosstalk_strength = 0.0) ?(jobs = 1) ~trials rng device circuit =
   if trials <= 0 then invalid_arg "Monte_carlo.run: need positive trials";
+  if jobs < 1 then invalid_arg "Monte_carlo.run: need at least one job";
+  let schedule = lazy (Schedule.build device circuit) in
   (* Per-operation failure probabilities, fixed across trials.  The order
      of the events is irrelevant (a trial fails if ANY event fires), so
      under crosstalk the two-qubit failures come from the schedule-order
@@ -34,7 +42,7 @@ let run ?(coherence = true)
              | Gate.One_qubit _ | Gate.Measure _ | Gate.Barrier _ -> None)
     else
       Crosstalk.inflation_factors ~strength:crosstalk_strength device
-        (Schedule.build device circuit)
+        (Lazy.force schedule)
       |> List.map (fun (gate, factor) ->
              let e = 1.0 -. Reliability.gate_success device gate in
              Float.min 0.5 (e *. factor))
@@ -42,34 +50,56 @@ let run ?(coherence = true)
   let gate_failures = one_qubit_and_measure_failures @ two_qubit_failures in
   let coherence_failures =
     if not coherence then []
-    else begin
-      let schedule = Schedule.build device circuit in
+    else
       List.map
         (fun q ->
           1.0
           -. Reliability.coherence_survival ~scale:coherence_scale device
-               schedule q)
+               (Lazy.force schedule) q)
         (Circuit.used_qubits circuit)
-    end
   in
   let failure_probabilities =
     Array.of_list (gate_failures @ coherence_failures)
   in
   let events = Array.length failure_probabilities in
-  let successes = ref 0 in
-  for _ = 1 to trials do
-    let rec error_free i =
-      i >= events
-      || ((not (Rng.bernoulli rng failure_probabilities.(i)))
-         && error_free (i + 1))
+  (* Chunked fan-out with per-chunk RNG streams: chunk k draws from the
+     k-th [Rng.split] child of the caller's generator, derived here in
+     index order on the calling domain.  Results are summed in chunk
+     order by [Pool.map_reduce], so [jobs = 1] and [jobs = N] agree
+     bit-for-bit. *)
+  let nchunks = ((trials - 1) / chunk_trials) + 1 in
+  let chunks =
+    let rec build k acc =
+      if k >= nchunks then List.rev acc
+      else
+        let count = min chunk_trials (trials - (k * chunk_trials)) in
+        build (k + 1) ((count, Rng.split rng) :: acc)
     in
-    if error_free 0 then incr successes
-  done;
-  let pst = float_of_int !successes /. float_of_int trials in
+    build 0 []
+  in
+  let run_chunk _ (count, rng) =
+    let successes = ref 0 in
+    for _ = 1 to count do
+      let rec error_free i =
+        i >= events
+        || ((not (Rng.bernoulli rng failure_probabilities.(i)))
+           && error_free (i + 1))
+      in
+      if error_free 0 then incr successes
+    done;
+    !successes
+  in
+  let successes =
+    if jobs = 1 then List.fold_left (fun acc c -> acc + run_chunk 0 c) 0 chunks
+    else
+      Pool.with_pool ~jobs (fun pool ->
+          Pool.map_reduce pool ~f:run_chunk ~combine:( + ) ~init:0 chunks)
+  in
+  let pst = float_of_int successes /. float_of_int trials in
   let ci95 =
     1.96 *. sqrt (Float.max 0.0 (pst *. (1.0 -. pst)) /. float_of_int trials)
   in
-  { trials; successes = !successes; pst; ci95 }
+  { trials; successes; pst; ci95 }
 
 let pp_result ppf r =
   Format.fprintf ppf "PST = %.4f +/- %.4f  (%d/%d trials)" r.pst r.ci95

@@ -6,7 +6,12 @@
     trial with any injected error is a failed trial.  PST is the fraction
     of error-free trials.  The paper runs 1M trials per workload; the
     engine precomputes per-operation failure probabilities so trials are
-    a vector of Bernoulli draws with early exit. *)
+    a vector of Bernoulli draws with early exit.
+
+    Trials are partitioned into fixed-size chunks, each drawing from its
+    own {!Vqc_rng.Rng.split} child stream derived in chunk-index order,
+    and fanned across a {!Vqc_engine.Pool} — so the estimate is
+    bit-identical for any [jobs] count. *)
 
 open Vqc_circuit
 
@@ -21,6 +26,7 @@ val run :
   ?coherence:bool ->
   ?coherence_scale:float ->
   ?crosstalk_strength:float ->
+  ?jobs:int ->
   trials:int ->
   Vqc_rng.Rng.t ->
   Vqc_device.Device.t ->
@@ -28,7 +34,9 @@ val run :
   result
 (** [crosstalk_strength] (default 0, the paper's independent-error model)
     inflates simultaneous adjacent two-qubit gates per {!Crosstalk}.
-    @raise Invalid_argument if [trials <= 0] or the circuit uses an
-    uncoupled qubit pair. *)
+    [jobs] (default 1) fans the trial chunks across that many domains;
+    the result is the same for every [jobs] value.
+    @raise Invalid_argument if [trials <= 0], [jobs < 1], or the circuit
+    uses an uncoupled qubit pair. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,218 @@
+(* Tests for the execution engine: the Domain-backed pool's determinism
+   (the load-bearing property — results must not depend on the worker
+   count), its exception protocol, its telemetry, and the parallel
+   Monte-Carlo wiring built on top of it. *)
+
+module Pool = Vqc_engine.Pool
+module Monte_carlo = Vqc_sim.Monte_carlo
+module Reliability = Vqc_sim.Reliability
+module Compiler = Vqc_mapper.Compiler
+module Catalog = Vqc_workloads.Catalog
+module Context = Vqc_experiments.Context
+module Rng = Vqc_rng.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- Pool ----------------------------------------------------------- *)
+
+let test_map_matches_list_map () =
+  let xs = List.init 100 (fun i -> i * 3) in
+  let f i x = (i * 1000) + x in
+  let expected = List.mapi f xs in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun chunk_size ->
+          let got =
+            Pool.with_pool ~jobs (fun pool ->
+                Pool.map ~chunk_size pool ~f xs)
+          in
+          Alcotest.(check (list int))
+            (Printf.sprintf "jobs=%d chunk=%d" jobs chunk_size)
+            expected got)
+        [ 1; 7; 100; 1000 ])
+    [ 1; 2; 4 ]
+
+let test_map_empty_and_singleton () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      check "empty" true (Pool.map pool ~f:(fun _ x -> x) [] = []);
+      check "singleton" true (Pool.map pool ~f:(fun i x -> i + x) [ 41 ] = [ 41 ]))
+
+let test_pool_is_reusable () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      check_int "jobs" 3 (Pool.jobs pool);
+      for round = 1 to 5 do
+        let got = Pool.map pool ~f:(fun _ x -> x * round) [ 1; 2; 3 ] in
+        check ("round " ^ string_of_int round) true
+          (got = [ round; 2 * round; 3 * round ])
+      done)
+
+let test_map_reduce_orders_combine () =
+  (* string concatenation is not commutative: any out-of-order combine
+     shows up immediately *)
+  let xs = List.init 26 (fun i -> String.make 1 (Char.chr (Char.code 'a' + i))) in
+  let joined =
+    Pool.with_pool ~jobs:4 (fun pool ->
+        Pool.map_reduce ~chunk_size:3 pool
+          ~f:(fun _ s -> s)
+          ~combine:( ^ ) ~init:"" xs)
+  in
+  Alcotest.(check string) "in order" "abcdefghijklmnopqrstuvwxyz" joined
+
+let test_exception_reraised_at_join () =
+  List.iter
+    (fun jobs ->
+      check
+        (Printf.sprintf "raises through the join (jobs=%d)" jobs)
+        true
+        (try
+           Pool.with_pool ~jobs (fun pool ->
+               Pool.map pool
+                 ~f:(fun i x -> if i = 5 then invalid_arg "boom" else x)
+                 (List.init 20 Fun.id))
+           |> ignore;
+           false
+         with Invalid_argument message -> message = "boom"))
+    [ 1; 4 ]
+
+let test_lowest_failing_chunk_wins () =
+  (* two failing tasks: the join must surface the lower-indexed one no
+     matter which finished first *)
+  let exn =
+    try
+      Pool.with_pool ~jobs:4 (fun pool ->
+          Pool.map pool
+            ~f:(fun i _ ->
+              if i = 3 then failwith "early"
+              else if i = 17 then failwith "late"
+              else i)
+            (List.init 20 Fun.id))
+      |> ignore;
+      None
+    with Failure m -> Some m
+  in
+  Alcotest.(check (option string)) "lowest index" (Some "early") exn
+
+let test_progress_telemetry () =
+  let events = ref [] in
+  let n = 10 in
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Pool.map ~chunk_size:3
+        ~report:(fun p -> events := p :: !events)
+        pool
+        ~f:(fun _ x -> x)
+        (List.init n Fun.id))
+  |> ignore;
+  let events = List.rev !events in
+  check_int "one event per chunk" 4 (List.length events);
+  let last = List.nth events 3 in
+  check_int "completed counts tasks" n last.Pool.completed;
+  check_int "total is task count" n last.Pool.total;
+  check "chunk sizes sum to total" true
+    (List.fold_left (fun acc p -> acc + p.Pool.chunk_size) 0 events = n);
+  check "timings are non-negative" true
+    (List.for_all
+       (fun p -> p.Pool.chunk_seconds >= 0.0 && p.Pool.elapsed_seconds >= 0.0)
+       events)
+
+let test_create_rejects_bad_sizes () =
+  List.iter
+    (fun jobs ->
+      check
+        (Printf.sprintf "jobs=%d rejected" jobs)
+        true
+        (try
+           Pool.with_pool ~jobs (fun _ -> ());
+           false
+         with Invalid_argument _ -> true))
+    [ 0; -1 ];
+  Pool.with_pool ~jobs:2 (fun pool ->
+      check "chunk_size 0 rejected" true
+        (try
+           Pool.map ~chunk_size:0 pool ~f:(fun _ x -> x) [ 1 ] |> ignore;
+           false
+         with Invalid_argument _ -> true))
+
+(* qcheck: Pool.map over arbitrary lists / chunk sizes / job counts is
+   exactly List.map *)
+let prop_map_is_list_map =
+  QCheck.Test.make ~count:60 ~name:"Pool.map = List.map"
+    QCheck.(
+      triple (small_list small_int) (int_range 1 4) (int_range 1 9))
+    (fun (xs, jobs, chunk_size) ->
+      let f i x = (x * 7) - i in
+      Pool.with_pool ~jobs (fun pool -> Pool.map ~chunk_size pool ~f xs)
+      = List.mapi f xs)
+
+(* ---- Monte-Carlo on the pool ---------------------------------------- *)
+
+let compiled_bv16 ctx =
+  let circuit = (Catalog.find "bv-16").Catalog.circuit in
+  (Compiler.compile ctx.Context.q20 Compiler.vqa_vqm circuit).Compiler.physical
+
+let test_monte_carlo_jobs_bit_identical () =
+  let ctx = Context.default in
+  let physical = compiled_bv16 ctx in
+  let run jobs =
+    Monte_carlo.run ~jobs ~trials:50_000 (Rng.make 11) ctx.Context.q20 physical
+  in
+  let serial = run 1 and parallel = run 4 in
+  check_int "same successes" serial.Monte_carlo.successes
+    parallel.Monte_carlo.successes;
+  Alcotest.(check (float 0.0)) "same pst" serial.Monte_carlo.pst
+    parallel.Monte_carlo.pst
+
+let test_monte_carlo_jobs_odd_trial_counts () =
+  (* trial counts straddling the chunk boundary: 1 short chunk, exactly
+     full chunks, full + remainder *)
+  let ctx = Context.default in
+  let physical = compiled_bv16 ctx in
+  List.iter
+    (fun trials ->
+      let run jobs =
+        (Monte_carlo.run ~jobs ~trials (Rng.make 23) ctx.Context.q20 physical)
+          .Monte_carlo.successes
+      in
+      check_int (Printf.sprintf "%d trials" trials) (run 1) (run 3))
+    [ 1; 4096; 4097; 12_288; 10_000 ]
+
+let test_monte_carlo_rejects_bad_jobs () =
+  let ctx = Context.default in
+  let physical = compiled_bv16 ctx in
+  check "jobs=0 raises" true
+    (try
+       Monte_carlo.run ~jobs:0 ~trials:10 (Rng.make 1) ctx.Context.q20 physical
+       |> ignore;
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "vqc_engine"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map = List.map (grid)" `Quick
+            test_map_matches_list_map;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_map_empty_and_singleton;
+          Alcotest.test_case "reusable" `Quick test_pool_is_reusable;
+          Alcotest.test_case "map_reduce in order" `Quick
+            test_map_reduce_orders_combine;
+          Alcotest.test_case "exception at join" `Quick
+            test_exception_reraised_at_join;
+          Alcotest.test_case "lowest failing chunk" `Quick
+            test_lowest_failing_chunk_wins;
+          Alcotest.test_case "progress telemetry" `Quick test_progress_telemetry;
+          Alcotest.test_case "bad sizes" `Quick test_create_rejects_bad_sizes;
+          QCheck_alcotest.to_alcotest prop_map_is_list_map;
+        ] );
+      ( "monte-carlo",
+        [
+          Alcotest.test_case "jobs=1 = jobs=4 (bv-16)" `Quick
+            test_monte_carlo_jobs_bit_identical;
+          Alcotest.test_case "chunk-boundary trial counts" `Quick
+            test_monte_carlo_jobs_odd_trial_counts;
+          Alcotest.test_case "bad jobs" `Quick test_monte_carlo_rejects_bad_jobs;
+        ] );
+    ]
