@@ -7,6 +7,8 @@
 module Registry = Vqc_experiments.Registry
 module Context = Vqc_experiments.Context
 module Pool = Vqc_engine.Pool
+module Metrics = Vqc_obs.Metrics
+module Trace = Vqc_obs.Trace
 
 open Cmdliner
 
@@ -33,34 +35,48 @@ let progress_reporter total =
           p.Pool.completed p.Pool.total p.Pool.chunk_seconds
           p.Pool.elapsed_seconds)
 
-let run_ids seed jobs ids =
-  if jobs < 1 then begin
-    prerr_endline "vqc-experiments: --jobs must be at least 1";
-    exit 1
-  end;
-  match resolve ids with
+let run_ids seed jobs trace metrics ids =
+  match Pool.validate_jobs jobs with
   | Error message ->
-    prerr_endline message;
+    prerr_endline ("vqc-experiments: --" ^ message);
     1
-  | Ok ids ->
-    (* Each task gets its own deterministic context (contexts derive
-       everything from the seed) and its own buffer, so tasks share no
-       mutable state; ctx.jobs lets the heavy sweeps inside fig14 /
-       abl-seeds / abl-mc fan out too. *)
-    let outputs =
-      Pool.with_pool ~jobs (fun pool ->
-          Pool.map ?report:(progress_reporter (List.length ids)) pool
-            ~f:(fun _ id ->
-              let ctx = Context.make ~seed |> Context.with_jobs jobs in
-              let buffer = Buffer.create 4096 in
-              let ppf = Format.formatter_of_buffer buffer in
-              (Registry.find id).Registry.run ppf ctx;
-              Format.pp_print_flush ppf ();
-              Buffer.contents buffer)
-            ids)
-    in
-    List.iter print_string outputs;
-    0
+  | Ok jobs -> (
+    match resolve ids with
+    | Error message ->
+      prerr_endline message;
+      1
+    | Ok ids ->
+      (* Each task gets its own deterministic context (contexts derive
+         everything from the seed) and its own buffer, so tasks share no
+         mutable state; ctx.jobs lets the heavy sweeps inside fig14 /
+         abl-seeds / abl-mc fan out too.
+
+         Observability never perturbs stdout: trace events and the
+         metrics dump carry their non-deterministic fields out of band
+         (the JSONL "nd" key, stderr), so the printed report stays
+         byte-identical with tracing on or off and for any --jobs. *)
+      let execute () =
+        let outputs =
+          Pool.with_pool ~jobs (fun pool ->
+              Pool.map ?report:(progress_reporter (List.length ids)) pool
+                ~f:(fun _ id ->
+                  let ctx = Context.make ~seed |> Context.with_jobs jobs in
+                  let buffer = Buffer.create 4096 in
+                  let ppf = Format.formatter_of_buffer buffer in
+                  (Registry.find id).Registry.run ppf ctx;
+                  Format.pp_print_flush ppf ();
+                  Buffer.contents buffer)
+                ids)
+        in
+        List.iter print_string outputs;
+        (* registry snapshot lands at the tail of the trace file *)
+        Metrics.snapshot_to_trace ()
+      in
+      (match trace with
+      | Some path -> Trace.with_file path execute
+      | None -> execute ());
+      if metrics then Format.eprintf "%a@." Metrics.pp ();
+      0)
 
 let seed_term =
   let doc =
@@ -77,6 +93,22 @@ let jobs_term =
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
 
+let trace_term =
+  let doc =
+    "Append structured JSONL trace events (engine chunks, simulator \
+     chunks, mapper routing/compilation, span timings, final metric \
+     snapshot) to $(docv).  Tracing never changes experiment output: \
+     non-deterministic fields live under the event's 'nd' key."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_term =
+  let doc =
+    "After the experiments finish, dump the metric registry (counters, \
+     histograms) to stderr."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
 let ids_term =
   let doc = "Experiment ids (fig5..fig16, tab1..tab3, abl-*, or 'all')." in
   Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
@@ -85,6 +117,8 @@ let cmd =
   let doc = "reproduce the figures and tables of the ASPLOS'19 paper" in
   Cmd.v
     (Cmd.info "vqc-experiments" ~doc)
-    Term.(const run_ids $ seed_term $ jobs_term $ ids_term)
+    Term.(
+      const run_ids $ seed_term $ jobs_term $ trace_term $ metrics_term
+      $ ids_term)
 
 let () = exit (Cmd.eval' cmd)

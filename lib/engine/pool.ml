@@ -1,3 +1,18 @@
+module Metrics = Vqc_obs.Metrics
+module Trace = Vqc_obs.Trace
+module Json = Vqc_obs.Json
+
+(* Registered once; recording is atomic, so chunk completions on any
+   worker domain feed them without extra synchronization. *)
+let fanouts_total = Metrics.counter "engine.pool.fanouts"
+let chunks_total = Metrics.counter "engine.pool.chunks"
+let tasks_total = Metrics.counter "engine.pool.tasks"
+let chunk_seconds = Metrics.histogram "engine.pool.chunk_seconds"
+
+let validate_jobs jobs =
+  if jobs >= 1 then Ok jobs
+  else Error (Printf.sprintf "jobs must be a positive integer (got %d)" jobs)
+
 type t = {
   size : int;
   queue : (unit -> unit) Queue.t;
@@ -31,7 +46,9 @@ let create ?jobs () =
   let size =
     match jobs with Some n -> n | None -> Domain.recommended_domain_count ()
   in
-  if size < 1 then invalid_arg "Pool.create: need at least one worker";
+  (match validate_jobs size with
+  | Ok _ -> ()
+  | Error message -> invalid_arg ("Pool.create: " ^ message));
   let pool =
     {
       size;
@@ -103,21 +120,37 @@ let map ?(chunk_size = 1) ?report pool ~f xs =
       Mutex.lock pool.lock;
       incr completed_chunks;
       completed_tasks := !completed_tasks + (hi - lo + 1);
-      (match report with
-      | None -> ()
-      | Some fn ->
-        fn
-          {
-            total = n;
-            completed = !completed_tasks;
-            chunk_index = k;
-            chunk_size = hi - lo + 1;
-            chunk_seconds = finished_at -. chunk_started;
-            elapsed_seconds = finished_at -. started_at;
-          });
+      let progress =
+        {
+          total = n;
+          completed = !completed_tasks;
+          chunk_index = k;
+          chunk_size = hi - lo + 1;
+          chunk_seconds = finished_at -. chunk_started;
+          elapsed_seconds = finished_at -. started_at;
+        }
+      in
+      (match report with None -> () | Some fn -> fn progress);
+      Metrics.incr chunks_total;
+      Metrics.add tasks_total progress.chunk_size;
+      Metrics.observe chunk_seconds progress.chunk_seconds;
+      if Trace.enabled () then
+        Trace.emit ~source:"engine" ~event:"pool_chunk"
+          ~nd:
+            [
+              ("chunk_seconds", Json.Float progress.chunk_seconds);
+              ("elapsed_seconds", Json.Float progress.elapsed_seconds);
+            ]
+          [
+            ("chunk_index", Json.Int progress.chunk_index);
+            ("chunk_size", Json.Int progress.chunk_size);
+            ("completed", Json.Int progress.completed);
+            ("total", Json.Int progress.total);
+          ];
       if !completed_chunks = nchunks then Condition.broadcast finished;
       Mutex.unlock pool.lock
     in
+    Metrics.incr fanouts_total;
     Mutex.lock pool.lock;
     for k = 0 to nchunks - 1 do
       Queue.push (fun () -> run_chunk k) pool.queue

@@ -19,6 +19,13 @@
 
 type t
 
+val validate_jobs : int -> (int, string) result
+(** [validate_jobs n] is [Ok n] for a usable worker count ([n >= 1])
+    and [Error message] otherwise, with a message fit for a CLI
+    ("jobs must be a positive integer (got 0)").  {!create} enforces
+    the same rule; CLIs validate up front to report the flag error
+    without an exception. *)
+
 val create : ?jobs:int -> unit -> t
 (** [create ?jobs ()] starts a pool of [jobs] workers (default
     {!Domain.recommended_domain_count}, i.e. the hardware parallelism;

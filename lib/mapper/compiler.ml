@@ -6,6 +6,14 @@ let log_src = Logs.Src.create "vqc.compiler" ~doc:"compilation pipeline"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+module Metrics = Vqc_obs.Metrics
+module Trace = Vqc_obs.Trace
+module Span = Vqc_obs.Span
+module Json = Vqc_obs.Json
+
+let compiles_total = Metrics.counter "mapper.compiles"
+let candidates_total = Metrics.counter "mapper.candidates"
+
 type routing =
   | Astar_route of {
       cost_model : Cost.model;
@@ -135,6 +143,9 @@ let compile ?max_expansions device policy circuit =
     invalid_arg "Compiler.compile: policy has no allocation";
   if policy.routings = [] then
     invalid_arg "Compiler.compile: policy has no routing";
+  Span.with_span ~source:"mapper" "mapper.compile"
+    ~fields:[ ("policy", Json.String policy.label) ]
+  @@ fun () ->
   let route_with layout routing =
     match routing with
     | Astar_route { cost_model; max_additional_hops; bridges } ->
@@ -188,6 +199,19 @@ let compile ?max_expansions device policy circuit =
   Log.info (fun m ->
       m "%s: chose %s, log-reliability %.3f" policy.label (describe best)
         (score best));
+  Metrics.incr compiles_total;
+  Metrics.add candidates_total (List.length candidates);
+  if Trace.enabled () then begin
+    let chosen_allocation, chosen_routing, chosen = best in
+    Trace.emit ~source:"mapper" ~event:"compile"
+      [
+        ("policy", Json.String policy.label);
+        ("candidates", Json.Int (List.length candidates));
+        ("allocation", Json.String (Allocation.policy_name chosen_allocation));
+        ("routing", Json.String (routing_label chosen_routing));
+        ("swaps_inserted", Json.Int chosen.Router.stats.Router.swaps_inserted);
+      ]
+  end;
   let _, _, best = best in
   {
     policy;

@@ -6,6 +6,18 @@ let log_src = Logs.Src.create "vqc.router" ~doc:"SWAP-insertion routing"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+module Metrics = Vqc_obs.Metrics
+module Trace = Vqc_obs.Trace
+module Span = Vqc_obs.Span
+module Json = Vqc_obs.Json
+
+(* Shared with Sabre (same names resolve to the same metrics): every
+   routing pass adds its per-circuit totals once, at the end. *)
+let routes_total = Metrics.counter "mapper.routes"
+let swaps_total = Metrics.counter "mapper.swaps_inserted"
+let expansions_total = Metrics.counter "mapper.astar_expansions"
+let fallbacks_total = Metrics.counter "mapper.greedy_fallbacks"
+
 type stats = {
   swaps_inserted : int;
   astar_expansions : int;
@@ -18,6 +30,20 @@ type result = {
   final : Layout.t;
   stats : stats;
 }
+
+let record_route ~router (stats : stats) =
+  Metrics.incr routes_total;
+  Metrics.add swaps_total stats.swaps_inserted;
+  Metrics.add expansions_total stats.astar_expansions;
+  Metrics.add fallbacks_total stats.greedy_fallbacks;
+  if Trace.enabled () then
+    Trace.emit ~source:"mapper" ~event:"route"
+      [
+        ("router", Json.String router);
+        ("swaps_inserted", Json.Int stats.swaps_inserted);
+        ("astar_expansions", Json.Int stats.astar_expansions);
+        ("greedy_fallbacks", Json.Int stats.greedy_fallbacks);
+      ]
 
 let physical_pair layout (a, b) =
   (Layout.physical_of_program layout a, Layout.physical_of_program layout b)
@@ -261,6 +287,7 @@ let layer_search cost ~max_additional_hops ~max_expansions ~lookahead
 
 let route ?max_additional_hops ?(max_expansions = 100_000)
     ?(lookahead = default_lookahead) ?(bridges = false) cost layout circuit =
+  Span.with_span ~source:"mapper" "mapper.route" @@ fun () ->
   let device = Cost.device cost in
   let ctx = { layout; rev_gates = []; swaps = 0 } in
   let expansions = ref 0 in
@@ -347,6 +374,14 @@ let route ?max_additional_hops ?(max_expansions = 100_000)
       walk_layers rest
   in
   walk_layers (Layers.partition circuit);
+  let stats =
+    {
+      swaps_inserted = ctx.swaps;
+      astar_expansions = !expansions;
+      greedy_fallbacks = !fallbacks;
+    }
+  in
+  record_route ~router:"astar" stats;
   {
     circuit =
       Circuit.of_gates
@@ -355,15 +390,11 @@ let route ?max_additional_hops ?(max_expansions = 100_000)
         (List.rev ctx.rev_gates);
     initial = layout;
     final = ctx.layout;
-    stats =
-      {
-        swaps_inserted = ctx.swaps;
-        astar_expansions = !expansions;
-        greedy_fallbacks = !fallbacks;
-      };
+    stats;
   }
 
 let route_greedy cost layout circuit =
+  Span.with_span ~source:"mapper" "mapper.route_greedy" @@ fun () ->
   let device = Cost.device cost in
   let ctx = { layout; rev_gates = []; swaps = 0 } in
   let place gate =
@@ -374,6 +405,10 @@ let route_greedy cost layout circuit =
     emit_relabeled ctx gate
   in
   List.iter place (Circuit.gates circuit);
+  let stats =
+    { swaps_inserted = ctx.swaps; astar_expansions = 0; greedy_fallbacks = 0 }
+  in
+  record_route ~router:"greedy" stats;
   {
     circuit =
       Circuit.of_gates
@@ -382,6 +417,5 @@ let route_greedy cost layout circuit =
         (List.rev ctx.rev_gates);
     initial = layout;
     final = ctx.layout;
-    stats =
-      { swaps_inserted = ctx.swaps; astar_expansions = 0; greedy_fallbacks = 0 };
+    stats;
   }

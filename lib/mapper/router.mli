@@ -57,5 +57,14 @@ val route :
 
 val route_greedy : Cost.t -> Layout.t -> Circuit.t -> result
 
+val record_route : router:string -> stats -> unit
+(** Feed one finished routing pass into the {!Vqc_obs} registry
+    ([mapper.routes], [mapper.swaps_inserted], [mapper.astar_expansions],
+    [mapper.greedy_fallbacks]) and, when a trace sink is attached, emit a
+    [source = "mapper"] / [event = "route"] event tagged with [router]
+    ("astar", "greedy", "sabre").  Called by every router in this
+    library; exposed so external routers can report through the same
+    channel.  Purely observational — never affects routing results. *)
+
 val executable : Cost.t -> Layout.t -> (int * int) list -> bool
 (** Whether every (program) pair is mapped to coupled physical qubits. *)

@@ -10,6 +10,7 @@ let blocking gate =
 
 let route ?(lookahead_size = 20) ?(lookahead_weight = 0.5) ?(decay = 0.001)
     cost layout circuit =
+  Vqc_obs.Span.with_span ~source:"mapper" "mapper.sabre" @@ fun () ->
   let device = Cost.device cost in
   let dag = Dag.build circuit in
   let count = Dag.gate_count dag in
@@ -172,6 +173,10 @@ let route ?(lookahead_size = 20) ?(lookahead_weight = 0.5) ?(decay = 0.001)
       end
     end
   done;
+  let stats =
+    { Router.swaps_inserted = !swaps; astar_expansions = 0; greedy_fallbacks = 0 }
+  in
+  Router.record_route ~router:"sabre" stats;
   {
     Router.circuit =
       Circuit.of_gates
@@ -180,10 +185,5 @@ let route ?(lookahead_size = 20) ?(lookahead_weight = 0.5) ?(decay = 0.001)
         (List.rev !output);
     initial = layout;
     final = !ctx;
-    stats =
-      {
-        Router.swaps_inserted = !swaps;
-        astar_expansions = 0;
-        greedy_fallbacks = 0;
-      };
+    stats;
   }

@@ -1,0 +1,209 @@
+type counter = { cname : string; value : int Atomic.t }
+type gauge = { gname : string; gvalue : float Atomic.t }
+
+type histogram = {
+  hname : string;
+  hlock : Mutex.t;
+  mutable samples : float array;
+  mutable used : int;
+  mutable total : float;
+}
+
+(* One process-local registry.  Metric handles are created (or found)
+   under [registry_lock]; after that, counters and gauges update via
+   atomics and each histogram has its own lock, so recording from pool
+   worker domains never contends on the registry itself. *)
+let registry_lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let registered table name make =
+  Mutex.lock registry_lock;
+  let metric =
+    match Hashtbl.find_opt table name with
+    | Some m -> m
+    | None ->
+      let m = make () in
+      Hashtbl.replace table name m;
+      m
+  in
+  Mutex.unlock registry_lock;
+  metric
+
+(* ---- counters ------------------------------------------------------- *)
+
+let counter name =
+  registered counters name (fun () ->
+      { cname = name; value = Atomic.make 0 })
+
+let add c by = ignore (Atomic.fetch_and_add c.value by)
+let incr c = add c 1
+let counter_value c = Atomic.get c.value
+let counter_name c = c.cname
+
+(* ---- gauges --------------------------------------------------------- *)
+
+let gauge name =
+  registered gauges name (fun () ->
+      { gname = name; gvalue = Atomic.make 0.0 })
+
+let set g v = Atomic.set g.gvalue v
+let gauge_value g = Atomic.get g.gvalue
+let gauge_name g = g.gname
+
+(* ---- histograms ----------------------------------------------------- *)
+
+let histogram name =
+  registered histograms name (fun () ->
+      {
+        hname = name;
+        hlock = Mutex.create ();
+        samples = Array.make 64 0.0;
+        used = 0;
+        total = 0.0;
+      })
+
+let observe h v =
+  Mutex.lock h.hlock;
+  if h.used = Array.length h.samples then begin
+    let grown = Array.make (2 * h.used) 0.0 in
+    Array.blit h.samples 0 grown 0 h.used;
+    h.samples <- grown
+  end;
+  h.samples.(h.used) <- v;
+  h.used <- h.used + 1;
+  h.total <- h.total +. v;
+  Mutex.unlock h.hlock
+
+let histogram_count h =
+  Mutex.lock h.hlock;
+  let n = h.used in
+  Mutex.unlock h.hlock;
+  n
+
+let histogram_sum h =
+  Mutex.lock h.hlock;
+  let s = h.total in
+  Mutex.unlock h.hlock;
+  s
+
+let sorted_samples h =
+  Mutex.lock h.hlock;
+  let copy = Array.sub h.samples 0 h.used in
+  Mutex.unlock h.hlock;
+  Array.sort compare copy;
+  copy
+
+(* Nearest-rank over the recorded samples (exact, not bucketed): the
+   index is monotone in [rank], so quantiles are monotone too. *)
+let quantile h rank =
+  if not (Float.is_finite rank) || rank < 0.0 || rank > 1.0 then
+    invalid_arg "Metrics.quantile: rank must be within [0, 1]";
+  let sorted = sorted_samples h in
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Metrics.quantile: empty histogram";
+  let index = int_of_float (Float.round (rank *. float_of_int (n - 1))) in
+  sorted.(max 0 (min (n - 1) index))
+
+let histogram_name h = h.hname
+
+(* ---- registry-wide operations --------------------------------------- *)
+
+let reset () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.value 0) counters;
+  Hashtbl.iter (fun _ g -> Atomic.set g.gvalue 0.0) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Mutex.lock h.hlock;
+      h.used <- 0;
+      h.total <- 0.0;
+      Mutex.unlock h.hlock)
+    histograms;
+  Mutex.unlock registry_lock
+
+let by_name table =
+  Mutex.lock registry_lock;
+  let entries = Hashtbl.fold (fun name m acc -> (name, m) :: acc) table [] in
+  Mutex.unlock registry_lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) entries
+
+let fold_counters f init =
+  List.fold_left
+    (fun acc (name, c) -> f acc name (counter_value c))
+    init (by_name counters)
+
+let fold_gauges f init =
+  List.fold_left
+    (fun acc (name, g) -> f acc name (gauge_value g))
+    init (by_name gauges)
+
+let fold_histograms f init =
+  List.fold_left (fun acc (name, h) -> f acc name h) init (by_name histograms)
+
+let pp ppf () =
+  let live_histograms =
+    List.filter (fun (_, h) -> histogram_count h > 0) (by_name histograms)
+  in
+  Format.fprintf ppf "@[<v>== metrics ==@,";
+  (match by_name counters with
+  | [] -> ()
+  | entries ->
+    Format.fprintf ppf "counters:@,";
+    List.iter
+      (fun (name, c) ->
+        Format.fprintf ppf "  %-32s %d@," name (counter_value c))
+      entries);
+  (match by_name gauges with
+  | [] -> ()
+  | entries ->
+    Format.fprintf ppf "gauges:@,";
+    List.iter
+      (fun (name, g) ->
+        Format.fprintf ppf "  %-32s %g@," name (gauge_value g))
+      entries);
+  (match live_histograms with
+  | [] -> ()
+  | entries ->
+    Format.fprintf ppf "histograms:%33s%9s%9s%9s%9s@," "count" "mean" "p50"
+      "p90" "max";
+    List.iter
+      (fun (name, h) ->
+        let n = histogram_count h in
+        Format.fprintf ppf "  %-32s %8d %8.4f %8.4f %8.4f %8.4f@," name n
+          (histogram_sum h /. float_of_int n)
+          (quantile h 0.5) (quantile h 0.9) (quantile h 1.0))
+      entries);
+  Format.fprintf ppf "@]"
+
+(* Histogram observations are (almost always) durations, so their
+   statistics go under "nd"; counter and gauge values in this codebase
+   are deterministic work counts and stay top-level. *)
+let snapshot_to_trace () =
+  if Trace.enabled () then begin
+    List.iter
+      (fun (name, c) ->
+        Trace.emit ~source:"metrics" ~event:"counter"
+          [ ("name", Json.String name); ("value", Json.Int (counter_value c)) ])
+      (by_name counters);
+    List.iter
+      (fun (name, g) ->
+        Trace.emit ~source:"metrics" ~event:"gauge"
+          [ ("name", Json.String name); ("value", Json.Float (gauge_value g)) ])
+      (by_name gauges);
+    List.iter
+      (fun (name, h) ->
+        let n = histogram_count h in
+        if n > 0 then
+          Trace.emit ~source:"metrics" ~event:"histogram"
+            ~nd:
+              [
+                ("sum", Json.Float (histogram_sum h));
+                ("p50", Json.Float (quantile h 0.5));
+                ("p90", Json.Float (quantile h 0.9));
+                ("max", Json.Float (quantile h 1.0));
+              ]
+            [ ("name", Json.String name); ("count", Json.Int n) ])
+      (by_name histograms)
+  end

@@ -1,0 +1,83 @@
+(** Process-local metric registry: named counters, gauges, and latency
+    histograms.
+
+    Handles are registered on first use and live for the process; a
+    second [counter name] call returns the same underlying metric, so
+    subsystems can hold handles at module-init time while dumps and
+    tests look metrics up by name.  Recording is safe from any domain —
+    counters and gauges are atomics, each histogram has its own lock —
+    and deliberately cheap enough to leave compiled in.
+
+    Naming convention: dotted [subsystem.metric] names, e.g.
+    [engine.pool.chunks], [sim.mc.trials], [mapper.swaps_inserted].
+
+    Recording a metric must never perturb the instrumented computation:
+    nothing here touches RNG state or program output. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Find-or-create the counter named [name] (starts at 0). *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+val counter_name : counter -> string
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : string -> gauge
+(** Find-or-create the gauge named [name] (starts at 0.0). *)
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+val gauge_name : gauge -> string
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : string -> histogram
+(** Find-or-create the histogram named [name].  Observations are kept
+    exactly (no bucketing), so quantiles are exact order statistics;
+    intended for latency-style series of up to ~millions of points. *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val quantile : histogram -> float -> float
+(** [quantile h rank] is the nearest-rank order statistic for [rank] in
+    [0, 1]; monotone in [rank].
+    @raise Invalid_argument on an empty histogram or a rank outside
+    [0, 1]. *)
+
+val histogram_name : histogram -> string
+
+(** {1 Registry-wide operations} *)
+
+val reset : unit -> unit
+(** Zero every registered metric {e in place} — handles held by
+    instrumented modules stay valid.  Used between experiments and by
+    tests. *)
+
+val fold_counters : ('a -> string -> int -> 'a) -> 'a -> 'a
+(** Fold over counters in name order. *)
+
+val fold_gauges : ('a -> string -> float -> 'a) -> 'a -> 'a
+val fold_histograms : ('a -> string -> histogram -> 'a) -> 'a -> 'a
+
+val pp : Format.formatter -> unit -> unit
+(** Human-readable dump of the whole registry, sorted by name.
+    Contains non-deterministic values (histogram timings) — print it to
+    stderr, never into experiment stdout. *)
+
+val snapshot_to_trace : unit -> unit
+(** Emit one {!Trace} event per registered metric ([source = "metrics"],
+    events [counter]/[gauge]/[histogram]).  Counter and gauge values are
+    deterministic top-level fields; histogram statistics (timings) go
+    under ["nd"].  No-op when no sink is attached. *)

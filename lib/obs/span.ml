@@ -1,0 +1,34 @@
+(* Per-domain span stacks: spans opened by pool workers on different
+   domains nest independently, which is exactly the call-tree shape. *)
+let stack_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = !(Domain.DLS.get stack_key)
+
+let with_span ?(fields = []) ~source name f =
+  let st = Domain.DLS.get stack_key in
+  let parent = !st in
+  st := name :: parent;
+  let path = String.concat "/" (List.rev !st) in
+  let histogram = Metrics.histogram ("span." ^ name) in
+  let started = Unix.gettimeofday () in
+  let finish ok =
+    let seconds = Unix.gettimeofday () -. started in
+    st := parent;
+    Metrics.observe histogram seconds;
+    if Trace.enabled () then
+      Trace.emit ~source ~event:"span"
+        ~nd:[ ("seconds", Json.Float seconds) ]
+        (("name", Json.String name)
+        :: ("path", Json.String path)
+        :: ("ok", Json.Bool ok)
+        :: fields)
+  in
+  match f () with
+  | result ->
+    finish true;
+    result
+  | exception exn ->
+    let backtrace = Printexc.get_raw_backtrace () in
+    finish false;
+    Printexc.raise_with_backtrace exn backtrace

@@ -1,0 +1,65 @@
+type sink = { write : string -> unit; flush : unit -> unit }
+
+(* [enabled] is the fast path consulted on every potential event; the
+   sink itself is read under [lock] only once an event is really being
+   produced, so Noop mode costs one atomic load. *)
+let active = Atomic.make false
+let lock = Mutex.create ()
+let sink : sink option ref = ref None
+
+let enabled () = Atomic.get active
+
+let set_sink s =
+  Mutex.lock lock;
+  sink := s;
+  Atomic.set active (s <> None);
+  Mutex.unlock lock
+
+let flush () =
+  Mutex.lock lock;
+  (match !sink with Some s -> s.flush () | None -> ());
+  Mutex.unlock lock
+
+type field = string * Json.t
+
+let emit ?(nd = []) ~source ~event fields =
+  if enabled () then begin
+    let deterministic =
+      ("source", Json.String source) :: ("event", Json.String event) :: fields
+    in
+    let all =
+      if nd = [] then deterministic
+      else deterministic @ [ ("nd", Json.Obj nd) ]
+    in
+    let line = Json.to_string (Json.Obj all) ^ "\n" in
+    Mutex.lock lock;
+    (match !sink with Some s -> s.write line | None -> ());
+    Mutex.unlock lock
+  end
+
+let with_sink s f =
+  Mutex.lock lock;
+  let previous = !sink in
+  sink := Some s;
+  Atomic.set active true;
+  Mutex.unlock lock;
+  Fun.protect
+    ~finally:(fun () ->
+      s.flush ();
+      Mutex.lock lock;
+      sink := previous;
+      Atomic.set active (previous <> None);
+      Mutex.unlock lock)
+    f
+
+let with_file path f =
+  let channel = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out channel)
+    (fun () ->
+      with_sink
+        {
+          write = (fun line -> output_string channel line);
+          flush = (fun () -> Stdlib.flush channel);
+        }
+        f)

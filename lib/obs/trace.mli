@@ -1,0 +1,54 @@
+(** Structured JSONL trace sink.
+
+    Every event is one JSON object on one line:
+
+    {v
+    {"source":"sim","event":"mc_chunk","chunk":3,"trials":4096,
+     "successes":471,"nd":{"seconds":0.0021}}
+    v}
+
+    [source] names the subsystem ([engine], [sim], [mapper], ...),
+    [event] the event kind; the remaining top-level fields are
+    {e deterministic} — identical across runs, worker counts, and
+    machines.  Anything non-deterministic (durations, timestamps,
+    hostnames) must live under the dedicated ["nd"] key so consumers
+    and tests can strip it in one place.
+
+    The sink is process-global and pluggable.  With no sink attached
+    (the [Noop] default) {!emit} costs a single atomic load, so
+    instrumentation can stay compiled in unconditionally.  Writes are
+    serialized under an internal lock: events from concurrent domains
+    interleave as whole lines, never mid-line.
+
+    Design rule (carried over from the execution engine): tracing must
+    never perturb results.  Nothing in this module touches any RNG or
+    any output stream of the instrumented program. *)
+
+type sink = { write : string -> unit; flush : unit -> unit }
+
+val set_sink : sink option -> unit
+(** [set_sink (Some s)] routes events to [s]; [set_sink None] restores
+    Noop mode. *)
+
+val enabled : unit -> bool
+(** Whether a sink is attached.  Callers building expensive event
+    payloads should check this first; {!emit} checks it either way. *)
+
+val flush : unit -> unit
+(** Flush the attached sink, if any. *)
+
+type field = string * Json.t
+
+val emit : ?nd:field list -> source:string -> event:string -> field list -> unit
+(** [emit ~source ~event fields] writes one event line.  [fields] must
+    be deterministic; put durations and other run-varying values in
+    [nd]. No-op when no sink is attached. *)
+
+val with_sink : sink -> (unit -> 'a) -> 'a
+(** [with_sink s f] runs [f] with [s] attached, then flushes it and
+    restores the previous sink (also on exception). *)
+
+val with_file : string -> (unit -> 'a) -> 'a
+(** [with_file path f] truncates/creates [path] and runs [f] with a
+    sink appending JSONL lines to it; the file is flushed and closed
+    when [f] returns or raises. *)

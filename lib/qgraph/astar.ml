@@ -54,7 +54,10 @@ let run ?(max_expansions = default_max_expansions) problem =
           drain ()
         end
   in
-  (drain (), !expanded)
+  (* bind before pairing: tuple components evaluate right-to-left, so
+     [(drain (), !expanded)] would read the counter before the search *)
+  let outcome = drain () in
+  (outcome, !expanded)
 
 let search ?max_expansions problem =
   match run ?max_expansions problem with

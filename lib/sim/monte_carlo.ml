@@ -1,6 +1,21 @@
 open Vqc_circuit
 module Rng = Vqc_rng.Rng
 module Pool = Vqc_engine.Pool
+module Metrics = Vqc_obs.Metrics
+module Trace = Vqc_obs.Trace
+module Span = Vqc_obs.Span
+module Json = Vqc_obs.Json
+
+(* Telemetry is aggregated per chunk (one counter add each), never per
+   trial, so the hot Bernoulli loop stays hot.  Every recorded value is
+   a deterministic function of the inputs — only the chunk timings are
+   not, and those live in the histogram / under the trace "nd" key. *)
+let runs_total = Metrics.counter "sim.mc.runs"
+let trials_total = Metrics.counter "sim.mc.trials"
+let chunks_total = Metrics.counter "sim.mc.chunks"
+let draws_total = Metrics.counter "sim.mc.draws"
+let early_exits_total = Metrics.counter "sim.mc.early_exits"
+let chunk_seconds = Metrics.histogram "sim.mc.chunk_seconds"
 
 type result = {
   trials : int;
@@ -19,6 +34,9 @@ let run ?(coherence = true)
     ?(crosstalk_strength = 0.0) ?(jobs = 1) ~trials rng device circuit =
   if trials <= 0 then invalid_arg "Monte_carlo.run: need positive trials";
   if jobs < 1 then invalid_arg "Monte_carlo.run: need at least one job";
+  Span.with_span ~source:"sim" "sim.mc.run"
+    ~fields:[ ("trials", Json.Int trials) ]
+  @@ fun () ->
   let schedule = lazy (Schedule.build device circuit) in
   (* Per-operation failure probabilities, fixed across trials.  The order
      of the events is irrelevant (a trial fails if ANY event fires), so
@@ -77,20 +95,43 @@ let run ?(coherence = true)
     in
     build 0 []
   in
-  let run_chunk _ (count, rng) =
+  Metrics.incr runs_total;
+  Metrics.add trials_total trials;
+  Metrics.add chunks_total nchunks;
+  let run_chunk k (count, rng) =
+    let chunk_started = Unix.gettimeofday () in
     let successes = ref 0 in
+    let draws = ref 0 in
     for _ = 1 to count do
       let rec error_free i =
         i >= events
-        || ((not (Rng.bernoulli rng failure_probabilities.(i)))
-           && error_free (i + 1))
+        || (incr draws;
+            (not (Rng.bernoulli rng failure_probabilities.(i)))
+            && error_free (i + 1))
       in
       if error_free 0 then incr successes
     done;
+    let seconds = Unix.gettimeofday () -. chunk_started in
+    Metrics.add draws_total !draws;
+    Metrics.add early_exits_total (count - !successes);
+    Metrics.observe chunk_seconds seconds;
+    if Trace.enabled () then
+      Trace.emit ~source:"sim" ~event:"mc_chunk"
+        ~nd:[ ("seconds", Json.Float seconds) ]
+        [
+          ("chunk", Json.Int k);
+          ("trials", Json.Int count);
+          ("successes", Json.Int !successes);
+          ("draws", Json.Int !draws);
+        ];
     !successes
   in
   let successes =
-    if jobs = 1 then List.fold_left (fun acc c -> acc + run_chunk 0 c) 0 chunks
+    if jobs = 1 then
+      List.fold_left
+        (fun (k, acc) chunk -> (k + 1, acc + run_chunk k chunk))
+        (0, 0) chunks
+      |> snd
     else
       Pool.with_pool ~jobs (fun pool ->
           Pool.map_reduce pool ~f:run_chunk ~combine:( + ) ~init:0 chunks)

@@ -1,0 +1,15 @@
+(* Render one experiment (default context: seed 2, single job) to
+   stdout.  The golden dune rules route this through `diff` against
+   test/golden/<id>.expected, so `dune runtest` flags any output drift
+   and `dune promote` regenerates the expected files intentionally. *)
+
+let () =
+  match Sys.argv with
+  | [| _; id |] ->
+    let experiment = Vqc_experiments.Registry.find id in
+    let ppf = Format.std_formatter in
+    experiment.Vqc_experiments.Registry.run ppf Vqc_experiments.Context.default;
+    Format.pp_print_flush ppf ()
+  | _ ->
+    prerr_endline "usage: golden_gen <experiment-id>";
+    exit 2

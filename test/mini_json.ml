@@ -1,0 +1,167 @@
+(* Minimal strict JSON parser, used by the test suites to assert that
+   every line the trace sink writes is valid JSON.  Parsing lives in the
+   tests on purpose: the library only ever emits. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Invalid of string
+
+let parse text =
+  let pos = ref 0 in
+  let len = String.length text in
+  let fail message = raise (Invalid (Printf.sprintf "%s at %d" message !pos)) in
+  let peek () = if !pos < len then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some got when got = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let skip_ws () =
+    while
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> true
+      | _ -> false
+    do
+      advance ()
+    done
+  in
+  let literal word value =
+    if !pos + String.length word <= len
+       && String.sub text !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buffer = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char buffer '"'; advance ()
+        | Some '\\' -> Buffer.add_char buffer '\\'; advance ()
+        | Some '/' -> Buffer.add_char buffer '/'; advance ()
+        | Some 'n' -> Buffer.add_char buffer '\n'; advance ()
+        | Some 'r' -> Buffer.add_char buffer '\r'; advance ()
+        | Some 't' -> Buffer.add_char buffer '\t'; advance ()
+        | Some 'b' -> Buffer.add_char buffer '\b'; advance ()
+        | Some 'f' -> Buffer.add_char buffer '\012'; advance ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > len then fail "truncated \\u escape";
+          let hex = String.sub text !pos 4 in
+          String.iter
+            (fun c ->
+              match c with
+              | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+              | _ -> fail "bad \\u escape")
+            hex;
+          (* tests only check validity; escaped code points render as ? *)
+          Buffer.add_char buffer '?';
+          pos := !pos + 4
+        | _ -> fail "bad escape");
+        loop ()
+      | Some c when Char.code c < 0x20 -> fail "raw control char in string"
+      | Some c ->
+        Buffer.add_char buffer c;
+        advance ();
+        loop ()
+    in
+    loop ();
+    Buffer.contents buffer
+  in
+  let parse_number () =
+    let start = !pos in
+    let number_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while match peek () with Some c -> number_char c | None -> false do
+      advance ()
+    done;
+    let s = String.sub text start (!pos - start) in
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> fail ("bad number " ^ s)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let value = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, value) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((key, value) :: acc)
+          | _ -> fail "expected , or }"
+        in
+        Obj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec items acc =
+          let value = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (value :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (value :: acc)
+          | _ -> fail "expected , or ]"
+        in
+        List (items [])
+      end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Number (parse_number ())
+  in
+  let value = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  value
+
+let member key json =
+  match json with
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None

@@ -134,6 +134,20 @@ let test_create_rejects_bad_sizes () =
            false
          with Invalid_argument _ -> true))
 
+let test_validate_jobs_message () =
+  (* bin/experiments.ml prefixes this with "--" to form its CLI error,
+     so the exact wording is part of the interface *)
+  check "positive accepted" true (Pool.validate_jobs 3 = Ok 3);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d message" jobs)
+        (Printf.sprintf "jobs must be a positive integer (got %d)" jobs)
+        (match Pool.validate_jobs jobs with
+        | Error message -> message
+        | Ok _ -> "accepted"))
+    [ 0; -2 ]
+
 (* qcheck: Pool.map over arbitrary lists / chunk sizes / job counts is
    exactly List.map *)
 let prop_map_is_list_map =
@@ -205,6 +219,8 @@ let () =
             test_lowest_failing_chunk_wins;
           Alcotest.test_case "progress telemetry" `Quick test_progress_telemetry;
           Alcotest.test_case "bad sizes" `Quick test_create_rejects_bad_sizes;
+          Alcotest.test_case "validate_jobs message" `Quick
+            test_validate_jobs_message;
           QCheck_alcotest.to_alcotest prop_map_is_list_map;
         ] );
       ( "monte-carlo",
