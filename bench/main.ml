@@ -15,6 +15,12 @@ module Monte_carlo = Vqc_sim.Monte_carlo
 module Reliability = Vqc_sim.Reliability
 module Catalog = Vqc_workloads.Catalog
 module Rng = Vqc_rng.Rng
+module History = Vqc_device.History
+module Topologies = Vqc_device.Topologies
+module Service = Vqc_service.Service
+module Epoch = Vqc_service.Epoch
+module Protocol = Vqc_service.Protocol
+module Policies = Vqc_service.Policies
 
 let regenerate_artifacts () =
   let ctx = Context.default in
@@ -57,6 +63,52 @@ let monte_carlo_parallel_test ctx ~jobs trials =
            (Monte_carlo.run ~jobs ~trials (Rng.make 1) device
               compiled.Compiler.physical)))
 
+(* ---- Serving: cold vs warm-cache throughput ------------------------ *)
+
+let serve_requests =
+  List.map
+    (fun workload ->
+      {
+        Protocol.id = None;
+        source = Protocol.Workload workload;
+        policy = Policies.default_label;
+        epoch = None;
+      })
+    [ "bv-16"; "qft-12"; "alu" ]
+
+let serve_batch service =
+  List.iter
+    (fun request ->
+      match Service.submit service request with
+      | Ok () -> ()
+      | Error _ -> failwith "bench: unexpected rejection")
+    serve_requests;
+  ignore (Service.flush service)
+
+let serve_service ~cache_enabled =
+  let epochs =
+    Epoch.of_history ~name:"Q20" ~coupling:Topologies.ibm_q20_tokyo
+      (History.generate ~days:2 ~seed:2 ~coupling:Topologies.ibm_q20_tokyo 20)
+  in
+  Service.create
+    ~config:{ Service.default_config with Service.cache_enabled }
+    epochs
+
+(* Cold: the cache is bypassed, every batch compiles all three plans.
+   Warm: the cache is primed once, every batch is pure lookup — the
+   ratio of these two rows is the amortization the plan cache buys a
+   recompile-per-calibration serving regime. *)
+let serve_cold_test () =
+  let service = serve_service ~cache_enabled:false in
+  Bechamel.Test.make ~name:"serve/cold/3-reqs"
+    (Bechamel.Staged.stage (fun () -> serve_batch service))
+
+let serve_warm_test () =
+  let service = serve_service ~cache_enabled:true in
+  serve_batch service;
+  Bechamel.Test.make ~name:"serve/warm-cache/3-reqs"
+    (Bechamel.Staged.stage (fun () -> serve_batch service))
+
 let analytic_test ctx =
   let circuit = (Catalog.find "qft-14").Catalog.circuit in
   let device = ctx.Context.q20 in
@@ -86,7 +138,12 @@ let run_timings () =
       (List.sort_uniq compare [ 1; 2; 4; Domain.recommended_domain_count () ]
       |> List.map (fun jobs -> monte_carlo_parallel_test ctx ~jobs 200_000))
   in
-  let tests = Test.make_grouped ~name:"all" [ tests; parallel_tests ] in
+  let serve_tests =
+    Test.make_grouped ~name:"serve" [ serve_cold_test (); serve_warm_test () ]
+  in
+  let tests =
+    Test.make_grouped ~name:"all" [ tests; parallel_tests; serve_tests ]
+  in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
   let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
   let results =

@@ -35,8 +35,17 @@ let progress_reporter total =
           p.Pool.completed p.Pool.total p.Pool.chunk_seconds
           p.Pool.elapsed_seconds)
 
-let run_ids seed jobs trace metrics ids =
-  match Pool.validate_jobs jobs with
+let list_experiments () =
+  List.iter
+    (fun e ->
+      Printf.printf "%-12s %s\n" e.Registry.id e.Registry.title)
+    Registry.all;
+  0
+
+let run_ids list seed jobs trace metrics ids =
+  if list then list_experiments ()
+  else
+    match Pool.validate_jobs jobs with
   | Error message ->
     prerr_endline ("vqc-experiments: --" ^ message);
     1
@@ -78,6 +87,10 @@ let run_ids seed jobs trace metrics ids =
       if metrics then Format.eprintf "%a@." Metrics.pp ();
       0)
 
+let list_term =
+  let doc = "List the available experiment ids with their titles and exit." in
+  Arg.(value & flag & info [ "l"; "list" ] ~doc)
+
 let seed_term =
   let doc =
     "Seed for the synthetic calibration model (2 is the documented \
@@ -118,7 +131,7 @@ let cmd =
   Cmd.v
     (Cmd.info "vqc-experiments" ~doc)
     Term.(
-      const run_ids $ seed_term $ jobs_term $ trace_term $ metrics_term
-      $ ids_term)
+      const run_ids $ list_term $ seed_term $ jobs_term $ trace_term
+      $ metrics_term $ ids_term)
 
 let () = exit (Cmd.eval' cmd)

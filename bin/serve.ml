@@ -1,0 +1,268 @@
+(* vqc-serve: compilation-as-a-service over newline-delimited JSON.
+
+   Requests arrive one JSON object per stdin line (workload name or
+   inline QASM, policy label, optional pinned epoch); responses leave
+   one JSON object per stdout line, in input order.  Accepted requests
+   batch onto the worker pool and flush every --batch requests, on
+   control lines, and at EOF; a full admission queue yields structured
+   "rejected" responses instead of an exception.  Deterministic fields
+   are byte-identical across --jobs and cache on/off — anything
+   run-varying (latency, cache temperature) lives under "nd". *)
+
+module Service = Vqc_service.Service
+module Epoch = Vqc_service.Epoch
+module Protocol = Vqc_service.Protocol
+module History = Vqc_device.History
+module Topologies = Vqc_device.Topologies
+module Calibration_io = Vqc_device.Calibration_io
+module Pool = Vqc_engine.Pool
+module Metrics = Vqc_obs.Metrics
+module Trace = Vqc_obs.Trace
+
+open Cmdliner
+
+let positive flag value =
+  if value < 1 then
+    Error (Printf.sprintf "--%s must be a positive integer (got %d)" flag value)
+  else Ok value
+
+let build_epochs ~seed ~days ~csv_files =
+  match csv_files with
+  | [] ->
+    let history =
+      History.generate ~days ~seed ~coupling:Topologies.ibm_q20_tokyo 20
+    in
+    Ok (Epoch.of_history ~name:"Q20" ~coupling:Topologies.ibm_q20_tokyo history)
+  | files ->
+    let devices =
+      List.map
+        (fun path ->
+          match In_channel.with_open_text path In_channel.input_all with
+          | text -> begin
+            match
+              Calibration_io.device_of_ibm_csv ~name:(Filename.basename path)
+                text
+            with
+            | Ok device -> Ok device
+            | Error message ->
+              Error (Printf.sprintf "%s: %s" path message)
+          end
+          | exception Sys_error message -> Error message)
+        files
+    in
+    (match
+       List.find_opt (function Error _ -> true | Ok _ -> false) devices
+     with
+    | Some (Error message) -> Error message
+    | _ ->
+      Ok
+        (Epoch.of_devices
+           (List.map (function Ok d -> d | Error _ -> assert false) devices)))
+
+(* Responses must leave in input order, but rejections and parse errors
+   are known immediately while accepted requests wait for the flush.
+   Each input line claims a slot; flushing fills the queued slots from
+   the service's responses (both are in admission order) and prints. *)
+type slot =
+  | Ready of Protocol.response
+  | Queued
+
+let serve service ~batch =
+  let slots = ref [] in
+  let queued = ref 0 in
+  let emit response = print_endline (Protocol.render response) in
+  let flush_slots () =
+    let responses = ref (Service.flush service) in
+    List.iter
+      (fun slot ->
+        match slot with
+        | Ready response -> emit response
+        | Queued -> begin
+          match !responses with
+          | response :: rest ->
+            responses := rest;
+            emit response
+          | [] -> assert false
+        end)
+      (List.rev !slots);
+    slots := [];
+    queued := 0;
+    flush stdout
+  in
+  let ack op =
+    emit
+      (Protocol.Control_ack
+         { op; epoch = Epoch.current (Service.epoch_manager service) });
+    flush stdout
+  in
+  let rec loop () =
+    match In_channel.input_line stdin with
+    | None -> flush_slots ()
+    | Some line when String.trim line = "" -> loop ()
+    | Some line ->
+      (match Protocol.parse_line line with
+      | Error message ->
+        slots := Ready (Protocol.Failed { id = None; error = message }) :: !slots
+      | Ok (Protocol.Control Protocol.Flush) ->
+        flush_slots ();
+        ack "flush"
+      | Ok (Protocol.Control Protocol.Advance_epoch) ->
+        (* plans queued against the old epoch compile against it *)
+        flush_slots ();
+        ignore (Service.advance_epoch service);
+        ack "advance_epoch"
+      | Ok (Protocol.Control (Protocol.Set_epoch epoch)) ->
+        flush_slots ();
+        (match Service.set_epoch service epoch with
+        | () -> ack "set_epoch"
+        | exception Invalid_argument message ->
+          emit (Protocol.Failed { id = None; error = message });
+          flush stdout)
+      | Ok (Protocol.Compile request) -> begin
+        match Service.submit service request with
+        | Ok () ->
+          slots := Queued :: !slots;
+          incr queued;
+          if !queued >= batch then flush_slots ()
+        | Error reason ->
+          slots :=
+            Ready (Protocol.Rejected { id = request.Protocol.id; reason })
+            :: !slots
+      end);
+      loop ()
+  in
+  loop ()
+
+let run jobs batch queue_depth cache_capacity no_cache seed days csv_files
+    metrics trace =
+  let ( let* ) r f = Result.bind r f in
+  let checked =
+    let* jobs =
+      Result.map_error (fun m -> "--" ^ m) (Pool.validate_jobs jobs)
+    in
+    let* batch = positive "batch" batch in
+    let* queue_depth = positive "queue-depth" queue_depth in
+    let* cache_capacity = positive "cache-capacity" cache_capacity in
+    let* _days = positive "days" days in
+    Ok (jobs, batch, queue_depth, cache_capacity)
+  in
+  match checked with
+  | Error message ->
+    prerr_endline ("vqc-serve: " ^ message);
+    1
+  | Ok (jobs, batch, queue_depth, cache_capacity) -> (
+    match build_epochs ~seed ~days ~csv_files with
+    | Error message ->
+      prerr_endline ("vqc-serve: " ^ message);
+      1
+    | Ok epochs ->
+      let config =
+        {
+          Service.jobs;
+          cache_capacity;
+          cache_enabled = not no_cache;
+          queue_limit = queue_depth;
+        }
+      in
+      let execute () =
+        Service.with_service ~config epochs (fun service ->
+            serve service ~batch);
+        Metrics.snapshot_to_trace ()
+      in
+      (match trace with
+      | Some path -> Trace.with_file path execute
+      | None -> execute ());
+      if metrics then Format.eprintf "%a@." Metrics.pp ();
+      0)
+
+let jobs_term =
+  let doc =
+    "Worker domains compiling each batch in parallel.  Responses are \
+     byte-identical for every value (latency lives under 'nd')."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+let batch_term =
+  let doc = "Flush the admission queue every $(docv) accepted requests." in
+  Arg.(value & opt int 16 & info [ "batch" ] ~docv:"N" ~doc)
+
+let queue_depth_term =
+  let doc =
+    "Admission-queue limit: requests beyond $(docv) pending are rejected \
+     with a structured 'rejected' response (backpressure, not a crash)."
+  in
+  Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N" ~doc)
+
+let cache_capacity_term =
+  let doc = "Plan-cache capacity (LRU entries)." in
+  Arg.(value & opt int 256 & info [ "cache-capacity" ] ~docv:"N" ~doc)
+
+let no_cache_term =
+  let doc =
+    "Disable the plan cache: every request compiles (cache status \
+     'bypass').  Deterministic response fields are unchanged."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let seed_term =
+  let doc = "Seed for the synthetic calibration history." in
+  Arg.(value & opt int 2 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let days_term =
+  let doc =
+    "Calibration epochs to synthesize (one per simulated day) when no \
+     CSV files are given."
+  in
+  Arg.(value & opt int 8 & info [ "days" ] ~docv:"N" ~doc)
+
+let csv_term =
+  let doc =
+    "Load a calibration epoch from an IBM-style calibration CSV \
+     (repeatable; epoch order follows the flag order).  Overrides the \
+     synthetic history."
+  in
+  Arg.(
+    value & opt_all string [] & info [ "calibration-csv" ] ~docv:"FILE" ~doc)
+
+let metrics_term =
+  let doc =
+    "At exit, dump the metric registry (cache hits/misses/evictions, \
+     queue accepted/rejected, compile latencies) to stderr."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let trace_term =
+  let doc =
+    "Append structured JSONL trace events (per-response and per-batch \
+     service events, engine chunks, mapper passes, final metric \
+     snapshot) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "serve variability-aware compilation requests over NDJSON" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reads one JSON request per stdin line and writes one JSON \
+         response per stdout line, in input order.  A request names a \
+         catalog workload or carries inline OpenQASM 2.0, picks a \
+         policy, and may pin a calibration epoch; control lines \
+         ({\"op\": \"advance_epoch\"|\"set_epoch\"|\"flush\"}) rotate \
+         the calibration epoch (invalidating superseded cached plans) \
+         or force a flush.";
+      `S Manpage.s_examples;
+      `Pre
+        "  echo '{\"id\":1,\"workload\":\"bv-16\"}' | vqc-serve\n\
+        \  vqc-serve --jobs 4 --no-cache < requests.ndjson";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "vqc-serve" ~doc ~man)
+    Term.(
+      const run $ jobs_term $ batch_term $ queue_depth_term
+      $ cache_capacity_term $ no_cache_term $ seed_term $ days_term
+      $ csv_term $ metrics_term $ trace_term)
+
+let () = exit (Cmd.eval' cmd)

@@ -214,6 +214,14 @@ let device_of_ibm_csv ?gate_times ~name text =
     | exception Invalid_argument message -> Error message
   end
 
+(* Shortest fixed-precision rendering that parses back to the same
+   float, so export → import is lossless: the serving layer dumps and
+   reloads calibration epochs through this pair and cache fingerprints
+   must survive the trip. *)
+let float_repr f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
 let to_ibm_csv calibration =
   let buffer = Buffer.create 512 in
   Buffer.add_string buffer
@@ -226,14 +234,18 @@ let to_ibm_csv calibration =
     let cnots =
       links
       |> List.filter_map (fun (u, v, e) ->
-             if u = q then Some (Printf.sprintf "cx%d_%d: %g" u v e)
-             else if v = q then Some (Printf.sprintf "cx%d_%d: %g" v u e)
+             if u = q then Some (Printf.sprintf "cx%d_%d: %s" u v (float_repr e))
+             else if v = q then
+               Some (Printf.sprintf "cx%d_%d: %s" v u (float_repr e))
              else None)
       |> String.concat "; "
     in
     Buffer.add_string buffer
-      (Printf.sprintf "Q%d,%g,%g,5.0,%g,%g,\"%s\"\n" q figures.Calibration.t1_us
-         figures.Calibration.t2_us figures.Calibration.error_readout
-         figures.Calibration.error_1q cnots)
+      (Printf.sprintf "Q%d,%s,%s,5.0,%s,%s,\"%s\"\n" q
+         (float_repr figures.Calibration.t1_us)
+         (float_repr figures.Calibration.t2_us)
+         (float_repr figures.Calibration.error_readout)
+         (float_repr figures.Calibration.error_1q)
+         cnots)
   done;
   Buffer.contents buffer

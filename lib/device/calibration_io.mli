@@ -32,4 +32,9 @@ val device_of_ibm_csv :
 
 val to_ibm_csv : Calibration.t -> string
 (** Export a calibration in the same CSV shape (frequency column written
-    as 5.0 for every qubit — the library does not model frequencies). *)
+    as 5.0 for every qubit — the library does not model frequencies).
+    The export is lossless: floats are printed with enough digits that
+    [of_ibm_csv] reproduces the calibration {e exactly}, qubit figures
+    and link errors alike — the serving layer relies on this to dump
+    and reload its calibration epochs without perturbing plan-cache
+    fingerprints. *)

@@ -1,0 +1,50 @@
+module Metrics = Vqc_obs.Metrics
+
+type reason = Queue_full of { depth : int; limit : int }
+
+let reason_to_string (Queue_full _) = "queue_full"
+
+let accepted = Metrics.counter "service.queue.accepted"
+let rejected = Metrics.counter "service.queue.rejected"
+let depth_gauge = Metrics.gauge "service.queue.depth"
+
+type 'a t = {
+  queue_limit : int;
+  items : 'a Queue.t;
+  lock : Mutex.t;
+}
+
+let create ~limit =
+  if limit < 1 then
+    invalid_arg
+      (Printf.sprintf "Admission.create: limit must be >= 1 (got %d)" limit);
+  { queue_limit = limit; items = Queue.create (); lock = Mutex.create () }
+
+let limit t = t.queue_limit
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let depth t = locked t (fun () -> Queue.length t.items)
+
+let enqueue t item =
+  locked t (fun () ->
+      let depth = Queue.length t.items in
+      if depth >= t.queue_limit then begin
+        Metrics.incr rejected;
+        Error (Queue_full { depth; limit = t.queue_limit })
+      end
+      else begin
+        Queue.add item t.items;
+        Metrics.incr accepted;
+        Metrics.set depth_gauge (float_of_int (depth + 1));
+        Ok ()
+      end)
+
+let drain t =
+  locked t (fun () ->
+      let items = List.of_seq (Queue.to_seq t.items) in
+      Queue.clear t.items;
+      Metrics.set depth_gauge 0.0;
+      items)

@@ -1,0 +1,28 @@
+(** Bounded admission queue: backpressure instead of crashes.
+
+    The service accepts requests into a FIFO queue of configurable
+    depth; once the queue is full, further requests are {e rejected}
+    with a typed reason that the wire layer turns into a structured
+    response — an overloaded [vqc-serve] sheds load, it never raises.
+    Accepted/rejected totals and the live depth are tracked in
+    {!Vqc_obs.Metrics} under [service.queue.*]. *)
+
+type reason = Queue_full of { depth : int; limit : int }
+
+val reason_to_string : reason -> string
+(** e.g. ["queue_full"] — the stable wire identifier of the reason. *)
+
+type 'a t
+
+val create : limit:int -> 'a t
+(** @raise Invalid_argument if [limit < 1]. *)
+
+val limit : 'a t -> int
+val depth : 'a t -> int
+
+val enqueue : 'a t -> 'a -> (unit, reason) result
+(** Admit an item, or reject it when [depth t = limit t].  Counts
+    [service.queue.accepted] / [service.queue.rejected]. *)
+
+val drain : 'a t -> 'a list
+(** Remove and return every queued item in admission order. *)

@@ -1,0 +1,92 @@
+module Device = Vqc_device.Device
+module History = Vqc_device.History
+module Metrics = Vqc_obs.Metrics
+module Trace = Vqc_obs.Trace
+
+let advances = Metrics.counter "service.epoch.advances"
+let current_gauge = Metrics.gauge "service.epoch.current"
+
+type t = {
+  devices : Device.t array;
+  fingerprints : string array;
+  mutable current : int;
+  lock : Mutex.t;
+}
+
+let of_devices devices =
+  if devices = [] then invalid_arg "Epoch.of_devices: no devices";
+  let devices = Array.of_list devices in
+  {
+    devices;
+    fingerprints = Array.map (fun d -> Fingerprint.calibration (Device.calibration d)) devices;
+    current = 0;
+    lock = Mutex.create ();
+  }
+
+let of_history ?gate_times ~name ~coupling history =
+  of_devices
+    (List.map
+       (fun calibration -> Device.make ?gate_times ~name ~coupling calibration)
+       (History.all history))
+
+let epochs t = Array.length t.devices
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let current t = locked t (fun () -> t.current)
+
+let check t epoch =
+  if epoch < 0 || epoch >= Array.length t.devices then
+    invalid_arg
+      (Printf.sprintf "epoch %d out of range (service has %d epochs)" epoch
+         (Array.length t.devices))
+
+let device t epoch =
+  check t epoch;
+  t.devices.(epoch)
+
+let fingerprint t epoch =
+  check t epoch;
+  t.fingerprints.(epoch)
+
+let current_device t = device t (current t)
+let current_fingerprint t = fingerprint t (current t)
+
+(* Invalidation reproduces the paper's recompile-per-calibration
+   regime: after a calibration update only plans for the live
+   calibration survive; anything pinned to a superseded epoch will
+   recompile on its next request. *)
+let move t cache epoch =
+  let previous = locked t (fun () ->
+      let previous = t.current in
+      t.current <- epoch;
+      previous)
+  in
+  Metrics.incr advances;
+  Metrics.set current_gauge (float_of_int epoch);
+  let live = t.fingerprints.(epoch) in
+  let dropped =
+    match cache with
+    | Some cache ->
+      Plan_cache.retain cache (fun key ->
+          key.Plan_cache.calibration_fp = live)
+    | None -> 0
+  in
+  if Trace.enabled () then
+    Trace.emit ~source:"service" ~event:"epoch_advance"
+      [
+        ("from", Vqc_obs.Json.Int previous);
+        ("to", Vqc_obs.Json.Int epoch);
+        ("invalidated", Vqc_obs.Json.Int dropped);
+      ]
+
+let advance t cache =
+  let next = (current t + 1) mod epochs t in
+  move t cache next;
+  next
+
+let set t cache epoch =
+  check t epoch;
+  move t cache epoch

@@ -1,0 +1,55 @@
+(** Calibration epoch manager.
+
+    The paper's runtime model (Section 6, footnote 2) recompiles every
+    program whenever the machine publishes a new calibration — roughly
+    twice a day on the IBM machines of Section 3.  The service models
+    that cadence as a rotation over a fixed set of {e epochs}, each a
+    full {!Vqc_device.Device.t} (same topology, that epoch's
+    calibration): requests compile against the current epoch unless they
+    pin one explicitly, and {!advance} rotates to the next epoch,
+    invalidating every cached plan that was compiled against a
+    superseded calibration — so the recompile-per-calibration regime of
+    the paper shows up as measurable cache churn
+    ([service.cache.invalidated]) rather than as an opaque cost.
+
+    Epoch sources: a synthetic multi-day {!Vqc_device.History} (the
+    52-day model of paper Figure 8) or explicit devices, e.g. parsed
+    from IBM calibration CSVs via {!Vqc_device.Calibration_io}. *)
+
+type t
+
+val of_devices : Vqc_device.Device.t list -> t
+(** One epoch per device, in list order, starting at epoch 0.
+    @raise Invalid_argument on an empty list. *)
+
+val of_history :
+  ?gate_times:Vqc_device.Device.gate_times ->
+  name:string ->
+  coupling:(int * int) list ->
+  Vqc_device.History.t ->
+  t
+(** One epoch per history day over a fixed topology. *)
+
+val epochs : t -> int
+val current : t -> int
+
+val device : t -> int -> Vqc_device.Device.t
+(** @raise Invalid_argument when the epoch is out of range. *)
+
+val fingerprint : t -> int -> string
+(** Calibration fingerprint of an epoch (precomputed at construction).
+    @raise Invalid_argument when the epoch is out of range. *)
+
+val current_device : t -> Vqc_device.Device.t
+val current_fingerprint : t -> string
+
+val advance : t -> 'a Plan_cache.t option -> int
+(** Rotate to the next epoch (wrapping) and, when a cache is supplied,
+    drop every plan not keyed by the new epoch's calibration
+    fingerprint.  Returns the new epoch index.  Counts
+    [service.epoch.advances] and sets the [service.epoch.current]
+    gauge. *)
+
+val set : t -> 'a Plan_cache.t option -> int -> unit
+(** Jump to a specific epoch (same invalidation rule as {!advance}).
+    @raise Invalid_argument when the epoch is out of range. *)

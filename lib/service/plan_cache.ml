@@ -1,0 +1,124 @@
+module Metrics = Vqc_obs.Metrics
+
+type key = {
+  circuit_fp : string;
+  calibration_fp : string;
+  policy : string;
+}
+
+let key_to_string k =
+  Printf.sprintf "%s/%s/%s" k.circuit_fp k.calibration_fp k.policy
+
+let hits = Metrics.counter "service.cache.hits"
+let misses = Metrics.counter "service.cache.misses"
+let evictions = Metrics.counter "service.cache.evictions"
+let invalidated = Metrics.counter "service.cache.invalidated"
+let entries = Metrics.gauge "service.cache.entries"
+
+(* Classic intrusive doubly-linked LRU list over a hash table: [head]
+   is the most recently used entry, [tail] the eviction candidate. *)
+type 'a node = {
+  node_key : key;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (** toward head (more recent) *)
+  mutable next : 'a node option;  (** toward tail (less recent) *)
+}
+
+type 'a t = {
+  cache_capacity : int;
+  table : (key, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  lock : Mutex.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then
+    invalid_arg
+      (Printf.sprintf "Plan_cache.create: capacity must be >= 1 (got %d)"
+         capacity);
+  {
+    cache_capacity = capacity;
+    table = Hashtbl.create (min capacity 64);
+    head = None;
+    tail = None;
+    lock = Mutex.create ();
+  }
+
+let capacity t = t.cache_capacity
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.prev <- None;
+  node.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some node | None -> ());
+  t.head <- Some node;
+  if t.tail = None then t.tail <- Some node
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some node ->
+        Metrics.incr hits;
+        unlink t node;
+        push_front t node;
+        Some node.value
+      | None ->
+        Metrics.incr misses;
+        None)
+
+let evict_tail t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table node.node_key;
+    Metrics.incr evictions
+
+let insert t key value =
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.table key with
+      | Some node ->
+        node.value <- value;
+        unlink t node;
+        push_front t node
+      | None ->
+        if Hashtbl.length t.table >= t.cache_capacity then evict_tail t;
+        let node = { node_key = key; value; prev = None; next = None } in
+        Hashtbl.replace t.table key node;
+        push_front t node);
+      Metrics.set entries (float_of_int (Hashtbl.length t.table)))
+
+let retain t keep =
+  locked t (fun () ->
+      let victims =
+        Hashtbl.fold
+          (fun key node acc -> if keep key then acc else node :: acc)
+          t.table []
+      in
+      List.iter
+        (fun node ->
+          unlink t node;
+          Hashtbl.remove t.table node.node_key)
+        victims;
+      let dropped = List.length victims in
+      Metrics.add invalidated dropped;
+      Metrics.set entries (float_of_int (Hashtbl.length t.table));
+      dropped)
+
+let clear t = ignore (retain t (fun _ -> false))

@@ -1,0 +1,55 @@
+(** Content-addressed LRU plan cache.
+
+    The paper's runtime model recompiles every program at every
+    calibration update (Section 6, footnote 2); for a service that is a
+    cache problem: identical (circuit, calibration, policy) triples
+    within one calibration epoch should compile once.  Keys are the
+    canonical fingerprints of {!Fingerprint}, so cache identity follows
+    content, never object identity.
+
+    The cache is domain-safe (one internal mutex) and bounded: inserting
+    beyond [capacity] evicts the least-recently-used entry.  Lookups,
+    insertions, evictions and epoch invalidations are counted in
+    {!Vqc_obs.Metrics} under [service.cache.*] — the warm/cold behaviour
+    of the serving layer is observable without touching its output.
+
+    Determinism contract: the cache stores {e finished plans} keyed by
+    content, so a cache hit returns byte-for-byte the value a fresh
+    compile would produce (the compiler is deterministic).  Whether a
+    response was served hot or cold is visible only in metrics and in
+    the response's non-deterministic ["nd"] section. *)
+
+type key = {
+  circuit_fp : string;
+  calibration_fp : string;
+  policy : string;  (** policy label, e.g. ["vqa+vqm"] *)
+}
+
+val key_to_string : key -> string
+(** Compact rendering for traces and error messages. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find : 'a t -> key -> 'a option
+(** LRU-touching lookup.  Counts [service.cache.hits] or
+    [service.cache.misses]. *)
+
+val insert : 'a t -> key -> 'a -> unit
+(** Insert (or refresh) a plan; evicts the least-recently-used entry
+    when the cache is full, counting [service.cache.evictions]. *)
+
+val retain : 'a t -> (key -> bool) -> int
+(** [retain t keep] drops every entry whose key fails [keep] and
+    returns the number dropped, counting [service.cache.invalidated].
+    Used by the epoch manager: on epoch advance, plans compiled against
+    superseded calibrations are invalidated — the paper's
+    recompile-per-calibration regime, realized as cache churn. *)
+
+val clear : 'a t -> unit
+(** Drop everything (counted as invalidations). *)

@@ -1,0 +1,30 @@
+module Compiler = Vqc_mapper.Compiler
+
+type entry = {
+  label : string;
+  description : string;
+  policy : Compiler.policy;
+}
+
+let of_policy description (policy : Compiler.policy) =
+  { label = policy.Compiler.label; description; policy }
+
+let all =
+  [
+    of_policy "locality allocation + SWAP-minimizing A* (variation unaware)"
+      Compiler.baseline;
+    of_policy "reliability-cost routing (paper Section 5)" Compiler.vqm;
+    of_policy "variation-aware allocation and routing (paper Section 6)"
+      Compiler.vqa_vqm;
+    of_policy "VQA+VQM with the readout-aware placement candidate"
+      Compiler.vqa_vqm_readout;
+    of_policy "VQM with bridged CNOT execution allowed" Compiler.vqm_bridge;
+    of_policy "locality allocation + SABRE hop routing (variation unaware)"
+      Compiler.sabre;
+    of_policy "VQA allocation + reliability-weighted SABRE"
+      Compiler.noise_sabre;
+  ]
+
+let find label = List.find_opt (fun e -> e.label = label) all
+let names () = List.map (fun e -> e.label) all
+let default_label = Compiler.vqa_vqm.Compiler.label

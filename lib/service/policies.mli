@@ -1,0 +1,22 @@
+(** The compilation policies a service request can name.
+
+    One registry row per {!Vqc_mapper.Compiler} preset that needs no
+    extra parameter, keyed by the policy's own label (the same string
+    the experiments print), so the wire format, the plan-cache key and
+    the report tables all agree on policy identity. *)
+
+type entry = {
+  label : string;  (** wire id, e.g. ["vqa+vqm"] *)
+  description : string;
+  policy : Vqc_mapper.Compiler.policy;
+}
+
+val all : entry list
+(** Paper-order: baseline, vqm, vqa+vqm, then the extensions. *)
+
+val find : string -> entry option
+val names : unit -> string list
+
+val default_label : string
+(** ["vqa+vqm"] — the paper's headline policy; used when a request
+    omits ["policy"]. *)

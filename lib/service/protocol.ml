@@ -1,0 +1,179 @@
+module Json = Vqc_obs.Json
+
+type source =
+  | Workload of string
+  | Inline_qasm of string
+
+type request = {
+  id : Json.t option;
+  source : source;
+  policy : string;
+  epoch : int option;
+}
+
+type control =
+  | Advance_epoch
+  | Set_epoch of int
+  | Flush
+
+type input =
+  | Compile of request
+  | Control of control
+
+let parse_control json op =
+  match op with
+  | "advance_epoch" -> Ok (Control Advance_epoch)
+  | "flush" -> Ok (Control Flush)
+  | "set_epoch" -> begin
+    match Option.bind (Json_io.member "epoch" json) Json_io.int_value with
+    | Some epoch -> Ok (Control (Set_epoch epoch))
+    | None -> Error "set_epoch needs an integer \"epoch\" field"
+  end
+  | other -> Error (Printf.sprintf "unknown op %S" other)
+
+let parse_request json =
+  let workload = Option.bind (Json_io.member "workload" json) Json_io.string_value in
+  let qasm = Option.bind (Json_io.member "qasm" json) Json_io.string_value in
+  let source =
+    match (workload, qasm) with
+    | Some _, Some _ -> Error "request has both \"workload\" and \"qasm\""
+    | Some name, None -> Ok (Workload name)
+    | None, Some text -> Ok (Inline_qasm text)
+    | None, None -> Error "request needs a \"workload\" or \"qasm\" field"
+  in
+  match source with
+  | Error _ as e -> e
+  | Ok source ->
+    let policy =
+      match Json_io.member "policy" json with
+      | None -> Ok Policies.default_label
+      | Some value -> begin
+        match Json_io.string_value value with
+        | Some label -> Ok label
+        | None -> Error "\"policy\" must be a string"
+      end
+    in
+    (match policy with
+    | Error _ as e -> e
+    | Ok policy ->
+      let epoch =
+        match Json_io.member "epoch" json with
+        | None -> Ok None
+        | Some value -> begin
+          match Json_io.int_value value with
+          | Some e -> Ok (Some e)
+          | None -> Error "\"epoch\" must be an integer"
+        end
+      in
+      (match epoch with
+      | Error _ as e -> e
+      | Ok epoch ->
+        Ok (Compile { id = Json_io.member "id" json; source; policy; epoch })))
+
+let parse_line line =
+  match Json_io.parse line with
+  | Error message -> Error ("invalid JSON: " ^ message)
+  | Ok (Json.Obj _ as json) -> begin
+    match Json_io.member "op" json with
+    | Some op_value -> begin
+      match Json_io.string_value op_value with
+      | Some op -> parse_control json op
+      | None -> Error "\"op\" must be a string"
+    end
+    | None -> parse_request json
+  end
+  | Ok _ -> Error "request must be a JSON object"
+
+type plan = {
+  policy : string;
+  epoch : int;
+  qubits : int;
+  layout : int array;
+  swaps : int;
+  gates : int;
+  depth : int;
+  log_reliability : float;
+  circuit_fp : string;
+  calibration_fp : string;
+}
+
+type cache_status =
+  | Hit
+  | Miss
+  | Bypass
+
+let cache_status_to_string = function
+  | Hit -> "hit"
+  | Miss -> "miss"
+  | Bypass -> "bypass"
+
+type response =
+  | Compiled of {
+      id : Json.t option;
+      plan : plan;
+      cache : cache_status;
+      seconds : float;
+    }
+  | Rejected of {
+      id : Json.t option;
+      reason : Admission.reason;
+    }
+  | Failed of {
+      id : Json.t option;
+      error : string;
+    }
+  | Control_ack of {
+      op : string;
+      epoch : int;
+    }
+
+let id_field = function None -> [] | Some id -> [ ("id", id) ]
+
+let render response =
+  let fields =
+    match response with
+    | Compiled { id; plan; cache; seconds } ->
+      id_field id
+      @ [
+          ("status", Json.String "ok");
+          ("policy", Json.String plan.policy);
+          ("epoch", Json.Int plan.epoch);
+          ("qubits", Json.Int plan.qubits);
+          ( "layout",
+            Json.List
+              (Array.to_list (Array.map (fun q -> Json.Int q) plan.layout)) );
+          ("swaps", Json.Int plan.swaps);
+          ("gates", Json.Int plan.gates);
+          ("depth", Json.Int plan.depth);
+          ("log_reliability", Json.Float plan.log_reliability);
+          ("circuit", Json.String plan.circuit_fp);
+          ("calibration", Json.String plan.calibration_fp);
+          (* run-varying facts — cache temperature and latency — are
+             quarantined exactly like Trace's nd section *)
+          ( "nd",
+            Json.Obj
+              [
+                ("cache", Json.String (cache_status_to_string cache));
+                ("seconds", Json.Float seconds);
+              ] );
+        ]
+    | Rejected { id; reason } ->
+      let (Admission.Queue_full { depth; limit }) = reason in
+      id_field id
+      @ [
+          ("status", Json.String "rejected");
+          ("reason", Json.String (Admission.reason_to_string reason));
+          ("depth", Json.Int depth);
+          ("limit", Json.Int limit);
+        ]
+    | Failed { id; error } ->
+      id_field id
+      @ [ ("status", Json.String "error"); ("error", Json.String error) ]
+    | Control_ack { op; epoch } ->
+      [
+        ("status", Json.String "ok");
+        ("op", Json.String op);
+        ("epoch", Json.Int epoch);
+      ]
+  in
+  Json.to_string (Json.Obj fields)

@@ -1,0 +1,96 @@
+(** Wire protocol of [vqc-serve]: newline-delimited JSON.
+
+    One request object per input line, one response object per output
+    line, in request order.  Requests:
+
+    {v
+    {"id": 1, "workload": "bv-16", "policy": "vqa+vqm"}
+    {"id": "job-7", "qasm": "OPENQASM 2.0; ...", "epoch": 3}
+    {"op": "advance_epoch"}
+    v}
+
+    - exactly one of ["workload"] (catalog name) or ["qasm"] (inline
+      OpenQASM 2.0) selects the circuit;
+    - ["policy"] is optional (default {!Policies.default_label});
+    - ["epoch"] optionally pins a calibration epoch (default: the
+      service's current epoch);
+    - ["id"] is echoed back verbatim (any JSON value);
+    - control lines carry ["op"]: [advance_epoch], [set_epoch] (with
+      ["epoch"]), or [flush].
+
+    Responses always carry ["status"]: ["ok"] (a compiled plan or a
+    control acknowledgement), ["rejected"] (admission control), or
+    ["error"].  Every deterministic field — layout, SWAP count,
+    estimated log gate reliability, fingerprints — is a top-level
+    field; anything that can vary between runs of the same input
+    (latency, cache temperature) is quarantined under ["nd"], exactly
+    like {!Vqc_obs.Trace} events, so consumers and tests strip
+    non-determinism in one place. *)
+
+type source =
+  | Workload of string  (** catalog name, e.g. ["bv-16"] *)
+  | Inline_qasm of string
+
+type request = {
+  id : Vqc_obs.Json.t option;  (** echoed verbatim in the response *)
+  source : source;
+  policy : string;  (** policy label; validated by the service *)
+  epoch : int option;  (** pinned calibration epoch *)
+}
+
+type control =
+  | Advance_epoch
+  | Set_epoch of int
+  | Flush
+
+type input =
+  | Compile of request
+  | Control of control
+
+val parse_line : string -> (input, string) result
+(** Parse one NDJSON line. *)
+
+(** The deterministic payload of a successful compilation. *)
+type plan = {
+  policy : string;
+  epoch : int;
+  qubits : int;  (** program qubits *)
+  layout : int array;  (** initial program→physical assignment *)
+  swaps : int;  (** SWAPs inserted by routing *)
+  gates : int;  (** total gates of the physical circuit *)
+  depth : int;  (** dependency depth of the physical circuit *)
+  log_reliability : float;  (** estimated [sum log p_success] *)
+  circuit_fp : string;
+  calibration_fp : string;
+}
+
+type cache_status =
+  | Hit
+  | Miss
+  | Bypass  (** cache disabled *)
+
+val cache_status_to_string : cache_status -> string
+
+type response =
+  | Compiled of {
+      id : Vqc_obs.Json.t option;
+      plan : plan;
+      cache : cache_status;
+      seconds : float;  (** wall-clock service time; rendered under nd *)
+    }
+  | Rejected of {
+      id : Vqc_obs.Json.t option;
+      reason : Admission.reason;
+    }
+  | Failed of {
+      id : Vqc_obs.Json.t option;
+      error : string;
+    }
+  | Control_ack of {
+      op : string;
+      epoch : int;  (** the service's epoch after the operation *)
+    }
+
+val render : response -> string
+(** One JSON object, no trailing newline; ["nd"] is always the last
+    field when present. *)

@@ -1,0 +1,318 @@
+module Circuit = Vqc_circuit.Circuit
+module Qasm = Vqc_circuit.Qasm
+module Device = Vqc_device.Device
+module Catalog = Vqc_workloads.Catalog
+module Compiler = Vqc_mapper.Compiler
+module Layout = Vqc_mapper.Layout
+module Router = Vqc_mapper.Router
+module Pool = Vqc_engine.Pool
+module Metrics = Vqc_obs.Metrics
+module Trace = Vqc_obs.Trace
+module Json = Vqc_obs.Json
+
+type config = {
+  jobs : int;
+  cache_capacity : int;
+  cache_enabled : bool;
+  queue_limit : int;
+}
+
+let default_config =
+  { jobs = 1; cache_capacity = 256; cache_enabled = true; queue_limit = 64 }
+
+let requests_total = Metrics.counter "service.requests"
+let batches_total = Metrics.counter "service.batches"
+let failures_total = Metrics.counter "service.failures"
+let compiles_total = Metrics.counter "service.compiles"
+
+type t = {
+  service_config : config;
+  epoch : Epoch.t;
+  cache : Protocol.plan Plan_cache.t;
+      (** allocated even when disabled; bypassed (never consulted) so
+          hit/miss metrics stay silent with the cache off *)
+  queue : Protocol.request Admission.t;
+  pool : Pool.t;
+}
+
+let create ?(config = default_config) epoch =
+  (match Pool.validate_jobs config.jobs with
+  | Ok _ -> ()
+  | Error message -> invalid_arg ("Service.create: " ^ message));
+  {
+    service_config = config;
+    epoch;
+    cache = Plan_cache.create ~capacity:config.cache_capacity;
+    queue = Admission.create ~limit:config.queue_limit;
+    pool = Pool.create ~jobs:config.jobs ();
+  }
+
+let config t = t.service_config
+let epoch_manager t = t.epoch
+
+let submit t request = Admission.enqueue t.queue request
+let pending t = Admission.depth t.queue
+
+let cache_for_invalidation t =
+  if t.service_config.cache_enabled then Some t.cache else None
+
+let advance_epoch t = Epoch.advance t.epoch (cache_for_invalidation t)
+let set_epoch t e = Epoch.set t.epoch (cache_for_invalidation t) e
+
+(* ---- request resolution -------------------------------------------- *)
+
+type prepared = {
+  request : Protocol.request;
+  circuit : Circuit.t;
+  device : Device.t;
+  entry : Policies.entry;
+  epoch_index : int;
+  key : Plan_cache.key;
+}
+
+let resolve t (request : Protocol.request) =
+  let circuit =
+    match request.Protocol.source with
+    | Protocol.Workload name -> begin
+      match Catalog.find name with
+      | entry -> Ok entry.Catalog.circuit
+      | exception Not_found ->
+        Error
+          (Printf.sprintf "unknown workload %S; available: %s" name
+             (String.concat ", " (Catalog.names ())))
+    end
+    | Protocol.Inline_qasm text -> begin
+      match Qasm.of_string text with
+      | Ok circuit -> Ok circuit
+      | Error message -> Error ("QASM parse error: " ^ message)
+    end
+  in
+  match circuit with
+  | Error _ as e -> e
+  | Ok circuit -> begin
+    match Policies.find request.Protocol.policy with
+    | None ->
+      Error
+        (Printf.sprintf "unknown policy %S; available: %s"
+           request.Protocol.policy
+           (String.concat ", " (Policies.names ())))
+    | Some entry ->
+      let epoch_index =
+        match request.Protocol.epoch with
+        | Some e -> e
+        | None -> Epoch.current t.epoch
+      in
+      if epoch_index < 0 || epoch_index >= Epoch.epochs t.epoch then
+        Error
+          (Printf.sprintf "epoch %d out of range (service has %d epochs)"
+             epoch_index (Epoch.epochs t.epoch))
+      else begin
+        let device = Epoch.device t.epoch epoch_index in
+        if Circuit.num_qubits circuit > Device.num_qubits device then
+          Error
+            (Printf.sprintf
+               "circuit needs %d qubits but device %s has %d"
+               (Circuit.num_qubits circuit) (Device.name device)
+               (Device.num_qubits device))
+        else
+          Ok
+            {
+              request;
+              circuit;
+              device;
+              entry;
+              epoch_index;
+              key =
+                {
+                  Plan_cache.circuit_fp = Fingerprint.circuit circuit;
+                  calibration_fp = Epoch.fingerprint t.epoch epoch_index;
+                  policy = entry.Policies.label;
+                };
+            }
+      end
+  end
+
+(* ---- compilation --------------------------------------------------- *)
+
+let compile_plan prepared =
+  let start = Unix.gettimeofday () in
+  match
+    Compiler.compile prepared.device prepared.entry.Policies.policy
+      prepared.circuit
+  with
+  | compiled ->
+    let physical_stats = Circuit.stats compiled.Compiler.physical in
+    let plan =
+      {
+        Protocol.policy = prepared.entry.Policies.label;
+        epoch = prepared.epoch_index;
+        qubits = Circuit.num_qubits prepared.circuit;
+        layout = Layout.assignment compiled.Compiler.initial;
+        swaps = compiled.Compiler.stats.Router.swaps_inserted;
+        gates = physical_stats.Circuit.total_gates;
+        depth = physical_stats.Circuit.depth;
+        log_reliability =
+          Compiler.log_gate_reliability prepared.device
+            compiled.Compiler.physical;
+        circuit_fp = prepared.key.Plan_cache.circuit_fp;
+        calibration_fp = prepared.key.Plan_cache.calibration_fp;
+      }
+    in
+    (Ok plan, Unix.gettimeofday () -. start)
+  | exception (Invalid_argument message | Failure message) ->
+    (Error message, Unix.gettimeofday () -. start)
+
+(* One resolved request, carrying what the lookup phase learned. *)
+type slot =
+  | Unresolvable of Protocol.request * string
+  | Cached of prepared * Protocol.plan * float  (** lookup seconds *)
+  | Needs_compile of prepared
+
+let trace_response response =
+  if Trace.enabled () then begin
+    match response with
+    | Protocol.Compiled { plan; cache; seconds; _ } ->
+      Trace.emit ~source:"service" ~event:"response"
+        ~nd:
+          [
+            ("cache", Json.String (Protocol.cache_status_to_string cache));
+            ("seconds", Json.Float seconds);
+          ]
+        [
+          ("status", Json.String "ok");
+          ("policy", Json.String plan.Protocol.policy);
+          ("epoch", Json.Int plan.Protocol.epoch);
+          ("circuit", Json.String plan.Protocol.circuit_fp);
+          ("calibration", Json.String plan.Protocol.calibration_fp);
+        ]
+    | Protocol.Failed { error; _ } ->
+      Trace.emit ~source:"service" ~event:"response"
+        [ ("status", Json.String "error"); ("error", Json.String error) ]
+    | Protocol.Rejected _ | Protocol.Control_ack _ -> ()
+  end
+
+let flush t =
+  let requests = Admission.drain t.queue in
+  if requests = [] then []
+  else begin
+    Metrics.incr batches_total;
+    Metrics.add requests_total (List.length requests);
+    let batch_start = Unix.gettimeofday () in
+    (* Phase 1+2: resolve every request and consult the cache serially,
+       in admission order — hit/miss is a pure function of the request
+       stream, independent of worker count. *)
+    let slots =
+      List.map
+        (fun request ->
+          match resolve t request with
+          | Error message -> Unresolvable (request, message)
+          | Ok prepared ->
+            if not t.service_config.cache_enabled then Needs_compile prepared
+            else begin
+              let start = Unix.gettimeofday () in
+              match Plan_cache.find t.cache prepared.key with
+              | Some plan ->
+                Cached (prepared, plan, Unix.gettimeofday () -. start)
+              | None -> Needs_compile prepared
+            end)
+        requests
+    in
+    (* Phase 3: distinct missing keys compile in parallel; duplicates
+       within the batch compile once.  First-occurrence order keys the
+       fan-out, so results land deterministically. *)
+    let seen = Hashtbl.create 16 in
+    let unique =
+      List.filter_map
+        (function
+          | Needs_compile prepared
+            when not (Hashtbl.mem seen prepared.key) ->
+            Hashtbl.add seen prepared.key ();
+            Some prepared
+          | _ -> None)
+        slots
+    in
+    let compiled = Hashtbl.create 16 in
+    if unique <> [] then begin
+      Metrics.add compiles_total (List.length unique);
+      let results =
+        Pool.map t.pool ~f:(fun _ prepared -> compile_plan prepared) unique
+      in
+      (* Phase 4: cache insertion is serial and in fan-out order, so the
+         LRU state after the batch is deterministic too. *)
+      List.iter2
+        (fun prepared result ->
+          Hashtbl.replace compiled prepared.key result;
+          match result with
+          | Ok plan, _ when t.service_config.cache_enabled ->
+            Plan_cache.insert t.cache prepared.key plan
+          | _ -> ())
+        unique results
+    end;
+    (* Phase 5: responses in admission order. *)
+    let cache_status =
+      if t.service_config.cache_enabled then Protocol.Miss
+      else Protocol.Bypass
+    in
+    let responses =
+      List.map
+        (fun slot ->
+          match slot with
+          | Unresolvable (request, error) ->
+            Metrics.incr failures_total;
+            Protocol.Failed { id = request.Protocol.id; error }
+          | Cached (prepared, plan, seconds) ->
+            Protocol.Compiled
+              {
+                id = prepared.request.Protocol.id;
+                plan;
+                cache = Protocol.Hit;
+                seconds;
+              }
+          | Needs_compile prepared -> begin
+            match Hashtbl.find compiled prepared.key with
+            | Ok plan, seconds ->
+              Protocol.Compiled
+                {
+                  id = prepared.request.Protocol.id;
+                  plan;
+                  cache = cache_status;
+                  seconds;
+                }
+            | Error error, _ ->
+              Metrics.incr failures_total;
+              Protocol.Failed { id = prepared.request.Protocol.id; error }
+          end)
+        slots
+    in
+    List.iter trace_response responses;
+    if Trace.enabled () then begin
+      let count status =
+        List.length
+          (List.filter
+             (fun r ->
+               match (r, status) with
+               | Protocol.Compiled { cache = Protocol.Hit; _ }, `Hit -> true
+               | ( Protocol.Compiled
+                     { cache = Protocol.Miss | Protocol.Bypass; _ },
+                   `Cold ) -> true
+               | Protocol.Failed _, `Failed -> true
+               | _ -> false)
+             responses)
+      in
+      Trace.emit ~source:"service" ~event:"batch"
+        ~nd:[ ("seconds", Json.Float (Unix.gettimeofday () -. batch_start)) ]
+        [
+          ("size", Json.Int (List.length requests));
+          ("hits", Json.Int (count `Hit));
+          ("cold", Json.Int (count `Cold));
+          ("failed", Json.Int (count `Failed));
+        ]
+    end;
+    responses
+  end
+
+let shutdown t = Pool.shutdown t.pool
+
+let with_service ?config epoch f =
+  let t = create ?config epoch in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,66 @@
+(** Compilation-as-a-service: the orchestrator behind [vqc-serve].
+
+    A service owns four pieces: a calibration {!Epoch} rotation, a
+    bounded {!Admission} queue, a content-addressed {!Plan_cache}, and a
+    persistent {!Vqc_engine.Pool} of worker domains.  Requests are
+    {!submit}ted (possibly rejected — backpressure is typed, never an
+    exception) and processed in admission order by {!flush}:
+
+    + each request resolves to (circuit, device, policy) — catalog
+      lookup or inline-QASM parse, policy-label lookup, epoch pin;
+    + the plan cache is consulted {e serially, in request order}, so
+      hit/miss patterns are a pure function of the request stream;
+    + distinct missing keys compile {e in parallel} on the pool
+      (duplicates within a batch compile once);
+    + finished plans enter the cache in request order and responses are
+      assembled in request order.
+
+    Determinism contract: every response's deterministic fields are a
+    pure function of (request stream, service configuration, epoch
+    rotation).  Worker count and cache temperature can change only the
+    ["nd"] section of a response — asserted by the test suite across
+    [jobs 1/4] and cache on/off. *)
+
+type config = {
+  jobs : int;  (** worker domains for batch compilation (>= 1) *)
+  cache_capacity : int;
+  cache_enabled : bool;
+  queue_limit : int;
+}
+
+val default_config : config
+(** jobs 1, capacity 256, cache enabled, queue limit 64. *)
+
+type t
+
+val create : ?config:config -> Epoch.t -> t
+(** @raise Invalid_argument on a non-positive [jobs], [cache_capacity]
+    or [queue_limit]. *)
+
+val config : t -> config
+val epoch_manager : t -> Epoch.t
+
+val submit : t -> Protocol.request -> (unit, Admission.reason) result
+(** Queue a request for the next {!flush}. *)
+
+val pending : t -> int
+
+val flush : t -> Protocol.response list
+(** Compile everything queued (batched onto the pool) and return the
+    responses in admission order.  Never raises on a bad request —
+    resolution and compilation failures become [Failed] responses. *)
+
+val advance_epoch : t -> int
+(** Rotate the calibration epoch, invalidating superseded cached plans;
+    returns the new epoch index. *)
+
+val set_epoch : t -> int -> unit
+(** @raise Invalid_argument when the epoch is out of range. *)
+
+val shutdown : t -> unit
+(** Stop the worker domains.  Idempotent; the service must not be
+    flushed afterwards. *)
+
+val with_service : ?config:config -> Epoch.t -> (t -> 'a) -> 'a
+(** Run with a fresh service, shutting it down afterwards (also on
+    exception). *)

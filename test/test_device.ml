@@ -339,6 +339,39 @@ let test_ibm_csv_roundtrip () =
   check_float "link survives" 0.0373 (Calibration.link_error_exn reparsed 0 1);
   check_float "t1 survives" 83.4 (Calibration.qubit reparsed 0).Calibration.t1_us
 
+(* The export is documented lossless: a full synthetic Q20 calibration
+   (floats with all their digits) must survive export → reparse exactly,
+   so service epochs can be dumped and reloaded without perturbing
+   plan-cache fingerprints. *)
+let test_ibm_csv_roundtrip_q20_exact () =
+  let history =
+    History.generate ~days:1 ~seed:7 ~coupling:Topologies.ibm_q20_tokyo 20
+  in
+  let original = History.day history 0 in
+  let reparsed, coupling =
+    Calibration_io.of_ibm_csv_exn (Calibration_io.to_ibm_csv original)
+  in
+  check_int "qubit count" (Calibration.num_qubits original)
+    (Calibration.num_qubits reparsed);
+  Alcotest.(check (list (pair int int)))
+    "coupling survives"
+    (List.sort compare Topologies.ibm_q20_tokyo)
+    coupling;
+  for q = 0 to Calibration.num_qubits original - 1 do
+    let a = Calibration.qubit original q in
+    let b = Calibration.qubit reparsed q in
+    check (Printf.sprintf "qubit %d exact" q) true
+      (a.Calibration.t1_us = b.Calibration.t1_us
+      && a.Calibration.t2_us = b.Calibration.t2_us
+      && a.Calibration.error_1q = b.Calibration.error_1q
+      && a.Calibration.error_readout = b.Calibration.error_readout)
+  done;
+  List.iter
+    (fun (u, v, e) ->
+      check (Printf.sprintf "link %d-%d exact" u v) true
+        (Calibration.link_error_exn reparsed u v = e))
+    (Calibration.links original)
+
 let test_ibm_csv_errors () =
   let bad text =
     match Calibration_io.of_ibm_csv text with Ok _ -> false | Error _ -> true
@@ -469,6 +502,8 @@ let () =
           Alcotest.test_case "parses" `Quick test_ibm_csv_parses;
           Alcotest.test_case "to device" `Quick test_ibm_csv_to_device;
           Alcotest.test_case "roundtrip" `Quick test_ibm_csv_roundtrip;
+          Alcotest.test_case "roundtrip q20 exact" `Quick
+            test_ibm_csv_roundtrip_q20_exact;
           Alcotest.test_case "errors" `Quick test_ibm_csv_errors;
         ] );
       ( "history",

@@ -1,0 +1,429 @@
+(* Tests for the compilation service: fingerprints, the LRU plan cache,
+   admission control, epoch rotation, the NDJSON protocol, and the
+   end-to-end determinism contract (responses byte-identical modulo
+   "nd" across worker counts and cache on/off). *)
+
+module Circuit = Vqc_circuit.Circuit
+module Qasm = Vqc_circuit.Qasm
+module History = Vqc_device.History
+module Topologies = Vqc_device.Topologies
+module Catalog = Vqc_workloads.Catalog
+module Metrics = Vqc_obs.Metrics
+module Json = Vqc_obs.Json
+module Json_io = Vqc_service.Json_io
+module Fingerprint = Vqc_service.Fingerprint
+module Policies = Vqc_service.Policies
+module Plan_cache = Vqc_service.Plan_cache
+module Epoch = Vqc_service.Epoch
+module Admission = Vqc_service.Admission
+module Protocol = Vqc_service.Protocol
+module Service = Vqc_service.Service
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let counter name =
+  Metrics.counter_value (Metrics.counter name)
+
+(* ---- Json_io ------------------------------------------------------- *)
+
+let test_json_parse_values () =
+  let ok text = Result.get_ok (Json_io.parse text) in
+  check "null" true (ok "null" = Json.Null);
+  check "bool" true (ok "true" = Json.Bool true);
+  check "int" true (ok "42" = Json.Int 42);
+  check "negative int" true (ok "-7" = Json.Int (-7));
+  check "float" true (ok "2.5" = Json.Float 2.5);
+  check "exponent is float" true (ok "1e3" = Json.Float 1000.0);
+  check "string" true (ok {|"hi"|} = Json.String "hi");
+  check "escapes" true (ok {|"a\nb\"c"|} = Json.String "a\nb\"c");
+  check "unicode escape" true (ok {|"A"|} = Json.String "A");
+  check "nested" true
+    (ok {|{"a":[1,{"b":null}],"c":""}|}
+    = Json.Obj
+        [
+          ("a", Json.List [ Json.Int 1; Json.Obj [ ("b", Json.Null) ] ]);
+          ("c", Json.String "");
+        ])
+
+let test_json_parse_errors () =
+  let bad text = Result.is_error (Json_io.parse text) in
+  check "empty" true (bad "");
+  check "trailing garbage" true (bad "1 2");
+  check "unterminated" true (bad {|"abc|});
+  check "bare key" true (bad "{a:1}");
+  check "trailing comma" true (bad "[1,]");
+  check "lone surrogate" true (bad {|"\ud800"|})
+
+let test_json_roundtrips_emitter () =
+  (* whatever the obs emitter writes, the service parser reads back *)
+  let value =
+    Json.Obj
+      [
+        ("s", Json.String "line\nbreak\ttab\"quote\\");
+        ("xs", Json.List [ Json.Int 1; Json.Float 0.5; Json.Bool false ]);
+        ("n", Json.Null);
+      ]
+  in
+  check "parse (emit x) = x" true
+    (Result.get_ok (Json_io.parse (Json.to_string value)) = value)
+
+(* ---- Fingerprint --------------------------------------------------- *)
+
+let test_fingerprint_known_value () =
+  (* FNV-1a 64 test vectors (empty string = offset basis) *)
+  check_string "empty" "cbf29ce484222325" (Fingerprint.of_string "");
+  check_string "a" "af63dc4c8601ec8c" (Fingerprint.of_string "a")
+
+let test_fingerprint_follows_content () =
+  let bv = (Catalog.find "bv-16").Catalog.circuit in
+  let reparsed = Qasm.of_string_exn (Qasm.to_string bv) in
+  check_string "structurally equal circuits fingerprint identically"
+    (Fingerprint.circuit bv)
+    (Fingerprint.circuit reparsed);
+  let ghz = (Catalog.find "GHZ-3").Catalog.circuit in
+  check "distinct circuits fingerprint distinctly" true
+    (Fingerprint.circuit bv <> Fingerprint.circuit ghz)
+
+let test_fingerprint_distinguishes_epochs () =
+  let history =
+    History.generate ~days:3 ~seed:5 ~coupling:Topologies.ibm_q5_tenerife 5
+  in
+  let fp d = Fingerprint.calibration (History.day history d) in
+  check "different days fingerprint differently" true
+    (fp 0 <> fp 1 && fp 1 <> fp 2)
+
+(* ---- Plan_cache ---------------------------------------------------- *)
+
+let key n =
+  {
+    Plan_cache.circuit_fp = Printf.sprintf "c%d" n;
+    calibration_fp = "cal";
+    policy = "p";
+  }
+
+let test_cache_lru_eviction () =
+  let cache = Plan_cache.create ~capacity:2 in
+  Plan_cache.insert cache (key 1) 1;
+  Plan_cache.insert cache (key 2) 2;
+  (* touch key 1 so key 2 becomes the eviction candidate *)
+  check "1 hit" true (Plan_cache.find cache (key 1) = Some 1);
+  Plan_cache.insert cache (key 3) 3;
+  check_int "bounded" 2 (Plan_cache.length cache);
+  check "2 evicted" true (Plan_cache.find cache (key 2) = None);
+  check "1 survives" true (Plan_cache.find cache (key 1) = Some 1);
+  check "3 present" true (Plan_cache.find cache (key 3) = Some 3)
+
+let test_cache_retain () =
+  let cache = Plan_cache.create ~capacity:8 in
+  List.iter (fun n -> Plan_cache.insert cache (key n) n) [ 1; 2; 3; 4 ];
+  let dropped =
+    Plan_cache.retain cache (fun k -> k.Plan_cache.circuit_fp = "c2")
+  in
+  check_int "three dropped" 3 dropped;
+  check_int "one left" 1 (Plan_cache.length cache);
+  check "survivor" true (Plan_cache.find cache (key 2) = Some 2)
+
+let test_cache_counters () =
+  let hits0 = counter "service.cache.hits" in
+  let misses0 = counter "service.cache.misses" in
+  let evictions0 = counter "service.cache.evictions" in
+  let cache = Plan_cache.create ~capacity:1 in
+  check "miss" true (Plan_cache.find cache (key 1) = None);
+  Plan_cache.insert cache (key 1) 1;
+  check "hit" true (Plan_cache.find cache (key 1) = Some 1);
+  Plan_cache.insert cache (key 2) 2;
+  check_int "one hit counted" (hits0 + 1) (counter "service.cache.hits");
+  check_int "one miss counted" (misses0 + 1) (counter "service.cache.misses");
+  check_int "one eviction counted" (evictions0 + 1)
+    (counter "service.cache.evictions")
+
+(* ---- Admission ----------------------------------------------------- *)
+
+let test_admission_bounds () =
+  let queue = Admission.create ~limit:2 in
+  check "1 admitted" true (Result.is_ok (Admission.enqueue queue "a"));
+  check "2 admitted" true (Result.is_ok (Admission.enqueue queue "b"));
+  (match Admission.enqueue queue "c" with
+  | Error (Admission.Queue_full { depth; limit }) ->
+    check_int "depth" 2 depth;
+    check_int "limit" 2 limit
+  | Ok () -> Alcotest.fail "third item must be rejected");
+  check "fifo drain" true (Admission.drain queue = [ "a"; "b" ]);
+  check_int "empty after drain" 0 (Admission.depth queue);
+  check "admits again after drain" true
+    (Result.is_ok (Admission.enqueue queue "d"))
+
+(* ---- Protocol ------------------------------------------------------ *)
+
+let test_protocol_parse () =
+  (match Protocol.parse_line {|{"id":1,"workload":"bv-16"}|} with
+  | Ok (Protocol.Compile r) ->
+    check "id echoed" true (r.Protocol.id = Some (Json.Int 1));
+    check "workload" true (r.Protocol.source = Protocol.Workload "bv-16");
+    check_string "default policy" Policies.default_label r.Protocol.policy;
+    check "no epoch pin" true (r.Protocol.epoch = None)
+  | _ -> Alcotest.fail "compile request expected");
+  (match
+     Protocol.parse_line
+       {|{"qasm":"OPENQASM 2.0;","policy":"baseline","epoch":3}|}
+   with
+  | Ok (Protocol.Compile r) ->
+    check "qasm" true (r.Protocol.source = Protocol.Inline_qasm "OPENQASM 2.0;");
+    check_string "policy" "baseline" r.Protocol.policy;
+    check "epoch pin" true (r.Protocol.epoch = Some 3)
+  | _ -> Alcotest.fail "inline request expected");
+  check "advance op" true
+    (Protocol.parse_line {|{"op":"advance_epoch"}|}
+    = Ok (Protocol.Control Protocol.Advance_epoch));
+  check "set op" true
+    (Protocol.parse_line {|{"op":"set_epoch","epoch":2}|}
+    = Ok (Protocol.Control (Protocol.Set_epoch 2)))
+
+let test_protocol_parse_errors () =
+  let bad line = Result.is_error (Protocol.parse_line line) in
+  check "not json" true (bad "nope");
+  check "not an object" true (bad "[1]");
+  check "no source" true (bad {|{"id":1}|});
+  check "both sources" true (bad {|{"workload":"alu","qasm":"x"}|});
+  check "bad policy type" true (bad {|{"workload":"alu","policy":3}|});
+  check "bad epoch type" true (bad {|{"workload":"alu","epoch":"x"}|});
+  check "unknown op" true (bad {|{"op":"restart"}|});
+  check "set_epoch without epoch" true (bad {|{"op":"set_epoch"}|})
+
+let test_protocol_render_shapes () =
+  let rejected =
+    Protocol.render
+      (Protocol.Rejected
+         {
+           id = Some (Json.String "j1");
+           reason = Admission.Queue_full { depth = 4; limit = 4 };
+         })
+  in
+  check_string "rejection is structured"
+    {|{"id":"j1","status":"rejected","reason":"queue_full","depth":4,"limit":4}|}
+    rejected;
+  let failed =
+    Protocol.render (Protocol.Failed { id = None; error = "boom" })
+  in
+  check_string "error shape" {|{"status":"error","error":"boom"}|} failed;
+  (* every rendered response reparses as one JSON object *)
+  List.iter
+    (fun line -> check "response is valid JSON" true
+        (match Json_io.parse line with Ok (Json.Obj _) -> true | _ -> false))
+    [ rejected; failed ]
+
+(* ---- Service end-to-end -------------------------------------------- *)
+
+let q5_epochs () =
+  Epoch.of_history ~name:"Q5" ~coupling:Topologies.ibm_q5_tenerife
+    (History.generate ~days:3 ~seed:5 ~coupling:Topologies.ibm_q5_tenerife 5)
+
+let request ?id ?policy ?epoch workload =
+  {
+    Protocol.id = Option.map (fun i -> Json.Int i) id;
+    source = Protocol.Workload workload;
+    policy = Option.value policy ~default:Policies.default_label;
+    epoch;
+  }
+
+let batch = [ "bv-3"; "bv-4"; "GHZ-3"; "TriSwap"; "bv-3" ]
+
+let run_batch service =
+  List.iteri
+    (fun i name ->
+      match Service.submit service (request ~id:i name) with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "unexpected rejection")
+    batch;
+  Service.flush service
+
+(* Strip the nd section at the value level: deterministic fields must
+   be byte-identical across jobs and cache configurations. *)
+let deterministic_lines responses =
+  List.map
+    (fun response ->
+      Protocol.render
+        (match response with
+        | Protocol.Compiled c ->
+          Protocol.Compiled { c with seconds = 0.0; cache = Protocol.Bypass }
+        | other -> other))
+    responses
+
+let test_service_deterministic_across_jobs_and_cache () =
+  let runs =
+    List.map
+      (fun config ->
+        Service.with_service ~config (q5_epochs ()) (fun service ->
+            deterministic_lines (run_batch service)))
+      [
+        { Service.default_config with Service.jobs = 1 };
+        { Service.default_config with Service.jobs = 4 };
+        { Service.default_config with Service.jobs = 1; cache_enabled = false };
+        { Service.default_config with Service.jobs = 4; cache_enabled = false };
+      ]
+  in
+  match runs with
+  | reference :: others ->
+    check_int "five responses" (List.length batch) (List.length reference);
+    List.iteri
+      (fun i lines ->
+        List.iter2
+          (check_string (Printf.sprintf "run %d matches jobs-1 cached" (i + 1)))
+          reference lines)
+      others
+  | [] -> assert false
+
+let test_service_warm_cache_hits () =
+  Service.with_service (q5_epochs ()) (fun service ->
+      let hits0 = counter "service.cache.hits" in
+      let cold = run_batch service in
+      (* the duplicate bv-3 in the batch compiles once but both
+         responses are cold-path responses *)
+      check "cold run has no hits" true
+        (List.for_all
+           (function
+             | Protocol.Compiled { cache = Protocol.Miss; _ } -> true
+             | _ -> false)
+           cold);
+      let warm = run_batch service in
+      check "warm run is all hits" true
+        (List.for_all
+           (function
+             | Protocol.Compiled { cache = Protocol.Hit; _ } -> true
+             | _ -> false)
+           warm);
+      check "warm hits counted" true (counter "service.cache.hits" > hits0);
+      List.iter2
+        (check_string "warm deterministic fields match cold")
+        (deterministic_lines cold) (deterministic_lines warm))
+
+let test_service_queue_overflow_is_structured () =
+  let config = { Service.default_config with Service.queue_limit = 2 } in
+  Service.with_service ~config (q5_epochs ()) (fun service ->
+      check "1 admitted" true (Result.is_ok (Service.submit service (request "bv-3")));
+      check "2 admitted" true (Result.is_ok (Service.submit service (request "bv-4")));
+      (match Service.submit service (request "GHZ-3") with
+      | Error reason ->
+        let line =
+          Protocol.render (Protocol.Rejected { id = None; reason })
+        in
+        check "rejection renders" true
+          (match Json_io.parse line with
+          | Ok json ->
+            Option.bind (Json_io.member "status" json) Json_io.string_value
+            = Some "rejected"
+          | Error _ -> false)
+      | Ok () -> Alcotest.fail "third submit must be rejected");
+      check_int "only admitted requests compile" 2
+        (List.length (Service.flush service)))
+
+let test_service_epoch_rotation_invalidates () =
+  Service.with_service (q5_epochs ()) (fun service ->
+      let compile_one ?epoch () =
+        match Service.submit service (request ?epoch "bv-3") with
+        | Ok () -> begin
+          match Service.flush service with
+          | [ Protocol.Compiled { plan; cache; _ } ] -> (cache, plan)
+          | _ -> Alcotest.fail "one compiled response expected"
+        end
+        | Error _ -> Alcotest.fail "unexpected rejection"
+      in
+      let deterministic plan =
+        Protocol.render
+          (Protocol.Compiled
+             { id = None; plan; cache = Protocol.Bypass; seconds = 0.0 })
+      in
+      let first_cache, first_plan = compile_one () in
+      check "cold" true (first_cache = Protocol.Miss);
+      check "hot on repeat" true (fst (compile_one ()) = Protocol.Hit);
+      let invalidated0 = counter "service.cache.invalidated" in
+      check_int "rotated to epoch 1" 1 (Service.advance_epoch service);
+      check "rotation invalidated the plan" true
+        (counter "service.cache.invalidated" > invalidated0);
+      let second_cache, second_plan = compile_one () in
+      check "cold again after rotation" true (second_cache = Protocol.Miss);
+      check "new epoch, new calibration fingerprint" true
+        (second_plan.Protocol.calibration_fp
+        <> first_plan.Protocol.calibration_fp);
+      (* pinning the superseded epoch recompiles against it exactly *)
+      let _, pinned_plan = compile_one ~epoch:0 () in
+      check_string "pinned epoch reproduces the original plan fields"
+        (deterministic first_plan) (deterministic pinned_plan))
+
+let test_service_failures_are_responses () =
+  Service.with_service (q5_epochs ()) (fun service ->
+      let submit r =
+        match Service.submit service r with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "unexpected rejection"
+      in
+      submit (request "no-such-workload");
+      submit (request ~policy:"no-such-policy" "bv-3");
+      submit (request ~epoch:99 "bv-3");
+      (* bv-16 cannot fit the 5-qubit device *)
+      submit (request "bv-16");
+      submit
+        {
+          Protocol.id = None;
+          source = Protocol.Inline_qasm "OPENQASM 2.0; qreg q[broken";
+          policy = Policies.default_label;
+          epoch = None;
+        };
+      let responses = Service.flush service in
+      check_int "five failures" 5 (List.length responses);
+      List.iter
+        (fun response ->
+          check "structured failure" true
+            (match response with Protocol.Failed _ -> true | _ -> false))
+        responses)
+
+(* ---- runner -------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "vqc_service"
+    [
+      ( "json io",
+        [
+          Alcotest.test_case "values" `Quick test_json_parse_values;
+          Alcotest.test_case "errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "emitter roundtrip" `Quick
+            test_json_roundtrips_emitter;
+        ] );
+      ( "fingerprint",
+        [
+          Alcotest.test_case "known vectors" `Quick test_fingerprint_known_value;
+          Alcotest.test_case "content addressed" `Quick
+            test_fingerprint_follows_content;
+          Alcotest.test_case "epoch sensitive" `Quick
+            test_fingerprint_distinguishes_epochs;
+        ] );
+      ( "plan cache",
+        [
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "retain" `Quick test_cache_retain;
+          Alcotest.test_case "counters" `Quick test_cache_counters;
+        ] );
+      ( "admission",
+        [ Alcotest.test_case "bounds" `Quick test_admission_bounds ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "parse" `Quick test_protocol_parse;
+          Alcotest.test_case "parse errors" `Quick test_protocol_parse_errors;
+          Alcotest.test_case "render shapes" `Quick test_protocol_render_shapes;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "deterministic across jobs and cache" `Quick
+            test_service_deterministic_across_jobs_and_cache;
+          Alcotest.test_case "warm cache hits" `Quick
+            test_service_warm_cache_hits;
+          Alcotest.test_case "queue overflow" `Quick
+            test_service_queue_overflow_is_structured;
+          Alcotest.test_case "epoch rotation" `Quick
+            test_service_epoch_rotation_invalidates;
+          Alcotest.test_case "failures are responses" `Quick
+            test_service_failures_are_responses;
+        ] );
+    ]

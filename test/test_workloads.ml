@@ -15,6 +15,23 @@ module Stdgates = Vqc_workloads.Stdgates
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
+(* The serving layer accepts inline QASM, so the printer/parser pair
+   must round-trip every kernel the catalog can hand it (the arbitrary-
+   circuit qcheck property lives in test_circuit.ml). *)
+let test_catalog_qasm_roundtrip () =
+  List.iter
+    (fun entry ->
+      let circuit = entry.Catalog.circuit in
+      match Vqc_circuit.Qasm.of_string (Vqc_circuit.Qasm.to_string circuit) with
+      | Error message ->
+        Alcotest.failf "%s does not reparse: %s" entry.Catalog.name message
+      | Ok parsed ->
+        check
+          (Printf.sprintf "%s round-trips" entry.Catalog.name)
+          true
+          (Circuit.equal circuit parsed))
+    Catalog.all
+
 (* ---- Stdgates ------------------------------------------------------ *)
 
 let test_toffoli_expansion () =
@@ -298,6 +315,8 @@ let () =
             test_catalog_suites_fit_their_devices;
           Alcotest.test_case "all measured" `Quick
             test_all_catalog_circuits_end_in_measurement;
+          Alcotest.test_case "qasm round-trip" `Quick
+            test_catalog_qasm_roundtrip;
         ] );
       ( "extended suite",
         [
