@@ -1,0 +1,254 @@
+(* vqc-check: the static-analysis front door.
+
+     vqc-check lint FILE...     lint OpenQASM sources (VQC000-VQC005)
+     vqc-check verify [IDS]     compile catalog workloads and verify the
+                                plans (translation validation, VQC101+)
+     vqc-check self [--root D]  repository determinism-hygiene lint
+
+   Exit status 0 when no error-severity diagnostic was produced (lint
+   warnings and infos do not fail the run), 1 otherwise.  --json renders
+   diagnostics with the deterministic JSON encoding shared with
+   vqc-serve's "invalid" responses. *)
+
+module Diagnostic = Vqc_diag.Diagnostic
+module Lint = Vqc_check.Lint
+module Verify = Vqc_check.Verify
+module Selflint = Vqc_check.Selflint
+module Circuit = Vqc_circuit.Circuit
+module Catalog = Vqc_workloads.Catalog
+module Compiler = Vqc_mapper.Compiler
+module History = Vqc_device.History
+module Topologies = Vqc_device.Topologies
+module Epoch = Vqc_service.Epoch
+module Policies = Vqc_service.Policies
+module Json = Vqc_obs.Json
+
+open Cmdliner
+
+let json_term =
+  let doc =
+    "Render diagnostics as deterministic JSON (the encoding of \
+     vqc-serve's 'invalid' responses) instead of one-line text."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let print_text ~prefix diagnostics =
+  List.iter
+    (fun d -> print_endline (prefix ^ Diagnostic.to_string d))
+    diagnostics
+
+let status diagnostics = if Diagnostic.has_errors diagnostics then 1 else 0
+
+(* ---- lint ----------------------------------------------------------- *)
+
+let read_source path =
+  if path = "-" then Ok (In_channel.input_all stdin)
+  else
+    match In_channel.with_open_text path In_channel.input_all with
+    | text -> Ok text
+    | exception Sys_error message -> Error message
+
+let run_lint json files =
+  let files = if files = [] then [ "-" ] else files in
+  let codes =
+    List.map
+      (fun path ->
+        match read_source path with
+        | Error message ->
+          prerr_endline ("vqc-check: " ^ message);
+          1
+        | Ok text ->
+          let diagnostics = Lint.qasm text in
+          if json then print_endline (Diagnostic.render_list diagnostics)
+          else begin
+            let prefix = if path = "-" then "" else path ^ ": " in
+            print_text ~prefix diagnostics
+          end;
+          status diagnostics)
+      files
+  in
+  List.fold_left max 0 codes
+
+let lint_cmd =
+  let doc = "lint OpenQASM 2.0 sources" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses each $(i,FILE) (or stdin for '-') as OpenQASM 2.0 and \
+         reports structured diagnostics: positioned parse errors \
+         (VQC000, VQC001, VQC004), gates after measurement (VQC002), \
+         unused qubits (VQC003) and trivially cancellable adjacent \
+         pairs (VQC005).  With --json, one JSON array is printed per \
+         input file.";
+    ]
+  in
+  let files =
+    let doc = "OpenQASM files to lint ('-' or nothing reads stdin)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc)
+  in
+  Cmd.v (Cmd.info "lint" ~doc ~man) Term.(const run_lint $ json_term $ files)
+
+(* ---- verify --------------------------------------------------------- *)
+
+let verify_result ~json ~workload ~policy diagnostics =
+  if json then
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            [
+              ("workload", Json.String workload);
+              ("policy", Json.String policy);
+              ( "status",
+                Json.String
+                  (if Diagnostic.has_errors diagnostics then "invalid"
+                   else "ok") );
+              ( "diagnostics",
+                Json.List (List.map Diagnostic.to_json diagnostics) );
+            ]))
+  else if Diagnostic.has_errors diagnostics then begin
+    Printf.printf "%s under %s: INVALID\n" workload policy;
+    print_text ~prefix:"  " diagnostics
+  end
+  else Printf.printf "%s under %s: ok\n" workload policy
+
+let run_verify json seed policies workloads =
+  let entries =
+    match workloads with
+    | [] -> Ok Catalog.all
+    | names ->
+      let unknown =
+        List.filter
+          (fun name -> not (List.mem name (Catalog.names ())))
+          names
+      in
+      if unknown <> [] then
+        Error
+          (Printf.sprintf "unknown workload(s) %s; available: %s"
+             (String.concat ", " unknown)
+             (String.concat ", " (Catalog.names ())))
+      else Ok (List.map Catalog.find names)
+  in
+  let policy_entries =
+    match policies with
+    | [] -> Ok Policies.all
+    | labels ->
+      let resolved = List.map (fun l -> (l, Policies.find l)) labels in
+      (match List.filter (fun (_, e) -> e = None) resolved with
+      | [] ->
+        Ok
+          (List.map
+             (function _, Some e -> e | _, None -> assert false)
+             resolved)
+      | missing ->
+        Error
+          (Printf.sprintf "unknown policy(ies) %s; available: %s"
+             (String.concat ", " (List.map fst missing))
+             (String.concat ", " (Policies.names ()))))
+  in
+  match (entries, policy_entries) with
+  | Error message, _ | _, Error message ->
+    prerr_endline ("vqc-check: " ^ message);
+    2
+  | Ok entries, Ok policy_entries ->
+    let history =
+      History.generate ~days:1 ~seed ~coupling:Topologies.ibm_q20_tokyo 20
+    in
+    let epochs =
+      Epoch.of_history ~name:"Q20" ~coupling:Topologies.ibm_q20_tokyo history
+    in
+    let device = Epoch.device epochs 0 in
+    let codes =
+      List.concat_map
+        (fun (entry : Catalog.entry) ->
+          List.map
+            (fun (p : Policies.entry) ->
+              match
+                Compiler.compile device p.Policies.policy entry.Catalog.circuit
+              with
+              | plan ->
+                let diagnostics =
+                  Verify.compiled device entry.Catalog.circuit plan
+                in
+                verify_result ~json ~workload:entry.Catalog.name
+                  ~policy:p.Policies.label diagnostics;
+                status diagnostics
+              | exception Invalid_argument message ->
+                Printf.eprintf "vqc-check: %s under %s: %s\n"
+                  entry.Catalog.name p.Policies.label message;
+                1)
+            policy_entries)
+        entries
+    in
+    List.fold_left max 0 codes
+
+let verify_cmd =
+  let doc = "compile catalog workloads and statically verify the plans" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Compiles every requested catalog workload under every requested \
+         policy against the synthetic Q20 calibration (--seed), then \
+         replays each physical circuit against its source program: \
+         coupling legality (VQC101), dependency order (VQC102), \
+         measurement mapping (VQC103), SWAP accounting (VQC104), final \
+         layout (VQC105), completeness (VQC106) and calibration sanity \
+         (VQC107).  An empty report line means the plan is proven \
+         faithful.";
+    ]
+  in
+  let seed =
+    let doc = "Seed for the synthetic calibration model." in
+    Arg.(value & opt int 2 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let policies =
+    let doc =
+      "Policy label to verify under (repeatable; default: every \
+       registered policy)."
+    in
+    Arg.(value & opt_all string [] & info [ "policy" ] ~docv:"LABEL" ~doc)
+  in
+  let workloads =
+    let doc = "Catalog workloads (default: the whole catalog)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc ~man)
+    Term.(const run_verify $ json_term $ seed $ policies $ workloads)
+
+(* ---- self ----------------------------------------------------------- *)
+
+let run_self json root =
+  let diagnostics = Selflint.scan_tree ~root in
+  if json then print_endline (Diagnostic.render_list diagnostics)
+  else begin
+    print_text ~prefix:"" diagnostics;
+    if diagnostics = [] then print_endline "self-lint: clean"
+  end;
+  status diagnostics
+
+let self_cmd =
+  let doc = "determinism-hygiene lint over the repository sources" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Scans every .ml file under lib/, bin/, examples/, test/ and \
+         bench/ for calls that silently break reproducibility \
+         (environment-seeded RNG, wall-clock reads outside the \
+         allow-listed timing sites) and reports VQC201 errors.";
+    ]
+  in
+  let root =
+    let doc = "Repository root to scan." in
+    Arg.(value & opt string "." & info [ "root" ] ~docv:"DIR" ~doc)
+  in
+  Cmd.v (Cmd.info "self" ~doc ~man) Term.(const run_self $ json_term $ root)
+
+let cmd =
+  let doc = "static analysis for variability-aware compilation artifacts" in
+  let info = Cmd.info "vqc-check" ~doc in
+  Cmd.group info [ lint_cmd; verify_cmd; self_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -42,7 +42,7 @@ let list_experiments () =
     Registry.all;
   0
 
-let run_ids list seed jobs trace metrics ids =
+let run_ids list seed jobs verify trace metrics ids =
   if list then list_experiments ()
   else
     match Pool.validate_jobs jobs with
@@ -64,6 +64,10 @@ let run_ids list seed jobs trace metrics ids =
          metrics dump carry their non-deterministic fields out of band
          (the JSONL "nd" key, stderr), so the printed report stays
          byte-identical with tracing on or off and for any --jobs. *)
+      (* with --verify, every plan any experiment compiles is replayed
+         by the translation validator; a violation aborts the run with
+         the diagnostics instead of printing a corrupted table *)
+      if verify then Vqc_check.Verify.install_compiler_check ();
       let execute () =
         let outputs =
           Pool.with_pool ~jobs (fun pool ->
@@ -81,11 +85,21 @@ let run_ids list seed jobs trace metrics ids =
         (* registry snapshot lands at the tail of the trace file *)
         Metrics.snapshot_to_trace ()
       in
-      (match trace with
-      | Some path -> Trace.with_file path execute
-      | None -> execute ());
-      if metrics then Format.eprintf "%a@." Metrics.pp ();
-      0)
+      match
+        (match trace with
+        | Some path -> Trace.with_file path execute
+        | None -> execute ())
+      with
+      | () ->
+        if metrics then Format.eprintf "%a@." Metrics.pp ();
+        0
+      | exception Vqc_check.Verify.Invalid_plan diagnostics ->
+        prerr_endline "vqc-experiments: plan verification failed:";
+        List.iter
+          (fun d ->
+            prerr_endline ("  " ^ Vqc_diag.Diagnostic.to_string d))
+          diagnostics;
+        1)
 
 let list_term =
   let doc = "List the available experiment ids with their titles and exit." in
@@ -105,6 +119,14 @@ let jobs_term =
      results and output are identical for every value."
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+let verify_term =
+  let doc =
+    "Statically verify every plan the experiments compile (translation \
+     validation via the plan checker); a violation aborts with the \
+     diagnostics.  Verification never changes experiment output."
+  in
+  Arg.(value & flag & info [ "verify" ] ~doc)
 
 let trace_term =
   let doc =
@@ -131,7 +153,7 @@ let cmd =
   Cmd.v
     (Cmd.info "vqc-experiments" ~doc)
     Term.(
-      const run_ids $ list_term $ seed_term $ jobs_term $ trace_term
-      $ metrics_term $ ids_term)
+      const run_ids $ list_term $ seed_term $ jobs_term $ verify_term
+      $ trace_term $ metrics_term $ ids_term)
 
 let () = exit (Cmd.eval' cmd)

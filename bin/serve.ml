@@ -133,8 +133,8 @@ let serve service ~batch =
   in
   loop ()
 
-let run jobs batch queue_depth cache_capacity no_cache seed days csv_files
-    metrics trace =
+let run jobs batch queue_depth cache_capacity no_cache verify seed days
+    csv_files metrics trace =
   let ( let* ) r f = Result.bind r f in
   let checked =
     let* jobs =
@@ -162,6 +162,7 @@ let run jobs batch queue_depth cache_capacity no_cache seed days csv_files
           cache_capacity;
           cache_enabled = not no_cache;
           queue_limit = queue_depth;
+          verify;
         }
       in
       let execute () =
@@ -203,6 +204,15 @@ let no_cache_term =
      'bypass').  Deterministic response fields are unchanged."
   in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let verify_term =
+  let doc =
+    "Statically verify every plan before serving it (translation \
+     validation, including cache hits): an invalid plan becomes a \
+     structured 'invalid' response carrying the verifier's diagnostics.  \
+     Deterministic response fields of valid plans are unchanged."
+  in
+  Arg.(value & flag & info [ "verify" ] ~doc)
 
 let seed_term =
   let doc = "Seed for the synthetic calibration history." in
@@ -262,7 +272,7 @@ let cmd =
     (Cmd.info "vqc-serve" ~doc ~man)
     Term.(
       const run $ jobs_term $ batch_term $ queue_depth_term
-      $ cache_capacity_term $ no_cache_term $ seed_term $ days_term
-      $ csv_term $ metrics_term $ trace_term)
+      $ cache_capacity_term $ no_cache_term $ verify_term $ seed_term
+      $ days_term $ csv_term $ metrics_term $ trace_term)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,22 @@
+// Tiny quantum-phase-estimation sketch: Hadamard fan-in, controlled
+// phases approximated with T gates, and an inverse-QFT-flavoured tail.
+// Lints clean (vqc-check lint).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+h q[1];
+x q[2];
+cx q[1], q[2];
+tdg q[2];
+cx q[0], q[2];
+t q[2];
+swap q[0], q[1];
+h q[0];
+s q[1];
+cx q[0], q[1];
+h q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];

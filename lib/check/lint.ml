@@ -1,0 +1,99 @@
+open Vqc_circuit
+module Diagnostic = Vqc_diag.Diagnostic
+
+(* Does [second] undo [first] exactly?  Only the involution and
+   inverse-pair rules — the "trivially cancellable" subset of
+   Vqc_opt.Peephole (rotation merging needs arithmetic and is an
+   optimization, not a smell). *)
+let cancels first second =
+  match (first, second) with
+  | Gate.One_qubit (a, q), Gate.One_qubit (b, q') when q = q' -> begin
+    match (a, b) with
+    | Gate.H, Gate.H
+    | Gate.X, Gate.X
+    | Gate.Y, Gate.Y
+    | Gate.Z, Gate.Z
+    | Gate.S, Gate.Sdg
+    | Gate.Sdg, Gate.S
+    | Gate.T, Gate.Tdg
+    | Gate.Tdg, Gate.T -> true
+    | _ -> false
+  end
+  | Gate.Cnot { control = c1; target = t1 }, Gate.Cnot { control = c2; target = t2 }
+    ->
+    c1 = c2 && t1 = t2
+  | Gate.Swap (a1, b1), Gate.Swap (a2, b2) ->
+    (a1, b1) = (a2, b2) || (a1, b1) = (b2, a2)
+  | _ -> false
+
+let circuit c =
+  let n = Circuit.num_qubits c in
+  let diagnostics = ref [] in
+  let report d = diagnostics := d :: !diagnostics in
+  (* last.(q): index of the last gate touching qubit q, if it is still
+     "adjacent" (no barrier or measurement fenced it off). *)
+  let last = Array.make (max n 1) None in
+  let measured_at = Array.make (max n 1) None in
+  let flagged_after_measure = Array.make (max n 1) false in
+  let touched = Array.make (max n 1) false in
+  List.iteri
+    (fun index gate ->
+      let qubits = Gate.qubits gate in
+      List.iter (fun q -> touched.(q) <- true) qubits;
+      (match gate with
+      | Gate.Barrier [] ->
+        Array.fill last 0 (Array.length last) None
+      | Gate.Barrier qs -> List.iter (fun q -> last.(q) <- None) qs
+      | Gate.Measure { qubit; _ } ->
+        measured_at.(qubit) <- Some index;
+        last.(qubit) <- None
+      | Gate.One_qubit _ | Gate.Cnot _ | Gate.Swap _ ->
+        (* measured-then-reused *)
+        List.iter
+          (fun q ->
+            match measured_at.(q) with
+            | Some m when not flagged_after_measure.(q) ->
+              flagged_after_measure.(q) <- true;
+              report
+                (Diagnostic.warningf
+                   ~location:(Diagnostic.Gate index)
+                   Diagnostic.code_gate_after_measure
+                   "gate %s acts on qubit %d after its measurement (gate %d)"
+                   (Gate.to_string gate) q m)
+            | _ -> ())
+          qubits;
+        (* cancellable adjacency: every operand's previous gate is the
+           same gate, and the pair annihilates *)
+        (match qubits with
+        | q0 :: rest -> begin
+          match last.(q0) with
+          | Some (prev_index, prev_gate)
+            when List.for_all
+                   (fun q -> last.(q) = Some (prev_index, prev_gate))
+                   rest
+                 && List.sort compare (Gate.qubits prev_gate)
+                    = List.sort compare qubits
+                 && cancels prev_gate gate ->
+            report
+              (Diagnostic.infof
+                 ~location:(Diagnostic.Gate prev_index)
+                 Diagnostic.code_cancellable_pair
+                 "gates %d and %d cancel: %s then %s" prev_index index
+                 (Gate.to_string prev_gate) (Gate.to_string gate))
+          | _ -> ()
+        end
+        | [] -> ());
+        List.iter (fun q -> last.(q) <- Some (index, gate)) qubits))
+    (Circuit.gates c);
+  for q = 0 to n - 1 do
+    if not touched.(q) then
+      report
+        (Diagnostic.warningf Diagnostic.code_unused_qubit
+           "qubit %d is declared but never used" q)
+  done;
+  List.sort Diagnostic.compare !diagnostics
+
+let qasm text =
+  match Qasm.of_string_diag text with
+  | Error d -> [ d ]
+  | Ok c -> circuit c

@@ -1,0 +1,30 @@
+(** Circuit and QASM lint: structural findings that are legal but almost
+    certainly mistakes.
+
+    The linter never rejects a well-formed circuit — it reports
+    {!Vqc_diag.Diagnostic.Warning} and {!Vqc_diag.Diagnostic.Info}
+    findings; {!Vqc_diag.Diagnostic.Error} only appears via {!qasm} when
+    the text does not parse at all (the parser's positioned diagnostics
+    pass straight through).  Checks:
+
+    - [VQC002] (warning): a unitary gate applied to a qubit after that
+      qubit was measured (one finding per qubit, at the first offender);
+    - [VQC003] (warning): a declared qubit no gate ever touches;
+    - [VQC005] (info): two gates that are adjacent on every qubit they
+      touch and cancel exactly ([H H], [X X], [Y Y], [Z Z], [S Sdg],
+      [T Tdg], same-operand [CNOT CNOT], same-pair [SWAP SWAP]) —
+      {!Vqc_opt.Peephole} would delete both;
+    - [VQC001]/[VQC004] (error): out-of-range indices and identical
+      two-qubit operands, which {!Vqc_circuit.Circuit} refuses to build,
+      are reported by {!qasm} with the parser's source line. *)
+
+open Vqc_circuit
+
+val circuit : Circuit.t -> Vqc_diag.Diagnostic.t list
+(** Lint a built circuit.  Locations are 0-based gate indices; findings
+    are sorted with {!Vqc_diag.Diagnostic.compare}. *)
+
+val qasm : string -> Vqc_diag.Diagnostic.t list
+(** Parse and lint QASM text.  A parse failure yields exactly the
+    parser's diagnostic; otherwise the result is {!circuit} on the
+    parsed program. *)

@@ -1,0 +1,27 @@
+(** Repository determinism-hygiene lint.
+
+    The repo's core contract is bit-identical output for identical
+    inputs (goldens, the service's determinism tests, the engine's
+    chunked RNG).  Two stdlib calls quietly break that contract when
+    they creep into compute paths: seeding the RNG from the environment,
+    and reading the wall clock.  This lint greps every [.ml] file under
+    the source roots for those calls and reports [VQC201] errors, with a
+    fixed allow-list for the sites that legitimately measure wall-clock
+    time (observability spans, engine progress, simulator chunk timing,
+    service latency — all quarantined under ["nd"] by construction).
+
+    [.mli] files are not scanned (documentation may name the calls). *)
+
+val allowed_wall_clock : string list
+(** Path suffixes (['/']-separated) where wall-clock reads are
+    deliberate, e.g. ["lib/obs/span.ml"]. *)
+
+val scan_source : file:string -> string -> Vqc_diag.Diagnostic.t list
+(** [scan_source ~file text] lints one file's contents; [file] is the
+    path reported in locations and matched against the allow-list.
+    Pure — exposed for tests. *)
+
+val scan_tree : root:string -> Vqc_diag.Diagnostic.t list
+(** Scan [lib/], [bin/], [examples/], [test/] and [bench/] under
+    [root] (directories that don't exist are skipped, [_build] is
+    ignored), in sorted path order. *)

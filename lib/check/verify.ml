@@ -1,0 +1,358 @@
+open Vqc_circuit
+module Device = Vqc_device.Device
+module Calibration = Vqc_device.Calibration
+module Layout = Vqc_mapper.Layout
+module Compiler = Vqc_mapper.Compiler
+module Router = Vqc_mapper.Router
+module Diagnostic = Vqc_diag.Diagnostic
+module Metrics = Vqc_obs.Metrics
+
+type subject = {
+  device : Device.t;
+  source : Circuit.t;
+  physical : Circuit.t;
+  initial : Layout.t;
+  final : Layout.t;
+  swaps_inserted : int;
+}
+
+(* ---- VQC108: shapes ------------------------------------------------ *)
+
+(* When these fail, replaying (or even asking the device about the
+   physical circuit's qubits) is meaningless, so [check] stops here. *)
+let shape_diagnostics s =
+  let n_device = Device.num_qubits s.device in
+  let n_source = Circuit.num_qubits s.source in
+  let errs = ref [] in
+  let err fmt =
+    Printf.ksprintf
+      (fun m -> errs := Diagnostic.error Diagnostic.code_malformed_plan m :: !errs)
+      fmt
+  in
+  let layout_shape name layout =
+    if Layout.programs layout <> n_source then
+      err "%s layout places %d program qubits but the source has %d" name
+        (Layout.programs layout) n_source;
+    if Layout.physicals layout <> n_device then
+      err "%s layout spans %d physical qubits but device %s has %d" name
+        (Layout.physicals layout) (Device.name s.device) n_device
+  in
+  layout_shape "initial" s.initial;
+  layout_shape "final" s.final;
+  if Circuit.num_qubits s.physical <> n_device then
+    err "physical circuit has %d qubits but device %s has %d"
+      (Circuit.num_qubits s.physical) (Device.name s.device) n_device;
+  if Circuit.num_cbits s.physical <> Circuit.num_cbits s.source then
+    err "physical circuit has %d classical bits but the source has %d"
+      (Circuit.num_cbits s.physical) (Circuit.num_cbits s.source);
+  List.rev !errs
+
+(* ---- VQC101: adjacency legality ------------------------------------ *)
+
+let adjacency_diagnostics s =
+  List.concat
+    (List.mapi
+       (fun index gate ->
+         match gate with
+         | Gate.Cnot { control = u; target = v } | Gate.Swap (u, v) ->
+           if Device.connected s.device u v then []
+           else
+             [
+               Diagnostic.errorf
+                 ~location:(Diagnostic.Gate index)
+                 Diagnostic.code_illegal_coupling
+                 "%s uses pair (%d,%d), not a coupler of %s"
+                 (Gate.to_string gate) u v (Device.name s.device);
+             ]
+         | Gate.One_qubit _ | Gate.Measure _ | Gate.Barrier _ -> [])
+       (Circuit.gates s.physical))
+
+(* ---- VQC107: calibration sanity ------------------------------------ *)
+
+let calibration_diagnostics s =
+  let cal = Device.calibration s.device in
+  let n = Device.num_qubits s.device in
+  let ds = ref [] in
+  let err fmt =
+    Printf.ksprintf
+      (fun m -> ds := Diagnostic.error Diagnostic.code_calibration m :: !ds)
+      fmt
+  in
+  let used = Array.make (max n 1) false in
+  List.iter (fun p -> used.(p) <- true) (Layout.used_physicals s.initial);
+  List.iter (fun p -> used.(p) <- true) (Circuit.used_qubits s.physical);
+  let in_unit x = x >= 0.0 && x <= 1.0 in
+  for q = 0 to n - 1 do
+    let k = Calibration.qubit cal q in
+    if not (in_unit k.Calibration.error_1q && in_unit k.Calibration.error_readout)
+    then
+      err "qubit %d has an error rate outside [0,1] (1q %g, readout %g)" q
+        k.Calibration.error_1q k.Calibration.error_readout
+    else if
+      used.(q)
+      && (k.Calibration.error_1q >= 1.0
+         || k.Calibration.error_readout >= 1.0
+         || k.Calibration.t1_us <= 0.0
+         || k.Calibration.t2_us <= 0.0)
+    then
+      err "plan references dead qubit %d (1q %g, readout %g, T1 %g, T2 %g)" q
+        k.Calibration.error_1q k.Calibration.error_readout k.Calibration.t1_us
+        k.Calibration.t2_us
+  done;
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun gate ->
+      match gate with
+      | Gate.Cnot { control = u; target = v } | Gate.Swap (u, v) ->
+        let key = (min u v, max u v) in
+        if (not (Hashtbl.mem seen key)) && Device.connected s.device u v then begin
+          Hashtbl.replace seen key ();
+          match Calibration.link_error cal u v with
+          | None -> err "link (%d,%d) has no calibration entry" u v
+          | Some e ->
+            if not (in_unit e) then
+              err "link (%d,%d) has error rate %g outside [0,1]" u v e
+            else if e >= 1.0 then
+              err "plan references dead link (%d,%d) (error rate %g)" u v e
+        end
+      | Gate.One_qubit _ | Gate.Measure _ | Gate.Barrier _ -> ())
+    (Circuit.gates s.physical);
+  List.rev !ds
+
+(* ---- replay: VQC102..VQC106 ----------------------------------------
+
+   Walk the physical gate stream in order, holding the logical→physical
+   permutation [sigma] (initially the plan's initial layout) and the set
+   of dependency-ready source gates.  Every physical gate must either
+   match a ready source gate under [sigma] (consuming it), open a
+   4-CNOT bridge implementing a ready source CNOT, or be an inserted
+   routing SWAP (which permutes [sigma]).  Matching a ready gate proves
+   dependency-order preservation by construction: a source gate only
+   becomes ready once everything it depends on was matched. *)
+
+let replay_diagnostics s =
+  let dag = Dag.build s.source in
+  let count = Dag.gate_count dag in
+  let pred_left = Array.init count (Dag.predecessor_count dag) in
+  let ready = Hashtbl.create 16 in
+  Array.iteri
+    (fun i left -> if left = 0 then Hashtbl.replace ready i ())
+    pred_left;
+  let consumed = ref 0 in
+  let consume i =
+    Hashtbl.remove ready i;
+    incr consumed;
+    List.iter
+      (fun successor ->
+        pred_left.(successor) <- pred_left.(successor) - 1;
+        if pred_left.(successor) = 0 then Hashtbl.replace ready successor ())
+      (Dag.successors dag i)
+  in
+  let sigma = ref s.initial in
+  let phys q = Layout.physical_of_program !sigma q in
+  let find_ready predicate =
+    Hashtbl.fold (fun i () acc -> i :: acc) ready []
+    |> List.sort compare
+    |> List.find_opt (fun i -> predicate (Dag.gate dag i))
+  in
+  let pgates = Array.of_list (Circuit.gates s.physical) in
+  let total = Array.length pgates in
+  let inserted = ref 0 in
+  let mismatch = ref None in
+  let stop d = mismatch := Some d in
+  let index = ref 0 in
+  while !mismatch = None && !index < total do
+    let i = !index in
+    let location = Diagnostic.Gate i in
+    let gate = pgates.(i) in
+    let no_match () =
+      stop
+        (Diagnostic.errorf ~location Diagnostic.code_replay_mismatch
+           "physical gate %s matches no dependency-ready source gate under \
+            the current permutation"
+           (Gate.to_string gate))
+    in
+    (match gate with
+    | Gate.One_qubit (kind, p) -> begin
+      match
+        find_ready (function
+          | Gate.One_qubit (k, q) -> k = kind && phys q = p
+          | _ -> false)
+      with
+      | Some j ->
+        consume j;
+        incr index
+      | None -> no_match ()
+    end
+    | Gate.Barrier ps -> begin
+      match
+        find_ready (function
+          | Gate.Barrier qs -> List.map phys qs = ps
+          | _ -> false)
+      with
+      | Some j ->
+        consume j;
+        incr index
+      | None -> no_match ()
+    end
+    | Gate.Measure { qubit = p; cbit = c } -> begin
+      match
+        find_ready (function
+          | Gate.Measure { qubit; cbit } -> phys qubit = p && cbit = c
+          | _ -> false)
+      with
+      | Some j ->
+        consume j;
+        incr index
+      | None -> begin
+        (* near-miss: a ready measurement shares the cbit or the qubit
+           but not both — the readout mapping itself is broken *)
+        match
+          find_ready (function
+            | Gate.Measure { qubit; cbit } -> phys qubit = p || cbit = c
+            | _ -> false)
+        with
+        | Some j -> begin
+          match Dag.gate dag j with
+          | Gate.Measure { qubit; cbit } ->
+            stop
+              (Diagnostic.errorf ~location
+                 Diagnostic.code_measurement_mapping
+                 "measurement of physical qubit %d into cbit %d does not \
+                  implement source measurement of qubit %d (now on physical \
+                  %d) into cbit %d"
+                 p c qubit (phys qubit) cbit)
+          | _ -> no_match ()
+        end
+        | None -> no_match ()
+      end
+    end
+    | Gate.Swap (u, v) -> begin
+      match
+        find_ready (function
+          | Gate.Swap (a, b) ->
+            let pa, pb = (phys a, phys b) in
+            (pa, pb) = (u, v) || (pa, pb) = (v, u)
+          | _ -> false)
+      with
+      | Some j ->
+        consume j;
+        incr index
+      | None ->
+        (* an inserted routing SWAP: permutes physical occupancy *)
+        sigma := Layout.swap_physical !sigma u v;
+        incr inserted;
+        incr index
+    end
+    | Gate.Cnot { control = u; target = v } -> begin
+      match
+        find_ready (function
+          | Gate.Cnot { control; target } -> phys control = u && phys target = v
+          | _ -> false)
+      with
+      | Some j ->
+        consume j;
+        incr index
+      | None -> begin
+        (* bridge: [cx u m; cx m w; cx u m; cx m w] implements a source
+           CNOT with control on u and target on w, through middle m = v *)
+        let m = v in
+        match
+          find_ready (function
+            | Gate.Cnot { control; target } ->
+              phys control = u
+              && i + 3 < total
+              &&
+              let w = phys target in
+              w <> m && w <> u
+              && pgates.(i + 1) = Gate.Cnot { control = m; target = w }
+              && pgates.(i + 2) = Gate.Cnot { control = u; target = m }
+              && pgates.(i + 3) = Gate.Cnot { control = m; target = w }
+            | _ -> false)
+        with
+        | Some j ->
+          consume j;
+          index := i + 4
+        | None -> no_match ()
+      end
+    end);
+    ()
+  done;
+  match !mismatch with
+  | Some d -> [ d ]
+  | None ->
+    let ds = ref [] in
+    if !consumed < count then begin
+      let missing = count - !consumed in
+      let example =
+        match
+          Hashtbl.fold (fun i () acc -> i :: acc) ready [] |> List.sort compare
+        with
+        | i :: _ -> Printf.sprintf " (first: %s)" (Gate.to_string (Dag.gate dag i))
+        | [] -> ""
+      in
+      ds :=
+        Diagnostic.errorf Diagnostic.code_unreplayed_gates
+          "%d source gate%s never appeared in the physical circuit%s" missing
+          (if missing = 1 then "" else "s")
+          example
+        :: !ds
+    end;
+    if !inserted <> s.swaps_inserted then
+      ds :=
+        Diagnostic.errorf Diagnostic.code_swap_count
+          "replay found %d inserted SWAPs but the router accounted %d"
+          !inserted s.swaps_inserted
+        :: !ds;
+    if not (Layout.equal !sigma s.final) then
+      ds :=
+        Diagnostic.errorf Diagnostic.code_final_layout
+          "replayed permutation disagrees with the plan's final layout"
+        :: !ds;
+    List.rev !ds
+
+let check s =
+  match shape_diagnostics s with
+  | _ :: _ as shape -> List.sort Diagnostic.compare shape
+  | [] ->
+    List.sort Diagnostic.compare
+      (adjacency_diagnostics s
+      @ calibration_diagnostics s
+      @ replay_diagnostics s)
+
+let compiled device source (c : Compiler.compiled) =
+  check
+    {
+      device;
+      source;
+      physical = c.Compiler.physical;
+      initial = c.Compiler.initial;
+      final = c.Compiler.final;
+      swaps_inserted = c.Compiler.stats.Router.swaps_inserted;
+    }
+
+(* ---- compiler hook ------------------------------------------------- *)
+
+exception Invalid_plan of Diagnostic.t list
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_plan ds ->
+      Some
+        ("Invalid_plan:\n"
+        ^ String.concat "\n" (List.map Diagnostic.to_string ds))
+    | _ -> None)
+
+let plans_total = Metrics.counter "check.plans"
+let plan_failures_total = Metrics.counter "check.plan_failures"
+
+let install_compiler_check () =
+  Compiler.set_plan_check (fun device source result ->
+      Metrics.incr plans_total;
+      let errors = List.filter Diagnostic.is_error (compiled device source result) in
+      if errors <> [] then begin
+        Metrics.incr plan_failures_total;
+        raise (Invalid_plan errors)
+      end)
+
+let uninstall_compiler_check () = Compiler.clear_plan_check ()

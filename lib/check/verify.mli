@@ -1,0 +1,68 @@
+(** Static plan verification (translation validation).
+
+    A compiled plan is the mapper's claim that a physical circuit over
+    the device's qubits faithfully implements a source program from a
+    given initial layout.  The verifier re-derives that claim from
+    first principles — it replays the physical gate stream against the
+    source dependency DAG, tracking the logical→physical permutation
+    through every inserted SWAP — and reports a
+    {!Vqc_diag.Diagnostic.t} for each invariant that fails:
+
+    - [VQC101]: a physical two-qubit gate sits on a pair that is not a
+      coupler of the device;
+    - [VQC102]: a physical gate matches no dependency-ready source gate
+      under the current permutation (order or semantics broken);
+    - [VQC103]: a measurement reads the wrong physical qubit or writes
+      the wrong classical bit;
+    - [VQC104]: the number of inserted SWAPs found by replay disagrees
+      with the router's [swaps_inserted] accounting;
+    - [VQC105]: the layout reached by replay differs from the plan's
+      declared final layout;
+    - [VQC106]: source gates never appeared in the physical circuit;
+    - [VQC107]: calibration sanity — a referenced qubit or link is dead
+      (error rate 1, non-positive coherence time) or any error rate
+      falls outside [0, 1];
+    - [VQC108]: shape errors (layout sizes, qubit/cbit counts) that make
+      the plan malformed before replay is even meaningful.
+
+    Bridged CNOTs (see {!Vqc_mapper.Router.route}) are recognized: a
+    source CNOT may be implemented as the 4-CNOT bridge
+    [cx u m; cx m v; cx u m; cx m v] through a coupled middle qubit.
+
+    The verifier accepts every plan the in-tree compiler produces (a
+    property-tested invariant) and is deterministic: equal inputs yield
+    equal diagnostics in equal order. *)
+
+open Vqc_circuit
+
+type subject = {
+  device : Vqc_device.Device.t;
+  source : Circuit.t;  (** the program the user asked to run *)
+  physical : Circuit.t;  (** the routed circuit over device qubits *)
+  initial : Vqc_mapper.Layout.t;
+  final : Vqc_mapper.Layout.t;
+  swaps_inserted : int;  (** the router's accounting *)
+}
+
+val check : subject -> Vqc_diag.Diagnostic.t list
+(** All violated invariants, sorted with {!Vqc_diag.Diagnostic.compare};
+    [[]] means the plan is proven legal and faithful. *)
+
+val compiled :
+  Vqc_device.Device.t ->
+  Circuit.t ->
+  Vqc_mapper.Compiler.compiled ->
+  Vqc_diag.Diagnostic.t list
+(** [compiled device source plan] is {!check} on a
+    {!Vqc_mapper.Compiler.compiled} value. *)
+
+exception Invalid_plan of Vqc_diag.Diagnostic.t list
+(** Raised by the installed compiler check; the payload is the error
+    diagnostics.  Registered with a human-readable printer. *)
+
+val install_compiler_check : unit -> unit
+(** Make {!Vqc_mapper.Compiler.compile} verify every plan it emits,
+    raising {!Invalid_plan} on a violation.  Counts [check.plans] and
+    [check.plan_failures] in {!Vqc_obs.Metrics}.  Idempotent. *)
+
+val uninstall_compiler_check : unit -> unit

@@ -39,9 +39,20 @@ let to_string c =
 (* Parsing                                                             *)
 (* ------------------------------------------------------------------ *)
 
+module Diagnostic = Vqc_diag.Diagnostic
+
 exception Parse_error of string
 
+(* Typed parse failure (out-of-range index, identical operands); the
+   statement loop stamps the line number on. *)
+exception Diag_error of Diagnostic.t
+
 let fail fmt = Printf.ksprintf (fun message -> raise (Parse_error message)) fmt
+
+let fail_diag code fmt =
+  Printf.ksprintf
+    (fun message -> raise (Diag_error (Diagnostic.error code message)))
+    fmt
 
 let strip_comments text =
   let buffer = Buffer.create (String.length text) in
@@ -60,11 +71,33 @@ let strip_comments text =
     lines;
   Buffer.contents buffer
 
+(* Statements with the 1-based line their first token sits on, so parse
+   errors can point at the offending statement. *)
 let statements text =
-  strip_comments text
-  |> String.split_on_char ';'
-  |> List.map String.trim
-  |> List.filter (fun s -> s <> "")
+  let text = strip_comments text in
+  let len = String.length text in
+  let result = ref [] in
+  let buffer = Buffer.create 64 in
+  let line = ref 1 in
+  let start_line = ref 0 in
+  let flush_statement () =
+    let s = String.trim (Buffer.contents buffer) in
+    if s <> "" then result := (max 1 !start_line, s) :: !result;
+    Buffer.clear buffer;
+    start_line := 0
+  in
+  for i = 0 to len - 1 do
+    let c = text.[i] in
+    if c = ';' then flush_statement ()
+    else begin
+      if !start_line = 0 && c <> ' ' && c <> '\t' && c <> '\n' && c <> '\r'
+      then start_line := !line;
+      Buffer.add_char buffer c
+    end;
+    if c = '\n' then incr line
+  done;
+  flush_statement ();
+  List.rev !result
 
 (* --- tiny arithmetic evaluator for gate angles --------------------- *)
 
@@ -193,7 +226,8 @@ let resolve regs operand =
     in
     let _, offset, size = find_register regs name in
     if index < 0 || index >= size then
-      fail "index %d out of range for register %s[%d]" index name size;
+      fail_diag Diagnostic.code_index_range
+        "index %d out of range for register %s[%d]" index name size;
     [ offset + index ]
   | None ->
     let _, offset, size = find_register regs (String.trim operand) in
@@ -328,14 +362,18 @@ let parse_statement regs statement =
     let qubits = List.concat_map (resolve regs.qregs) operands in
     [ Gate.Barrier qubits ]
   | "cx" | "CX" -> begin
+    let two_qubit control target =
+      if control = target then
+        fail_diag Diagnostic.code_identical_operands
+          "cx with identical operands q[%d] in %S" control statement;
+      Gate.Cnot { control; target }
+    in
     match split_operands rest with
     | [ a; b ] -> begin
       match (resolve regs.qregs a, resolve regs.qregs b) with
-      | [ control ], [ target ] -> [ Gate.Cnot { control; target } ]
+      | [ control ], [ target ] -> [ two_qubit control target ]
       | controls, targets when List.length controls = List.length targets ->
-        List.map2
-          (fun control target -> Gate.Cnot { control; target })
-          controls targets
+        List.map2 two_qubit controls targets
       | _ -> fail "cx arity mismatch in %S" statement
     end
     | _ -> fail "cx expects two operands in %S" statement
@@ -344,7 +382,11 @@ let parse_statement regs statement =
     match split_operands rest with
     | [ a; b ] -> begin
       match (resolve regs.qregs a, resolve regs.qregs b) with
-      | [ qa ], [ qb ] -> [ Gate.Swap (qa, qb) ]
+      | [ qa ], [ qb ] ->
+        if qa = qb then
+          fail_diag Diagnostic.code_identical_operands
+            "swap with identical operands q[%d] in %S" qa statement;
+        [ Gate.Swap (qa, qb) ]
       | _ -> fail "swap expects single qubits in %S" statement
     end
     | _ -> fail "swap expects two operands in %S" statement
@@ -356,14 +398,40 @@ let parse_statement regs statement =
     let qubits = List.concat_map (resolve regs.qregs) operands in
     List.map (fun q -> Gate.One_qubit (kind, q)) qubits
 
-let of_string text =
+let of_string_diag text =
   let regs = { qregs = []; cregs = []; qtotal = 0; ctotal = 0 } in
+  let parse_at (line, statement) =
+    let located d =
+      if d.Diagnostic.location = Diagnostic.Nowhere then
+        { d with Diagnostic.location = Diagnostic.Line line }
+      else d
+    in
+    try parse_statement regs statement with
+    | Parse_error message ->
+      raise
+        (Diag_error
+           (Diagnostic.error ~location:(Diagnostic.Line line)
+              Diagnostic.code_parse message))
+    | Diag_error d -> raise (Diag_error (located d))
+  in
   try
-    let gates = List.concat_map (parse_statement regs) (statements text) in
+    let gates = List.concat_map parse_at (statements text) in
     Ok (Circuit.of_gates ~cbits:(max regs.ctotal 0) regs.qtotal gates)
   with
-  | Parse_error message -> Error message
-  | Invalid_argument message -> Error message
+  | Diag_error d -> Error d
+  | Invalid_argument message ->
+    Error (Diagnostic.error Diagnostic.code_parse message)
+
+let of_string text =
+  match of_string_diag text with
+  | Ok c -> Ok c
+  | Error d ->
+    Error
+      (match d.Diagnostic.location with
+      | Diagnostic.Line line ->
+        Printf.sprintf "line %d: %s" line d.Diagnostic.message
+      | Diagnostic.Nowhere | Diagnostic.Gate _ | Diagnostic.File_line _ ->
+        d.Diagnostic.message)
 
 let of_string_exn text =
   match of_string text with Ok c -> c | Error message -> failwith message

@@ -12,7 +12,17 @@ val to_string : Circuit.t -> string
 (** Emit a program with one register [q] and one classical register [c]. *)
 
 val of_string : string -> (Circuit.t, string) result
-(** Parse a program.  [Error message] points at the offending statement. *)
+(** Parse a program.  [Error message] points at the offending statement
+    (rendered from {!of_string_diag}, line number included). *)
+
+val of_string_diag :
+  string -> (Circuit.t, Vqc_diag.Diagnostic.t) result
+(** Parse with a structured error: out-of-range qubit/cbit indices carry
+    {!Vqc_diag.Diagnostic.code_index_range}, two-qubit gates with
+    identical operands carry
+    {!Vqc_diag.Diagnostic.code_identical_operands}, everything else
+    {!Vqc_diag.Diagnostic.code_parse}; the location is the statement's
+    1-based source line. *)
 
 val of_string_exn : string -> Circuit.t
 (** @raise Failure on parse errors. *)

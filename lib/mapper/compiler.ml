@@ -119,6 +119,16 @@ type compiled = {
   stats : Router.stats;
 }
 
+(* Post-compile hook: translation validation lives above this library
+   (Vqc_check depends on the mapper), so the verifier reaches the
+   pipeline through inversion of control.  The hook sees every emitted
+   plan and may raise to reject it. *)
+let plan_check : (Device.t -> Circuit.t -> compiled -> unit) option ref =
+  ref None
+
+let set_plan_check f = plan_check := Some f
+let clear_plan_check () = plan_check := None
+
 let log_gate_reliability device circuit =
   let calibration = Device.calibration device in
   let log_success p = log (Float.max 1e-12 p) in
@@ -213,12 +223,18 @@ let compile ?max_expansions device policy circuit =
       ]
   end;
   let _, _, best = best in
-  {
-    policy;
-    physical = best.Router.circuit;
-    initial = best.Router.initial;
-    final = best.Router.final;
-    stats = best.Router.stats;
-  }
+  let result =
+    {
+      policy;
+      physical = best.Router.circuit;
+      initial = best.Router.initial;
+      final = best.Router.final;
+      stats = best.Router.stats;
+    }
+  in
+  (match !plan_check with
+  | Some f -> f device circuit result
+  | None -> ());
+  result
 
 let swap_overhead compiled = compiled.stats.Router.swaps_inserted

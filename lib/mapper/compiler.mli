@@ -80,7 +80,20 @@ type compiled = {
 
 val compile :
   ?max_expansions:int -> Vqc_device.Device.t -> policy -> Circuit.t -> compiled
-(** @raise Invalid_argument if the program is wider than the device. *)
+(** @raise Invalid_argument if the program is wider than the device.
+    When a plan check is installed ({!set_plan_check}), it runs on the
+    winning candidate before [compile] returns and may raise. *)
+
+val set_plan_check :
+  (Vqc_device.Device.t -> Circuit.t -> compiled -> unit) -> unit
+(** Install a post-compile hook called as [check device source plan] on
+    every plan {!compile} emits.  The checker may raise to reject the
+    plan ([Vqc_check.Verify.install_compiler_check] installs the
+    translation validator this way — the verifier sits above this
+    library, so it reaches the pipeline through inversion of control).
+    At most one hook is installed; a second call replaces the first. *)
+
+val clear_plan_check : unit -> unit
 
 val swap_overhead : compiled -> int
 (** SWAPs inserted by routing (program SWAPs excluded). *)

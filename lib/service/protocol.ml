@@ -118,6 +118,12 @@ type response =
       id : Json.t option;
       reason : Admission.reason;
     }
+  | Invalid of {
+      id : Json.t option;
+      diagnostics : Vqc_diag.Diagnostic.t list;
+      cache : cache_status;
+      seconds : float;
+    }
   | Failed of {
       id : Json.t option;
       error : string;
@@ -150,6 +156,19 @@ let render response =
           ("calibration", Json.String plan.calibration_fp);
           (* run-varying facts — cache temperature and latency — are
              quarantined exactly like Trace's nd section *)
+          ( "nd",
+            Json.Obj
+              [
+                ("cache", Json.String (cache_status_to_string cache));
+                ("seconds", Json.Float seconds);
+              ] );
+        ]
+    | Invalid { id; diagnostics; cache; seconds } ->
+      id_field id
+      @ [
+          ("status", Json.String "invalid");
+          ( "diagnostics",
+            Json.List (List.map Vqc_diag.Diagnostic.to_json diagnostics) );
           ( "nd",
             Json.Obj
               [

@@ -19,8 +19,9 @@
       ["epoch"]), or [flush].
 
     Responses always carry ["status"]: ["ok"] (a compiled plan or a
-    control acknowledgement), ["rejected"] (admission control), or
-    ["error"].  Every deterministic field — layout, SWAP count,
+    control acknowledgement), ["rejected"] (admission control),
+    ["invalid"] (the plan verifier refused the plan; see
+    {!Vqc_check.Verify}), or ["error"].  Every deterministic field — layout, SWAP count,
     estimated log gate reliability, fingerprints — is a top-level
     field; anything that can vary between runs of the same input
     (latency, cache temperature) is quarantined under ["nd"], exactly
@@ -82,6 +83,13 @@ type response =
       id : Vqc_obs.Json.t option;
       reason : Admission.reason;
     }
+  | Invalid of {
+      id : Vqc_obs.Json.t option;
+      diagnostics : Vqc_diag.Diagnostic.t list;
+          (** the verifier's findings; deterministic, rendered top-level *)
+      cache : cache_status;
+      seconds : float;
+    }  (** verification was requested and the plan failed it *)
   | Failed of {
       id : Vqc_obs.Json.t option;
       error : string;

@@ -9,26 +9,46 @@ module Pool = Vqc_engine.Pool
 module Metrics = Vqc_obs.Metrics
 module Trace = Vqc_obs.Trace
 module Json = Vqc_obs.Json
+module Verify = Vqc_check.Verify
+module Diagnostic = Vqc_diag.Diagnostic
 
 type config = {
   jobs : int;
   cache_capacity : int;
   cache_enabled : bool;
   queue_limit : int;
+  verify : bool;
 }
 
 let default_config =
-  { jobs = 1; cache_capacity = 256; cache_enabled = true; queue_limit = 64 }
+  {
+    jobs = 1;
+    cache_capacity = 256;
+    cache_enabled = true;
+    queue_limit = 64;
+    verify = false;
+  }
 
 let requests_total = Metrics.counter "service.requests"
 let batches_total = Metrics.counter "service.batches"
 let failures_total = Metrics.counter "service.failures"
 let compiles_total = Metrics.counter "service.compiles"
+let verify_checks_total = Metrics.counter "service.verify.checks"
+let verify_ok_total = Metrics.counter "service.verify.ok"
+let verify_rejected_total = Metrics.counter "service.verify.rejected"
+
+(* The cache payload keeps the routed circuit and final layout alongside
+   the wire plan so cache hits can be re-verified without recompiling. *)
+type cached = {
+  plan : Protocol.plan;
+  physical : Circuit.t;
+  final : int array;
+}
 
 type t = {
   service_config : config;
   epoch : Epoch.t;
-  cache : Protocol.plan Plan_cache.t;
+  cache : cached Plan_cache.t;
       (** allocated even when disabled; bypassed (never consulted) so
           hit/miss metrics stay silent with the cache off *)
   queue : Protocol.request Admission.t;
@@ -134,8 +154,16 @@ let resolve t (request : Protocol.request) =
 
 (* ---- compilation --------------------------------------------------- *)
 
-let compile_plan prepared =
+(* Worker-side result: pure data, no metrics (workers are domains;
+   counters are bumped serially after the fan-in). *)
+type compile_result =
+  | Plan of cached
+  | Invalid_result of Diagnostic.t list
+  | Compile_error of string
+
+let compile_plan ~verify prepared =
   let start = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. start in
   match
     Compiler.compile prepared.device prepared.entry.Policies.policy
       prepared.circuit
@@ -158,14 +186,59 @@ let compile_plan prepared =
         calibration_fp = prepared.key.Plan_cache.calibration_fp;
       }
     in
-    (Ok plan, Unix.gettimeofday () -. start)
+    let payload =
+      {
+        plan;
+        physical = compiled.Compiler.physical;
+        final = Layout.assignment compiled.Compiler.final;
+      }
+    in
+    if not verify then (Plan payload, elapsed ())
+    else begin
+      let diagnostics =
+        Verify.compiled prepared.device prepared.circuit compiled
+      in
+      if Diagnostic.has_errors diagnostics then
+        (Invalid_result diagnostics, elapsed ())
+      else (Plan payload, elapsed ())
+    end
+  | exception Verify.Invalid_plan diagnostics ->
+    (* an installed compiler check (Verify.install_compiler_check)
+       rejected the plan before it reached us *)
+    (Invalid_result diagnostics, elapsed ())
   | exception (Invalid_argument message | Failure message) ->
-    (Error message, Unix.gettimeofday () -. start)
+    (Compile_error message, elapsed ())
+
+(* Re-verify a cache hit: the cached payload is reconstructed into a
+   verification subject against the device of the requested epoch (the
+   cache key pins the calibration fingerprint, so it is the same device
+   the plan was compiled for). *)
+let verify_cached prepared payload =
+  let physicals = Device.num_qubits prepared.device in
+  match
+    ( Layout.of_assignment ~physicals payload.plan.Protocol.layout,
+      Layout.of_assignment ~physicals payload.final )
+  with
+  | initial, final ->
+    Verify.check
+      {
+        Verify.device = prepared.device;
+        source = prepared.circuit;
+        physical = payload.physical;
+        initial;
+        final;
+        swaps_inserted = payload.plan.Protocol.swaps;
+      }
+  | exception Invalid_argument message ->
+    [
+      Diagnostic.errorf Diagnostic.code_malformed_plan
+        "cached plan carries a malformed layout: %s" message;
+    ]
 
 (* One resolved request, carrying what the lookup phase learned. *)
 type slot =
   | Unresolvable of Protocol.request * string
-  | Cached of prepared * Protocol.plan * float  (** lookup seconds *)
+  | Cached of prepared * cached * float  (** lookup seconds *)
   | Needs_compile of prepared
 
 let trace_response response =
@@ -184,6 +257,21 @@ let trace_response response =
           ("epoch", Json.Int plan.Protocol.epoch);
           ("circuit", Json.String plan.Protocol.circuit_fp);
           ("calibration", Json.String plan.Protocol.calibration_fp);
+        ]
+    | Protocol.Invalid { diagnostics; cache; seconds; _ } ->
+      Trace.emit ~source:"service" ~event:"response"
+        ~nd:
+          [
+            ("cache", Json.String (Protocol.cache_status_to_string cache));
+            ("seconds", Json.Float seconds);
+          ]
+        [
+          ("status", Json.String "invalid");
+          ( "codes",
+            Json.List
+              (List.map
+                 (fun d -> Json.String d.Diagnostic.code)
+                 diagnostics) );
         ]
     | Protocol.Failed { error; _ } ->
       Trace.emit ~source:"service" ~event:"response"
@@ -211,8 +299,8 @@ let flush t =
             else begin
               let start = Unix.gettimeofday () in
               match Plan_cache.find t.cache prepared.key with
-              | Some plan ->
-                Cached (prepared, plan, Unix.gettimeofday () -. start)
+              | Some payload ->
+                Cached (prepared, payload, Unix.gettimeofday () -. start)
               | None -> Needs_compile prepared
             end)
         requests
@@ -234,18 +322,33 @@ let flush t =
     let compiled = Hashtbl.create 16 in
     if unique <> [] then begin
       Metrics.add compiles_total (List.length unique);
+      let verify = t.service_config.verify in
       let results =
-        Pool.map t.pool ~f:(fun _ prepared -> compile_plan prepared) unique
+        Pool.map t.pool
+          ~f:(fun _ prepared -> compile_plan ~verify prepared)
+          unique
       in
       (* Phase 4: cache insertion is serial and in fan-out order, so the
-         LRU state after the batch is deterministic too. *)
+         LRU state after the batch is deterministic too.  Rejected plans
+         never enter the cache, and verification metrics are counted
+         here, outside the worker domains. *)
       List.iter2
         (fun prepared result ->
           Hashtbl.replace compiled prepared.key result;
           match result with
-          | Ok plan, _ when t.service_config.cache_enabled ->
-            Plan_cache.insert t.cache prepared.key plan
-          | _ -> ())
+          | Plan payload, _ ->
+            if verify then begin
+              Metrics.incr verify_checks_total;
+              Metrics.incr verify_ok_total
+            end;
+            if t.service_config.cache_enabled then
+              Plan_cache.insert t.cache prepared.key payload
+          | Invalid_result _, _ ->
+            if verify then begin
+              Metrics.incr verify_checks_total;
+              Metrics.incr verify_rejected_total
+            end
+          | Compile_error _, _ -> ())
         unique results
     end;
     (* Phase 5: responses in admission order. *)
@@ -260,25 +363,60 @@ let flush t =
           | Unresolvable (request, error) ->
             Metrics.incr failures_total;
             Protocol.Failed { id = request.Protocol.id; error }
-          | Cached (prepared, plan, seconds) ->
-            Protocol.Compiled
-              {
-                id = prepared.request.Protocol.id;
-                plan;
-                cache = Protocol.Hit;
-                seconds;
-              }
-          | Needs_compile prepared -> begin
-            match Hashtbl.find compiled prepared.key with
-            | Ok plan, seconds ->
+          | Cached (prepared, payload, seconds) ->
+            if not t.service_config.verify then
               Protocol.Compiled
                 {
                   id = prepared.request.Protocol.id;
-                  plan;
+                  plan = payload.plan;
+                  cache = Protocol.Hit;
+                  seconds;
+                }
+            else begin
+              (* Cache hits are re-verified too — a poisoned or stale
+                 entry must not ride the fast path past the checker. *)
+              Metrics.incr verify_checks_total;
+              let diagnostics = verify_cached prepared payload in
+              if Diagnostic.has_errors diagnostics then begin
+                Metrics.incr verify_rejected_total;
+                Protocol.Invalid
+                  {
+                    id = prepared.request.Protocol.id;
+                    diagnostics;
+                    cache = Protocol.Hit;
+                    seconds;
+                  }
+              end
+              else begin
+                Metrics.incr verify_ok_total;
+                Protocol.Compiled
+                  {
+                    id = prepared.request.Protocol.id;
+                    plan = payload.plan;
+                    cache = Protocol.Hit;
+                    seconds;
+                  }
+              end
+            end
+          | Needs_compile prepared -> begin
+            match Hashtbl.find compiled prepared.key with
+            | Plan payload, seconds ->
+              Protocol.Compiled
+                {
+                  id = prepared.request.Protocol.id;
+                  plan = payload.plan;
                   cache = cache_status;
                   seconds;
                 }
-            | Error error, _ ->
+            | Invalid_result diagnostics, seconds ->
+              Protocol.Invalid
+                {
+                  id = prepared.request.Protocol.id;
+                  diagnostics;
+                  cache = cache_status;
+                  seconds;
+                }
+            | Compile_error error, _ ->
               Metrics.incr failures_total;
               Protocol.Failed { id = prepared.request.Protocol.id; error }
           end)

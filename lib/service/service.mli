@@ -26,10 +26,15 @@ type config = {
   cache_capacity : int;
   cache_enabled : bool;
   queue_limit : int;
+  verify : bool;
+      (** statically verify every plan ({!Vqc_check.Verify}) before it
+          is served — fresh compiles {e and} cache hits.  A plan that
+          fails verification becomes a [Protocol.Invalid] response and
+          never enters the cache.  Counted under [service.verify.*]. *)
 }
 
 val default_config : config
-(** jobs 1, capacity 256, cache enabled, queue limit 64. *)
+(** jobs 1, capacity 256, cache enabled, queue limit 64, verify off. *)
 
 type t
 
@@ -48,7 +53,9 @@ val pending : t -> int
 val flush : t -> Protocol.response list
 (** Compile everything queued (batched onto the pool) and return the
     responses in admission order.  Never raises on a bad request —
-    resolution and compilation failures become [Failed] responses. *)
+    resolution and compilation failures become [Failed] responses, and
+    (with [verify] on) plans the verifier refuses become [Invalid]
+    responses. *)
 
 val advance_epoch : t -> int
 (** Rotate the calibration epoch, invalidating superseded cached plans;

@@ -1,0 +1,13 @@
+// Fixture for the vqc-check golden test: every diagnostic here is a
+// warning or an info, so the lint exits 0 while exercising VQC002,
+// VQC003 and VQC005.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+h q[0];
+cx q[0], q[1];
+measure q[1] -> c[1];
+x q[1];
+measure q[0] -> c[0];

@@ -1,0 +1,635 @@
+(* Tests for the static-analysis layer: structured diagnostics, the QASM
+   /circuit linter, the repository self-lint, and the plan verifier —
+   including the acceptance property (every plan the in-tree compiler
+   produces is proven faithful) and mutation coverage (each seeded
+   corruption is caught with its specific diagnostic code). *)
+
+module Gate = Vqc_circuit.Gate
+module Circuit = Vqc_circuit.Circuit
+module Qasm = Vqc_circuit.Qasm
+module Calibration = Vqc_device.Calibration
+module Calibration_model = Vqc_device.Calibration_model
+module Device = Vqc_device.Device
+module Topologies = Vqc_device.Topologies
+module Layout = Vqc_mapper.Layout
+module Router = Vqc_mapper.Router
+module Compiler = Vqc_mapper.Compiler
+module Catalog = Vqc_workloads.Catalog
+module Metrics = Vqc_obs.Metrics
+module Diagnostic = Vqc_diag.Diagnostic
+module Lint = Vqc_check.Lint
+module Verify = Vqc_check.Verify
+module Selflint = Vqc_check.Selflint
+module Epoch = Vqc_service.Epoch
+module Protocol = Vqc_service.Protocol
+module Service = Vqc_service.Service
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let cx c t = Gate.Cnot { control = c; target = t }
+let h q = Gate.One_qubit (Gate.H, q)
+let meas q = Gate.Measure { qubit = q; cbit = q }
+let q20 () = Calibration_model.ibm_q20 ~seed:2
+
+let codes diagnostics = List.map (fun d -> d.Diagnostic.code) diagnostics
+
+let has_code code diagnostics =
+  Alcotest.(check bool)
+    (code ^ " reported") true
+    (List.mem code (codes diagnostics))
+
+(* ---- Diagnostic ----------------------------------------------------- *)
+
+let test_diagnostic_render_deterministic () =
+  let d1 =
+    Diagnostic.error ~location:(Diagnostic.Line 3) Diagnostic.code_index_range
+      "index out of range"
+  in
+  let d2 =
+    Diagnostic.warning ~location:(Diagnostic.Line 1)
+      Diagnostic.code_unused_qubit "unused"
+  in
+  (* render_list sorts, so both input orders print identically *)
+  check_string "order independent"
+    (Diagnostic.render_list [ d1; d2 ])
+    (Diagnostic.render_list [ d2; d1 ]);
+  check_string "empty list" "[]" (Diagnostic.render_list []);
+  check "line 1 sorts first" true
+    (Diagnostic.compare d2 d1 < 0)
+
+let test_diagnostic_to_json_locations () =
+  let json d = Vqc_obs.Json.to_string (Diagnostic.to_json d) in
+  check "line location" true
+    (json (Diagnostic.error ~location:(Diagnostic.Line 7) "VQC000" "m")
+    = {|{"code":"VQC000","severity":"error","message":"m","line":7}|});
+  check "gate location" true
+    (json (Diagnostic.info ~location:(Diagnostic.Gate 2) "VQC005" "m")
+    = {|{"code":"VQC005","severity":"info","message":"m","gate":2}|});
+  check "nowhere has no location fields" true
+    (json (Diagnostic.warning "VQC003" "m")
+    = {|{"code":"VQC003","severity":"warning","message":"m"}|})
+
+(* ---- Qasm positioned diagnostics ------------------------------------ *)
+
+let test_qasm_diag_index_range () =
+  let text =
+    "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncreg c[3];\nx q[5];\n"
+  in
+  match Qasm.of_string_diag text with
+  | Ok _ -> Alcotest.fail "out-of-range index accepted"
+  | Error d ->
+    check_string "code" Diagnostic.code_index_range d.Diagnostic.code;
+    check "positioned at line 5" true (d.Diagnostic.location = Diagnostic.Line 5);
+    (* the plain-string API renders the same position *)
+    (match Qasm.of_string text with
+    | Ok _ -> Alcotest.fail "of_string accepted"
+    | Error message ->
+      check "message carries line" true
+        (String.length message >= 7 && String.sub message 0 7 = "line 5:"))
+
+let test_qasm_diag_identical_operands () =
+  let text = "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\ncx q[1], q[1];\n" in
+  match Qasm.of_string_diag text with
+  | Ok _ -> Alcotest.fail "identical operands accepted"
+  | Error d ->
+    check_string "code" Diagnostic.code_identical_operands d.Diagnostic.code;
+    check "positioned" true (d.Diagnostic.location = Diagnostic.Line 4)
+
+let test_qasm_diag_parse_error () =
+  match Qasm.of_string_diag "OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];\n" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error d -> check_string "code" Diagnostic.code_parse d.Diagnostic.code
+
+(* ---- Lint ----------------------------------------------------------- *)
+
+let lint_text = Lint.qasm
+
+let test_lint_clean_circuit () =
+  let text =
+    "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0], q[1];\n\
+     measure q[0] -> c[0];\nmeasure q[1] -> c[1];\n"
+  in
+  check "no diagnostics" true (lint_text text = [])
+
+let test_lint_gate_after_measure () =
+  let text =
+    "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nmeasure q[0] -> c[0];\nx q[0];\n\
+     x q[0];\nmeasure q[1] -> c[1];\n"
+  in
+  let diagnostics = lint_text text in
+  has_code Diagnostic.code_gate_after_measure diagnostics;
+  (* flagged once per qubit, at the first offending gate *)
+  check_int "one report" 1
+    (List.length
+       (List.filter
+          (fun d -> d.Diagnostic.code = Diagnostic.code_gate_after_measure)
+          diagnostics))
+
+let test_lint_unused_qubit () =
+  let text = "OPENQASM 2.0;\nqreg q[3];\ncreg c[3];\nh q[0];\nh q[2];\n" in
+  let unused =
+    List.filter
+      (fun d -> d.Diagnostic.code = Diagnostic.code_unused_qubit)
+      (lint_text text)
+  in
+  check_int "exactly qubit 1" 1 (List.length unused);
+  check "warning severity" true
+    (List.for_all (fun d -> d.Diagnostic.severity = Diagnostic.Warning) unused)
+
+let test_lint_cancellable_pairs () =
+  let circuit gates n = Lint.circuit (Circuit.of_gates n gates) in
+  let cancels gates n =
+    List.exists
+      (fun d -> d.Diagnostic.code = Diagnostic.code_cancellable_pair)
+      (circuit gates n)
+  in
+  check "h h cancels" true (cancels [ h 0; h 0; meas 0 ] 1);
+  check "s sdg cancels" true
+    (cancels
+       [ Gate.One_qubit (Gate.S, 0); Gate.One_qubit (Gate.Sdg, 0); meas 0 ]
+       1);
+  check "repeated cx cancels" true
+    (cancels [ cx 0 1; cx 0 1; meas 0; meas 1 ] 2);
+  check "swap either orientation" true
+    (cancels [ Gate.Swap (0, 1); Gate.Swap (1, 0); meas 0; meas 1 ] 2);
+  check "h x h does not" false (cancels [ h 0; Gate.One_qubit (Gate.X, 0); h 0; meas 0 ] 1);
+  check "interposed gate on operand blocks" false
+    (cancels [ cx 0 1; h 1; cx 0 1; meas 0; meas 1 ] 2);
+  check "barrier fences" false
+    (cancels [ h 0; Gate.Barrier [ 0 ]; h 0; meas 0 ] 1)
+
+(* ---- Selflint ------------------------------------------------------- *)
+
+(* assembled so the self-lint does not flag this test file *)
+let bad_rng = "let () = " ^ "Random." ^ "self_init" ^ " ()\n"
+let bad_clock = "let now = " ^ "Unix." ^ "gettimeofday" ^ " ()\n"
+
+let test_selflint_flags_rng () =
+  let diagnostics = Selflint.scan_source ~file:"lib/foo/bar.ml" bad_rng in
+  check_int "one finding" 1 (List.length diagnostics);
+  has_code Diagnostic.code_determinism diagnostics
+
+let test_selflint_wall_clock_allow_list () =
+  let text = "(* prelude *)\n" ^ bad_clock in
+  check "flagged outside allow list" true
+    (Selflint.scan_source ~file:"lib/mapper/router.ml" text <> []);
+  (match Selflint.scan_source ~file:"lib/mapper/router.ml" text with
+  | [ d ] ->
+    check "line 2" true
+      (d.Diagnostic.location
+      = Diagnostic.File_line { file = "lib/mapper/router.ml"; line = 2 })
+  | _ -> Alcotest.fail "expected exactly one finding");
+  List.iter
+    (fun file ->
+      check (file ^ " allowed") true (Selflint.scan_source ~file bad_clock = []))
+    Selflint.allowed_wall_clock
+
+let test_selflint_repo_is_clean () =
+  (* the committed tree must pass its own hygiene bar; run from the
+     build sandbox we can only reach the real tree via the project root
+     recorded by dune *)
+  match Sys.getenv_opt "DUNE_SOURCEROOT" with
+  | None -> ()
+  | Some root -> check "repository clean" true (Selflint.scan_tree ~root = [])
+
+(* ---- Verify: acceptance --------------------------------------------- *)
+
+let accept_policies =
+  [
+    Compiler.baseline;
+    Compiler.vqm;
+    Compiler.vqa_vqm;
+    Compiler.vqm_bridge;
+    Compiler.sabre;
+    Compiler.noise_sabre;
+  ]
+
+let test_verifier_accepts_catalog () =
+  let device = q20 () in
+  List.iter
+    (fun (entry : Catalog.entry) ->
+      List.iter
+        (fun policy ->
+          let plan = Compiler.compile device policy entry.Catalog.circuit in
+          let diagnostics = Verify.compiled device entry.Catalog.circuit plan in
+          Alcotest.(check (list string))
+            (entry.Catalog.name ^ "/" ^ policy.Compiler.label)
+            [] (codes diagnostics))
+        accept_policies)
+    Catalog.all
+
+let gen_program =
+  QCheck2.Gen.(
+    let* n = int_range 2 8 in
+    let gate =
+      let* kind = int_bound 4 in
+      let* q = int_bound (n - 1) in
+      match kind with
+      | 0 | 1 ->
+        let* other = int_bound (n - 2) in
+        let t = if other >= q then other + 1 else other in
+        return (cx q t)
+      | 2 -> return (h q)
+      | 3 ->
+        let* other = int_bound (n - 2) in
+        let t = if other >= q then other + 1 else other in
+        return (Gate.Swap (q, t))
+      | _ -> return (meas q)
+    in
+    let* gates = list_size (int_bound 25) gate in
+    return (Circuit.of_gates n gates))
+
+let prop_verifier_accepts_random_plans =
+  QCheck2.Test.make ~name:"verifier accepts every compiled plan" ~count:60
+    gen_program (fun program ->
+      let device = q20 () in
+      List.for_all
+        (fun policy ->
+          let plan = Compiler.compile device policy program in
+          Verify.compiled device program plan = [])
+        [ Compiler.baseline; Compiler.vqa_vqm; Compiler.vqm_bridge;
+          Compiler.sabre ])
+
+(* ---- Verify: mutations ---------------------------------------------- *)
+
+let compiled_subject device source (plan : Compiler.compiled) =
+  {
+    Verify.device;
+    source;
+    physical = plan.Compiler.physical;
+    initial = plan.Compiler.initial;
+    final = plan.Compiler.final;
+    swaps_inserted = plan.Compiler.stats.Router.swaps_inserted;
+  }
+
+(* A plan guaranteed to contain inserted SWAPs: qft-12 is dense. *)
+let swapful_plan device =
+  let source = (Catalog.find "qft-12").Catalog.circuit in
+  let plan = Compiler.compile device Compiler.vqm source in
+  check "plan has inserted swaps" true
+    (plan.Compiler.stats.Router.swaps_inserted > 0);
+  (source, plan)
+
+let with_physical subject gates =
+  {
+    subject with
+    Verify.physical =
+      Circuit.of_gates
+        ~cbits:(Circuit.num_cbits subject.Verify.physical)
+        (Circuit.num_qubits subject.Verify.physical)
+        gates;
+  }
+
+let test_mutation_dropped_swap () =
+  let device = q20 () in
+  let source, plan = swapful_plan device in
+  let subject = compiled_subject device source plan in
+  (* qft-12 has no program SWAPs, so every physical SWAP was inserted *)
+  let dropped = ref false in
+  let gates =
+    List.filter
+      (fun gate ->
+        match gate with
+        | Gate.Swap _ when not !dropped ->
+          dropped := true;
+          false
+        | _ -> true)
+      (Circuit.gates plan.Compiler.physical)
+  in
+  check "a swap was dropped" true !dropped;
+  (* the layouts diverge at the missing SWAP, so the first gate that
+     relied on it fails to match any ready source gate *)
+  let diagnostics = Verify.check (with_physical subject gates) in
+  check "rejected" true (Diagnostic.has_errors diagnostics);
+  has_code Diagnostic.code_replay_mismatch diagnostics
+
+let test_mutation_swapped_cnot_operands () =
+  let device = q20 () in
+  let source, plan = swapful_plan device in
+  let subject = compiled_subject device source plan in
+  let flipped = ref false in
+  let gates =
+    List.map
+      (fun gate ->
+        match gate with
+        | Gate.Cnot { control; target } when not !flipped ->
+          flipped := true;
+          Gate.Cnot { control = target; target = control }
+        | gate -> gate)
+      (Circuit.gates plan.Compiler.physical)
+  in
+  check "a cnot was flipped" true !flipped;
+  let diagnostics = Verify.check (with_physical subject gates) in
+  check "rejected" true (Diagnostic.has_errors diagnostics);
+  has_code Diagnostic.code_replay_mismatch diagnostics
+
+let test_mutation_remapped_measurement () =
+  let device = q20 () in
+  let source, plan = swapful_plan device in
+  let subject = compiled_subject device source plan in
+  let remapped = ref false in
+  let gates =
+    List.map
+      (fun gate ->
+        match gate with
+        | Gate.Measure { qubit; cbit } when not !remapped ->
+          remapped := true;
+          Gate.Measure { qubit; cbit = (cbit + 1) mod 12 }
+        | gate -> gate)
+      (Circuit.gates plan.Compiler.physical)
+  in
+  check "a measurement was remapped" true !remapped;
+  let diagnostics = Verify.check (with_physical subject gates) in
+  check "rejected" true (Diagnostic.has_errors diagnostics);
+  has_code Diagnostic.code_measurement_mapping diagnostics
+
+let test_mutation_inflated_swap_count () =
+  let device = q20 () in
+  let source, plan = swapful_plan device in
+  let subject = compiled_subject device source plan in
+  let diagnostics =
+    Verify.check
+      { subject with Verify.swaps_inserted = subject.Verify.swaps_inserted + 1 }
+  in
+  Alcotest.(check (list string))
+    "only the accounting is wrong"
+    [ Diagnostic.code_swap_count ] (codes diagnostics)
+
+let test_mutation_corrupted_final_layout () =
+  let device = q20 () in
+  let source, plan = swapful_plan device in
+  let subject = compiled_subject device source plan in
+  let assignment = Layout.assignment plan.Compiler.final in
+  let tmp = assignment.(0) in
+  assignment.(0) <- assignment.(1);
+  assignment.(1) <- tmp;
+  let corrupted =
+    Layout.of_assignment ~physicals:(Device.num_qubits device) assignment
+  in
+  let diagnostics = Verify.check { subject with Verify.final = corrupted } in
+  Alcotest.(check (list string))
+    "final layout mismatch"
+    [ Diagnostic.code_final_layout ] (codes diagnostics)
+
+let test_mutation_truncated_physical () =
+  let device = q20 () in
+  let source, plan = swapful_plan device in
+  let subject = compiled_subject device source plan in
+  let gates = Circuit.gates plan.Compiler.physical in
+  let truncated = List.filteri (fun i _ -> i < List.length gates - 1) gates in
+  let diagnostics = Verify.check (with_physical subject truncated) in
+  check "rejected" true (Diagnostic.has_errors diagnostics);
+  has_code Diagnostic.code_unreplayed_gates diagnostics
+
+let test_mutation_illegal_coupling () =
+  let device = q20 () in
+  (* a hand-built "plan" that routes cx 0,1 onto an uncoupled pair *)
+  let far =
+    match
+      List.find_opt
+        (fun q -> not (Device.connected device 0 q))
+        (List.init (Device.num_qubits device - 1) (fun i -> i + 1))
+    with
+    | Some q -> q
+    | None -> Alcotest.fail "Q20 is not a clique"
+  in
+  let source = Circuit.of_gates ~cbits:2 2 [ cx 0 1; meas 0; meas 1 ] in
+  let layout =
+    Layout.of_assignment ~physicals:(Device.num_qubits device) [| 0; far |]
+  in
+  let physical =
+    Circuit.of_gates ~cbits:2 (Device.num_qubits device)
+      [
+        Gate.Cnot { control = 0; target = far };
+        Gate.Measure { qubit = 0; cbit = 0 };
+        Gate.Measure { qubit = far; cbit = 1 };
+      ]
+  in
+  let diagnostics =
+    Verify.check
+      {
+        Verify.device;
+        source;
+        physical;
+        initial = layout;
+        final = layout;
+        swaps_inserted = 0;
+      }
+  in
+  Alcotest.(check (list string))
+    "illegal coupling"
+    [ Diagnostic.code_illegal_coupling ] (codes diagnostics)
+
+let test_mutation_corrupt_calibration () =
+  let device = q20 () in
+  let source = (Catalog.find "bv-16").Catalog.circuit in
+  let plan = Compiler.compile device Compiler.baseline source in
+  let calibration = Calibration.copy (Device.calibration device) in
+  let qubit = Calibration.qubit calibration 0 in
+  Calibration.set_qubit calibration 0
+    { qubit with Calibration.error_1q = 1.5 };
+  let corrupted = Device.with_calibration device calibration in
+  let diagnostics =
+    Verify.check (compiled_subject corrupted source plan)
+  in
+  check "rejected" true (Diagnostic.has_errors diagnostics);
+  has_code Diagnostic.code_calibration diagnostics
+
+let test_mutation_malformed_shape () =
+  let device = q20 () in
+  let source = Circuit.of_gates ~cbits:1 1 [ h 0; meas 0 ] in
+  (* layout for 3 program qubits against a 1-qubit source *)
+  let layout =
+    Layout.of_assignment ~physicals:(Device.num_qubits device) [| 0; 1; 2 |]
+  in
+  let physical =
+    Circuit.of_gates ~cbits:1 (Device.num_qubits device)
+      [ h 0; Gate.Measure { qubit = 0; cbit = 0 } ]
+  in
+  let diagnostics =
+    Verify.check
+      {
+        Verify.device;
+        source;
+        physical;
+        initial = layout;
+        final = layout;
+        swaps_inserted = 0;
+      }
+  in
+  check "rejected" true (Diagnostic.has_errors diagnostics);
+  has_code Diagnostic.code_malformed_plan diagnostics
+
+(* ---- compiler hook --------------------------------------------------- *)
+
+let test_compiler_hook_verifies () =
+  let device = q20 () in
+  let source = (Catalog.find "bv-16").Catalog.circuit in
+  Verify.install_compiler_check ();
+  Fun.protect ~finally:Verify.uninstall_compiler_check (fun () ->
+      let before = Metrics.counter_value (Metrics.counter "check.plans") in
+      let plan = Compiler.compile device Compiler.vqm source in
+      check "plan produced" true (Circuit.length plan.Compiler.physical > 0);
+      let after = Metrics.counter_value (Metrics.counter "check.plans") in
+      check "check counted" true (after > before))
+
+(* ---- service integration --------------------------------------------- *)
+
+let epochs () =
+  let history =
+    Vqc_device.History.generate ~days:2 ~seed:2
+      ~coupling:Topologies.ibm_q20_tokyo 20
+  in
+  Epoch.of_history ~name:"Q20" ~coupling:Topologies.ibm_q20_tokyo history
+
+let submit_ok service request =
+  match Service.submit service request with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "submission rejected"
+
+let request workload =
+  {
+    Protocol.id = None;
+    source = Protocol.Workload workload;
+    policy = "vqa+vqm";
+    epoch = None;
+  }
+
+let test_service_verify_serves_and_rehits () =
+  let config = { Service.default_config with Service.verify = true } in
+  Service.with_service ~config (epochs ()) (fun service ->
+      submit_ok service (request "bv-16");
+      (match Service.flush service with
+      | [ Protocol.Compiled { cache = Protocol.Miss; _ } ] -> ()
+      | _ -> Alcotest.fail "expected one verified miss");
+      let ok_before = Metrics.counter_value (Metrics.counter "service.verify.ok") in
+      submit_ok service (request "bv-16");
+      (match Service.flush service with
+      | [ Protocol.Compiled { cache = Protocol.Hit; _ } ] -> ()
+      | _ -> Alcotest.fail "expected one verified hit");
+      let ok_after = Metrics.counter_value (Metrics.counter "service.verify.ok") in
+      check "cache hit was re-verified" true (ok_after > ok_before))
+
+let test_service_verify_matches_unverified_plans () =
+  (* --verify must not change the deterministic fields of valid plans *)
+  let run verify =
+    let config = { Service.default_config with Service.verify } in
+    Service.with_service ~config (epochs ()) (fun service ->
+        submit_ok service (request "qft-12");
+        submit_ok service (request "bv-16");
+        List.map Protocol.render (Service.flush service))
+  in
+  let strip line =
+    (* drop the "nd" tail: deterministic prefix ends at ,"nd": *)
+    match String.index_opt line 'n' with
+    | _ ->
+      let marker = {|,"nd":|} in
+      let rec find i =
+        if i + String.length marker > String.length line then line
+        else if String.sub line i (String.length marker) = marker then
+          String.sub line 0 i
+        else find (i + 1)
+      in
+      find 0
+  in
+  Alcotest.(check (list string))
+    "identical deterministic fields"
+    (List.map strip (run false))
+    (List.map strip (run true))
+
+let test_protocol_invalid_render () =
+  let response =
+    Protocol.Invalid
+      {
+        id = Some (Vqc_obs.Json.Int 9);
+        diagnostics =
+          [
+            Diagnostic.error ~location:(Diagnostic.Gate 4)
+              Diagnostic.code_replay_mismatch "physical gate matches nothing";
+          ];
+        cache = Protocol.Hit;
+        seconds = 0.25;
+      }
+  in
+  check_string "wire form"
+    ({|{"id":9,"status":"invalid","diagnostics":[{"code":"VQC102",|}
+    ^ {|"severity":"error","message":"physical gate matches nothing",|}
+    ^ {|"gate":4}],"nd":{"cache":"hit","seconds":0.25}}|})
+    (Protocol.render response)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "vqc_check"
+    [
+      ( "diagnostic",
+        [
+          Alcotest.test_case "deterministic rendering" `Quick
+            test_diagnostic_render_deterministic;
+          Alcotest.test_case "json locations" `Quick
+            test_diagnostic_to_json_locations;
+        ] );
+      ( "qasm",
+        [
+          Alcotest.test_case "index range positioned" `Quick
+            test_qasm_diag_index_range;
+          Alcotest.test_case "identical operands" `Quick
+            test_qasm_diag_identical_operands;
+          Alcotest.test_case "parse error" `Quick test_qasm_diag_parse_error;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "clean circuit" `Quick test_lint_clean_circuit;
+          Alcotest.test_case "gate after measure" `Quick
+            test_lint_gate_after_measure;
+          Alcotest.test_case "unused qubit" `Quick test_lint_unused_qubit;
+          Alcotest.test_case "cancellable pairs" `Quick
+            test_lint_cancellable_pairs;
+        ] );
+      ( "selflint",
+        [
+          Alcotest.test_case "flags rng" `Quick test_selflint_flags_rng;
+          Alcotest.test_case "wall clock allow list" `Quick
+            test_selflint_wall_clock_allow_list;
+          Alcotest.test_case "repository clean" `Quick
+            test_selflint_repo_is_clean;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "accepts catalog plans" `Slow
+            test_verifier_accepts_catalog;
+        ]
+        @ qcheck [ prop_verifier_accepts_random_plans ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "dropped swap" `Quick test_mutation_dropped_swap;
+          Alcotest.test_case "swapped cnot operands" `Quick
+            test_mutation_swapped_cnot_operands;
+          Alcotest.test_case "remapped measurement" `Quick
+            test_mutation_remapped_measurement;
+          Alcotest.test_case "inflated swap count" `Quick
+            test_mutation_inflated_swap_count;
+          Alcotest.test_case "corrupted final layout" `Quick
+            test_mutation_corrupted_final_layout;
+          Alcotest.test_case "truncated physical" `Quick
+            test_mutation_truncated_physical;
+          Alcotest.test_case "illegal coupling" `Quick
+            test_mutation_illegal_coupling;
+          Alcotest.test_case "corrupt calibration" `Quick
+            test_mutation_corrupt_calibration;
+          Alcotest.test_case "malformed shape" `Quick
+            test_mutation_malformed_shape;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "compiler hook" `Quick test_compiler_hook_verifies;
+          Alcotest.test_case "service verify on" `Quick
+            test_service_verify_serves_and_rehits;
+          Alcotest.test_case "verify does not perturb plans" `Slow
+            test_service_verify_matches_unverified_plans;
+          Alcotest.test_case "invalid wire form" `Quick
+            test_protocol_invalid_render;
+        ] );
+    ]

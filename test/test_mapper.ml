@@ -501,6 +501,11 @@ let test_compiled_preserves_measurement_cbits () =
 
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
+(* Every plan any test below compiles is replayed by the translation
+   validator — a mapper regression that breaks plan faithfulness fails
+   here even if no assertion looks at the relevant invariant. *)
+let () = Vqc_check.Verify.install_compiler_check ()
+
 let () =
   Alcotest.run "vqc_mapper"
     [
