@@ -6,7 +6,15 @@
    the simulation engines with Bechamel.
 
    Run with: dune exec bench/main.exe
-   To skip the timing section: dune exec bench/main.exe -- --no-perf *)
+   To skip the timing section: dune exec bench/main.exe -- --no-perf
+
+   A separate mode measures what adaptive estimation saves over the
+   paper's fixed-trial discipline and records it as a JSON artifact:
+     dune exec bench/main.exe -- estimator \
+       [--precision 1e-3] [--max-trials 1000000] [--jobs N] \
+       [--out BENCH_estimator.json]
+   It exits non-zero if adaptive mode ever needs more trials than fixed
+   mode — the estimator's cost ceiling is part of its contract. *)
 
 module Registry = Vqc_experiments.Registry
 module Context = Vqc_experiments.Context
@@ -73,6 +81,7 @@ let serve_requests =
         source = Protocol.Workload workload;
         policy = Policies.default_label;
         epoch = None;
+        estimate = None;
       })
     [ "bv-16"; "qft-12"; "alu" ]
 
@@ -172,7 +181,203 @@ let run_timings () =
         (nanoseconds /. 1e6))
     rows
 
+(* ---- Estimator: fixed vs adaptive trials-to-target ----------------- *)
+
+module Estimator = Vqc_sim.Estimator
+module Json = Vqc_obs.Json
+
+type estimator_row = {
+  workload : string;
+  fixed_pst : float;
+  fixed_seconds : float;
+  adaptive : Estimator.estimate;
+  adaptive_seconds : float;
+}
+
+let median values =
+  match List.sort compare values with
+  | [] -> Float.nan
+  | sorted ->
+    let n = List.length sorted in
+    if n mod 2 = 1 then List.nth sorted (n / 2)
+    else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
+
+let estimator_row ctx ~config ~jobs (entry : Catalog.entry) =
+  let device = ctx.Context.q20 in
+  let compiled = Compiler.compile device Compiler.vqa_vqm entry.Catalog.circuit in
+  let physical = compiled.Compiler.physical in
+  let timed f =
+    let start = Unix.gettimeofday () in
+    let result = f () in
+    (result, Unix.gettimeofday () -. start)
+  in
+  (* same seed on both sides: the adaptive run walks a prefix of the
+     fixed run's chunk stream, so the comparison is trial-for-trial *)
+  let fixed, fixed_seconds =
+    timed (fun () ->
+        Monte_carlo.run ~jobs ~trials:config.Estimator.max_trials
+          (Rng.make 1) device physical)
+  in
+  let adaptive, adaptive_seconds =
+    timed (fun () ->
+        Monte_carlo.run_adaptive ~jobs ~config (Rng.make 1) device physical)
+  in
+  {
+    workload = entry.Catalog.name;
+    fixed_pst = fixed.Monte_carlo.pst;
+    fixed_seconds;
+    adaptive;
+    adaptive_seconds;
+  }
+
+let trials_speedup row =
+  float_of_int row.adaptive.Estimator.budget
+  /. float_of_int row.adaptive.Estimator.trials
+
+let estimator_json ~config rows =
+  let row_json row =
+    let e = row.adaptive in
+    Json.Obj
+      [
+        ("workload", Json.String row.workload);
+        ("fixed_trials", Json.Int e.Estimator.budget);
+        ("fixed_pst", Json.Float row.fixed_pst);
+        ("fixed_seconds", Json.Float row.fixed_seconds);
+        ("adaptive_trials", Json.Int e.Estimator.trials);
+        ("adaptive_pst", Json.Float e.Estimator.mean);
+        ("adaptive_seconds", Json.Float row.adaptive_seconds);
+        ("half_width", Json.Float (Estimator.half_width e));
+        ("stop", Json.String (Estimator.stop_reason_to_string e.Estimator.stop));
+        ("trials_saved", Json.Int (Estimator.trials_saved e));
+        ("trials_speedup", Json.Float (trials_speedup row));
+        ( "seconds_speedup",
+          Json.Float (row.fixed_seconds /. row.adaptive_seconds) );
+      ]
+  in
+  Json.Obj
+    [
+      ("bench", Json.String "estimator");
+      ("precision", Json.Float config.Estimator.precision);
+      ("confidence", Json.Float config.Estimator.confidence);
+      ("max_trials", Json.Int config.Estimator.max_trials);
+      ("workloads", Json.List (List.map row_json rows));
+      ( "median_trials_speedup",
+        Json.Float (median (List.map trials_speedup rows)) );
+      ( "min_trials_speedup",
+        Json.Float
+          (List.fold_left Float.min infinity (List.map trials_speedup rows))
+      );
+    ]
+
+let run_estimator_bench args =
+  let precision = ref 1e-3 in
+  let max_trials = ref 1_000_000 in
+  let jobs = ref 1 in
+  let out = ref "BENCH_estimator.json" in
+  let usage =
+    "usage: bench estimator [--precision P] [--max-trials N] [--jobs N] \
+     [--out FILE]"
+  in
+  let rec parse = function
+    | [] -> Ok ()
+    | "--precision" :: v :: rest -> begin
+      match float_of_string_opt v with
+      | Some f ->
+        precision := f;
+        parse rest
+      | None -> Error (Printf.sprintf "--precision: bad float %S" v)
+    end
+    | "--max-trials" :: v :: rest -> begin
+      match int_of_string_opt v with
+      | Some n ->
+        max_trials := n;
+        parse rest
+      | None -> Error (Printf.sprintf "--max-trials: bad integer %S" v)
+    end
+    | "--jobs" :: v :: rest -> begin
+      match int_of_string_opt v with
+      | Some n when n >= 1 ->
+        jobs := n;
+        parse rest
+      | _ -> Error (Printf.sprintf "--jobs: bad worker count %S" v)
+    end
+    | "--out" :: v :: rest ->
+      out := v;
+      parse rest
+    | other :: _ -> Error (Printf.sprintf "unknown argument %S\n%s" other usage)
+  in
+  match parse args with
+  | Error message ->
+    prerr_endline ("bench estimator: " ^ message);
+    2
+  | Ok () -> begin
+    let config =
+      {
+        Estimator.default_config with
+        Estimator.precision = !precision;
+        max_trials = !max_trials;
+      }
+    in
+    match Estimator.validate_config config with
+    | Error message ->
+      prerr_endline ("bench estimator: " ^ message);
+      2
+    | Ok config ->
+      let ctx = Context.default in
+      Printf.printf
+        "Estimator bench: fixed %d trials vs adaptive (precision %g at \
+         %g%%), VQA+VQM on Q20\n\n"
+        config.Estimator.max_trials config.Estimator.precision
+        (100.0 *. config.Estimator.confidence);
+      let rows =
+        List.map (estimator_row ctx ~config ~jobs:!jobs) Catalog.table1
+      in
+      List.iter
+        (fun row ->
+          let e = row.adaptive in
+          Printf.printf
+            "%-8s fixed %.4f (%d trials, %.2fs)  adaptive %.4f +/- %.1e \
+             (%d trials, %.2fs)  %5.1fx fewer trials [%s]\n"
+            row.workload row.fixed_pst e.Estimator.budget row.fixed_seconds
+            e.Estimator.mean
+            (Estimator.half_width e)
+            e.Estimator.trials row.adaptive_seconds (trials_speedup row)
+            (Estimator.stop_reason_to_string e.Estimator.stop))
+        rows;
+      let median_speedup = median (List.map trials_speedup rows) in
+      Printf.printf "\nmedian trials-to-target reduction: %.1fx\n"
+        median_speedup;
+      Out_channel.with_open_text !out (fun channel ->
+          Out_channel.output_string channel
+            (Json.to_string (estimator_json ~config rows));
+          Out_channel.output_char channel '\n');
+      Printf.printf "wrote %s\n" !out;
+      (* contract: adaptivity never costs trials — it stops at or before
+         the budget the fixed path always spends *)
+      let regressions =
+        List.filter
+          (fun row ->
+            row.adaptive.Estimator.trials > row.adaptive.Estimator.budget)
+          rows
+      in
+      if regressions <> [] then begin
+        List.iter
+          (fun row ->
+            Printf.eprintf
+              "bench estimator: REGRESSION %s: adaptive used %d trials > \
+               fixed %d\n"
+              row.workload row.adaptive.Estimator.trials
+              row.adaptive.Estimator.budget)
+          regressions;
+        1
+      end
+      else 0
+  end
+
 let () =
-  let skip_perf = Array.exists (( = ) "--no-perf") Sys.argv in
-  regenerate_artifacts ();
-  if not skip_perf then run_timings ()
+  match Array.to_list Sys.argv with
+  | _ :: "estimator" :: rest -> exit (run_estimator_bench rest)
+  | argv ->
+    let skip_perf = List.mem "--no-perf" argv in
+    regenerate_artifacts ();
+    if not skip_perf then run_timings ()

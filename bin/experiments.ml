@@ -42,7 +42,28 @@ let list_experiments () =
     Registry.all;
   0
 
-let run_ids list seed jobs verify trace metrics ids =
+(* --precision / --max-trials switch every Monte-Carlo experiment to the
+   adaptive estimator; absent both, the fixed-trials paths (and their
+   byte-exact golden output) run. *)
+let estimator_config precision max_trials =
+  match (precision, max_trials) with
+  | None, None -> Ok None
+  | _ ->
+    let default = Vqc_sim.Estimator.default_config in
+    let config =
+      {
+        default with
+        Vqc_sim.Estimator.precision =
+          Option.value precision
+            ~default:default.Vqc_sim.Estimator.precision;
+        max_trials =
+          Option.value max_trials
+            ~default:default.Vqc_sim.Estimator.max_trials;
+      }
+    in
+    Result.map Option.some (Vqc_sim.Estimator.validate_config config)
+
+let run_ids list seed jobs precision max_trials verify trace metrics ids =
   if list then list_experiments ()
   else
     match Pool.validate_jobs jobs with
@@ -50,6 +71,11 @@ let run_ids list seed jobs verify trace metrics ids =
     prerr_endline ("vqc-experiments: --" ^ message);
     1
   | Ok jobs -> (
+    match estimator_config precision max_trials with
+    | Error message ->
+      prerr_endline ("vqc-experiments: " ^ message);
+      1
+    | Ok estimator -> (
     match resolve ids with
     | Error message ->
       prerr_endline message;
@@ -74,6 +100,11 @@ let run_ids list seed jobs verify trace metrics ids =
               Pool.map ?report:(progress_reporter (List.length ids)) pool
                 ~f:(fun _ id ->
                   let ctx = Context.make ~seed |> Context.with_jobs jobs in
+                  let ctx =
+                    match estimator with
+                    | Some config -> Context.with_estimator config ctx
+                    | None -> ctx
+                  in
                   let buffer = Buffer.create 4096 in
                   let ppf = Format.formatter_of_buffer buffer in
                   (Registry.find id).Registry.run ppf ctx;
@@ -99,7 +130,7 @@ let run_ids list seed jobs verify trace metrics ids =
           (fun d ->
             prerr_endline ("  " ^ Vqc_diag.Diagnostic.to_string d))
           diagnostics;
-        1)
+        1))
 
 let list_term =
   let doc = "List the available experiment ids with their titles and exit." in
@@ -119,6 +150,27 @@ let jobs_term =
      results and output are identical for every value."
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+let precision_term =
+  let doc =
+    "Switch the Monte-Carlo experiments to adaptive estimation targeting \
+     this 95% confidence-interval half-width (e.g. 1e-3).  Tables gain \
+     CI columns; output stays byte-identical across --jobs.  0 disables \
+     early stopping (the full budget runs, still with CI columns)."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "precision" ] ~docv:"HALF_WIDTH" ~doc)
+
+let max_trials_term =
+  let doc =
+    "Trial budget for adaptive estimation (default 1000000, the paper's \
+     fixed-mode cost).  Implies adaptive mode, at the default 1e-3 \
+     precision unless --precision is also given."
+  in
+  Arg.(
+    value & opt (some int) None & info [ "max-trials" ] ~docv:"TRIALS" ~doc)
 
 let verify_term =
   let doc =
@@ -153,7 +205,7 @@ let cmd =
   Cmd.v
     (Cmd.info "vqc-experiments" ~doc)
     Term.(
-      const run_ids $ list_term $ seed_term $ jobs_term $ verify_term
-      $ trace_term $ metrics_term $ ids_term)
+      const run_ids $ list_term $ seed_term $ jobs_term $ precision_term
+      $ max_trials_term $ verify_term $ trace_term $ metrics_term $ ids_term)
 
 let () = exit (Cmd.eval' cmd)

@@ -2,6 +2,7 @@ module Compiler = Vqc_mapper.Compiler
 module Allocation = Vqc_mapper.Allocation
 module Reliability = Vqc_sim.Reliability
 module Monte_carlo = Vqc_sim.Monte_carlo
+module Estimator = Vqc_sim.Estimator
 module Rng = Vqc_rng.Rng
 module Catalog = Vqc_workloads.Catalog
 
@@ -614,26 +615,105 @@ let mc_crosscheck ppf (ctx : Context.t) =
     [ ("bv-16", Compiler.baseline); ("bv-16", Compiler.vqa_vqm);
       ("alu", Compiler.vqa_vqm); ("GHZ-3", Compiler.baseline) ]
   in
+  let compile (name, policy) =
+    let device = if name = "GHZ-3" then ctx.q5 else ctx.q20 in
+    let circuit = (Catalog.find name).Catalog.circuit in
+    let compiled = Compiler.compile device policy circuit in
+    let analytic = Reliability.pst device compiled.Compiler.physical in
+    (name, policy, device, compiled.Compiler.physical, analytic)
+  in
+  match ctx.Context.estimator with
+  | None ->
+    (* the historical fixed-trials table — byte-exact (golden-pinned) *)
+    let rows =
+      List.map
+        (fun case ->
+          let name, policy, device, physical, analytic = compile case in
+          let mc =
+            Monte_carlo.run ~jobs:ctx.jobs ~trials:200_000
+              (Rng.make (ctx.seed + 99))
+              device physical
+          in
+          [
+            name;
+            policy.Compiler.label;
+            Report.float_cell analytic;
+            Printf.sprintf "%.4f +/- %.4f" mc.Monte_carlo.pst
+              mc.Monte_carlo.ci95;
+          ])
+        cases
+    in
+    Report.table ppf
+      ~header:[ "workload"; "policy"; "analytic PST"; "monte-carlo PST" ]
+      rows
+  | Some config ->
+    let rows =
+      List.map
+        (fun case ->
+          let name, policy, device, physical, analytic = compile case in
+          let e =
+            Monte_carlo.run_adaptive ~jobs:ctx.jobs ~config
+              (Rng.make (ctx.seed + 99))
+              device physical
+          in
+          [
+            name;
+            policy.Compiler.label;
+            Report.float_cell analytic;
+            Report.estimate_cell e;
+            Printf.sprintf "%d/%d" e.Estimator.trials e.Estimator.budget;
+            Estimator.stop_reason_to_string e.Estimator.stop;
+          ])
+        cases
+    in
+    Report.table ppf
+      ~header:
+        [ "workload"; "policy"; "analytic PST"; "adaptive MC [95% CI]";
+          "trials/budget"; "stop" ]
+      rows
+
+let estimator_study ppf (ctx : Context.t) =
+  Report.section ppf
+    "Adaptive estimator: trials-to-target per workload (VQA+VQM on Q20)";
+  let config =
+    match ctx.Context.estimator with
+    | Some config -> config
+    | None -> Estimator.default_config
+  in
   let rows =
     List.map
-      (fun (name, policy) ->
-        let device = if name = "GHZ-3" then ctx.q5 else ctx.q20 in
-        let circuit = (Catalog.find name).Catalog.circuit in
-        let compiled = Compiler.compile device policy circuit in
-        let analytic = Reliability.pst device compiled.Compiler.physical in
-        let mc =
-          Monte_carlo.run ~jobs:ctx.jobs ~trials:200_000
-            (Rng.make (ctx.seed + 99))
-            device compiled.Compiler.physical
+      (fun (entry : Catalog.entry) ->
+        let compiled =
+          Compiler.compile ctx.q20 Compiler.vqa_vqm entry.Catalog.circuit
+        in
+        let physical = compiled.Compiler.physical in
+        let analytic = Reliability.pst ctx.q20 physical in
+        let e =
+          Monte_carlo.run_adaptive ~jobs:ctx.jobs ~config
+            (Rng.make (ctx.seed + 101))
+            ctx.q20 physical
         in
         [
-          name;
-          policy.Compiler.label;
+          entry.Catalog.name;
           Report.float_cell analytic;
-          Printf.sprintf "%.4f +/- %.4f" mc.Monte_carlo.pst mc.Monte_carlo.ci95;
+          Report.estimate_cell e;
+          Printf.sprintf "%.1e" (Estimator.half_width e);
+          string_of_int e.Estimator.trials;
+          string_of_int (Estimator.trials_saved e);
+          Estimator.stop_reason_to_string e.Estimator.stop;
         ])
-      cases
+      Catalog.table1
   in
   Report.table ppf
-    ~header:[ "workload"; "policy"; "analytic PST"; "monte-carlo PST" ]
-    rows
+    ~header:
+      [ "workload"; "analytic PST"; "adaptive PST [95% CI]"; "half-width";
+        "trials"; "saved"; "stop" ]
+    rows;
+  Format.fprintf ppf
+    "@[<v>[the stopping rule halts at the first %d-trial boundary where \
+     the tighter of the Wilson / empirical-Bernstein half-widths reaches \
+     the precision target (%.0e at %.0f%%); 'saved' is what adaptivity \
+     kept of the %d-trial fixed budget]@,@]"
+    config.Estimator.batch_trials config.Estimator.precision
+    (100.0 *. config.Estimator.confidence)
+    config.Estimator.max_trials

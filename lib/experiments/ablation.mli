@@ -15,7 +15,16 @@ val activity_window : Format.formatter -> Context.t -> unit
 
 val mc_crosscheck : Format.formatter -> Context.t -> unit
 (** Monte-Carlo PST vs the exact analytic value for representative
-    benchmark x policy combinations. *)
+    benchmark x policy combinations.  With an estimator configured on
+    the context the fixed 200k-trial column becomes an adaptive estimate
+    with its confidence interval, trial spend, and stop reason. *)
+
+val estimator_study : Format.formatter -> Context.t -> unit
+(** What adaptive estimation buys on the Table-1 workloads (VQA+VQM):
+    per workload, the analytic PST, the adaptive estimate with its
+    tighter 95%-family interval, the trials consumed, and the share of
+    the fixed budget saved.  Uses the context's estimator configuration,
+    or {!Vqc_sim.Estimator.default_config} when none is set. *)
 
 val extended_suite : Format.formatter -> Context.t -> unit
 (** Extension beyond the paper: the policies applied to the extended

@@ -6,6 +6,7 @@ module Calibration_model = Vqc_device.Calibration_model
 type t = {
   seed : int;
   jobs : int;
+  estimator : Vqc_sim.Estimator.config option;
   history : History.t;
   samples : History.t;
   q20 : Device.t;
@@ -21,11 +22,17 @@ let make ~seed =
     Device.make ~name:"ibm-q20-tokyo" ~coupling (History.average history)
   in
   let q5 = Calibration_model.ibm_q5 ~seed:((10 * seed) + 1) in
-  { seed; jobs; history; samples; q20; q5 }
+  { seed; jobs; estimator = None; history; samples; q20; q5 }
 
 let with_jobs jobs ctx =
   if jobs < 1 then invalid_arg "Context.with_jobs: need at least one job";
   { ctx with jobs }
+
+let with_estimator config ctx =
+  (match Vqc_sim.Estimator.validate_config config with
+  | Ok _ -> ()
+  | Error message -> invalid_arg ("Context.with_estimator: " ^ message));
+  { ctx with estimator = Some config }
 
 (* Seed 2 is the default "representative chip": among the first 30 seeds
    its policy response is closest to the paper's headline ratios (the

@@ -9,6 +9,11 @@ type t = {
   seed : int;
   jobs : int;
       (** worker-domain budget for the engine-backed sweeps (default 1) *)
+  estimator : Vqc_sim.Estimator.config option;
+      (** when set, Monte-Carlo experiments estimate adaptively
+          ({!Vqc_sim.Monte_carlo.run_adaptive}) and print CI columns;
+          [None] (the default) keeps the fixed-trials paths and their
+          byte-exact historical output *)
   history : Vqc_device.History.t;
       (** 52 daily Q20 calibrations (Figures 8 and 14) *)
   samples : Vqc_device.History.t;
@@ -27,6 +32,14 @@ val with_jobs : int -> t -> t
     the seed sweep, the Monte-Carlo crosscheck); it never affects
     results, only wall-clock time.
     @raise Invalid_argument if [jobs < 1]. *)
+
+val with_estimator : Vqc_sim.Estimator.config -> t -> t
+(** [with_estimator config ctx] switches the Monte-Carlo experiments to
+    adaptive estimation with [config] (the [--precision]/[--max-trials]
+    CLI flags build it).  Output gains CI columns but remains
+    byte-identical across [jobs] values.
+    @raise Invalid_argument if {!Vqc_sim.Estimator.validate_config}
+    rejects [config]. *)
 
 val default : t
 (** [make ~seed:2]. *)

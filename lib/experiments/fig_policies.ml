@@ -1,10 +1,32 @@
 module Compiler = Vqc_mapper.Compiler
 module Reliability = Vqc_sim.Reliability
+module Monte_carlo = Vqc_sim.Monte_carlo
 module Catalog = Vqc_workloads.Catalog
+module Rng = Vqc_rng.Rng
 
 let pst_under device policy circuit =
   let compiled = Compiler.compile device policy circuit in
   Reliability.pst device compiled.Compiler.physical
+
+(* Optional CI column: with an estimator configured on the context, each
+   figure's headline policy gains an adaptive Monte-Carlo estimate with
+   its confidence interval.  With no estimator (the default) the cell
+   list is returned untouched, keeping the golden-pinned output. *)
+let with_ci_cell (ctx : Context.t) ~seed_offset physical cells =
+  match ctx.Context.estimator with
+  | None -> cells
+  | Some config ->
+    let e =
+      Monte_carlo.run_adaptive ~jobs:ctx.jobs ~config
+        (Rng.make (ctx.seed + seed_offset))
+        ctx.q20 physical
+    in
+    cells @ [ Report.estimate_cell e ]
+
+let with_ci_header (ctx : Context.t) ~label header =
+  match ctx.Context.estimator with
+  | None -> header
+  | Some _ -> header @ [ label ]
 
 let fig12 ppf (ctx : Context.t) =
   Report.section ppf
@@ -13,7 +35,10 @@ let fig12 ppf (ctx : Context.t) =
     List.map
       (fun (entry : Catalog.entry) ->
         let base = pst_under ctx.q20 Compiler.baseline entry.circuit in
-        let vqm = pst_under ctx.q20 Compiler.vqm entry.circuit in
+        let vqm_compiled =
+          Compiler.compile ctx.q20 Compiler.vqm entry.circuit
+        in
+        let vqm = Reliability.pst ctx.q20 vqm_compiled.Compiler.physical in
         let limited = pst_under ctx.q20 (Compiler.vqm_limited 4) entry.circuit in
         [
           entry.name;
@@ -21,12 +46,14 @@ let fig12 ppf (ctx : Context.t) =
           Report.ratio_cell 1.0;
           Report.ratio_cell (vqm /. base);
           Report.ratio_cell (limited /. base);
-        ])
+        ]
+        |> with_ci_cell ctx ~seed_offset:103 vqm_compiled.Compiler.physical)
       Catalog.table1
   in
   Report.table ppf
     ~header:
-      [ "workload"; "baseline PST"; "baseline"; "VQM"; "VQM (MAH=4)" ]
+      (with_ci_header ctx ~label:"VQM MC [95% CI]"
+         [ "workload"; "baseline PST"; "baseline"; "VQM"; "VQM (MAH=4)" ])
     rows;
   Format.fprintf ppf
     "@[<v>[paper: every benchmark improves; qft and rnd-LD improve most; \
@@ -42,7 +69,10 @@ let fig13 ppf (ctx : Context.t) =
       (fun (entry : Catalog.entry) ->
         let base = pst_under ctx.q20 Compiler.baseline entry.circuit in
         let vqm = pst_under ctx.q20 Compiler.vqm entry.circuit in
-        let best = pst_under ctx.q20 Compiler.vqa_vqm entry.circuit in
+        let best_compiled =
+          Compiler.compile ctx.q20 Compiler.vqa_vqm entry.circuit
+        in
+        let best = Reliability.pst ctx.q20 best_compiled.Compiler.physical in
         let native_psts =
           List.map
             (fun seed ->
@@ -60,11 +90,15 @@ let fig13 ppf (ctx : Context.t) =
           Report.ratio_cell 1.0;
           Report.ratio_cell (vqm /. base);
           Report.ratio_cell (best /. base);
-        ])
+        ]
+        |> with_ci_cell ctx ~seed_offset:104 best_compiled.Compiler.physical)
       Catalog.table1
   in
   Report.table ppf
-    ~header:[ "workload"; "IBM native (avg [min-max])"; "baseline"; "VQM"; "VQA+VQM" ]
+    ~header:
+      (with_ci_header ctx ~label:"VQA+VQM MC [95% CI]"
+         [ "workload"; "IBM native (avg [min-max])"; "baseline"; "VQM";
+           "VQA+VQM" ])
     rows;
   Format.fprintf ppf
     "@[<v>[paper: baseline ~4x over native; VQA+VQM up to 1.7x over \

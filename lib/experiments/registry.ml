@@ -22,6 +22,7 @@ let all =
     { id = "abl-coherence"; title = "ablation: coherence weighting"; run = Ablation.coherence_sweep };
     { id = "abl-window"; title = "ablation: VQA activity window"; run = Ablation.activity_window };
     { id = "abl-mc"; title = "ablation: Monte-Carlo crosscheck"; run = Ablation.mc_crosscheck };
+    { id = "est-adaptive"; title = "adaptive estimator: trials-to-target study"; run = Ablation.estimator_study };
     { id = "abl-model"; title = "ablation: calibration-model shape"; run = Ablation.calibration_model };
     { id = "ext-suite"; title = "extension: extended benchmark suite"; run = Ablation.extended_suite };
     { id = "ext-readout"; title = "extension: readout-aware VQA"; run = Ablation.readout_extension };

@@ -70,6 +70,18 @@ let series ppf ?(width = 50) ~title points =
 
 let float_cell ?(digits = 4) v = Printf.sprintf "%.*f" digits v
 
+let estimate_cell (e : Vqc_sim.Estimator.estimate) =
+  let module E = Vqc_sim.Estimator in
+  (* show the interval the stopping rule listened to — the tighter one *)
+  let interval =
+    if
+      E.interval_half_width e.E.wilson <= E.interval_half_width e.E.bernstein
+    then e.E.wilson
+    else e.E.bernstein
+  in
+  Printf.sprintf "%.4f [%.4f, %.4f]" e.E.mean interval.E.lower
+    interval.E.upper
+
 let ratio_cell v = Printf.sprintf "%.2fx" v
 
 let section ppf title =

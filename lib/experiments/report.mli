@@ -31,6 +31,10 @@ val series :
 val float_cell : ?digits:int -> float -> string
 (** Fixed-point rendering ([digits] defaults to 4). *)
 
+val estimate_cell : Vqc_sim.Estimator.estimate -> string
+(** Adaptive-estimate rendering — the mean and the tighter of the two
+    confidence intervals, e.g. ["0.0970 [0.0961, 0.0980]"]. *)
+
 val ratio_cell : float -> string
 (** ["1.43x"]-style rendering. *)
 

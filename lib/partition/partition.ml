@@ -10,6 +10,8 @@ type copy = {
   region : int list;
   pst : float;
   duration_ns : float;
+  device : Device.t;
+  physical : Circuit.t;
 }
 
 type comparison = {
@@ -34,6 +36,8 @@ let evaluate_on_region ?(policy = Compiler.vqa_vqm) device region circuit =
     region = List.sort compare region;
     pst = breakdown.Reliability.pst;
     duration_ns = breakdown.Reliability.duration_ns;
+    device = sub;
+    physical = compiled.Compiler.physical;
   }
 
 (* Candidate splits: grow a connected [size]-region from every seed, then

@@ -13,6 +13,12 @@ type copy = {
   region : int list;  (** device qubits hosting this copy, sorted *)
   pst : float;
   duration_ns : float;
+  device : Vqc_device.Device.t;
+      (** the region restricted to a standalone device — the machine this
+          copy's physical circuit addresses *)
+  physical : Circuit.t;
+      (** the compiled plan, in [device]'s qubit numbering — what a
+          trial-level simulator ({!Vqc_sim.Monte_carlo}) replays *)
 }
 
 type comparison = {

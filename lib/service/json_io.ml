@@ -232,3 +232,8 @@ let int_value = function
   | Json.Float f when Float.is_integer f && Float.abs f <= 2. ** 52. ->
     Some (int_of_float f)
   | _ -> None
+
+let float_value = function
+  | Json.Float f -> Some f
+  | Json.Int i -> Some (float_of_int i)
+  | _ -> None

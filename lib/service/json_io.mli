@@ -24,3 +24,6 @@ val member : string -> Vqc_obs.Json.t -> Vqc_obs.Json.t option
 val string_value : Vqc_obs.Json.t -> string option
 val int_value : Vqc_obs.Json.t -> int option
 (** [int_value] accepts [Int] and integral [Float]s. *)
+
+val float_value : Vqc_obs.Json.t -> float option
+(** [float_value] accepts any JSON number. *)

@@ -4,11 +4,18 @@ type source =
   | Workload of string
   | Inline_qasm of string
 
+type estimate_request = {
+  precision : float;
+  max_trials : int;
+  mc_seed : int;
+}
+
 type request = {
   id : Json.t option;
   source : source;
   policy : string;
   epoch : int option;
+  estimate : estimate_request option;
 }
 
 type control =
@@ -68,7 +75,56 @@ let parse_request json =
       (match epoch with
       | Error _ as e -> e
       | Ok epoch ->
-        Ok (Compile { id = Json_io.member "id" json; source; policy; epoch })))
+        (* any of precision / max_trials / mc_seed asks for an adaptive
+           PST estimate of the compiled plan alongside it *)
+        let number ~name ~conv ~default =
+          match Json_io.member name json with
+          | None -> Ok (None, default)
+          | Some value -> begin
+            match conv value with
+            | Some v -> Ok (Some v, v)
+            | None -> Error (Printf.sprintf "%S must be a number" name)
+          end
+        in
+        let defaults = Vqc_sim.Estimator.default_config in
+        let estimate =
+          match
+            number ~name:"precision" ~conv:Json_io.float_value
+              ~default:defaults.Vqc_sim.Estimator.precision
+          with
+          | Error _ as e -> e
+          | Ok (precision_given, precision) -> begin
+            match
+              number ~name:"max_trials" ~conv:Json_io.int_value
+                ~default:defaults.Vqc_sim.Estimator.max_trials
+            with
+            | Error _ as e -> e
+            | Ok (max_trials_given, max_trials) -> begin
+              match
+                number ~name:"mc_seed" ~conv:Json_io.int_value ~default:1
+              with
+              | Error _ as e -> e
+              | Ok (mc_seed_given, mc_seed) ->
+                if
+                  precision_given = None && max_trials_given = None
+                  && mc_seed_given = None
+                then Ok None
+                else Ok (Some { precision; max_trials; mc_seed })
+            end
+          end
+        in
+        (match estimate with
+        | Error _ as e -> e
+        | Ok estimate ->
+          Ok
+            (Compile
+               {
+                 id = Json_io.member "id" json;
+                 source;
+                 policy;
+                 epoch;
+                 estimate;
+               }))))
 
 let parse_line line =
   match Json_io.parse line with
@@ -111,6 +167,7 @@ type response =
   | Compiled of {
       id : Json.t option;
       plan : plan;
+      estimate : Vqc_sim.Estimator.estimate option;
       cache : cache_status;
       seconds : float;
     }
@@ -135,10 +192,34 @@ type response =
 
 let id_field = function None -> [] | Some id -> [ ("id", id) ]
 
+(* The adaptive estimate is a deterministic function of the request
+   (seeded), so it renders top-level, not under "nd". *)
+let estimate_field estimate =
+  match estimate with
+  | None -> []
+  | Some e ->
+    let module E = Vqc_sim.Estimator in
+    let interval i = Json.List [ Json.Float i.E.lower; Json.Float i.E.upper ] in
+    [
+      ( "estimate",
+        Json.Obj
+          [
+            ("trials", Json.Int e.E.trials);
+            ("successes", Json.Int e.E.successes);
+            ("pst", Json.Float e.E.mean);
+            ("wilson", interval e.E.wilson);
+            ("bernstein", interval e.E.bernstein);
+            ("half_width", Json.Float (E.half_width e));
+            ("stop", Json.String (E.stop_reason_to_string e.E.stop));
+            ("budget", Json.Int e.E.budget);
+            ("saved", Json.Int (E.trials_saved e));
+          ] );
+    ]
+
 let render response =
   let fields =
     match response with
-    | Compiled { id; plan; cache; seconds } ->
+    | Compiled { id; plan; estimate; cache; seconds } ->
       id_field id
       @ [
           ("status", Json.String "ok");
@@ -154,6 +235,9 @@ let render response =
           ("log_reliability", Json.Float plan.log_reliability);
           ("circuit", Json.String plan.circuit_fp);
           ("calibration", Json.String plan.calibration_fp);
+        ]
+      @ estimate_field estimate
+      @ [
           (* run-varying facts — cache temperature and latency — are
              quarantined exactly like Trace's nd section *)
           ( "nd",

@@ -6,6 +6,9 @@ module Compiler = Vqc_mapper.Compiler
 module Layout = Vqc_mapper.Layout
 module Router = Vqc_mapper.Router
 module Pool = Vqc_engine.Pool
+module Estimator = Vqc_sim.Estimator
+module Monte_carlo = Vqc_sim.Monte_carlo
+module Rng = Vqc_rng.Rng
 module Metrics = Vqc_obs.Metrics
 module Trace = Vqc_obs.Trace
 module Json = Vqc_obs.Json
@@ -33,6 +36,7 @@ let requests_total = Metrics.counter "service.requests"
 let batches_total = Metrics.counter "service.batches"
 let failures_total = Metrics.counter "service.failures"
 let compiles_total = Metrics.counter "service.compiles"
+let estimates_total = Metrics.counter "service.estimates"
 let verify_checks_total = Metrics.counter "service.verify.checks"
 let verify_ok_total = Metrics.counter "service.verify.ok"
 let verify_rejected_total = Metrics.counter "service.verify.rejected"
@@ -90,6 +94,13 @@ type prepared = {
   key : Plan_cache.key;
 }
 
+let estimator_config (er : Protocol.estimate_request) =
+  {
+    Estimator.default_config with
+    Estimator.precision = er.Protocol.precision;
+    max_trials = er.Protocol.max_trials;
+  }
+
 let resolve t (request : Protocol.request) =
   let circuit =
     match request.Protocol.source with
@@ -134,21 +145,31 @@ let resolve t (request : Protocol.request) =
                "circuit needs %d qubits but device %s has %d"
                (Circuit.num_qubits circuit) (Device.name device)
                (Device.num_qubits device))
-        else
-          Ok
-            {
-              request;
-              circuit;
-              device;
-              entry;
-              epoch_index;
-              key =
-                {
-                  Plan_cache.circuit_fp = Fingerprint.circuit circuit;
-                  calibration_fp = Epoch.fingerprint t.epoch epoch_index;
-                  policy = entry.Policies.label;
-                };
-            }
+        else begin
+          let estimate_ok =
+            match request.Protocol.estimate with
+            | None -> Ok ()
+            | Some er ->
+              Result.map ignore (Estimator.validate_config (estimator_config er))
+          in
+          match estimate_ok with
+          | Error message -> Error ("estimate: " ^ message)
+          | Ok () ->
+            Ok
+              {
+                request;
+                circuit;
+                device;
+                entry;
+                epoch_index;
+                key =
+                  {
+                    Plan_cache.circuit_fp = Fingerprint.circuit circuit;
+                    calibration_fp = Epoch.fingerprint t.epoch epoch_index;
+                    policy = entry.Policies.label;
+                  };
+              }
+        end
       end
   end
 
@@ -234,6 +255,21 @@ let verify_cached prepared payload =
       Diagnostic.errorf Diagnostic.code_malformed_plan
         "cached plan carries a malformed layout: %s" message;
     ]
+
+(* The estimate rider runs serially in admission order on the response
+   path (the pool parallelizes the trial chunks *inside* each run), so
+   responses stay a deterministic function of the request stream.  The
+   RNG is seeded per request — cache hits estimate too: the cache stores
+   plans, not estimates, because the seed is the requester's to vary. *)
+let run_estimate t prepared payload =
+  match prepared.request.Protocol.estimate with
+  | None -> None
+  | Some er ->
+    Metrics.incr estimates_total;
+    Some
+      (Monte_carlo.run_adaptive ~pool:t.pool ~config:(estimator_config er)
+         (Rng.make er.Protocol.mc_seed)
+         prepared.device payload.physical)
 
 (* One resolved request, carrying what the lookup phase learned. *)
 type slot =
@@ -369,6 +405,7 @@ let flush t =
                 {
                   id = prepared.request.Protocol.id;
                   plan = payload.plan;
+                  estimate = run_estimate t prepared payload;
                   cache = Protocol.Hit;
                   seconds;
                 }
@@ -393,6 +430,7 @@ let flush t =
                   {
                     id = prepared.request.Protocol.id;
                     plan = payload.plan;
+                    estimate = run_estimate t prepared payload;
                     cache = Protocol.Hit;
                     seconds;
                   }
@@ -405,6 +443,7 @@ let flush t =
                 {
                   id = prepared.request.Protocol.id;
                   plan = payload.plan;
+                  estimate = run_estimate t prepared payload;
                   cache = cache_status;
                   seconds;
                 }

@@ -1,0 +1,296 @@
+module Rng = Vqc_rng.Rng
+module Pool = Vqc_engine.Pool
+module Metrics = Vqc_obs.Metrics
+module Trace = Vqc_obs.Trace
+module Span = Vqc_obs.Span
+module Json = Vqc_obs.Json
+
+(* Telemetry is per run and per round, never per trial: the counters
+   record what adaptivity bought (trials consumed vs the budget), and
+   every recorded value is a deterministic function of the inputs. *)
+let runs_total = Metrics.counter "sim.estimator.runs"
+let rounds_total = Metrics.counter "sim.estimator.rounds"
+let trials_total = Metrics.counter "sim.estimator.trials"
+let trials_saved_total = Metrics.counter "sim.estimator.trials_saved"
+let stop_precision_total = Metrics.counter "sim.estimator.stop_precision"
+let stop_budget_total = Metrics.counter "sim.estimator.stop_budget"
+
+(* Must match the fixed path's chunking ([Monte_carlo] imports it): with
+   identical chunk boundaries and per-chunk RNG streams, an adaptive run
+   that never stops early reproduces the fixed run bit for bit. *)
+let chunk_trials = 4096
+
+type config = {
+  confidence : float;
+  precision : float;
+  max_trials : int;
+  batch_trials : int;
+}
+
+let default_config =
+  {
+    confidence = 0.95;
+    precision = 1e-3;
+    max_trials = 1_000_000;
+    batch_trials = 16 * chunk_trials;
+  }
+
+let validate_config config =
+  if
+    not
+      (Float.is_finite config.confidence
+      && config.confidence > 0.0
+      && config.confidence < 1.0)
+  then
+    Error
+      (Printf.sprintf "confidence must lie strictly inside (0, 1) (got %g)"
+         config.confidence)
+  else if not (Float.is_finite config.precision && config.precision >= 0.0)
+  then
+    Error
+      (Printf.sprintf
+         "precision must be a finite non-negative half-width (got %g)"
+         config.precision)
+  else if config.max_trials < 1 then
+    Error
+      (Printf.sprintf "max-trials must be a positive integer (got %d)"
+         config.max_trials)
+  else if
+    config.batch_trials < chunk_trials
+    || config.batch_trials mod chunk_trials <> 0
+  then
+    Error
+      (Printf.sprintf
+         "batch-trials must be a positive multiple of the %d-trial chunk \
+          (got %d)"
+         chunk_trials config.batch_trials)
+  else Ok config
+
+type interval = {
+  lower : float;
+  upper : float;
+}
+
+let interval_half_width i = (i.upper -. i.lower) /. 2.0
+
+type stop_reason =
+  | Precision_met
+  | Budget_exhausted
+
+let stop_reason_to_string = function
+  | Precision_met -> "precision"
+  | Budget_exhausted -> "budget"
+
+type estimate = {
+  trials : int;
+  successes : int;
+  mean : float;
+  wilson : interval;
+  bernstein : interval;
+  stop : stop_reason;
+  rounds : int;
+  budget : int;
+}
+
+let half_width e =
+  Float.min (interval_half_width e.wilson) (interval_half_width e.bernstein)
+
+let trials_saved e = e.budget - e.trials
+
+(* ---- the bounds ----------------------------------------------------- *)
+
+(* Acklam's rational approximation to the inverse normal CDF (relative
+   error < 1.15e-9 over (0, 1)) — pure float arithmetic, so the critical
+   value is a deterministic function of the confidence level. *)
+let inverse_normal_cdf p =
+  let a1 = -3.969683028665376e+01 and a2 = 2.209460984245205e+02 in
+  let a3 = -2.759285104469687e+02 and a4 = 1.383577518672690e+02 in
+  let a5 = -3.066479806614716e+01 and a6 = 2.506628277459239e+00 in
+  let b1 = -5.447609879822406e+01 and b2 = 1.615858368580409e+02 in
+  let b3 = -1.556989798598866e+02 and b4 = 6.680131188771972e+01 in
+  let b5 = -1.328068155288572e+01 in
+  let c1 = -7.784894002430293e-03 and c2 = -3.223964580411365e-01 in
+  let c3 = -2.400758277161838e+00 and c4 = -2.549732539343734e+00 in
+  let c5 = 4.374664141464968e+00 and c6 = 2.938163982698783e+00 in
+  let d1 = 7.784695709041462e-03 and d2 = 3.224671290700398e-01 in
+  let d3 = 2.445134137142996e+00 and d4 = 3.754408661907416e+00 in
+  let p_low = 0.02425 in
+  let tail q =
+    (((((c1 *. q) +. c2) *. q +. c3) *. q +. c4) *. q +. c5) *. q +. c6
+  in
+  let tail_denominator q =
+    ((((d1 *. q) +. d2) *. q +. d3) *. q +. d4) *. q +. 1.0
+  in
+  if p < p_low then
+    let q = sqrt (-2.0 *. log p) in
+    tail q /. tail_denominator q
+  else if p <= 1.0 -. p_low then
+    let q = p -. 0.5 in
+    let r = q *. q in
+    (((((a1 *. r) +. a2) *. r +. a3) *. r +. a4) *. r +. a5) *. r +. a6
+    |> fun numerator ->
+    numerator *. q
+    /. ((((((b1 *. r) +. b2) *. r +. b3) *. r +. b4) *. r +. b5) *. r +. 1.0)
+  else
+    let q = sqrt (-2.0 *. log (1.0 -. p)) in
+    -.(tail q /. tail_denominator q)
+
+let z_score ~confidence =
+  if not (confidence > 0.0 && confidence < 1.0) then
+    invalid_arg "Estimator.z_score: confidence must lie inside (0, 1)";
+  inverse_normal_cdf (1.0 -. ((1.0 -. confidence) /. 2.0))
+
+let check_counts ~who ~trials ~successes =
+  if trials < 1 then
+    invalid_arg (Printf.sprintf "Estimator.%s: need at least one trial" who);
+  if successes < 0 || successes > trials then
+    invalid_arg
+      (Printf.sprintf "Estimator.%s: successes outside [0, trials]" who)
+
+let clamp01 x = Float.max 0.0 (Float.min 1.0 x)
+
+let wilson_interval ~confidence ~trials ~successes =
+  check_counts ~who:"wilson_interval" ~trials ~successes;
+  let z = z_score ~confidence in
+  let n = float_of_int trials in
+  let p = float_of_int successes /. n in
+  let z2 = z *. z in
+  let denominator = 1.0 +. (z2 /. n) in
+  let center = (p +. (z2 /. (2.0 *. n))) /. denominator in
+  let spread =
+    z
+    *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n)))
+    /. denominator
+  in
+  { lower = clamp01 (center -. spread); upper = clamp01 (center +. spread) }
+
+(* Maurer & Pontil's empirical Bernstein bound for [0, 1]-valued samples:
+   each tail deviates by more than
+     sqrt(2 V ln(2/d) / n) + 7 ln(2/d) / (3 (n - 1))
+   with probability at most d, where V is the unbiased sample variance.
+   A two-sided interval at confidence c spends (1 - c)/2 per tail. *)
+let bernstein_interval ~confidence ~trials ~successes =
+  check_counts ~who:"bernstein_interval" ~trials ~successes;
+  if not (confidence > 0.0 && confidence < 1.0) then
+    invalid_arg "Estimator.bernstein_interval: confidence outside (0, 1)";
+  if trials < 2 then { lower = 0.0; upper = 1.0 }
+  else begin
+    let n = float_of_int trials in
+    let p = float_of_int successes /. n in
+    let variance = p *. (1.0 -. p) *. n /. (n -. 1.0) in
+    let log_term = log (4.0 /. (1.0 -. confidence)) in
+    let spread =
+      sqrt (2.0 *. variance *. log_term /. n)
+      +. (7.0 *. log_term /. (3.0 *. (n -. 1.0)))
+    in
+    { lower = clamp01 (p -. spread); upper = clamp01 (p +. spread) }
+  end
+
+(* ---- the sequential run --------------------------------------------- *)
+
+let run ?(config = default_config) ?(jobs = 1) ?pool rng kernel =
+  (match validate_config config with
+  | Ok _ -> ()
+  | Error message -> invalid_arg ("Estimator.run: " ^ message));
+  if jobs < 1 then invalid_arg "Estimator.run: need at least one job";
+  Span.with_span ~source:"sim" "sim.estimator.run"
+    ~fields:
+      [
+        ("max_trials", Json.Int config.max_trials);
+        ("precision", Json.Float config.precision);
+      ]
+  @@ fun () ->
+  Metrics.incr runs_total;
+  (* Chunk indices are global across rounds: round r consumes the next
+     batch of the same trial stream the fixed path would, and each
+     chunk's RNG is split off here, in index order, on the calling
+     domain — workers never touch the parent generator. *)
+  let build_chunks ~first_chunk count =
+    let nchunks = ((count - 1) / chunk_trials) + 1 in
+    let rec build k acc =
+      if k >= nchunks then List.rev acc
+      else
+        let trials = min chunk_trials (count - (k * chunk_trials)) in
+        build (k + 1) ((first_chunk + k, trials, Rng.split rng) :: acc)
+    in
+    build 0 []
+  in
+  let run_round run_chunks ~trials ~successes ~rounds =
+    let count = min config.batch_trials (config.max_trials - trials) in
+    let chunks = build_chunks ~first_chunk:(trials / chunk_trials) count in
+    let batch_successes = run_chunks chunks in
+    (trials + count, successes + batch_successes, rounds + 1)
+  in
+  let finish ~trials ~successes ~rounds stop =
+    Metrics.add rounds_total rounds;
+    Metrics.add trials_total trials;
+    Metrics.add trials_saved_total (config.max_trials - trials);
+    Metrics.incr
+      (match stop with
+      | Precision_met -> stop_precision_total
+      | Budget_exhausted -> stop_budget_total);
+    {
+      trials;
+      successes;
+      mean = float_of_int successes /. float_of_int trials;
+      wilson =
+        wilson_interval ~confidence:config.confidence ~trials ~successes;
+      bernstein =
+        bernstein_interval ~confidence:config.confidence ~trials ~successes;
+      stop;
+      rounds;
+      budget = config.max_trials;
+    }
+  in
+  let rec loop run_chunks ~trials ~successes ~rounds =
+    let stop =
+      if trials = 0 then None
+      else begin
+        let wilson =
+          wilson_interval ~confidence:config.confidence ~trials ~successes
+        in
+        let bernstein =
+          bernstein_interval ~confidence:config.confidence ~trials ~successes
+        in
+        let width =
+          Float.min
+            (interval_half_width wilson)
+            (interval_half_width bernstein)
+        in
+        if Trace.enabled () then
+          Trace.emit ~source:"sim" ~event:"estimator_round"
+            [
+              ("round", Json.Int rounds);
+              ("trials", Json.Int trials);
+              ("successes", Json.Int successes);
+              ("half_width", Json.Float width);
+            ];
+        if config.precision > 0.0 && width <= config.precision then
+          Some Precision_met
+        else if trials >= config.max_trials then Some Budget_exhausted
+        else None
+      end
+    in
+    match stop with
+    | Some reason -> finish ~trials ~successes ~rounds reason
+    | None ->
+      let trials, successes, rounds =
+        run_round run_chunks ~trials ~successes ~rounds
+      in
+      loop run_chunks ~trials ~successes ~rounds
+  in
+  let start run_chunks = loop run_chunks ~trials:0 ~successes:0 ~rounds:0 in
+  let pooled pool chunks =
+    Pool.map_reduce pool
+      ~f:(fun _ (k, count, rng) -> kernel k rng count)
+      ~combine:( + ) ~init:0 chunks
+  in
+  match pool with
+  | Some pool -> start (pooled pool)
+  | None ->
+    if jobs = 1 then
+      start
+        (List.fold_left
+           (fun acc (k, count, rng) -> acc + kernel k rng count)
+           0)
+    else Pool.with_pool ~jobs (fun pool -> start (pooled pool))

@@ -1,0 +1,134 @@
+(** Adaptive confidence-bounded Monte-Carlo estimation.
+
+    The paper estimates every success probability by brute force — one
+    million trials per workload — even when the estimate has converged
+    after a fraction of them.  This estimator streams trial batches and
+    stops as soon as a target confidence-interval half-width is reached,
+    so cheap questions (a PST near 0 or 1, a loose precision target) cost
+    thousands of trials instead of a million, while the reported interval
+    makes the residual uncertainty explicit.
+
+    Two interval constructions are maintained side by side and the
+    tighter one gates the stopping rule:
+
+    - the {e Wilson score} interval — the normal-approximation interval
+      recentred so it behaves at the extremes ([p] near 0 or 1, where
+      the naive Wald interval collapses to zero width);
+    - the {e empirical Bernstein} bound (Maurer–Pontil) — a
+      distribution-free concentration bound driven by the observed
+      sample variance, valid non-asymptotically.
+
+    {b Determinism contract.}  Trials are consumed in fixed-size chunks
+    of {!chunk_trials}; chunk [k] always covers trials
+    [k * chunk_trials .. (k+1) * chunk_trials - 1] and draws from the
+    [k]-th {!Vqc_rng.Rng.split} child of the caller's generator, derived
+    in index order on the calling domain.  The stopping rule is
+    evaluated only at round boundaries (every [batch_trials] trials, a
+    multiple of the chunk size), and per-chunk results are combined in
+    chunk order — so the estimate is {e bit-identical} for any [jobs]
+    count, for re-runs with the same seed, and (with [precision = 0])
+    to the fixed-trials path over the same chunk layout. *)
+
+type config = {
+  confidence : float;  (** two-sided coverage, in (0, 1); default 0.95 *)
+  precision : float;
+      (** target CI half-width; [0] disables early stopping (the full
+          [max_trials] budget always runs) *)
+  max_trials : int;  (** trial budget — the fixed-mode cost ceiling *)
+  batch_trials : int;
+      (** trials added per adaptive round, a positive multiple of
+          {!chunk_trials}; the stopping rule is evaluated only at these
+          boundaries *)
+}
+
+val default_config : config
+(** confidence 0.95, precision 1e-3, max_trials 1_000_000,
+    batch_trials 65_536 (16 chunks). *)
+
+val chunk_trials : int
+(** Trials per unit of parallel work (4096) — fixed, never derived from
+    the worker count, so chunk boundaries and their RNG streams are
+    identical whatever [jobs] is.  {!Monte_carlo} shares this constant. *)
+
+val validate_config : config -> (config, string) result
+(** [Ok config] for a usable configuration, [Error message] (fit for a
+    CLI) otherwise: confidence must lie strictly inside (0, 1),
+    precision must be finite and non-negative, max_trials positive, and
+    batch_trials a positive multiple of {!chunk_trials}. *)
+
+(** A two-sided confidence interval, clamped to [0, 1]. *)
+type interval = {
+  lower : float;
+  upper : float;
+}
+
+val interval_half_width : interval -> float
+
+type stop_reason =
+  | Precision_met  (** a bound's half-width reached [precision] *)
+  | Budget_exhausted  (** [max_trials] ran without convergence *)
+
+val stop_reason_to_string : stop_reason -> string
+(** ["precision"] / ["budget"] — the wire encoding [vqc-serve] uses. *)
+
+type estimate = {
+  trials : int;  (** trials actually consumed *)
+  successes : int;
+  mean : float;  (** successes / trials *)
+  wilson : interval;
+  bernstein : interval;
+  stop : stop_reason;
+  rounds : int;  (** stopping-rule evaluations that consumed trials *)
+  budget : int;  (** the [max_trials] the run was configured with *)
+}
+
+val half_width : estimate -> float
+(** Half-width of the tighter of the two intervals — the quantity the
+    stopping rule compares against [precision]. *)
+
+val trials_saved : estimate -> int
+(** [budget - trials]: what adaptivity saved over the fixed path. *)
+
+(** {1 The bounds themselves} *)
+
+val z_score : confidence:float -> float
+(** Two-sided normal critical value: [z_score ~confidence:0.95] is
+    ~1.95996.  @raise Invalid_argument outside (0, 1). *)
+
+val wilson_interval :
+  confidence:float -> trials:int -> successes:int -> interval
+(** Wilson score interval for [successes] out of [trials] Bernoulli
+    draws.  @raise Invalid_argument if [trials < 1] or [successes]
+    outside [0, trials]. *)
+
+val bernstein_interval :
+  confidence:float -> trials:int -> successes:int -> interval
+(** Empirical-Bernstein (Maurer–Pontil) interval.  With one trial the
+    sample variance is undefined and the interval is the vacuous
+    [0, 1].  @raise Invalid_argument if [trials < 1] or [successes]
+    outside [0, trials]. *)
+
+(** {1 Running} *)
+
+val run :
+  ?config:config ->
+  ?jobs:int ->
+  ?pool:Vqc_engine.Pool.t ->
+  Vqc_rng.Rng.t ->
+  (int -> Vqc_rng.Rng.t -> int -> int) ->
+  estimate
+(** [run rng kernel] estimates the success probability of the Bernoulli
+    process behind [kernel].  [kernel chunk_index chunk_rng count] must
+    return the number of successes among [count] fresh trials drawn from
+    [chunk_rng] — a pure function of its arguments (it runs on worker
+    domains; see {!Monte_carlo.run_adaptive} for the canonical kernel).
+
+    [jobs] (default 1) fans each round's chunks across that many
+    domains; passing [pool] reuses an existing pool instead (and [jobs]
+    is ignored).  Results are bit-identical in all cases.
+
+    Telemetry lands under [sim.estimator.*]: runs, rounds, trials,
+    trials_saved, and stop_precision / stop_budget counters.
+
+    @raise Invalid_argument on an invalid [config] ({!validate_config})
+    or [jobs < 1]. *)

@@ -26,17 +26,14 @@ type result = {
 
 (* Trials per unit of parallel work.  Fixed (never derived from the
    worker count) so the chunk boundaries — and therefore each chunk's
-   split-off RNG stream — are identical whatever [jobs] is. *)
-let chunk_trials = 4096
+   split-off RNG stream — are identical whatever [jobs] is.  Shared with
+   the adaptive estimator, whose rounds are multiples of it: an adaptive
+   run walks the same chunk layout the fixed path would. *)
+let chunk_trials = Estimator.chunk_trials
 
-let run ?(coherence = true)
+let failure_probabilities ?(coherence = true)
     ?(coherence_scale = Reliability.default_coherence_scale)
-    ?(crosstalk_strength = 0.0) ?(jobs = 1) ~trials rng device circuit =
-  if trials <= 0 then invalid_arg "Monte_carlo.run: need positive trials";
-  if jobs < 1 then invalid_arg "Monte_carlo.run: need at least one job";
-  Span.with_span ~source:"sim" "sim.mc.run"
-    ~fields:[ ("trials", Json.Int trials) ]
-  @@ fun () ->
+    ?(crosstalk_strength = 0.0) device circuit =
   let schedule = lazy (Schedule.build device circuit) in
   (* Per-operation failure probabilities, fixed across trials.  The order
      of the events is irrelevant (a trial fails if ANY event fires), so
@@ -76,10 +73,51 @@ let run ?(coherence = true)
                (Lazy.force schedule) q)
         (Circuit.used_qubits circuit)
   in
-  let failure_probabilities =
-    Array.of_list (gate_failures @ coherence_failures)
-  in
+  Array.of_list (gate_failures @ coherence_failures)
+
+(* One chunk of Bernoulli trials against a fixed failure table — the
+   unit of work both the fixed and the adaptive path fan out.  [k] is
+   the chunk's global index (trace labelling only). *)
+let run_chunk failure_probabilities k rng count =
   let events = Array.length failure_probabilities in
+  let chunk_started = Unix.gettimeofday () in
+  let successes = ref 0 in
+  let draws = ref 0 in
+  for _ = 1 to count do
+    let rec error_free i =
+      i >= events
+      || (incr draws;
+          (not (Rng.bernoulli rng failure_probabilities.(i)))
+          && error_free (i + 1))
+    in
+    if error_free 0 then incr successes
+  done;
+  let seconds = Unix.gettimeofday () -. chunk_started in
+  Metrics.add draws_total !draws;
+  Metrics.add early_exits_total (count - !successes);
+  Metrics.observe chunk_seconds seconds;
+  if Trace.enabled () then
+    Trace.emit ~source:"sim" ~event:"mc_chunk"
+      ~nd:[ ("seconds", Json.Float seconds) ]
+      [
+        ("chunk", Json.Int k);
+        ("trials", Json.Int count);
+        ("successes", Json.Int !successes);
+        ("draws", Json.Int !draws);
+      ];
+  !successes
+
+let run ?coherence ?coherence_scale ?crosstalk_strength ?(jobs = 1) ~trials
+    rng device circuit =
+  if trials <= 0 then invalid_arg "Monte_carlo.run: need positive trials";
+  if jobs < 1 then invalid_arg "Monte_carlo.run: need at least one job";
+  Span.with_span ~source:"sim" "sim.mc.run"
+    ~fields:[ ("trials", Json.Int trials) ]
+  @@ fun () ->
+  let failure_probabilities =
+    failure_probabilities ?coherence ?coherence_scale ?crosstalk_strength
+      device circuit
+  in
   (* Chunked fan-out with per-chunk RNG streams: chunk k draws from the
      k-th [Rng.split] child of the caller's generator, derived here in
      index order on the calling domain.  Results are summed in chunk
@@ -98,49 +136,44 @@ let run ?(coherence = true)
   Metrics.incr runs_total;
   Metrics.add trials_total trials;
   Metrics.add chunks_total nchunks;
-  let run_chunk k (count, rng) =
-    let chunk_started = Unix.gettimeofday () in
-    let successes = ref 0 in
-    let draws = ref 0 in
-    for _ = 1 to count do
-      let rec error_free i =
-        i >= events
-        || (incr draws;
-            (not (Rng.bernoulli rng failure_probabilities.(i)))
-            && error_free (i + 1))
-      in
-      if error_free 0 then incr successes
-    done;
-    let seconds = Unix.gettimeofday () -. chunk_started in
-    Metrics.add draws_total !draws;
-    Metrics.add early_exits_total (count - !successes);
-    Metrics.observe chunk_seconds seconds;
-    if Trace.enabled () then
-      Trace.emit ~source:"sim" ~event:"mc_chunk"
-        ~nd:[ ("seconds", Json.Float seconds) ]
-        [
-          ("chunk", Json.Int k);
-          ("trials", Json.Int count);
-          ("successes", Json.Int !successes);
-          ("draws", Json.Int !draws);
-        ];
-    !successes
-  in
+  (* A worker with no chunk to run would sit idle for the whole fan-out:
+     clamp the pool to the chunk count (pure resource economics — the
+     chunk layout, RNG streams and result are unchanged). *)
+  let jobs = min jobs nchunks in
   let successes =
     if jobs = 1 then
       List.fold_left
-        (fun (k, acc) chunk -> (k + 1, acc + run_chunk k chunk))
+        (fun (k, acc) (count, rng) ->
+          (k + 1, acc + run_chunk failure_probabilities k rng count))
         (0, 0) chunks
       |> snd
     else
       Pool.with_pool ~jobs (fun pool ->
-          Pool.map_reduce pool ~f:run_chunk ~combine:( + ) ~init:0 chunks)
+          Pool.map_reduce pool
+            ~f:(fun k (count, rng) ->
+              run_chunk failure_probabilities k rng count)
+            ~combine:( + ) ~init:0 chunks)
   in
   let pst = float_of_int successes /. float_of_int trials in
   let ci95 =
     1.96 *. sqrt (Float.max 0.0 (pst *. (1.0 -. pst)) /. float_of_int trials)
   in
   { trials; successes; pst; ci95 }
+
+let run_adaptive ?coherence ?coherence_scale ?crosstalk_strength ?jobs ?pool
+    ?config rng device circuit =
+  let failure_probabilities =
+    failure_probabilities ?coherence ?coherence_scale ?crosstalk_strength
+      device circuit
+  in
+  Metrics.incr runs_total;
+  let estimate =
+    Estimator.run ?config ?jobs ?pool rng (run_chunk failure_probabilities)
+  in
+  Metrics.add trials_total estimate.Estimator.trials;
+  Metrics.add chunks_total
+    (((estimate.Estimator.trials - 1) / chunk_trials) + 1);
+  estimate
 
 let pp_result ppf r =
   Format.fprintf ppf "PST = %.4f +/- %.4f  (%d/%d trials)" r.pst r.ci95

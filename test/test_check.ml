@@ -495,6 +495,7 @@ let request workload =
     source = Protocol.Workload workload;
     policy = "vqa+vqm";
     epoch = None;
+    estimate = None;
   }
 
 let test_service_verify_serves_and_rehits () =

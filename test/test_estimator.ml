@@ -1,0 +1,383 @@
+(* Tests for the adaptive confidence-bounded estimator: interval
+   mathematics (unit + qcheck properties), the determinism contract of
+   run/run_adaptive, and a differential oracle against the exact
+   density-matrix simulator on every small catalog circuit under every
+   serving policy. *)
+
+module Estimator = Vqc_sim.Estimator
+module Monte_carlo = Vqc_sim.Monte_carlo
+module Pool = Vqc_engine.Pool
+module Rng = Vqc_rng.Rng
+module Catalog = Vqc_workloads.Catalog
+module Compiler = Vqc_mapper.Compiler
+module Policies = Vqc_service.Policies
+module Context = Vqc_experiments.Context
+module Sv = Vqc_statevector.Statevector
+module Density = Vqc_statevector.Density
+module Trajectory = Vqc_statevector.Trajectory
+
+let check = Alcotest.(check bool)
+
+let raises_invalid f =
+  try
+    ignore (f ());
+    false
+  with Invalid_argument _ -> true
+
+(* ---- z_score -------------------------------------------------------- *)
+
+let test_z_score_values () =
+  let near expected got = Float.abs (expected -. got) < 2e-4 in
+  check "95%" true (near 1.9600 (Estimator.z_score ~confidence:0.95));
+  check "99%" true (near 2.5758 (Estimator.z_score ~confidence:0.99));
+  check "90%" true (near 1.6449 (Estimator.z_score ~confidence:0.90));
+  check "monotone in confidence" true
+    (Estimator.z_score ~confidence:0.999 > Estimator.z_score ~confidence:0.95);
+  check "rejects 0" true
+    (raises_invalid (fun () -> Estimator.z_score ~confidence:0.0));
+  check "rejects 1" true
+    (raises_invalid (fun () -> Estimator.z_score ~confidence:1.0))
+
+(* ---- interval constructions ----------------------------------------- *)
+
+let test_interval_edge_cases () =
+  (* Wilson stays informative at the extremes where Wald collapses *)
+  let w = Estimator.wilson_interval ~confidence:0.95 ~trials:1000 ~successes:0 in
+  check "wilson zero successes: nonzero width" true
+    (Estimator.interval_half_width w > 0.0);
+  check "wilson zero successes: lower near 0" true (w.Estimator.lower < 1e-6);
+  let b = Estimator.bernstein_interval ~confidence:0.95 ~trials:1 ~successes:1 in
+  check "bernstein single trial vacuous" true
+    (b.Estimator.lower = 0.0 && b.Estimator.upper = 1.0);
+  check "rejects trials < 1" true
+    (raises_invalid (fun () ->
+         Estimator.wilson_interval ~confidence:0.95 ~trials:0 ~successes:0));
+  check "rejects successes > trials" true
+    (raises_invalid (fun () ->
+         Estimator.bernstein_interval ~confidence:0.95 ~trials:5 ~successes:6))
+
+(* qcheck: both intervals are well-formed, clamped to [0, 1], contain
+   the empirical mean, and tighten monotonically as the sample grows at
+   a fixed success rate. *)
+
+let trials_successes_gen =
+  QCheck2.Gen.(
+    bind (int_range 1 100_000) (fun trials ->
+        map (fun successes -> (trials, successes)) (int_range 0 trials)))
+
+let prop_intervals_contain_mean =
+  QCheck2.Test.make ~name:"intervals contain the empirical mean" ~count:500
+    trials_successes_gen (fun (trials, successes) ->
+      let mean = float_of_int successes /. float_of_int trials in
+      let inside i = i.Estimator.lower <= mean && mean <= i.Estimator.upper in
+      let clamped i =
+        i.Estimator.lower >= 0.0
+        && i.Estimator.upper <= 1.0
+        && i.Estimator.lower <= i.Estimator.upper
+      in
+      let w = Estimator.wilson_interval ~confidence:0.95 ~trials ~successes in
+      let b =
+        Estimator.bernstein_interval ~confidence:0.95 ~trials ~successes
+      in
+      inside w && inside b && clamped w && clamped b)
+
+let prop_half_widths_shrink =
+  QCheck2.Test.make ~name:"half-widths shrink as the sample grows"
+    ~count:200
+    QCheck2.Gen.(
+      pair (int_range 8 4096) (int_range 1 7) |> map (fun ((t, k) : int * int) -> (t, k)))
+    (fun (trials, num) ->
+      (* keep the success rate fixed while scaling the sample 10x *)
+      let successes = trials * num / 8 in
+      let big_trials = trials * 10 in
+      let big_successes = successes * 10 in
+      let hw f = Estimator.interval_half_width f in
+      let w = Estimator.wilson_interval ~confidence:0.95 ~trials ~successes in
+      let w10 =
+        Estimator.wilson_interval ~confidence:0.95 ~trials:big_trials
+          ~successes:big_successes
+      in
+      let b =
+        Estimator.bernstein_interval ~confidence:0.95 ~trials ~successes
+      in
+      let b10 =
+        Estimator.bernstein_interval ~confidence:0.95 ~trials:big_trials
+          ~successes:big_successes
+      in
+      hw w10 < hw w +. 1e-12 && hw b10 < hw b +. 1e-12)
+
+(* coverage: over seeded Bernoulli replications the 95% Wilson interval
+   must cover the true parameter at roughly its nominal rate (binomial
+   fluctuation allowed; the seed is fixed so the test is deterministic) *)
+let test_wilson_coverage () =
+  let p = 0.3 in
+  let trials = 800 in
+  let replications = 300 in
+  let rng = Rng.make 42 in
+  let covered = ref 0 in
+  for _ = 1 to replications do
+    let successes = ref 0 in
+    for _ = 1 to trials do
+      if Rng.float rng < p then incr successes
+    done;
+    let w =
+      Estimator.wilson_interval ~confidence:0.95 ~trials ~successes:!successes
+    in
+    if w.Estimator.lower <= p && p <= w.Estimator.upper then incr covered
+  done;
+  let rate = float_of_int !covered /. float_of_int replications in
+  check "coverage near nominal" true (rate >= 0.90 && rate <= 1.0)
+
+(* ---- config validation ---------------------------------------------- *)
+
+let test_validate_config () =
+  let base = Estimator.default_config in
+  let bad mutate =
+    match Estimator.validate_config (mutate base) with
+    | Ok _ -> false
+    | Error _ -> true
+  in
+  check "default ok" true
+    (match Estimator.validate_config base with Ok _ -> true | Error _ -> false);
+  check "confidence 0" true (bad (fun c -> { c with Estimator.confidence = 0.0 }));
+  check "confidence 1" true (bad (fun c -> { c with Estimator.confidence = 1.0 }));
+  check "negative precision" true
+    (bad (fun c -> { c with Estimator.precision = -1e-3 }));
+  check "nan precision" true
+    (bad (fun c -> { c with Estimator.precision = Float.nan }));
+  check "zero budget" true (bad (fun c -> { c with Estimator.max_trials = 0 }));
+  check "batch not a chunk multiple" true
+    (bad (fun c -> { c with Estimator.batch_trials = Estimator.chunk_trials + 1 }));
+  check "zero batch" true (bad (fun c -> { c with Estimator.batch_trials = 0 }))
+
+(* ---- Estimator.run on a synthetic kernel ---------------------------- *)
+
+(* a deterministic Bernoulli kernel with known success rate *)
+let bernoulli_kernel p _chunk rng count =
+  let successes = ref 0 in
+  for _ = 1 to count do
+    if Rng.float rng < p then incr successes
+  done;
+  !successes
+
+let small_config =
+  {
+    Estimator.default_config with
+    Estimator.precision = 5e-3;
+    max_trials = 262_144;
+    batch_trials = 16_384;
+  }
+
+let test_run_identical_across_jobs () =
+  let run jobs =
+    Estimator.run ~config:small_config ~jobs (Rng.make 7) (bernoulli_kernel 0.2)
+  in
+  let reference = run 1 in
+  check "jobs 4" true (run 4 = reference);
+  check "jobs 8" true (run 8 = reference);
+  check "re-run" true (run 1 = reference);
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let pooled =
+        Estimator.run ~config:small_config ~pool (Rng.make 7)
+          (bernoulli_kernel 0.2)
+      in
+      check "explicit pool" true (pooled = reference))
+
+let test_run_stop_reasons () =
+  let loose =
+    Estimator.run
+      ~config:{ small_config with Estimator.precision = 0.05 }
+      (Rng.make 3) (bernoulli_kernel 0.5)
+  in
+  check "loose precision stops early" true
+    (loose.Estimator.stop = Estimator.Precision_met
+    && loose.Estimator.trials < loose.Estimator.budget);
+  check "estimate near truth" true (Float.abs (loose.Estimator.mean -. 0.5) < 0.05);
+  let starved =
+    Estimator.run
+      ~config:
+        {
+          small_config with
+          Estimator.precision = 1e-6;
+          max_trials = 32_768;
+          batch_trials = 16_384;
+        }
+      (Rng.make 3) (bernoulli_kernel 0.5)
+  in
+  check "tiny budget exhausts" true
+    (starved.Estimator.stop = Estimator.Budget_exhausted
+    && starved.Estimator.trials = 32_768);
+  check "saved = budget - trials" true
+    (Estimator.trials_saved starved = 0
+    && Estimator.trials_saved loose
+       = loose.Estimator.budget - loose.Estimator.trials)
+
+let test_run_precision_met_is_tight () =
+  let e = Estimator.run ~config:small_config (Rng.make 11) (bernoulli_kernel 0.1) in
+  check "stopped on precision" true (e.Estimator.stop = Estimator.Precision_met);
+  check "half-width at target" true
+    (Estimator.half_width e <= small_config.Estimator.precision);
+  check "mean consistent" true
+    (e.Estimator.mean
+    = float_of_int e.Estimator.successes /. float_of_int e.Estimator.trials)
+
+let test_run_rejects_bad_inputs () =
+  check "invalid config" true
+    (raises_invalid (fun () ->
+         Estimator.run
+           ~config:{ small_config with Estimator.max_trials = 0 }
+           (Rng.make 1) (bernoulli_kernel 0.5)));
+  check "jobs 0" true
+    (raises_invalid (fun () ->
+         Estimator.run ~config:small_config ~jobs:0 (Rng.make 1)
+           (bernoulli_kernel 0.5)))
+
+(* ---- run_adaptive: determinism + fixed-path equivalence ------------- *)
+
+let line_device () =
+  let c = Vqc_device.Calibration.create 3 in
+  for q = 0 to 2 do
+    Vqc_device.Calibration.set_qubit c q
+      {
+        Vqc_device.Calibration.t1_us = 80.0;
+        t2_us = 40.0;
+        error_1q = 0.002;
+        error_readout = 0.03;
+      }
+  done;
+  Vqc_device.Calibration.set_link_error c 0 1 0.02;
+  Vqc_device.Calibration.set_link_error c 1 2 0.05;
+  Vqc_device.Device.make ~name:"line3" ~coupling:[ (0, 1); (1, 2) ] c
+
+let ghz3 = Vqc_workloads.Ghz.circuit 3
+
+let test_adaptive_identical_across_jobs () =
+  let device = line_device () in
+  let config = { small_config with Estimator.precision = 2e-3 } in
+  let run jobs =
+    Monte_carlo.run_adaptive ~jobs ~config (Rng.make 5) device ghz3
+  in
+  let reference = run 1 in
+  check "jobs 4" true (run 4 = reference);
+  check "jobs 8" true (run 8 = reference);
+  check "re-run byte-identical" true (run 1 = reference)
+
+let test_adaptive_precision_zero_matches_fixed () =
+  let device = line_device () in
+  let trials = 65_536 in
+  let config =
+    {
+      Estimator.default_config with
+      Estimator.precision = 0.0;
+      max_trials = trials;
+      batch_trials = 16_384;
+    }
+  in
+  let adaptive = Monte_carlo.run_adaptive ~config (Rng.make 9) device ghz3 in
+  let fixed = Monte_carlo.run ~trials (Rng.make 9) device ghz3 in
+  Alcotest.(check int)
+    "identical successes over the identical chunk stream"
+    fixed.Monte_carlo.successes adaptive.Estimator.successes;
+  Alcotest.(check int) "full budget consumed" trials adaptive.Estimator.trials;
+  check "stopped on budget" true
+    (adaptive.Estimator.stop = Estimator.Budget_exhausted)
+
+(* ---- differential oracle: adaptive MC vs exact density matrix ------- *)
+
+(* Every catalog circuit small enough for the exact simulator, compiled
+   under every serving policy on the Q5 model: the adaptive trajectory
+   estimate of P(outcome in ideal support) must bracket the exact
+   channel-evolution value, with a non-vacuous interval. *)
+let test_density_oracle () =
+  let ctx = Context.default in
+  let device = ctx.Context.q5 in
+  let config =
+    {
+      Estimator.confidence = 0.999;
+      precision = 0.015;
+      max_trials = 32_768;
+      batch_trials = 8_192;
+    }
+  in
+  List.iter
+    (fun (entry : Catalog.entry) ->
+      let ideal = Sv.measurement_distribution entry.Catalog.circuit in
+      let support = List.map fst ideal in
+      List.iter
+        (fun (policy_entry : Policies.entry) ->
+          let compiled =
+            Compiler.compile device policy_entry.Policies.policy
+              entry.Catalog.circuit
+          in
+          let physical = compiled.Compiler.physical in
+          let exact =
+            Density.noisy_measurement_distribution device physical
+            |> List.filter (fun (outcome, _) -> List.mem outcome support)
+            |> List.fold_left (fun acc (_, p) -> acc +. p) 0.0
+          in
+          let kernel _chunk rng count =
+            let histogram = Trajectory.run ~trials:count rng device physical in
+            List.fold_left
+              (fun acc (outcome, hits) ->
+                if List.mem outcome support then acc + hits else acc)
+              0 histogram
+          in
+          let e = Estimator.run ~config (Rng.make 17) kernel in
+          let label =
+            Printf.sprintf "%s under %s" entry.Catalog.name
+              policy_entry.Policies.label
+          in
+          let tight i = Estimator.interval_half_width i < 0.5 in
+          check (label ^ ": interval not vacuous") true
+            (tight e.Estimator.wilson || tight e.Estimator.bernstein);
+          check (label ^ ": half-width under 2e-2") true
+            (Estimator.half_width e <= 0.02);
+          let covered (i : Estimator.interval) =
+            i.Estimator.lower <= exact && exact <= i.Estimator.upper
+          in
+          check
+            (Printf.sprintf "%s: exact %.4f inside [%0.4f, %0.4f]" label exact
+               e.Estimator.wilson.Estimator.lower
+               e.Estimator.wilson.Estimator.upper)
+            true
+            (covered e.Estimator.wilson || covered e.Estimator.bernstein))
+        Policies.all)
+    Catalog.q5_suite
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "vqc_estimator"
+    [
+      ( "bounds",
+        [
+          Alcotest.test_case "z-score" `Quick test_z_score_values;
+          Alcotest.test_case "interval edges" `Quick test_interval_edge_cases;
+          Alcotest.test_case "wilson coverage" `Slow test_wilson_coverage;
+        ]
+        @ qcheck [ prop_intervals_contain_mean; prop_half_widths_shrink ] );
+      ( "config",
+        [ Alcotest.test_case "validation" `Quick test_validate_config ] );
+      ( "run",
+        [
+          Alcotest.test_case "identical across jobs" `Slow
+            test_run_identical_across_jobs;
+          Alcotest.test_case "stop reasons" `Quick test_run_stop_reasons;
+          Alcotest.test_case "precision met is tight" `Quick
+            test_run_precision_met_is_tight;
+          Alcotest.test_case "rejects bad inputs" `Quick
+            test_run_rejects_bad_inputs;
+        ] );
+      ( "adaptive monte-carlo",
+        [
+          Alcotest.test_case "identical across jobs" `Slow
+            test_adaptive_identical_across_jobs;
+          Alcotest.test_case "precision 0 = fixed path" `Slow
+            test_adaptive_precision_zero_matches_fixed;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "exact density matrix brackets" `Slow
+            test_density_oracle;
+        ] );
+    ]

@@ -226,6 +226,7 @@ let request ?id ?policy ?epoch workload =
     source = Protocol.Workload workload;
     policy = Option.value policy ~default:Policies.default_label;
     epoch;
+    estimate = None;
   }
 
 let batch = [ "bv-3"; "bv-4"; "GHZ-3"; "TriSwap"; "bv-3" ]
@@ -333,7 +334,8 @@ let test_service_epoch_rotation_invalidates () =
       let deterministic plan =
         Protocol.render
           (Protocol.Compiled
-             { id = None; plan; cache = Protocol.Bypass; seconds = 0.0 })
+             { id = None; plan; estimate = None; cache = Protocol.Bypass;
+               seconds = 0.0 })
       in
       let first_cache, first_plan = compile_one () in
       check "cold" true (first_cache = Protocol.Miss);
@@ -370,6 +372,7 @@ let test_service_failures_are_responses () =
           source = Protocol.Inline_qasm "OPENQASM 2.0; qreg q[broken";
           policy = Policies.default_label;
           epoch = None;
+          estimate = None;
         };
       let responses = Service.flush service in
       check_int "five failures" 5 (List.length responses);

@@ -194,6 +194,69 @@ let test_paper_gate_vs_coherence_regime () =
   let ratio = gate_failure /. coherence_failure in
   check "gate errors dominate" true (ratio > 6.0 && ratio < 60.0)
 
+let test_coherence_survival_formula () =
+  (* pin the survival law: exp(-scale * idle_ns * (1/T1 + 1/T2)), with
+     T1/T2 converted from the calibration's microseconds *)
+  let d = device () in
+  let c = Circuit.of_gates 3 [ h 2; cx 0 1; cx 1 2 ] in
+  let s = Schedule.build d c in
+  let idle = Schedule.idle_ns s 2 in
+  check_float "known idle window" 220.0 idle;
+  let rate = (1.0 /. 80_000.0) +. (1.0 /. 40_000.0) in
+  check_float "explicit scale" (exp (-0.5 *. idle *. rate))
+    (Reliability.coherence_survival ~scale:0.5 d s 2);
+  check_float "default scale"
+    (exp (-.Reliability.default_coherence_scale *. idle *. rate))
+    (Reliability.coherence_survival d s 2);
+  (* an idle-free qubit survives with probability 1 at any scale *)
+  check_float "no idle, no decay" 1.0 (Reliability.coherence_survival ~scale:5.0 d s 0)
+
+let test_esp_decomposition_per_gate_class () =
+  (* every gate class lands in its own breakdown factor, barriers in
+     none, and the PST is exactly the product of the factors *)
+  let d = device () in
+  let c =
+    Circuit.of_gates 3
+      [ h 0; h 1; Gate.Barrier []; cx 0 1; Gate.Swap (1, 2); meas 0; meas 2 ]
+  in
+  let b = Reliability.analyze d c in
+  check_float "1q: two h gates" (0.999 ** 2.0) b.Reliability.one_qubit_success;
+  check_float "2q: cnot and swap-as-3-cnots" (0.98 *. (0.95 ** 3.0))
+    b.Reliability.two_qubit_success;
+  check_float "measure: two readouts" (0.97 ** 2.0) b.Reliability.measure_success;
+  let s = Schedule.build d c in
+  let survival =
+    List.fold_left
+      (fun acc q -> acc *. Reliability.coherence_survival d s q)
+      1.0 [ 0; 1; 2 ]
+  in
+  check_float "coherence factor is the per-qubit product" survival
+    b.Reliability.coherence_survival;
+  check_float "pst = product of the four factors"
+    (b.Reliability.one_qubit_success *. b.Reliability.two_qubit_success
+    *. b.Reliability.measure_success *. b.Reliability.coherence_survival)
+    b.Reliability.pst;
+  check_float "duration mirrors the schedule" s.Schedule.duration_ns
+    b.Reliability.duration_ns
+
+let test_schedule_measure_in_idle_accounting () =
+  (* measurement occupies its qubit like any gate: busy time includes
+     the readout window, and waiting for a late measurement is idle *)
+  let d = device () in
+  let times = Device.gate_times d in
+  let c = Circuit.of_gates 3 [ h 0; cx 0 1; meas 0; meas 1 ] in
+  let s = Schedule.build d c in
+  check_float "q0 busy = h + cx + measure"
+    (times.Device.t_1q_ns +. times.Device.t_2q_ns +. times.Device.t_measure_ns)
+    s.Schedule.busy_ns.(0);
+  check_float "q1 busy = cx + measure"
+    (times.Device.t_2q_ns +. times.Device.t_measure_ns)
+    s.Schedule.busy_ns.(1);
+  (* q1's exposure starts at the cx, so it accrues no idle; q0 idles
+     nowhere either — both chains are dense *)
+  check_float "q0 dense" 0.0 (Schedule.idle_ns s 0);
+  check_float "q1 dense" 0.0 (Schedule.idle_ns s 1)
+
 (* ---- Monte-Carlo --------------------------------------------------- *)
 
 let test_monte_carlo_matches_analytic () =
@@ -226,11 +289,30 @@ let test_monte_carlo_determinism () =
 
 let test_monte_carlo_rejects_bad_trials () =
   let d = device () in
-  check "raises" true
-    (try
-       let _ = Monte_carlo.run ~trials:0 (Rng.make 1) d (Circuit.create 3) in
-       false
-     with Invalid_argument _ -> true)
+  let raises f = try f () |> ignore; false with Invalid_argument _ -> true in
+  check "zero trials" true
+    (raises (fun () -> Monte_carlo.run ~trials:0 (Rng.make 1) d (Circuit.create 3)));
+  check "negative trials" true
+    (raises (fun () ->
+         Monte_carlo.run ~trials:(-5) (Rng.make 1) d (Circuit.create 3)));
+  check "zero jobs" true
+    (raises (fun () ->
+         Monte_carlo.run ~jobs:0 ~trials:100 (Rng.make 1) d (Circuit.create 3)))
+
+let test_monte_carlo_clamps_idle_jobs () =
+  (* more workers than chunks: the fan-out clamps to the chunk count, so
+     a 1-trial run under 8 jobs is exactly the 1-job run, and a
+     several-chunk run is identical whatever the worker surplus *)
+  let d = device () in
+  let c = Circuit.of_gates 3 [ h 0; cx 0 1; cx 1 2; meas 0; meas 1; meas 2 ] in
+  let one_trial jobs = Monte_carlo.run ~jobs ~trials:1 (Rng.make 13) d c in
+  Alcotest.(check int)
+    "trials 1, jobs 8 = jobs 1" (one_trial 1).Monte_carlo.successes
+    (one_trial 8).Monte_carlo.successes;
+  let chunked jobs = Monte_carlo.run ~jobs ~trials:10_000 (Rng.make 13) d c in
+  Alcotest.(check int)
+    "3 chunks, jobs 64 = jobs 1" (chunked 1).Monte_carlo.successes
+    (chunked 64).Monte_carlo.successes
 
 (* ---- Budget --------------------------------------------------------- *)
 
@@ -368,6 +450,8 @@ let () =
             test_alap_improves_reliability;
           Alcotest.test_case "wide circuit" `Quick
             test_schedule_rejects_wide_circuit;
+          Alcotest.test_case "measure in idle accounting" `Quick
+            test_schedule_measure_in_idle_accounting;
         ] );
       ( "reliability",
         [
@@ -378,6 +462,10 @@ let () =
           Alcotest.test_case "coherence scale" `Quick test_coherence_scale_monotone;
           Alcotest.test_case "paper regime" `Slow
             test_paper_gate_vs_coherence_regime;
+          Alcotest.test_case "coherence survival formula" `Quick
+            test_coherence_survival_formula;
+          Alcotest.test_case "esp decomposition" `Quick
+            test_esp_decomposition_per_gate_class;
         ] );
       ( "monte-carlo",
         [
@@ -386,6 +474,8 @@ let () =
           Alcotest.test_case "perfect device" `Quick test_monte_carlo_perfect_device;
           Alcotest.test_case "determinism" `Quick test_monte_carlo_determinism;
           Alcotest.test_case "bad trials" `Quick test_monte_carlo_rejects_bad_trials;
+          Alcotest.test_case "idle jobs clamped" `Quick
+            test_monte_carlo_clamps_idle_jobs;
         ] );
       ( "budget",
         [
