@@ -14,7 +14,19 @@
        [--precision 1e-3] [--max-trials 1000000] [--jobs N] \
        [--out BENCH_estimator.json]
    It exits non-zero if adaptive mode ever needs more trials than fixed
-   mode — the estimator's cost ceiling is part of its contract. *)
+   mode — the estimator's cost ceiling is part of its contract.
+
+   Two more modes target the hot kernels themselves:
+     dune exec bench/main.exe -- compile [--reference] [--repeat N]
+   times the full Table-1 catalog x policy matrix (plans/s), and
+     dune exec bench/main.exe -- kernels [--trials N] \
+       [--out BENCH_kernels.json] [--check bench/BASELINE_kernels.json]
+   measures the optimized paths against the retained reference paths
+   (memoized routing vs memo-free, flat Monte-Carlo kernel vs the
+   list-based oracle) and records the in-run speedup ratios.  With
+   --check it exits 1 when any measured speedup falls below 90% of the
+   committed baseline floor — ratios, not absolutes, so the gate holds
+   across machines of different speeds. *)
 
 module Registry = Vqc_experiments.Registry
 module Context = Vqc_experiments.Context
@@ -25,6 +37,7 @@ module Catalog = Vqc_workloads.Catalog
 module Rng = Vqc_rng.Rng
 module History = Vqc_device.History
 module Topologies = Vqc_device.Topologies
+module Router = Vqc_mapper.Router
 module Service = Vqc_service.Service
 module Epoch = Vqc_service.Epoch
 module Protocol = Vqc_service.Protocol
@@ -374,9 +387,324 @@ let run_estimator_bench args =
       else 0
   end
 
+(* ---- Hot-path kernels: compile and simulate throughput ------------- *)
+
+let wall_clock f =
+  let started = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. started)
+
+let matrix_policies () = List.map (fun e -> e.Policies.policy) Policies.all
+
+(* One full pass over the Table-1 catalog under every service policy —
+   the workload `bench compile` and `bench kernels` both time.  [memo]
+   selects the optimized pipeline (layer memo + pruned SABRE + cached
+   cost models) or the retained reference pipeline; both emit
+   byte-identical plans (test/test_mapper_equiv.ml holds them to it). *)
+let compile_matrix ~memo device policies =
+  List.iter
+    (fun (entry : Catalog.entry) ->
+      List.iter
+        (fun policy ->
+          ignore (Compiler.compile ~memo device policy entry.Catalog.circuit))
+        policies)
+    Catalog.table1
+
+let run_compile_bench args =
+  let reference = ref false in
+  let repeat = ref 1 in
+  let usage = "usage: bench compile [--reference] [--repeat N]" in
+  let rec parse = function
+    | [] -> Ok ()
+    | "--reference" :: rest ->
+      reference := true;
+      parse rest
+    | "--repeat" :: v :: rest -> begin
+      match int_of_string_opt v with
+      | Some n when n >= 1 ->
+        repeat := n;
+        parse rest
+      | _ -> Error (Printf.sprintf "--repeat: bad count %S" v)
+    end
+    | other :: _ -> Error (Printf.sprintf "unknown argument %S\n%s" other usage)
+  in
+  match parse args with
+  | Error message ->
+    prerr_endline ("bench compile: " ^ message);
+    2
+  | Ok () ->
+    let ctx = Context.default in
+    let device = ctx.Context.q20 in
+    let policies = matrix_policies () in
+    let plans = List.length Catalog.table1 * List.length policies in
+    let memo = not !reference in
+    Router.memo_clear ();
+    for pass = 1 to !repeat do
+      let (), seconds = wall_clock (fun () -> compile_matrix ~memo device policies) in
+      Printf.printf
+        "compile pass %d/%d (%s): %d plans in %.2fs  (%.2f plans/s)\n%!" pass
+        !repeat
+        (if memo then "optimized" else "reference")
+        plans seconds
+        (float_of_int plans /. seconds)
+    done;
+    0
+
+(* Repeat a deterministic run until at least [min_seconds] of wall time
+   has accumulated, so fast configurations are not timed off a single
+   sub-millisecond sample. *)
+let sustained_rate ~units ~min_seconds run =
+  run ();
+  (* warm-up: table construction, allocation, code paths *)
+  let started = Unix.gettimeofday () in
+  let repetitions = ref 0 in
+  let elapsed = ref 0.0 in
+  while !repetitions < 1 || !elapsed < min_seconds do
+    run ();
+    incr repetitions;
+    elapsed := Unix.gettimeofday () -. started
+  done;
+  float_of_int (units * !repetitions) /. !elapsed
+
+type mc_row = {
+  mc_engine : string;
+  mc_jobs : int;
+  trials_per_s : float;
+}
+
+(* Minimal number extraction for the committed baseline file.  The file
+   is flat, ours, and checked in — a full JSON parser (Mini_json lives
+   in the test tree) would be overkill for three keyed floats. *)
+let baseline_number text key =
+  let needle = "\"" ^ key ^ "\"" in
+  let needle_length = String.length needle in
+  let length = String.length text in
+  let rec find i =
+    if i + needle_length > length then None
+    else if String.sub text i needle_length = needle then
+      Some (i + needle_length)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let i = ref start in
+    while
+      !i < length
+      &&
+      match text.[!i] with
+      | ':' | ' ' | '\t' | '\n' | '\r' -> true
+      | _ -> false
+    do
+      incr i
+    done;
+    let number_start = !i in
+    while
+      !i < length
+      &&
+      match text.[!i] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr i
+    done;
+    if !i = number_start then None
+    else float_of_string_opt (String.sub text number_start (!i - number_start))
+
+(* The >10% regression rule: a measured speedup may drift with machine
+   load, but dropping below 90% of the committed floor means the
+   optimized path lost real ground on the reference path running in the
+   same process on the same hardware. *)
+let check_against_baseline ~file measured =
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error message ->
+    Printf.eprintf "bench kernels: cannot read baseline %s: %s\n" file message;
+    Some 2
+  | text ->
+    let failures =
+      List.filter_map
+        (fun (key, value) ->
+          match baseline_number text key with
+          | None ->
+            Some (Printf.sprintf "baseline %s lacks a %S number" file key)
+          | Some floor ->
+            if value < floor *. 0.9 then
+              Some
+                (Printf.sprintf
+                   "%s regressed: measured %.2fx < 90%% of committed floor \
+                    %.2fx"
+                   key value floor)
+            else None)
+        measured
+    in
+    if failures = [] then None
+    else begin
+      List.iter (Printf.eprintf "bench kernels: REGRESSION %s\n") failures;
+      Some 1
+    end
+
+let run_kernels_bench args =
+  let trials = ref 400_000 in
+  let out = ref "BENCH_kernels.json" in
+  let check = ref None in
+  let usage =
+    "usage: bench kernels [--trials N] [--out FILE] [--check BASELINE]"
+  in
+  let rec parse = function
+    | [] -> Ok ()
+    | "--trials" :: v :: rest -> begin
+      match int_of_string_opt v with
+      | Some n when n >= 1 ->
+        trials := n;
+        parse rest
+      | _ -> Error (Printf.sprintf "--trials: bad count %S" v)
+    end
+    | "--out" :: v :: rest ->
+      out := v;
+      parse rest
+    | "--check" :: v :: rest ->
+      check := Some v;
+      parse rest
+    | other :: _ -> Error (Printf.sprintf "unknown argument %S\n%s" other usage)
+  in
+  match parse args with
+  | Error message ->
+    prerr_endline ("bench kernels: " ^ message);
+    2
+  | Ok () ->
+    let ctx = Context.default in
+    let device = ctx.Context.q20 in
+    let policies = matrix_policies () in
+    let plans = List.length Catalog.table1 * List.length policies in
+    let plans_f = float_of_int plans in
+    Printf.printf "Kernel bench: %d plans (Table-1 x %d policies) on Q20\n\n%!"
+      plans (List.length policies);
+    (* compile: reference (memo-free) vs optimized, cold and warm memo *)
+    Router.memo_clear ();
+    let (), reference_seconds =
+      wall_clock (fun () -> compile_matrix ~memo:false device policies)
+    in
+    Router.memo_clear ();
+    let (), cold_seconds =
+      wall_clock (fun () -> compile_matrix ~memo:true device policies)
+    in
+    let (), warm_seconds =
+      wall_clock (fun () -> compile_matrix ~memo:true device policies)
+    in
+    let reference_rate = plans_f /. reference_seconds in
+    let cold_rate = plans_f /. cold_seconds in
+    let warm_rate = plans_f /. warm_seconds in
+    let cold_speedup = reference_seconds /. cold_seconds in
+    let warm_speedup = reference_seconds /. warm_seconds in
+    Printf.printf "compile reference: %6.2f plans/s  (%.2fs)\n" reference_rate
+      reference_seconds;
+    Printf.printf "compile cold memo: %6.2f plans/s  (%.2fs)  %.2fx\n"
+      cold_rate cold_seconds cold_speedup;
+    Printf.printf "compile warm memo: %6.2f plans/s  (%.2fs)  %.2fx\n\n%!"
+      warm_rate warm_seconds warm_speedup;
+    (* simulate: flat Bigarray kernel vs the list-based oracle *)
+    let circuit = (Catalog.find "bv-16").Catalog.circuit in
+    let compiled = Compiler.compile device Compiler.vqa_vqm circuit in
+    let physical = compiled.Compiler.physical in
+    let measure ~engine ~jobs =
+      sustained_rate ~units:!trials ~min_seconds:0.5 (fun () ->
+          ignore
+            (Monte_carlo.run ~engine ~jobs ~trials:!trials (Rng.make 1) device
+               physical))
+    in
+    let mc_rows =
+      List.concat_map
+        (fun jobs ->
+          [
+            {
+              mc_engine = "flat";
+              mc_jobs = jobs;
+              trials_per_s = measure ~engine:Monte_carlo.Flat ~jobs;
+            };
+            {
+              mc_engine = "reference";
+              mc_jobs = jobs;
+              trials_per_s = measure ~engine:Monte_carlo.Reference ~jobs;
+            };
+          ])
+        [ 1; 4 ]
+    in
+    let rate ~engine ~jobs =
+      (List.find (fun r -> r.mc_engine = engine && r.mc_jobs = jobs) mc_rows)
+        .trials_per_s
+    in
+    let mc_speedup jobs =
+      rate ~engine:"flat" ~jobs /. rate ~engine:"reference" ~jobs
+    in
+    List.iter
+      (fun row ->
+        Printf.printf "mc %-9s jobs=%d: %12.0f trials/s\n" row.mc_engine
+          row.mc_jobs row.trials_per_s)
+      mc_rows;
+    Printf.printf "mc flat speedup: %.2fx (jobs=1), %.2fx (jobs=4)\n\n%!"
+      (mc_speedup 1) (mc_speedup 4);
+    let json =
+      Json.Obj
+        [
+          ("bench", Json.String "kernels");
+          ( "compile",
+            Json.Obj
+              [
+                ("catalog", Json.String "table1");
+                ("policies", Json.Int (List.length policies));
+                ("plans", Json.Int plans);
+                ("reference_plans_per_s", Json.Float reference_rate);
+                ("cold_plans_per_s", Json.Float cold_rate);
+                ("warm_plans_per_s", Json.Float warm_rate);
+                ("compile_cold_speedup", Json.Float cold_speedup);
+                ("compile_warm_speedup", Json.Float warm_speedup);
+              ] );
+          ( "monte_carlo",
+            Json.Obj
+              [
+                ("workload", Json.String "bv-16");
+                ("trials", Json.Int !trials);
+                ( "rows",
+                  Json.List
+                    (List.map
+                       (fun row ->
+                         Json.Obj
+                           [
+                             ("engine", Json.String row.mc_engine);
+                             ("jobs", Json.Int row.mc_jobs);
+                             ("trials_per_s", Json.Float row.trials_per_s);
+                           ])
+                       mc_rows) );
+                ("mc_flat_speedup", Json.Float (mc_speedup 1));
+                ("mc_flat_speedup_jobs4", Json.Float (mc_speedup 4));
+              ] );
+        ]
+    in
+    Out_channel.with_open_text !out (fun channel ->
+        Out_channel.output_string channel (Json.to_string json);
+        Out_channel.output_char channel '\n');
+    Printf.printf "wrote %s\n%!" !out;
+    (match !check with
+    | None -> 0
+    | Some file -> (
+      match
+        check_against_baseline ~file
+          [
+            ("compile_cold_speedup", cold_speedup);
+            ("compile_warm_speedup", warm_speedup);
+            ("mc_flat_speedup", mc_speedup 1);
+          ]
+      with
+      | None ->
+        Printf.printf "baseline check against %s: ok\n" file;
+        0
+      | Some code -> code))
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "estimator" :: rest -> exit (run_estimator_bench rest)
+  | _ :: "compile" :: rest -> exit (run_compile_bench rest)
+  | _ :: "kernels" :: rest -> exit (run_kernels_bench rest)
   | argv ->
     let skip_perf = List.mem "--no-perf" argv in
     regenerate_artifacts ();

@@ -148,7 +148,7 @@ let log_gate_reliability device circuit =
       | Gate.Barrier _ -> acc)
     0.0 (Circuit.gates circuit)
 
-let compile ?max_expansions device policy circuit =
+let compile ?max_expansions ?(memo = true) device policy circuit =
   if policy.allocations = [] then
     invalid_arg "Compiler.compile: policy has no allocation";
   if policy.routings = [] then
@@ -156,18 +156,18 @@ let compile ?max_expansions device policy circuit =
   Span.with_span ~source:"mapper" "mapper.compile"
     ~fields:[ ("policy", Json.String policy.label) ]
   @@ fun () ->
+  (* [memo:false] is the reference pipeline for differential tests and
+     benchmarks: fresh cost tables, no layer memo, no candidate pruning.
+     Both pipelines produce byte-identical plans. *)
+  let cost_for model = if memo then Cost.cached device model else Cost.make device model in
   let route_with layout routing =
     match routing with
     | Astar_route { cost_model; max_additional_hops; bridges } ->
-      let cost = Cost.make device cost_model in
-      Router.route ?max_additional_hops ?max_expansions ~bridges cost layout
-        circuit
-    | Greedy_route cost_model ->
-      let cost = Cost.make device cost_model in
-      Router.route_greedy cost layout circuit
+      Router.route ?max_additional_hops ?max_expansions ~bridges ~memo
+        (cost_for cost_model) layout circuit
+    | Greedy_route cost_model -> Router.route_greedy (cost_for cost_model) layout circuit
     | Sabre_route cost_model ->
-      let cost = Cost.make device cost_model in
-      Sabre.route cost layout circuit
+      Sabre.route ~prune:memo (cost_for cost_model) layout circuit
   in
   let routing_label = function
     | Astar_route { cost_model = Cost.Hops; _ } -> "astar-hops"

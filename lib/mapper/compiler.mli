@@ -79,10 +79,22 @@ type compiled = {
 }
 
 val compile :
-  ?max_expansions:int -> Vqc_device.Device.t -> policy -> Circuit.t -> compiled
+  ?max_expansions:int ->
+  ?memo:bool ->
+  Vqc_device.Device.t ->
+  policy ->
+  Circuit.t ->
+  compiled
 (** @raise Invalid_argument if the program is wider than the device.
     When a plan check is installed ({!set_plan_check}), it runs on the
-    winning candidate before [compile] returns and may raise. *)
+    winning candidate before [compile] returns and may raise.
+
+    [memo] (default true) selects the fast pipeline: shared cost tables
+    ({!Cost.cached}), layer-search memoization ({!Router.route}'s [memo])
+    and SABRE candidate pruning.  [memo:false] recomputes everything from
+    scratch — the reference pipeline the differential tests and the
+    kernel benchmarks compare against.  Both produce byte-identical
+    plans. *)
 
 val set_plan_check :
   (Vqc_device.Device.t -> Circuit.t -> compiled -> unit) -> unit

@@ -5,6 +5,7 @@ module Paths = Vqc_graph.Paths
 type model = Hops | Reliability
 
 type t = {
+  id : int;  (* process-unique stamp; memo tables key on it *)
   model : model;
   device : Device.t;
   cost_graph : Graph.t;  (* weight = cost of one SWAP across the edge *)
@@ -12,6 +13,18 @@ type t = {
   adjacency : float array array;
   hop : int array array;
 }
+
+(* Stamps are only ever cache keys — the counter is mutex-protected so
+   concurrently-compiling domains never mint the same id. *)
+let stamp_lock = Mutex.create ()
+let next_stamp = ref 0
+
+let fresh_stamp () =
+  Mutex.lock stamp_lock;
+  let id = !next_stamp in
+  incr next_stamp;
+  Mutex.unlock stamp_lock;
+  id
 
 let execution_cost model device u v =
   match model with
@@ -61,8 +74,63 @@ let make ?(swap_bias = default_swap_bias) device model =
       end
     done
   done;
-  { model; device; cost_graph; dist; adjacency; hop }
+  { id = fresh_stamp (); model; device; cost_graph; dist; adjacency; hop }
 
+(* ---- construction cache --------------------------------------------
+
+   [make] runs Dijkstra from every node plus an O(n^2 * couplers)
+   adjacency sweep; a serving fleet recompiling against the same device
+   pays that once per (model, bias) instead of once per compile.  Keyed
+   on the *identity* of the device (calibrations are immutable once
+   built), most-recently-used first, bounded so epoch churn cannot leak
+   old devices.  Sharing one [t] across compiles also shares its [id] —
+   which is what lets the router's layer memo hit across policies. *)
+
+let cache_devices = 8
+let cache_lock = Mutex.create ()
+
+let cache : (Device.t * ((model * float) * t) list ref) list ref = ref []
+
+let cached ?(swap_bias = default_swap_bias) device model =
+  Mutex.lock cache_lock;
+  let entry =
+    match List.find_opt (fun (d, _) -> d == device) !cache with
+    | Some (_, models) ->
+      cache :=
+        (device, models) :: List.filter (fun (d, _) -> d != device) !cache;
+      models
+    | None ->
+      let models = ref [] in
+      let keep, _ =
+        List.fold_left
+          (fun (keep, n) slot ->
+            if n < cache_devices - 1 then (slot :: keep, n + 1) else (keep, n))
+          ([], 0) !cache
+      in
+      cache := (device, models) :: List.rev keep;
+      models
+  in
+  let found = List.assoc_opt (model, swap_bias) !entry in
+  Mutex.unlock cache_lock;
+  match found with
+  | Some t -> t
+  | None ->
+    (* build outside the lock: construction is the expensive part and
+       [make] is pure.  A concurrent miss may build twice; last write
+       wins and both results are equivalent. *)
+    let t = make ~swap_bias device model in
+    Mutex.lock cache_lock;
+    (if not (List.mem_assoc (model, swap_bias) !entry) then
+       entry := ((model, swap_bias), t) :: !entry);
+    let t =
+      match List.assoc_opt (model, swap_bias) !entry with
+      | Some t -> t
+      | None -> t
+    in
+    Mutex.unlock cache_lock;
+    t
+
+let id t = t.id
 let model t = t.model
 let device t = t.device
 
@@ -80,6 +148,19 @@ let cnot_cost t u v =
 let distance t p q = t.dist.(p).(q)
 let entangle_cost t p q = t.adjacency.(p).(q)
 let hops_to_adjacency t p q = max 0 (t.hop.(p).(q) - 1)
+
+let window_sums t pairs =
+  let n = Array.length t.dist in
+  let touched = Array.make n 0.0 in
+  let total = ref 0.0 in
+  List.iter
+    (fun (u, v) ->
+      let d = t.dist.(u).(v) in
+      total := !total +. d;
+      touched.(u) <- touched.(u) +. d;
+      if v <> u then touched.(v) <- touched.(v) +. d)
+    pairs;
+  (!total, touched)
 
 let route t p q =
   match Paths.shortest_path t.cost_graph p q with

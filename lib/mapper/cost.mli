@@ -30,6 +30,18 @@ val make : ?swap_bias:float -> Vqc_device.Device.t -> model -> t
 (** Precompute the distance and adjacency-cost matrices for a device.
     [swap_bias] applies to the [Reliability] model only. *)
 
+val cached : ?swap_bias:float -> Vqc_device.Device.t -> model -> t
+(** [make] with a small process-wide cache keyed on the device's
+    physical identity and [(model, swap_bias)]: repeated compiles
+    against the same device share one precomputed table (and hence one
+    {!id}, which lets downstream memo tables hit across policies).
+    Thread-safe; bounded (least-recently-used devices are evicted). *)
+
+val id : t -> int
+(** Process-unique stamp, stable for the lifetime of this value.  Two
+    [t]s built by separate {!make} calls never share an id even with
+    equal parameters — suitable as a memo key component. *)
+
 val model : t -> model
 val device : t -> Vqc_device.Device.t
 
@@ -56,6 +68,16 @@ val entangle_cost : t -> int -> int -> float
 val hops_to_adjacency : t -> int -> int -> int
 (** Baseline SWAP count to make a pair adjacent ([hop distance - 1],
     0 when adjacent) — the reference for the MAH budget. *)
+
+val window_sums : t -> (int * int) list -> float * float array
+(** [window_sums t pairs] sums {!distance} over a window of physical
+    pairs: the total, plus per physical qubit the summed distance of the
+    pairs touching it.  Swapping qubits [u] and [v] can only change the
+    distance of pairs touching them, and distances are non-negative, so
+    [total - touched.(u) - touched.(v)] lower-bounds the window's
+    post-swap sum (gates touching both are subtracted twice — still a
+    valid bound) — the lookahead-window bound SABRE's candidate pruning
+    is built on. *)
 
 val route : t -> int -> int -> int list
 (** Cheapest swap-route between two physical qubits as a node path

@@ -199,6 +199,7 @@ let default_lookahead = 0.5
 let layer_search cost ~max_additional_hops ~max_expansions ~lookahead
     ~next_pairs layout obligations =
   let couplers = Device.coupling (Cost.device cost) in
+  let physicals = Device.num_qubits (Cost.device cost) in
   let min_moves l =
     List.fold_left
       (fun acc { operands; bridgeable } ->
@@ -221,20 +222,23 @@ let layer_search cost ~max_additional_hops ~max_expansions ~lookahead
     in
     let next_layer =
       List.fold_left
-        (fun acc pair ->
-          let u, v = physical_pair l pair in
-          acc +. Cost.entangle_cost cost u v)
+        (fun acc (a, b) ->
+          acc
+          +. Cost.entangle_cost cost
+               (Layout.physical_of_program l a)
+               (Layout.physical_of_program l b))
         0.0 next_pairs
     in
     this_layer +. (lookahead *. next_layer)
   in
+  (* one byte per physical qubit — rebuilt per expansion, so cheap beats
+     general (a Hashtbl here dominated the successor-generation profile) *)
   let active l =
-    let set = Hashtbl.create 16 in
+    let set = Bytes.make physicals '\000' in
     List.iter
-      (fun { operands; _ } ->
-        let u, v = physical_pair l operands in
-        Hashtbl.replace set u ();
-        Hashtbl.replace set v ())
+      (fun { operands = a, b; _ } ->
+        Bytes.unsafe_set set (Layout.physical_of_program l a) '\001';
+        Bytes.unsafe_set set (Layout.physical_of_program l b) '\001')
       obligations;
     set
   in
@@ -242,7 +246,10 @@ let layer_search cost ~max_additional_hops ~max_expansions ~lookahead
     if state.executed then []
     else begin
       let active_set = active state.layout in
-      let touches u v = Hashtbl.mem active_set u || Hashtbl.mem active_set v in
+      let touches u v =
+        Bytes.unsafe_get active_set u = '\001'
+        || Bytes.unsafe_get active_set v = '\001'
+      in
       let swaps =
         List.filter_map
           (fun (u, v) ->
@@ -252,7 +259,12 @@ let layer_search cost ~max_additional_hops ~max_expansions ~lookahead
               let next =
                 { layout; swap_count = state.swap_count + 1; executed = false }
               in
-              if next.swap_count + min_moves layout > budget then None
+              (* with no MAH budget the bound is [max_int] and the prune
+                 can never fire — skip the [min_moves] recomputation *)
+              if
+                budget <> max_int
+                && next.swap_count + min_moves layout > budget
+              then None
               else Some (next, Cost.swap_cost cost u v)
             end)
           couplers
@@ -266,9 +278,11 @@ let layer_search cost ~max_additional_hops ~max_expansions ~lookahead
     if state.executed then 0.0
     else
       List.fold_left
-        (fun acc { operands; _ } ->
-          let u, v = physical_pair state.layout operands in
-          acc +. Cost.entangle_cost cost u v)
+        (fun acc { operands = a, b; _ } ->
+          acc
+          +. Cost.entangle_cost cost
+               (Layout.physical_of_program state.layout a)
+               (Layout.physical_of_program state.layout b))
         0.0 obligations
   in
   let problem =
@@ -285,35 +299,153 @@ let layer_search cost ~max_additional_hops ~max_expansions ~lookahead
   in
   Astar.search_path ~max_expansions problem
 
+(* ---- layer-search memo ---------------------------------------------
+
+   The catalog x policy matrix re-routes the same circuits under
+   overlapping policies: vqm's (layout, routing) candidates are a subset
+   of vqa+vqm's, themselves a subset of vqa+vqm+readout's, and the
+   hop-cost route is shared by five policies.  A layer search depends
+   only on (cost table, current layout, the layer's obligations, the
+   next layer's pairs, search parameters) — all captured in the key
+   below — so its outcome can be replayed: emitting the recorded swap
+   sequence reproduces the gates, layout, stats, and traces of
+   re-running the search byte for byte.  Keying on {!Cost.id} (unique
+   per table) means a hit can only replay a search that would have been
+   identical; tables from plain [Cost.make] carry fresh ids and simply
+   never hit — sharing comes from {!Cost.cached}.
+
+   The table is process-wide (compiles run concurrently under the
+   service pool, hence the mutex) and bounded: on overflow it is
+   dropped wholesale — it is a memo, not a correctness structure. *)
+
+type memo_entry = {
+  found : bool;  (* [false] replays a failed search (expansion cap) *)
+  memo_swaps : (int * int) list;  (* physical swaps in emission order *)
+  memo_expanded : int;  (* expansions the original search charged *)
+}
+
+let memo_capacity = 32_768
+let memo_lock = Mutex.create ()
+let memo_table : (string, memo_entry) Hashtbl.t = Hashtbl.create 1024
+let memo_hits = Metrics.counter "mapper.layer_memo_hits"
+let memo_misses = Metrics.counter "mapper.layer_memo_misses"
+
+let memo_clear () =
+  Mutex.lock memo_lock;
+  Hashtbl.reset memo_table;
+  Mutex.unlock memo_lock
+
+let memo_find key =
+  Mutex.lock memo_lock;
+  let entry = Hashtbl.find_opt memo_table key in
+  Mutex.unlock memo_lock;
+  (match entry with
+  | Some _ -> Metrics.incr memo_hits
+  | None -> Metrics.incr memo_misses);
+  entry
+
+let memo_store key entry =
+  Mutex.lock memo_lock;
+  if Hashtbl.length memo_table >= memo_capacity then Hashtbl.reset memo_table;
+  Hashtbl.replace memo_table key entry;
+  Mutex.unlock memo_lock
+
+(* The layout key may be raw bytes (see {!Layout.key}), so it is length-
+   prefixed to keep the concatenation unambiguous. *)
+let memo_key cost ~max_additional_hops ~max_expansions ~lookahead ~next_pairs
+    layout obligations =
+  let b = Buffer.create 96 in
+  Buffer.add_string b (string_of_int (Cost.id cost));
+  (match max_additional_hops with
+  | None -> Buffer.add_string b "/*"
+  | Some mah ->
+    Buffer.add_char b '/';
+    Buffer.add_string b (string_of_int mah));
+  Buffer.add_char b '/';
+  Buffer.add_string b (string_of_int max_expansions);
+  Buffer.add_char b '/';
+  Buffer.add_string b (Int64.to_string (Int64.bits_of_float lookahead));
+  Buffer.add_char b '/';
+  let layout_key = Layout.key layout in
+  Buffer.add_string b (string_of_int (String.length layout_key));
+  Buffer.add_char b ':';
+  Buffer.add_string b layout_key;
+  List.iter
+    (fun { operands = oa, ob; bridgeable } ->
+      Buffer.add_char b (if bridgeable then 'B' else 'g');
+      Buffer.add_string b (string_of_int oa);
+      Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int ob))
+    obligations;
+  Buffer.add_char b '/';
+  List.iter
+    (fun (oa, ob) ->
+      Buffer.add_string b (string_of_int oa);
+      Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int ob);
+      Buffer.add_char b ';')
+    next_pairs;
+  Buffer.contents b
+
 let route ?max_additional_hops ?(max_expansions = 100_000)
-    ?(lookahead = default_lookahead) ?(bridges = false) cost layout circuit =
+    ?(lookahead = default_lookahead) ?(bridges = false) ?(memo = true) cost
+    layout circuit =
   Span.with_span ~source:"mapper" "mapper.route" @@ fun () ->
   let device = Cost.device cost in
   let ctx = { layout; rev_gates = []; swaps = 0 } in
   let expansions = ref 0 in
   let fallbacks = ref 0 in
   (* Returns true when every obligation of the layer is satisfiable. *)
-  let solve_layer obligations next_pairs =
-    List.for_all (obligation_satisfied cost ctx.layout) obligations
-    ||
+  let search_layer obligations next_pairs =
+    (* runs the A* search, replays its plan into [ctx], and returns the
+       memoizable summary of what happened *)
     match
       layer_search cost ~max_additional_hops ~max_expansions ~lookahead
         ~next_pairs ctx.layout obligations
     with
     | Some (states, _, expanded) ->
       expansions := !expansions + expanded;
-      let rec replay = function
+      let rec replay acc = function
         | a :: (b :: _ as rest) ->
-          (if not (Layout.equal a.layout b.layout) then
-             match Layout.diff_swap a.layout b.layout with
-             | Some (u, v) -> emit_swap ctx u v
-             | None -> invalid_arg "Router: non-swap A* transition");
-          replay rest
-        | [ _ ] | [] -> ()
+          let acc =
+            if Layout.equal a.layout b.layout then acc
+            else begin
+              match Layout.diff_swap a.layout b.layout with
+              | Some (u, v) ->
+                emit_swap ctx u v;
+                (u, v) :: acc
+              | None -> invalid_arg "Router: non-swap A* transition"
+            end
+          in
+          replay acc rest
+        | [ _ ] | [] -> List.rev acc
       in
-      replay states;
-      true
-    | None -> false
+      let swaps = replay [] states in
+      { found = true; memo_swaps = swaps; memo_expanded = expanded }
+    | None -> { found = false; memo_swaps = []; memo_expanded = 0 }
+  in
+  let solve_layer obligations next_pairs =
+    List.for_all (obligation_satisfied cost ctx.layout) obligations
+    ||
+    if not memo then (search_layer obligations next_pairs).found
+    else begin
+      let key =
+        memo_key cost ~max_additional_hops ~max_expansions ~lookahead
+          ~next_pairs ctx.layout obligations
+      in
+      match memo_find key with
+      | Some { found; memo_swaps; memo_expanded } ->
+        (* replaying the recorded swaps reproduces the original search's
+           emissions and layout; charging its expansion count keeps the
+           stats (and everything derived from them) byte-identical *)
+        expansions := !expansions + memo_expanded;
+        List.iter (fun (u, v) -> emit_swap ctx u v) memo_swaps;
+        found
+      | None ->
+        let entry = search_layer obligations next_pairs in
+        memo_store key entry;
+        entry.found
+    end
   in
   (* Emit a CNOT: directly when adjacent, else as a bridge through the
      cheapest middle (guaranteed to exist once the layer is solved). *)

@@ -39,6 +39,7 @@ val route :
   ?max_expansions:int ->
   ?lookahead:float ->
   ?bridges:bool ->
+  ?memo:bool ->
   Cost.t ->
   Layout.t ->
   Circuit.t ->
@@ -53,7 +54,19 @@ val route :
     four CNOTs but displacing nobody, where a SWAP-then-CNOT pays the
     same four CNOTs and scrambles the layout for later layers.  The
     search weighs both options by reliability.  Program SWAP gates still
-    require adjacency. *)
+    require adjacency.
+
+    [memo] (default true) replays layer searches from a process-wide
+    memo instead of re-running A* when an identical subproblem — same
+    cost table (by {!Cost.id}), layout, obligations, lookahead pairs and
+    search parameters — was already solved.  A replay emits the same
+    swaps and charges the same [astar_expansions], so results are
+    byte-identical with the memo on or off ([memo:false] exists for the
+    differential tests and benchmarks, not for different results). *)
+
+val memo_clear : unit -> unit
+(** Drop every memoized layer search (a fresh-process state for
+    benchmarks; never needed for correctness). *)
 
 val route_greedy : Cost.t -> Layout.t -> Circuit.t -> result
 

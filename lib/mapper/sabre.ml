@@ -9,7 +9,7 @@ let blocking gate =
   | Gate.One_qubit _ | Gate.Measure _ | Gate.Barrier _ -> false
 
 let route ?(lookahead_size = 20) ?(lookahead_weight = 0.5) ?(decay = 0.001)
-    cost layout circuit =
+    ?(prune = true) cost layout circuit =
   Vqc_obs.Span.with_span ~source:"mapper" "mapper.sabre" @@ fun () ->
   let device = Cost.device cost in
   let dag = Dag.build circuit in
@@ -94,27 +94,35 @@ let route ?(lookahead_size = 20) ?(lookahead_weight = 0.5) ?(decay = 0.001)
     done;
     !result
   in
-  let gate_distance l index =
-    match (gate_at index) with
-    | Gate.Cnot { control; target } ->
-      Cost.distance cost
-        (Layout.physical_of_program l control)
-        (Layout.physical_of_program l target)
-    | Gate.Swap (a, b) ->
-      Cost.distance cost
-        (Layout.physical_of_program l a)
-        (Layout.physical_of_program l b)
-    | Gate.One_qubit _ | Gate.Measure _ | Gate.Barrier _ -> 0.0
+  (* Candidate evaluation works on the gates' *physical* pairs under the
+     current layout: applying candidate swap (u, v) just substitutes
+     u <-> v in each pair, so no trial layout is materialized.  The fold
+     below runs the exact float operations (same values, same order) as
+     scoring a [Layout.swap_physical] copy did, so scores — and hence the
+     chosen swaps and the emitted gate stream — are bit-identical. *)
+  let physical_pairs indices =
+    List.map
+      (fun i ->
+        match gate_at i with
+        | Gate.Cnot { control; target } -> (physical control, physical target)
+        | Gate.Swap (a, b) -> (physical a, physical b)
+        | Gate.One_qubit _ | Gate.Measure _ | Gate.Barrier _ ->
+          assert false (* stuck/extended contain blocking gates only *))
+      indices
   in
-  let heuristic l stuck extended =
-    let mean indices =
-      match indices with
-      | [] -> 0.0
+  let heuristic_swapped ~stuck_pairs ~stuck_count ~ext_pairs ~ext_count u v =
+    let substitute p = if p = u then v else if p = v then u else p in
+    let mean pairs count =
+      match count with
+      | 0 -> 0.0
       | _ ->
-        List.fold_left (fun acc i -> acc +. gate_distance l i) 0.0 indices
-        /. float_of_int (List.length indices)
+        List.fold_left
+          (fun acc (pa, pb) ->
+            acc +. Cost.distance cost (substitute pa) (substitute pb))
+          0.0 pairs
+        /. float_of_int count
     in
-    mean stuck +. (lookahead_weight *. mean extended)
+    mean stuck_pairs stuck_count +. (lookahead_weight *. mean ext_pairs ext_count)
   in
   let candidate_swaps stuck =
     let active = Hashtbl.create 16 in
@@ -142,20 +150,66 @@ let route ?(lookahead_size = 20) ?(lookahead_weight = 0.5) ?(decay = 0.001)
         ()
       else begin
         let extended = extended_set stuck in
+        let stuck_pairs = physical_pairs stuck in
+        let stuck_count = List.length stuck in
+        let ext_pairs = physical_pairs extended in
+        let ext_count = List.length extended in
+        (* Lookahead-window pruning: [Cost.window_sums] gives, per
+           physical qubit, the summed distance of the window's pairs
+           touching it, from which a candidate's score is cheaply
+           lower-bounded *before* the full evaluation (decay factors are
+           >= 1, so the undecayed heuristic bound still holds).  A
+           candidate is skipped only when its bound clears the best score
+           by a relative margin wide enough to absorb float
+           non-associativity between the two computations; bounds inside
+           the margin fall back to full evaluation, so the argmin — and
+           the emitted stream — never changes.  The bound needs
+           [decay >= 0] and [lookahead_weight >= 0]; pruning turns itself
+           off otherwise. *)
+        let pruning = prune && decay >= 0.0 && lookahead_weight >= 0.0 in
+        let stuck_total, stuck_touched =
+          if pruning then Cost.window_sums cost stuck_pairs else (0.0, [||])
+        in
+        let ext_total, ext_touched =
+          if pruning then Cost.window_sums cost ext_pairs else (0.0, [||])
+        in
+        let score_lower_bound u v =
+          let window_part total touched count =
+            match count with
+            | 0 -> 0.0
+            | _ ->
+              Float.max 0.0
+                ((total -. touched.(u) -. touched.(v)) /. float_of_int count)
+          in
+          window_part stuck_total stuck_touched stuck_count
+          +. (lookahead_weight *. window_part ext_total ext_touched ext_count)
+          +. (Cost.swap_cost cost u v /. 100.0)
+        in
         let best = ref None in
         List.iter
           (fun (u, v) ->
-            let trial = Layout.swap_physical !ctx u v in
-            let score =
-              heuristic trial stuck extended
-              *. decay_factor.(u) *. decay_factor.(v)
-              (* the swap itself costs reliability under the noise-aware
-                 model: fold it in so weak links are avoided *)
-              +. (Cost.swap_cost cost u v /. 100.0)
+            let skip =
+              pruning
+              &&
+              match !best with
+              | None -> false
+              | Some (best_score, _, _) ->
+                score_lower_bound u v
+                > best_score +. (1e-9 *. (1.0 +. Float.abs best_score))
             in
-            match !best with
-            | Some (best_score, _, _) when best_score <= score -> ()
-            | _ -> best := Some (score, u, v))
+            if not skip then begin
+              let score =
+                heuristic_swapped ~stuck_pairs ~stuck_count ~ext_pairs
+                  ~ext_count u v
+                *. decay_factor.(u) *. decay_factor.(v)
+                (* the swap itself costs reliability under the noise-aware
+                   model: fold it in so weak links are avoided *)
+                +. (Cost.swap_cost cost u v /. 100.0)
+              in
+              match !best with
+              | Some (best_score, _, _) when best_score <= score -> ()
+              | _ -> best := Some (score, u, v)
+            end)
           (candidate_swaps stuck);
         match !best with
         | None -> invalid_arg "Sabre.route: no candidate swap"

@@ -22,6 +22,7 @@ val route :
   ?lookahead_size:int ->
   ?lookahead_weight:float ->
   ?decay:float ->
+  ?prune:bool ->
   Cost.t ->
   Layout.t ->
   Circuit.t ->
@@ -29,4 +30,11 @@ val route :
 (** Route a program with SABRE.  [lookahead_size] bounds [E] (default
     20), [lookahead_weight] is [w] (default 0.5), [decay] the per-use
     qubit decay increment (default 0.001).
+
+    [prune] (default true) lower-bounds each candidate swap's score from
+    the window sums ({!Cost.window_sums}) and skips candidates whose
+    bound clears the running best by a margin; candidates inside the
+    margin are evaluated in full, so the selected swaps — and the gate
+    stream — are identical to an unpruned run ([prune:false] exists for
+    the differential tests, not for different results).
     @raise Invalid_argument if the circuit is wider than the layout. *)

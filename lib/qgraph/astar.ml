@@ -11,6 +11,7 @@ type 'state outcome = { goal : 'state; cost : float; expanded : int }
 type 'state node = {
   state : 'state;
   g_cost : float;
+  key : string;  (* problem.key state, computed once at push time *)
   parent : 'state node option;
 }
 
@@ -20,14 +21,19 @@ let run ?(max_expansions = default_max_expansions) problem =
   let frontier = Pqueue.create () in
   let best_cost : (string, float) Hashtbl.t = Hashtbl.create 1024 in
   let push node =
-    let k = problem.key node.state in
-    match Hashtbl.find_opt best_cost k with
+    match Hashtbl.find_opt best_cost node.key with
     | Some c when c <= node.g_cost -> ()
     | _ ->
-      Hashtbl.replace best_cost k node.g_cost;
+      Hashtbl.replace best_cost node.key node.g_cost;
       Pqueue.push frontier (node.g_cost +. problem.heuristic node.state) node
   in
-  push { state = problem.start; g_cost = 0.0; parent = None };
+  push
+    {
+      state = problem.start;
+      g_cost = 0.0;
+      key = problem.key problem.start;
+      parent = None;
+    };
   let expanded = ref 0 in
   let rec drain () =
     if !expanded >= max_expansions then None
@@ -35,10 +41,9 @@ let run ?(max_expansions = default_max_expansions) problem =
       match Pqueue.pop frontier with
       | None -> None
       | Some (_, node) ->
-        let k = problem.key node.state in
         (* skip stale queue entries superseded by a cheaper path *)
         let stale =
-          match Hashtbl.find_opt best_cost k with
+          match Hashtbl.find_opt best_cost node.key with
           | Some c -> c < node.g_cost
           | None -> false
         in
@@ -48,7 +53,13 @@ let run ?(max_expansions = default_max_expansions) problem =
           incr expanded;
           let expand (next, cost) =
             if cost < 0.0 then invalid_arg "Astar: negative move cost";
-            push { state = next; g_cost = node.g_cost +. cost; parent = Some node }
+            push
+              {
+                state = next;
+                g_cost = node.g_cost +. cost;
+                key = problem.key next;
+                parent = Some node;
+              }
           in
           List.iter expand (problem.successors node.state);
           drain ()

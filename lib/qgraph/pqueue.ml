@@ -1,5 +1,13 @@
+(* Monomorphic int-keyed binary heap.  Priorities arrive as floats but
+   are stored as their IEEE-754 bit patterns: for non-negative doubles
+   the bits, read as a 63-bit integer, order exactly like the floats
+   (sign bit clear, biased exponent then mantissa are lexicographic), so
+   every sift comparison is a native [int] compare — no float loads, no
+   polymorphic compare, and the heap shape (hence pop order among equal
+   priorities) is identical to the float-compared heap it replaced. *)
+
 type 'a t = {
-  mutable prio : float array;
+  mutable prio : int array;
   mutable data : 'a array;
   mutable size : int;
 }
@@ -10,11 +18,27 @@ let length q = q.size
 
 let is_empty q = q.size = 0
 
+(* [Int64.bits_of_float p] lies in [0, 2^63) for every non-negative
+   double (sign bit clear; -0.0 also encodes like +0.0, matching float
+   equality), ordered exactly like the floats.  [Int64.to_int] keeps the
+   low 63 bits — so doubles >= 2.0 (biased exponent bit 62 set) would
+   wrap negative.  XORing the truncation with [min_int] flips that top
+   bit, i.e. computes [bits - 2^62], an order-preserving shift of
+   [0, 2^63) onto the native [int] range.  [decode] inverts the XOR and
+   masks off the sign extension. *)
+let encode p =
+  if not (p >= 0.0) then
+    invalid_arg "Pqueue.push: priority must be non-negative (and not NaN)";
+  Int64.to_int (Int64.bits_of_float p) lxor min_int
+
+let decode key =
+  Int64.float_of_bits (Int64.logand (Int64.of_int (key lxor min_int)) Int64.max_int)
+
 let grow q x =
   let capacity = Array.length q.prio in
   if q.size = capacity then begin
     let new_capacity = max 16 (2 * capacity) in
-    let prio = Array.make new_capacity 0.0 in
+    let prio = Array.make new_capacity 0 in
     let data = Array.make new_capacity x in
     Array.blit q.prio 0 prio 0 q.size;
     Array.blit q.data 0 data 0 q.size;
@@ -22,18 +46,19 @@ let grow q x =
     q.data <- data
   end
 
-let swap q i j =
-  let pi = q.prio.(i) and di = q.data.(i) in
-  q.prio.(i) <- q.prio.(j);
-  q.data.(i) <- q.data.(j);
-  q.prio.(j) <- pi;
-  q.data.(j) <- di
+(* Indices below are in [0, size) by construction, so the sift loops use
+   unsafe accesses. *)
 
 let rec sift_up q i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if q.prio.(i) < q.prio.(parent) then begin
-      swap q i parent;
+    if Array.unsafe_get q.prio i < Array.unsafe_get q.prio parent then begin
+      let pi = Array.unsafe_get q.prio i
+      and di = Array.unsafe_get q.data i in
+      Array.unsafe_set q.prio i (Array.unsafe_get q.prio parent);
+      Array.unsafe_set q.data i (Array.unsafe_get q.data parent);
+      Array.unsafe_set q.prio parent pi;
+      Array.unsafe_set q.data parent di;
       sift_up q parent
     end
   end
@@ -41,17 +66,26 @@ let rec sift_up q i =
 let rec sift_down q i =
   let left = (2 * i) + 1 and right = (2 * i) + 2 in
   let smallest = ref i in
-  if left < q.size && q.prio.(left) < q.prio.(!smallest) then smallest := left;
-  if right < q.size && q.prio.(right) < q.prio.(!smallest) then
-    smallest := right;
+  if left < q.size && Array.unsafe_get q.prio left < Array.unsafe_get q.prio !smallest
+  then smallest := left;
+  if
+    right < q.size
+    && Array.unsafe_get q.prio right < Array.unsafe_get q.prio !smallest
+  then smallest := right;
   if !smallest <> i then begin
-    swap q i !smallest;
-    sift_down q !smallest
+    let j = !smallest in
+    let pi = Array.unsafe_get q.prio i and di = Array.unsafe_get q.data i in
+    Array.unsafe_set q.prio i (Array.unsafe_get q.prio j);
+    Array.unsafe_set q.data i (Array.unsafe_get q.data j);
+    Array.unsafe_set q.prio j pi;
+    Array.unsafe_set q.data j di;
+    sift_down q j
   end
 
 let push q prio x =
+  let key = encode prio in
   grow q x;
-  q.prio.(q.size) <- prio;
+  q.prio.(q.size) <- key;
   q.data.(q.size) <- x;
   q.size <- q.size + 1;
   sift_up q (q.size - 1)
@@ -66,9 +100,9 @@ let pop q =
       q.data.(0) <- q.data.(q.size);
       sift_down q 0
     end;
-    Some (prio, x)
+    Some (decode prio, x)
   end
 
-let peek q = if q.size = 0 then None else Some (q.prio.(0), q.data.(0))
+let peek q = if q.size = 0 then None else Some (decode q.prio.(0), q.data.(0))
 
 let clear q = q.size <- 0

@@ -1,9 +1,15 @@
-(** Mutable binary-heap priority queue with [float] priorities.
+(** Mutable binary-heap priority queue with non-negative [float]
+    priorities.
 
     Lower priority values are served first.  Used by Dijkstra and by the A*
     searches in the mapper.  Duplicate insertions of the same payload are
     allowed; stale entries are the caller's concern (the usual
-    "lazy-deletion" Dijkstra idiom). *)
+    "lazy-deletion" Dijkstra idiom).
+
+    Internally the heap is keyed on the priorities' IEEE-754 bit patterns
+    — an order isomorphism for non-negative doubles — so every comparison
+    is a monomorphic [int] compare and pop order (ties included) is
+    exactly that of a float-compared heap. *)
 
 type 'a t
 
@@ -16,7 +22,10 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 
 val push : 'a t -> float -> 'a -> unit
-(** [push q prio x] inserts [x] with priority [prio]. *)
+(** [push q prio x] inserts [x] with priority [prio].
+    @raise Invalid_argument if [prio] is negative or NaN (path costs and
+    A* f-values are never negative; rejecting the rest keeps the int
+    keying exact). *)
 
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the entry with the smallest priority. *)

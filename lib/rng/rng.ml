@@ -25,6 +25,16 @@ let make seed =
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
+let dump t = [| t.s0; t.s1; t.s2; t.s3 |]
+
+let load t state =
+  if Array.length state <> 4 then
+    invalid_arg "Rng.load: state must be 4 words";
+  t.s0 <- state.(0);
+  t.s1 <- state.(1);
+  t.s2 <- state.(2);
+  t.s3 <- state.(3)
+
 let rotl x k =
   Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 

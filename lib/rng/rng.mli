@@ -21,6 +21,16 @@ val split : t -> t
 val uint64 : t -> int64
 (** Next raw 64-bit output. *)
 
+val dump : t -> int64 array
+(** Snapshot of the four xoshiro256** state words (a fresh array; the
+    generator is not advanced).  With {!load} this lets a specialized
+    kernel draw from a private copy of the state and then advance the
+    generator in place, exactly as if it had drawn via {!uint64}. *)
+
+val load : t -> int64 array -> unit
+(** Overwrite the state with {!dump}-shaped words.
+    @raise Invalid_argument unless given exactly 4 words. *)
+
 val float : t -> float
 (** Uniform in [\[0, 1)]. *)
 

@@ -20,6 +20,19 @@ let stop_budget_total = Metrics.counter "sim.estimator.stop_budget"
    that never stops early reproduces the fixed run bit for bit. *)
 let chunk_trials = 4096
 
+let chunks_for trials =
+  if trials <= 0 then invalid_arg "Estimator.chunks_for: need positive trials";
+  ((trials - 1) / chunk_trials) + 1
+
+(* The one jobs-clamp rule, shared with [Monte_carlo.run]: a worker
+   beyond the chunk count would idle for the whole fan-out.  Pure
+   resource economics — chunk layout, RNG streams and results are
+   independent of the worker count. *)
+let effective_jobs ~jobs trials =
+  if jobs < 1 then
+    invalid_arg "Estimator.effective_jobs: need at least one job";
+  min jobs (chunks_for trials)
+
 type config = {
   confidence : float;
   precision : float;
@@ -287,10 +300,15 @@ let run ?(config = default_config) ?(jobs = 1) ?pool rng kernel =
   in
   match pool with
   | Some pool -> start (pooled pool)
-  | None ->
-    if jobs = 1 then
+  | None -> (
+    (* no round ever fans out more chunks than a full batch (or the
+       whole budget, if smaller) contains *)
+    match
+      effective_jobs ~jobs (min config.batch_trials config.max_trials)
+    with
+    | 1 ->
       start
         (List.fold_left
            (fun acc (k, count, rng) -> acc + kernel k rng count)
            0)
-    else Pool.with_pool ~jobs (fun pool -> start (pooled pool))
+    | jobs -> Pool.with_pool ~jobs (fun pool -> start (pooled pool)))

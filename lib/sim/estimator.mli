@@ -50,6 +50,18 @@ val chunk_trials : int
     the worker count, so chunk boundaries and their RNG streams are
     identical whatever [jobs] is.  {!Monte_carlo} shares this constant. *)
 
+val chunks_for : int -> int
+(** [ceil(trials / chunk_trials)]: how many chunks a trial count spans.
+    @raise Invalid_argument if [trials <= 0]. *)
+
+val effective_jobs : jobs:int -> int -> int
+(** [effective_jobs ~jobs trials] clamps a requested worker count to
+    {!chunks_for}[ trials] — workers beyond the chunk count would idle
+    for the whole fan-out.  The single clamp rule shared by
+    {!Monte_carlo.run} and {!run} (results never depend on it; it is
+    pure resource economics).
+    @raise Invalid_argument if [jobs < 1] or [trials <= 0]. *)
+
 val validate_config : config -> (config, string) result
 (** [Ok config] for a usable configuration, [Error message] (fit for a
     CLI) otherwise: confidence must lie strictly inside (0, 1),

@@ -1,0 +1,108 @@
+module Rng = Vqc_rng.Rng
+
+(* The flat Monte-Carlo chunk kernel.
+
+   The list-shaped trial loop in [Monte_carlo] spends its time boxing:
+   every Bernoulli draw loads a boxed float probability, runs the boxed
+   Int64 xoshiro step ([Rng.uint64] stores each state word back into a
+   mutable record field, which allocates under the Closure backend), and
+   converts the draw to a float to compare.  This kernel runs the same
+   trial walk over flat buffers instead:
+
+   - the failure table becomes an integer threshold per event (below);
+   - the xoshiro256** state lives in a 4-word int64 [Bigarray], whose
+     reads and writes are unboxed primitives, so the whole step compiles
+     to straight-line word arithmetic;
+   - the per-draw test is a native int compare.
+
+   Bit-identity with the reference loop.  [Rng.bernoulli t p] is
+   [p <= 0 -> false] and [p >= 1 -> true] with {e no} generator draw,
+   else one draw [k] of 53 bits and the test [k * 2^-53 < p].  Both
+   [Int64.to_float k] and the [2^-53] scaling are exact, so the float
+   test decides exactly the real inequality [k < p * 2^53].  [p * 2^53]
+   is itself an exact float product (a power-of-two scaling of a double
+   in (0, 1) neither rounds nor overflows), [Float.ceil] is exact, and
+   the result is an integer at most [2^53], so
+
+     k < p * 2^53   <=>   k < ceil(p * 2^53)   (integers)
+
+   — the threshold precomputed by {!of_probabilities}.  Each trial walks
+   the events in order, draws exactly when the reference would (skipping
+   [p <= 0] and [p >= 1] events), and stops at the first failure, so the
+   draw stream, the success count, and the draw count all match the
+   reference bit for bit; {!run_chunk} finally writes the walked state
+   back into the caller's generator, leaving it exactly as if the
+   reference loop had advanced it. *)
+
+type table = {
+  thresholds : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
+      (* 0: never fires (no draw); -1: always fires (no draw);
+         t in [1, 2^53]: fires iff the next 53-bit draw is < t *)
+  events : int;
+}
+
+let of_probabilities probabilities =
+  let events = Array.length probabilities in
+  let thresholds =
+    Bigarray.Array1.create Bigarray.int Bigarray.c_layout (max 1 events)
+  in
+  Array.iteri
+    (fun i p ->
+      Bigarray.Array1.set thresholds i
+        (if p <= 0.0 then 0
+         else if p >= 1.0 then -1
+         else int_of_float (Float.ceil (p *. 0x1.0p53))))
+    probabilities;
+  { thresholds; events }
+
+let events table = table.events
+
+let run_chunk { thresholds; events } rng count =
+  let state = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout 4 in
+  let words = Rng.dump rng in
+  for i = 0 to 3 do
+    Bigarray.Array1.unsafe_set state i words.(i)
+  done;
+  let successes = ref 0 in
+  let draws = ref 0 in
+  for _ = 1 to count do
+    let i = ref 0 in
+    let failed = ref false in
+    while (not !failed) && !i < events do
+      incr draws;
+      let t = Bigarray.Array1.unsafe_get thresholds !i in
+      if t = 0 then incr i
+      else if t < 0 then failed := true
+      else begin
+        (* xoshiro256** step, states let-bound into unboxed word ops *)
+        let s0 = Bigarray.Array1.unsafe_get state 0 in
+        let s1 = Bigarray.Array1.unsafe_get state 1 in
+        let s2 = Bigarray.Array1.unsafe_get state 2 in
+        let s3 = Bigarray.Array1.unsafe_get state 3 in
+        let r5 = Int64.mul s1 5L in
+        let result =
+          Int64.mul
+            (Int64.logor (Int64.shift_left r5 7)
+               (Int64.shift_right_logical r5 57))
+            9L
+        in
+        let tmp = Int64.shift_left s1 17 in
+        let s2x = Int64.logxor s2 s0 in
+        let s3x = Int64.logxor s3 s1 in
+        Bigarray.Array1.unsafe_set state 0 (Int64.logxor s0 s3x);
+        Bigarray.Array1.unsafe_set state 1 (Int64.logxor s1 s2x);
+        Bigarray.Array1.unsafe_set state 2 (Int64.logxor s2x tmp);
+        Bigarray.Array1.unsafe_set state 3
+          (Int64.logor (Int64.shift_left s3x 45)
+             (Int64.shift_right_logical s3x 19));
+        let k = Int64.to_int (Int64.shift_right_logical result 11) in
+        if k < t then failed := true else incr i
+      end
+    done;
+    if not !failed then incr successes
+  done;
+  for i = 0 to 3 do
+    words.(i) <- Bigarray.Array1.unsafe_get state i
+  done;
+  Rng.load rng words;
+  (!successes, !draws)

@@ -75,12 +75,11 @@ let failure_probabilities ?(coherence = true)
   in
   Array.of_list (gate_failures @ coherence_failures)
 
-(* One chunk of Bernoulli trials against a fixed failure table — the
-   unit of work both the fixed and the adaptive path fan out.  [k] is
-   the chunk's global index (trace labelling only). *)
-let run_chunk failure_probabilities k rng count =
+(* The list-based reference trial loop, kept verbatim as the oracle the
+   flat kernel is differentially tested against (test/test_kernels.ml).
+   Returns (successes, draws) for one chunk. *)
+let run_chunk_reference failure_probabilities rng count =
   let events = Array.length failure_probabilities in
-  let chunk_started = Unix.gettimeofday () in
   let successes = ref 0 in
   let draws = ref 0 in
   for _ = 1 to count do
@@ -92,23 +91,43 @@ let run_chunk failure_probabilities k rng count =
     in
     if error_free 0 then incr successes
   done;
-  let seconds = Unix.gettimeofday () -. chunk_started in
-  Metrics.add draws_total !draws;
-  Metrics.add early_exits_total (count - !successes);
-  Metrics.observe chunk_seconds seconds;
-  if Trace.enabled () then
-    Trace.emit ~source:"sim" ~event:"mc_chunk"
-      ~nd:[ ("seconds", Json.Float seconds) ]
-      [
-        ("chunk", Json.Int k);
-        ("trials", Json.Int count);
-        ("successes", Json.Int !successes);
-        ("draws", Json.Int !draws);
-      ];
-  !successes
+  (!successes, !draws)
 
-let run ?coherence ?coherence_scale ?crosstalk_strength ?(jobs = 1) ~trials
-    rng device circuit =
+type engine = Flat | Reference
+
+(* One chunk of Bernoulli trials against a fixed failure table — the
+   unit of work both the fixed and the adaptive path fan out.  [k] is
+   the chunk's global index (trace labelling only).  The engines return
+   identical counts and leave the chunk RNG in identical states (see
+   {!Mc_kernel}); [Flat] is simply faster. *)
+let chunk_kernel ~engine failure_probabilities =
+  let kernel =
+    match engine with
+    | Flat ->
+      let table = Mc_kernel.of_probabilities failure_probabilities in
+      Mc_kernel.run_chunk table
+    | Reference -> run_chunk_reference failure_probabilities
+  in
+  fun k rng count ->
+    let chunk_started = Unix.gettimeofday () in
+    let successes, draws = kernel rng count in
+    let seconds = Unix.gettimeofday () -. chunk_started in
+    Metrics.add draws_total draws;
+    Metrics.add early_exits_total (count - successes);
+    Metrics.observe chunk_seconds seconds;
+    if Trace.enabled () then
+      Trace.emit ~source:"sim" ~event:"mc_chunk"
+        ~nd:[ ("seconds", Json.Float seconds) ]
+        [
+          ("chunk", Json.Int k);
+          ("trials", Json.Int count);
+          ("successes", Json.Int successes);
+          ("draws", Json.Int draws);
+        ];
+    successes
+
+let run ?coherence ?coherence_scale ?crosstalk_strength ?(engine = Flat)
+    ?(jobs = 1) ~trials rng device circuit =
   if trials <= 0 then invalid_arg "Monte_carlo.run: need positive trials";
   if jobs < 1 then invalid_arg "Monte_carlo.run: need at least one job";
   Span.with_span ~source:"sim" "sim.mc.run"
@@ -118,12 +137,13 @@ let run ?coherence ?coherence_scale ?crosstalk_strength ?(jobs = 1) ~trials
     failure_probabilities ?coherence ?coherence_scale ?crosstalk_strength
       device circuit
   in
+  let run_chunk = chunk_kernel ~engine failure_probabilities in
   (* Chunked fan-out with per-chunk RNG streams: chunk k draws from the
      k-th [Rng.split] child of the caller's generator, derived here in
      index order on the calling domain.  Results are summed in chunk
      order by [Pool.map_reduce], so [jobs = 1] and [jobs = N] agree
      bit-for-bit. *)
-  let nchunks = ((trials - 1) / chunk_trials) + 1 in
+  let nchunks = Estimator.chunks_for trials in
   let chunks =
     let rec build k acc =
       if k >= nchunks then List.rev acc
@@ -138,20 +158,19 @@ let run ?coherence ?coherence_scale ?crosstalk_strength ?(jobs = 1) ~trials
   Metrics.add chunks_total nchunks;
   (* A worker with no chunk to run would sit idle for the whole fan-out:
      clamp the pool to the chunk count (pure resource economics — the
-     chunk layout, RNG streams and result are unchanged). *)
-  let jobs = min jobs nchunks in
+     chunk layout, RNG streams and result are unchanged).  The clamp
+     rule lives in {!Estimator} so both paths share it. *)
+  let jobs = Estimator.effective_jobs ~jobs trials in
   let successes =
     if jobs = 1 then
       List.fold_left
-        (fun (k, acc) (count, rng) ->
-          (k + 1, acc + run_chunk failure_probabilities k rng count))
+        (fun (k, acc) (count, rng) -> (k + 1, acc + run_chunk k rng count))
         (0, 0) chunks
       |> snd
     else
       Pool.with_pool ~jobs (fun pool ->
           Pool.map_reduce pool
-            ~f:(fun k (count, rng) ->
-              run_chunk failure_probabilities k rng count)
+            ~f:(fun k (count, rng) -> run_chunk k rng count)
             ~combine:( + ) ~init:0 chunks)
   in
   let pst = float_of_int successes /. float_of_int trials in
@@ -160,19 +179,19 @@ let run ?coherence ?coherence_scale ?crosstalk_strength ?(jobs = 1) ~trials
   in
   { trials; successes; pst; ci95 }
 
-let run_adaptive ?coherence ?coherence_scale ?crosstalk_strength ?jobs ?pool
-    ?config rng device circuit =
+let run_adaptive ?coherence ?coherence_scale ?crosstalk_strength
+    ?(engine = Flat) ?jobs ?pool ?config rng device circuit =
   let failure_probabilities =
     failure_probabilities ?coherence ?coherence_scale ?crosstalk_strength
       device circuit
   in
   Metrics.incr runs_total;
   let estimate =
-    Estimator.run ?config ?jobs ?pool rng (run_chunk failure_probabilities)
+    Estimator.run ?config ?jobs ?pool rng
+      (chunk_kernel ~engine failure_probabilities)
   in
   Metrics.add trials_total estimate.Estimator.trials;
-  Metrics.add chunks_total
-    (((estimate.Estimator.trials - 1) / chunk_trials) + 1);
+  Metrics.add chunks_total (Estimator.chunks_for estimate.Estimator.trials);
   estimate
 
 let pp_result ppf r =

@@ -36,10 +36,17 @@ val failure_probabilities :
     @raise Invalid_argument if the circuit uses an uncoupled qubit
     pair. *)
 
+type engine =
+  | Flat  (** the {!Mc_kernel} flat-buffer chunk kernel (default) *)
+  | Reference
+      (** the original list-based trial loop, kept as the differential
+          oracle — bit-identical to [Flat], only slower *)
+
 val run :
   ?coherence:bool ->
   ?coherence_scale:float ->
   ?crosstalk_strength:float ->
+  ?engine:engine ->
   ?jobs:int ->
   trials:int ->
   Vqc_rng.Rng.t ->
@@ -52,8 +59,10 @@ val run :
     the result is the same for every [jobs] value.  [jobs] beyond the
     number of {!Estimator.chunk_trials}-sized chunks ([ceil(trials /
     4096)]) buys nothing — the extra workers would idle — so the fan-out
-    is clamped to the chunk count ([trials = 1, jobs = 8] runs exactly
-    like [jobs = 1], same result included).
+    is clamped to the chunk count ({!Estimator.effective_jobs};
+    [trials = 1, jobs = 8] runs exactly like [jobs = 1], same result
+    included).  [engine] (default [Flat]) selects the chunk kernel; both
+    engines produce identical results, draw streams included.
     @raise Invalid_argument if [trials <= 0], [jobs < 1], or the circuit
     uses an uncoupled qubit pair. *)
 
@@ -61,6 +70,7 @@ val run_adaptive :
   ?coherence:bool ->
   ?coherence_scale:float ->
   ?crosstalk_strength:float ->
+  ?engine:engine ->
   ?jobs:int ->
   ?pool:Vqc_engine.Pool.t ->
   ?config:Estimator.config ->

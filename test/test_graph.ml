@@ -66,6 +66,195 @@ let prop_pqueue_sorts =
       in
       drain [] = List.sort compare priorities)
 
+(* The int-keyed heap stores each priority as its IEEE-754 bit pattern
+   shifted onto the native-int range.  A sign mistake in that encoding
+   is invisible on priorities below 2.0 (biased-exponent bit 62 clear)
+   and catastrophic above — so this seeded regression straddles the
+   boundary explicitly, where the qcheck properties might not. *)
+let test_pqueue_priorities_across_two () =
+  let q = Pqueue.create () in
+  let priorities =
+    [ 1.5; 2.0; 1e9; 0.25; 3.0; 1.9999999999999998; 2.0000000000000004; 0.0 ]
+  in
+  List.iteri (fun i p -> Pqueue.push q p i) priorities;
+  let rec drain acc =
+    match Pqueue.pop q with
+    | Some (p, _) -> drain (p :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check (list (float 0.0)))
+    "sorted across the 2.0 boundary"
+    (List.sort compare priorities)
+    (drain [])
+
+let test_pqueue_round_trips_priorities () =
+  (* pop must return the pushed priority bit for bit, extremes included *)
+  let samples =
+    [
+      0.0; ldexp 1.0 (-1074) (* smallest subnormal *); ldexp 1.0 (-1022);
+      1.0; 2.0; Float.pi; 1e300; max_float; infinity;
+    ]
+  in
+  let q = Pqueue.create () in
+  List.iteri (fun i p -> Pqueue.push q p i) samples;
+  let rec drain acc =
+    match Pqueue.pop q with
+    | Some (p, _) -> drain (p :: acc)
+    | None -> List.rev acc
+  in
+  let drained = drain [] in
+  List.iter2
+    (fun expected got ->
+      check
+        (Printf.sprintf "bits of %h survive" expected)
+        true
+        (Int64.bits_of_float expected = Int64.bits_of_float got))
+    (List.sort compare samples)
+    drained;
+  (* -0.0 encodes like +0.0 (float equality), it is not rejected *)
+  Pqueue.push q (-0.0) 0;
+  match Pqueue.pop q with
+  | Some (p, _) -> check "negative zero accepted as zero" true (p = 0.0)
+  | None -> Alcotest.fail "pop after push"
+
+let test_pqueue_rejects_negative_and_nan () =
+  let q = Pqueue.create () in
+  let rejected p =
+    try
+      Pqueue.push q p 0;
+      false
+    with Invalid_argument _ -> true
+  in
+  check "negative priority" true (rejected (-1.0));
+  check "negative infinity" true (rejected neg_infinity);
+  check "nan" true (rejected Float.nan);
+  check "queue untouched by rejections" true (Pqueue.is_empty q)
+
+(* The float-compared binary heap the int-keyed one replaced, kept as a
+   model: same array layout, same strict-< sift logic.  Because the bit
+   encoding is strictly monotone, both heaps must make identical sift
+   decisions — including on ties — so interleaved push/pop sequences
+   must produce identical (priority, payload) streams. *)
+module Float_heap = struct
+  type 'a t = {
+    mutable prio : float array;
+    mutable data : 'a array;
+    mutable size : int;
+  }
+
+  let create () = { prio = [||]; data = [||]; size = 0 }
+
+  let grow q x =
+    let capacity = Array.length q.prio in
+    if q.size = capacity then begin
+      let new_capacity = max 16 (2 * capacity) in
+      let prio = Array.make new_capacity 0.0 in
+      let data = Array.make new_capacity x in
+      Array.blit q.prio 0 prio 0 q.size;
+      Array.blit q.data 0 data 0 q.size;
+      q.prio <- prio;
+      q.data <- data
+    end
+
+  let swap q i j =
+    let pi = q.prio.(i) and di = q.data.(i) in
+    q.prio.(i) <- q.prio.(j);
+    q.data.(i) <- q.data.(j);
+    q.prio.(j) <- pi;
+    q.data.(j) <- di
+
+  let rec sift_up q i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if q.prio.(i) < q.prio.(parent) then begin
+        swap q i parent;
+        sift_up q parent
+      end
+    end
+
+  let rec sift_down q i =
+    let left = (2 * i) + 1 and right = (2 * i) + 2 in
+    let smallest = ref i in
+    if left < q.size && q.prio.(left) < q.prio.(!smallest) then
+      smallest := left;
+    if right < q.size && q.prio.(right) < q.prio.(!smallest) then
+      smallest := right;
+    if !smallest <> i then begin
+      swap q i !smallest;
+      sift_down q !smallest
+    end
+
+  let push q prio x =
+    grow q x;
+    q.prio.(q.size) <- prio;
+    q.data.(q.size) <- x;
+    q.size <- q.size + 1;
+    sift_up q (q.size - 1)
+
+  let pop q =
+    if q.size = 0 then None
+    else begin
+      let prio = q.prio.(0) and x = q.data.(0) in
+      q.size <- q.size - 1;
+      if q.size > 0 then begin
+        q.prio.(0) <- q.prio.(q.size);
+        q.data.(0) <- q.data.(q.size);
+        sift_down q 0
+      end;
+      Some (prio, x)
+    end
+end
+
+let prop_pqueue_replays_float_heap =
+  (* duplicate-heavy priorities (multiples of 0.25 in [0, 3.75], so ties
+     are common and the 2.0 bit boundary is crossed) with interleaved
+     pushes and pops: payload streams must match exactly, proving the
+     encoding changes nothing — not even tie-breaking order *)
+  QCheck2.Test.make ~name:"int-keyed heap replays the float heap exactly"
+    ~count:300
+    QCheck2.Gen.(list (pair bool (int_bound 15)))
+    (fun operations ->
+      let q = Pqueue.create () in
+      let model = Float_heap.create () in
+      let counter = ref 0 in
+      let step (is_pop, raw) =
+        if is_pop then Pqueue.pop q = Float_heap.pop model
+        else begin
+          let priority = float_of_int raw /. 4.0 in
+          incr counter;
+          Pqueue.push q priority !counter;
+          Float_heap.push model priority !counter;
+          true
+        end
+      in
+      let rec drain () =
+        match (Pqueue.pop q, Float_heap.pop model) with
+        | None, None -> true
+        | Some a, Some b -> a = b && drain ()
+        | _ -> false
+      in
+      List.for_all step operations && drain ())
+
+let test_pqueue_lazy_deletion_pattern () =
+  (* the A* usage pattern: "decrease-key" is a re-push of the same
+     payload at a better priority, the stale entry popped later and
+     skipped by the caller.  All copies must surface, best first. *)
+  let q = Pqueue.create () in
+  Pqueue.push q 10.0 "n";
+  Pqueue.push q 6.0 "n";
+  Pqueue.push q 2.5 "n";
+  Pqueue.push q 4.0 "other";
+  check_int "all copies retained" 4 (Pqueue.length q);
+  let rec drain acc =
+    match Pqueue.pop q with
+    | Some (p, x) -> drain ((p, x) :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check (list (pair (float 0.0) string)))
+    "best copy first, stale copies later"
+    [ (2.5, "n"); (4.0, "other"); (6.0, "n"); (10.0, "n") ]
+    (drain [])
+
 (* ---- Graph --------------------------------------------------------- *)
 
 let diamond () =
@@ -358,8 +547,16 @@ let () =
           Alcotest.test_case "drains in order" `Quick test_pqueue_order;
           Alcotest.test_case "peek and clear" `Quick test_pqueue_peek_and_clear;
           Alcotest.test_case "duplicates" `Quick test_pqueue_duplicates;
+          Alcotest.test_case "priorities across 2.0" `Quick
+            test_pqueue_priorities_across_two;
+          Alcotest.test_case "round trips" `Quick
+            test_pqueue_round_trips_priorities;
+          Alcotest.test_case "rejects negative and nan" `Quick
+            test_pqueue_rejects_negative_and_nan;
+          Alcotest.test_case "lazy deletion" `Quick
+            test_pqueue_lazy_deletion_pattern;
         ]
-        @ qcheck [ prop_pqueue_sorts ] );
+        @ qcheck [ prop_pqueue_sorts; prop_pqueue_replays_float_heap ] );
       ( "graph",
         [
           Alcotest.test_case "basics" `Quick test_graph_basics;

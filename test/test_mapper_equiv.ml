@@ -1,0 +1,173 @@
+(* Equivalence suite for the optimized mapper paths.
+
+   The layer memo (Router), the lower-bound candidate pruning (Sabre)
+   and the shared cost-model cache (Cost.cached, via Compiler's [memo]
+   flag) are performance features with a hard contract: the emitted
+   physical gate stream, layouts and routing statistics must be
+   byte-identical to the unoptimized paths.  This suite holds them to
+   it on random programs and then proves the whole catalog x policy
+   matrix clean under the static plan verifier. *)
+
+module Circuit = Vqc_circuit.Circuit
+module Gate = Vqc_circuit.Gate
+module Calibration_model = Vqc_device.Calibration_model
+module Topologies = Vqc_device.Topologies
+module Layout = Vqc_mapper.Layout
+module Cost = Vqc_mapper.Cost
+module Router = Vqc_mapper.Router
+module Sabre = Vqc_mapper.Sabre
+module Allocation = Vqc_mapper.Allocation
+module Compiler = Vqc_mapper.Compiler
+module Catalog = Vqc_workloads.Catalog
+module Context = Vqc_experiments.Context
+module Policies = Vqc_service.Policies
+
+let check = Alcotest.(check bool)
+
+let cx c t = Gate.Cnot { control = c; target = t }
+let h q = Gate.One_qubit (Gate.H, q)
+let meas q = Gate.Measure { qubit = q; cbit = q }
+
+let gen_program =
+  QCheck2.Gen.(
+    let* n = int_range 2 8 in
+    let gate =
+      let* kind = int_bound 3 in
+      let* q = int_bound (n - 1) in
+      match kind with
+      | 0 | 1 ->
+        let* other = int_bound (n - 2) in
+        let t = if other >= q then other + 1 else other in
+        return (cx q t)
+      | 2 -> return (h q)
+      | _ -> return (meas q)
+    in
+    let* gates = list_size (int_bound 25) gate in
+    return (Circuit.of_gates n gates))
+
+let compiled_equal (a : Compiler.compiled) (b : Compiler.compiled) =
+  Circuit.equal a.Compiler.physical b.Compiler.physical
+  && Layout.equal a.Compiler.initial b.Compiler.initial
+  && Layout.equal a.Compiler.final b.Compiler.final
+
+let routed_equal (a : Router.result) (b : Router.result) =
+  Circuit.equal a.Router.circuit b.Router.circuit
+  && Layout.equal a.Router.initial b.Router.initial
+  && Layout.equal a.Router.final b.Router.final
+  && a.Router.stats = b.Router.stats
+
+(* The memo is process-wide state; deliberately NOT cleared between
+   iterations, so later programs exercise lookups against entries from
+   earlier ones — a key collision would surface as an inequality. *)
+let prop_memo_equivalent =
+  QCheck2.Test.make
+    ~name:"memoized compilation emits the reference gate stream" ~count:40
+    gen_program (fun program ->
+      let device = Calibration_model.ibm_q20 ~seed:4 in
+      List.for_all
+        (fun policy ->
+          compiled_equal
+            (Compiler.compile ~memo:false device policy program)
+            (Compiler.compile ~memo:true device policy program))
+        [
+          Compiler.baseline;
+          Compiler.vqa_vqm;
+          Compiler.sabre;
+          Compiler.noise_sabre;
+        ])
+
+let prop_sabre_prune_equivalent =
+  QCheck2.Test.make
+    ~name:"pruned SABRE emits the unpruned gate stream" ~count:60 gen_program
+    (fun program ->
+      let device = Calibration_model.ibm_q20 ~seed:4 in
+      let layout = Allocation.allocate device program Allocation.Locality in
+      List.for_all
+        (fun model ->
+          let cost = Cost.make device model in
+          routed_equal
+            (Sabre.route ~prune:false cost layout program)
+            (Sabre.route ~prune:true cost layout program))
+        [ Cost.Hops; Cost.Reliability ])
+
+let prop_router_memo_equivalent =
+  (* Router.route directly, both cost models, with program SWAPs
+     forbidden by construction (gen emits none) — the memo must replay
+     searches across programs without contaminating results *)
+  QCheck2.Test.make ~name:"memoized routing replays A* exactly" ~count:40
+    gen_program (fun program ->
+      let device = Calibration_model.ibm_q20 ~seed:4 in
+      let layout = Allocation.allocate device program Allocation.Locality in
+      List.for_all
+        (fun model ->
+          let cost = Cost.make device model in
+          routed_equal
+            (Router.route ~memo:false cost layout program)
+            (Router.route ~memo:true cost layout program))
+        [ Cost.Hops; Cost.Reliability ])
+
+let test_memo_equivalent_on_workloads () =
+  (* full-size workloads where the memo actually fires across layers *)
+  let device = Context.default.Context.q20 in
+  Router.memo_clear ();
+  List.iter
+    (fun name ->
+      let program = (Catalog.find name).Catalog.circuit in
+      List.iter
+        (fun { Policies.label; policy; _ } ->
+          let reference = Compiler.compile ~memo:false device policy program in
+          let cold = Compiler.compile ~memo:true device policy program in
+          let warm = Compiler.compile ~memo:true device policy program in
+          check
+            (Printf.sprintf "%s/%s cold" name label)
+            true
+            (compiled_equal reference cold);
+          check
+            (Printf.sprintf "%s/%s warm" name label)
+            true
+            (compiled_equal reference warm))
+        Policies.all)
+    [ "bv-16"; "qft-12" ]
+
+(* Every compile below this line is replayed by the translation
+   validator: a plan that is not legal and faithful raises
+   Invalid_plan and fails the test. *)
+let () = Vqc_check.Verify.install_compiler_check ()
+
+let test_catalog_matrix_verifies_clean () =
+  (* the whole catalog under every service policy, optimized pipeline:
+     memoized routing, pruned SABRE, cached cost models — all 133 plans
+     must pass the static verifier *)
+  let device = Context.default.Context.q20 in
+  let plans = ref 0 in
+  List.iter
+    (fun (entry : Catalog.entry) ->
+      List.iter
+        (fun { Policies.policy; _ } ->
+          ignore (Compiler.compile ~memo:true device policy entry.Catalog.circuit);
+          incr plans)
+        Policies.all)
+    Catalog.all;
+  Alcotest.(check int)
+    "all catalog x policy plans verified"
+    (List.length Catalog.all * List.length Policies.all)
+    !plans
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "vqc_mapper_equiv"
+    [
+      ( "memo",
+        [
+          Alcotest.test_case "workload equivalence" `Slow
+            test_memo_equivalent_on_workloads;
+        ]
+        @ qcheck [ prop_memo_equivalent; prop_router_memo_equivalent ] );
+      ("sabre", qcheck [ prop_sabre_prune_equivalent ]);
+      ( "verify",
+        [
+          Alcotest.test_case "catalog matrix clean" `Slow
+            test_catalog_matrix_verifies_clean;
+        ] );
+    ]
