@@ -26,7 +26,16 @@
    list-based oracle) and records the in-run speedup ratios.  With
    --check it exits 1 when any measured speedup falls below 90% of the
    committed baseline floor — ratios, not absolutes, so the gate holds
-   across machines of different speeds. *)
+   across machines of different speeds.
+
+   The drift mode replays the calibration history through the Vqc_drift
+   retention pipeline over the full catalog x policy matrix:
+     dune exec bench/main.exe -- drift [--days N] [--threshold LOSS] \
+       [--jobs N] [--out BENCH_drift.json]
+   and records per-day retained fraction, the PST given up by retaining
+   instead of recompiling, and the recompile wall time saved (timing
+   under "nd"; everything else byte-identical for a fixed
+   history/threshold/jobs). *)
 
 module Registry = Vqc_experiments.Registry
 module Context = Vqc_experiments.Context
@@ -700,11 +709,286 @@ let run_kernels_bench args =
         0
       | Some code -> code))
 
+(* ---- Calibration drift: selective retention over the history ------- *)
+
+module Device = Vqc_device.Device
+module Staleness = Vqc_drift.Staleness
+module Retention = Vqc_drift.Retention
+module Recompiler = Vqc_drift.Recompiler
+module Layout = Vqc_mapper.Layout
+
+(* One live plan in the simulated cache: the day it was compiled (its
+   provenance device) plus the plan itself. *)
+type drift_entry = {
+  de_workload : string;
+  de_policy : Policies.entry;
+  de_compile_day : int;
+  de_plan : Compiler.compiled;
+}
+
+type drift_day = {
+  dd_day : int;
+  dd_retained : int;
+  dd_recompiled : int;
+  dd_mean_loss : float;  (** mean PST given up by the retained plans *)
+  dd_max_loss : float;
+  dd_recompile_seconds : float;  (** nd: wall time actually spent *)
+  dd_saved_seconds : float;  (** nd: wall time retention avoided *)
+}
+
+let drift_compile ~jobs device entries =
+  let tasks =
+    List.map
+      (fun (workload, (policy : Policies.entry)) ->
+        {
+          Recompiler.id = workload ^ "/" ^ policy.Policies.label;
+          device;
+          policy = policy.Policies.policy;
+          source = (Catalog.find workload).Catalog.circuit;
+        })
+      entries
+  in
+  let outcomes = Recompiler.run ~jobs tasks in
+  let seconds =
+    List.fold_left (fun acc o -> acc +. o.Recompiler.seconds) 0.0 outcomes
+  in
+  ( List.map2
+      (fun (workload, policy) outcome ->
+        match outcome.Recompiler.plan with
+        | Ok plan -> (workload, policy, plan)
+        | Error message ->
+          failwith
+            (Printf.sprintf "bench drift: %s/%s failed to compile: %s"
+               workload policy.Policies.label message))
+      entries outcomes,
+    seconds )
+
+let run_drift_bench args =
+  let days = ref 52 in
+  let threshold = ref Retention.default.Retention.threshold in
+  let jobs = ref 1 in
+  let out = ref "BENCH_drift.json" in
+  let usage =
+    "usage: bench drift [--days N] [--threshold LOSS] [--jobs N] [--out FILE]"
+  in
+  let rec parse = function
+    | [] -> Ok ()
+    | "--days" :: v :: rest -> begin
+      match int_of_string_opt v with
+      | Some n when n >= 2 ->
+        days := n;
+        parse rest
+      | _ -> Error (Printf.sprintf "--days: need an integer >= 2, got %S" v)
+    end
+    | "--threshold" :: v :: rest -> begin
+      match float_of_string_opt v with
+      | Some f ->
+        threshold := f;
+        parse rest
+      | None -> Error (Printf.sprintf "--threshold: bad float %S" v)
+    end
+    | "--jobs" :: v :: rest -> begin
+      match int_of_string_opt v with
+      | Some n when n >= 1 ->
+        jobs := n;
+        parse rest
+      | _ -> Error (Printf.sprintf "--jobs: bad worker count %S" v)
+    end
+    | "--out" :: v :: rest ->
+      out := v;
+      parse rest
+    | other :: _ -> Error (Printf.sprintf "unknown argument %S\n%s" other usage)
+  in
+  match parse args with
+  | Error message ->
+    prerr_endline ("bench drift: " ^ message);
+    2
+  | Ok () ->
+    let ctx = Context.default in
+    let history_days = History.days ctx.Context.history in
+    if !days > history_days then begin
+      Printf.eprintf "bench drift: --days %d exceeds the %d-day history\n"
+        !days history_days;
+      2
+    end
+    else begin
+      let policy = { Retention.threshold = !threshold } in
+      let device_on day =
+        Device.with_calibration ctx.Context.q20 (History.day ctx.Context.history day)
+      in
+      let matrix =
+        List.concat_map
+          (fun (entry : Catalog.entry) ->
+            List.map (fun p -> (entry.Catalog.name, p)) Policies.all)
+          Catalog.all
+      in
+      let total = List.length matrix in
+      Printf.printf
+        "Drift bench: %d plans (catalog x policies), %d days, threshold %g, \
+         jobs %d\n\n%!"
+        total !days !threshold !jobs;
+      let seeded, _ = drift_compile ~jobs:!jobs (device_on 0) matrix in
+      let cache =
+        ref
+          (List.map
+             (fun (w, p, plan) ->
+               { de_workload = w; de_policy = p; de_compile_day = 0; de_plan = plan })
+             seeded)
+      in
+      let rows = ref [] in
+      for day = 1 to !days - 1 do
+        let after = device_on day in
+        let verdicts =
+          List.map
+            (fun entry ->
+              let physical = entry.de_plan.Compiler.physical in
+              let retain =
+                if Retention.wholesale policy then false
+                else begin
+                  let score =
+                    Staleness.score ~before:(device_on entry.de_compile_day)
+                      ~after physical
+                  in
+                  match Retention.decide policy score with
+                  | Retention.Recompile -> false
+                  | Retention.Retain ->
+                    not
+                      (Vqc_diag.Diagnostic.has_errors
+                         (Retention.reverify ~device:after
+                            ~source:(Catalog.find entry.de_workload).Catalog.circuit
+                            ~physical
+                            ~initial:(Layout.assignment entry.de_plan.Compiler.initial)
+                            ~final:(Layout.assignment entry.de_plan.Compiler.final)
+                            ~swaps:
+                              entry.de_plan.Compiler.stats.Router.swaps_inserted))
+                end
+              in
+              (entry, retain))
+            !cache
+        in
+        let retained = List.filter_map (fun (e, r) -> if r then Some e else None) verdicts in
+        let demoted = List.filter_map (fun (e, r) -> if r then None else Some e) verdicts in
+        let key e = (e.de_workload, e.de_policy) in
+        let fresh_demoted, recompile_seconds =
+          drift_compile ~jobs:!jobs after (List.map key demoted)
+        in
+        (* price what retention kept: compile the retained plans fresh
+           too (time we would have spent; PST we might have gained) *)
+        let fresh_retained, saved_seconds =
+          drift_compile ~jobs:!jobs after (List.map key retained)
+        in
+        let losses =
+          List.map2
+            (fun entry (_, _, fresh) ->
+              1.
+              -. Reliability.pst after entry.de_plan.Compiler.physical
+                 /. Reliability.pst after fresh.Compiler.physical)
+            retained fresh_retained
+        in
+        let mean = function
+          | [] -> 0.
+          | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+        in
+        rows :=
+          {
+            dd_day = day;
+            dd_retained = List.length retained;
+            dd_recompiled = List.length demoted;
+            dd_mean_loss = mean losses;
+            dd_max_loss = List.fold_left Float.max 0. losses;
+            dd_recompile_seconds = recompile_seconds;
+            dd_saved_seconds = saved_seconds;
+          }
+          :: !rows;
+        cache :=
+          retained
+          @ List.map
+              (fun (w, p, plan) ->
+                { de_workload = w; de_policy = p; de_compile_day = day; de_plan = plan })
+              fresh_demoted
+      done;
+      let rows = List.rev !rows in
+      List.iter
+        (fun row ->
+          Printf.printf
+            "day %2d: retained %3d/%d (%.2f)  recompiled %3d  mean loss \
+             %.4f  max loss %.4f  (%.2fs spent, %.2fs saved)\n%!"
+            row.dd_day row.dd_retained total
+            (float_of_int row.dd_retained /. float_of_int total)
+            row.dd_recompiled row.dd_mean_loss row.dd_max_loss
+            row.dd_recompile_seconds row.dd_saved_seconds)
+        rows;
+      let mean f =
+        List.fold_left (fun acc row -> acc +. f row) 0. rows
+        /. float_of_int (List.length rows)
+      in
+      let sum f = List.fold_left (fun acc row -> acc +. f row) 0. rows in
+      let mean_fraction =
+        mean (fun r -> float_of_int r.dd_retained /. float_of_int total)
+      in
+      Printf.printf
+        "\nmean retained fraction: %.3f  mean PST loss (retained): %.4f  \
+         recompile time saved: %.2fs of %.2fs\n"
+        mean_fraction
+        (mean (fun r -> r.dd_mean_loss))
+        (sum (fun r -> r.dd_saved_seconds))
+        (sum (fun r -> r.dd_saved_seconds +. r.dd_recompile_seconds));
+      let json =
+        Json.Obj
+          [
+            ("bench", Json.String "drift");
+            ("threshold", Json.Float !threshold);
+            ("days", Json.Int !days);
+            ("plans", Json.Int total);
+            ( "rows",
+              Json.List
+                (List.map
+                   (fun row ->
+                     Json.Obj
+                       [
+                         ("day", Json.Int row.dd_day);
+                         ("retained", Json.Int row.dd_retained);
+                         ("recompiled", Json.Int row.dd_recompiled);
+                         ( "retained_fraction",
+                           Json.Float
+                             (float_of_int row.dd_retained /. float_of_int total)
+                         );
+                         ("mean_pst_loss", Json.Float row.dd_mean_loss);
+                         ("max_pst_loss", Json.Float row.dd_max_loss);
+                         ( "nd",
+                           Json.Obj
+                             [
+                               ( "recompile_seconds",
+                                 Json.Float row.dd_recompile_seconds );
+                               ("saved_seconds", Json.Float row.dd_saved_seconds);
+                             ] );
+                       ])
+                   rows) );
+            ("mean_retained_fraction", Json.Float mean_fraction);
+            ("mean_pst_loss", Json.Float (mean (fun r -> r.dd_mean_loss)));
+            ( "nd",
+              Json.Obj
+                [
+                  ( "total_recompile_seconds",
+                    Json.Float (sum (fun r -> r.dd_recompile_seconds)) );
+                  ( "total_saved_seconds",
+                    Json.Float (sum (fun r -> r.dd_saved_seconds)) );
+                ] );
+          ]
+      in
+      Out_channel.with_open_text !out (fun channel ->
+          Out_channel.output_string channel (Json.to_string json);
+          Out_channel.output_char channel '\n');
+      Printf.printf "wrote %s\n%!" !out;
+      0
+    end
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "estimator" :: rest -> exit (run_estimator_bench rest)
   | _ :: "compile" :: rest -> exit (run_compile_bench rest)
   | _ :: "kernels" :: rest -> exit (run_kernels_bench rest)
+  | _ :: "drift" :: rest -> exit (run_drift_bench rest)
   | argv ->
     let skip_perf = List.mem "--no-perf" argv in
     regenerate_artifacts ();

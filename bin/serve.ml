@@ -89,10 +89,10 @@ let serve service ~batch =
     queued := 0;
     flush stdout
   in
-  let ack op =
+  let ack ?migration op =
     emit
       (Protocol.Control_ack
-         { op; epoch = Epoch.current (Service.epoch_manager service) });
+         { op; epoch = Epoch.current (Service.epoch_manager service); migration });
     flush stdout
   in
   let rec loop () =
@@ -109,12 +109,12 @@ let serve service ~batch =
       | Ok (Protocol.Control Protocol.Advance_epoch) ->
         (* plans queued against the old epoch compile against it *)
         flush_slots ();
-        ignore (Service.advance_epoch service);
-        ack "advance_epoch"
+        let _, migration = Service.advance_epoch service in
+        ack ~migration "advance_epoch"
       | Ok (Protocol.Control (Protocol.Set_epoch epoch)) ->
         flush_slots ();
         (match Service.set_epoch service epoch with
-        | () -> ack "set_epoch"
+        | migration -> ack ~migration "set_epoch"
         | exception Invalid_argument message ->
           emit (Protocol.Failed { id = None; error = message });
           flush stdout)
@@ -133,8 +133,8 @@ let serve service ~batch =
   in
   loop ()
 
-let run jobs batch queue_depth cache_capacity no_cache verify seed days
-    csv_files metrics trace =
+let run jobs batch queue_depth cache_capacity no_cache verify drift_threshold
+    seed days csv_files metrics trace =
   let ( let* ) r f = Result.bind r f in
   let checked =
     let* jobs =
@@ -163,6 +163,10 @@ let run jobs batch queue_depth cache_capacity no_cache verify seed days
           cache_enabled = not no_cache;
           queue_limit = queue_depth;
           verify;
+          drift =
+            Option.map
+              (fun threshold -> { Vqc_drift.Retention.threshold })
+              drift_threshold;
         }
       in
       let execute () =
@@ -213,6 +217,20 @@ let verify_term =
      Deterministic response fields of valid plans are unchanged."
   in
   Arg.(value & flag & info [ "verify" ] ~doc)
+
+let drift_threshold_term =
+  let doc =
+    "Selective epoch invalidation: on an epoch move, retain cached \
+     plans whose predicted relative PST change against the new \
+     calibration stays within $(docv) (re-verified statically), and \
+     recompile the rest in the background.  0 reproduces the default \
+     wholesale flush byte-identically.  Epoch-advance acks report the \
+     retained/reverified/recompiled/invalidated tally either way."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "drift-threshold" ] ~docv:"LOSS" ~doc)
 
 let seed_term =
   let doc = "Seed for the synthetic calibration history." in
@@ -287,7 +305,8 @@ let cmd =
     (Cmd.info "vqc-serve" ~doc ~man)
     Term.(
       const run $ jobs_term $ batch_term $ queue_depth_term
-      $ cache_capacity_term $ no_cache_term $ verify_term $ seed_term
-      $ days_term $ csv_term $ metrics_term $ trace_term)
+      $ cache_capacity_term $ no_cache_term $ verify_term
+      $ drift_threshold_term $ seed_term $ days_term $ csv_term
+      $ metrics_term $ trace_term)
 
 let () = exit (Cmd.eval' cmd)

@@ -14,6 +14,7 @@ let allowed_wall_clock =
     "lib/engine/pool.ml";
     "lib/sim/monte_carlo.ml";
     "lib/service/service.ml";
+    "lib/drift/recompiler.ml";
     "bench/main.ml";
   ]
 

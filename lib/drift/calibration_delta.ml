@@ -1,0 +1,132 @@
+module Calibration = Vqc_device.Calibration
+
+type link = {
+  u : int;
+  v : int;
+  error_before : float;
+  error_after : float;
+}
+
+type qubit = {
+  index : int;
+  before : Calibration.qubit;
+  after : Calibration.qubit;
+}
+
+type t = {
+  delta_qubits : qubit array;
+  delta_links : link array;  (** sorted by [(u, v)] *)
+  link_index : (int * int, int) Hashtbl.t;  (** (u, v) with u < v → array slot *)
+}
+
+let compute before after =
+  let n = Calibration.num_qubits before in
+  if Calibration.num_qubits after <> n then
+    invalid_arg
+      (Printf.sprintf
+         "Calibration_delta.compute: qubit counts differ (%d vs %d)" n
+         (Calibration.num_qubits after));
+  let before_links = Calibration.links before in
+  let after_links = Calibration.links after in
+  if
+    List.map (fun (u, v, _) -> (u, v)) before_links
+    <> List.map (fun (u, v, _) -> (u, v)) after_links
+  then invalid_arg "Calibration_delta.compute: coupler sets differ";
+  let delta_links =
+    Array.of_list
+      (List.map2
+         (fun (u, v, error_before) (_, _, error_after) ->
+           { u; v; error_before; error_after })
+         before_links after_links)
+  in
+  let link_index = Hashtbl.create (Array.length delta_links) in
+  Array.iteri
+    (fun slot link -> Hashtbl.replace link_index (link.u, link.v) slot)
+    delta_links;
+  {
+    delta_qubits =
+      Array.init n (fun index ->
+          {
+            index;
+            before = Calibration.qubit before index;
+            after = Calibration.qubit after index;
+          });
+    delta_links;
+    link_index;
+  }
+
+let num_qubits t = Array.length t.delta_qubits
+let links t = Array.to_list t.delta_links
+let qubits t = Array.to_list t.delta_qubits
+
+let link_delta t u v =
+  let key = (min u v, max u v) in
+  match Hashtbl.find_opt t.link_index key with
+  | Some slot ->
+    let link = t.delta_links.(slot) in
+    link.error_after -. link.error_before
+  | None -> raise Not_found
+
+let readout_delta t q =
+  if q < 0 || q >= Array.length t.delta_qubits then
+    invalid_arg (Printf.sprintf "Calibration_delta.readout_delta: qubit %d" q);
+  let { before; after; _ } = t.delta_qubits.(q) in
+  after.Calibration.error_readout -. before.Calibration.error_readout
+
+type norms = {
+  l1 : float;
+  l2 : float;
+  linf : float;
+}
+
+let norms_of deltas =
+  Array.fold_left
+    (fun acc delta ->
+      let a = Float.abs delta in
+      { l1 = acc.l1 +. a; l2 = acc.l2 +. (a *. a); linf = Float.max acc.linf a })
+    { l1 = 0.0; l2 = 0.0; linf = 0.0 }
+    deltas
+  |> fun n -> { n with l2 = sqrt n.l2 }
+
+let link_error_norms t =
+  norms_of
+    (Array.map (fun link -> link.error_after -. link.error_before) t.delta_links)
+
+let qubit_norms t figure =
+  norms_of (Array.map (fun q -> figure q.before q.after) t.delta_qubits)
+
+let readout_norms t =
+  qubit_norms t (fun b a ->
+      a.Calibration.error_readout -. b.Calibration.error_readout)
+
+(* T1/T2 are tens-of-microseconds quantities; the comparable drift figure
+   is relative.  A non-positive "before" would make the ratio meaningless,
+   but the calibration model never emits one (and VQC107 rejects it). *)
+let relative before after = (after -. before) /. before
+
+let t1_norms t =
+  qubit_norms t (fun b a -> relative b.Calibration.t1_us a.Calibration.t1_us)
+
+let t2_norms t =
+  qubit_norms t (fun b a -> relative b.Calibration.t2_us a.Calibration.t2_us)
+
+let is_zero t =
+  Array.for_all (fun l -> l.error_after = l.error_before) t.delta_links
+  && Array.for_all
+       (fun q ->
+         let b = q.before and a = q.after in
+         b.Calibration.t1_us = a.Calibration.t1_us
+         && b.Calibration.t2_us = a.Calibration.t2_us
+         && b.Calibration.error_1q = a.Calibration.error_1q
+         && b.Calibration.error_readout = a.Calibration.error_readout)
+       t.delta_qubits
+
+let pp ppf t =
+  let le = link_error_norms t in
+  let ro = readout_norms t in
+  Format.fprintf ppf
+    "delta over %d qubits / %d links: 2q |d|max %.2e l1 %.2e, readout \
+     |d|max %.2e"
+    (num_qubits t)
+    (Array.length t.delta_links)
+    le.linf le.l1 ro.linf

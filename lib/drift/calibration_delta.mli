@@ -1,0 +1,78 @@
+(** Deterministic diff between two calibrations of the same device.
+
+    The paper's runtime model treats a calibration update as an opaque
+    event: everything recompiles (Section 6, footnote 2).  The drift
+    pipeline instead asks {e what actually moved}: per-link two-qubit
+    error deltas, per-qubit T1/T2/readout deltas, and summary norms over
+    them.  A delta is a pure function of its two calibrations — equal
+    inputs give equal deltas, field for field — which is what lets the
+    staleness scores, retention decisions and bench artifacts built on
+    top stay byte-reproducible.
+
+    Both calibrations must describe the same machine: identical qubit
+    count and identical coupler set.  (Epoch rotations satisfy this by
+    construction — a {!Vqc_device.History} varies figures over a fixed
+    topology.) *)
+
+(** One coupler's two-qubit error on both sides of the update. *)
+type link = {
+  u : int;
+  v : int;  (** [u < v], as in {!Vqc_device.Calibration.links} *)
+  error_before : float;
+  error_after : float;
+}
+
+(** One qubit's figures on both sides of the update. *)
+type qubit = {
+  index : int;
+  before : Vqc_device.Calibration.qubit;
+  after : Vqc_device.Calibration.qubit;
+}
+
+type t
+
+val compute : Vqc_device.Calibration.t -> Vqc_device.Calibration.t -> t
+(** [compute before after] diffs two calibrations of one machine.
+    @raise Invalid_argument if the qubit counts or coupler sets differ. *)
+
+val num_qubits : t -> int
+
+val links : t -> link list
+(** All couplers as [(u, v)] pairs with [u < v], sorted. *)
+
+val qubits : t -> qubit list
+(** All qubits in index order. *)
+
+val link_delta : t -> int -> int -> float
+(** [link_delta t u v] is [error_after -. error_before] of a coupler
+    (operand order irrelevant).
+    @raise Not_found if [(u, v)] is not a coupler. *)
+
+val readout_delta : t -> int -> float
+(** Readout-error change of one qubit.
+    @raise Invalid_argument when out of range. *)
+
+(** Summary norms over a family of per-entry deltas. *)
+type norms = {
+  l1 : float;  (** sum of absolute deltas *)
+  l2 : float;  (** Euclidean norm of the deltas *)
+  linf : float;  (** largest absolute delta *)
+}
+
+val link_error_norms : t -> norms
+(** Norms over the absolute two-qubit error deltas (one per coupler). *)
+
+val readout_norms : t -> norms
+(** Norms over the absolute readout-error deltas (one per qubit). *)
+
+val t1_norms : t -> norms
+val t2_norms : t -> norms
+(** Norms over the {e relative} coherence-time changes,
+    [(after - before) / before] — T1/T2 live on a microsecond scale, so
+    relative drift is the comparable figure. *)
+
+val is_zero : t -> bool
+(** Whether nothing moved at all (every delta exactly zero). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary of the norms, for traces and error messages. *)

@@ -1,0 +1,67 @@
+module Compiler = Vqc_mapper.Compiler
+module Pool = Vqc_engine.Pool
+module Metrics = Vqc_obs.Metrics
+module Trace = Vqc_obs.Trace
+module Json = Vqc_obs.Json
+
+type task = {
+  id : string;
+  device : Vqc_device.Device.t;
+  policy : Compiler.policy;
+  source : Vqc_circuit.Circuit.t;
+}
+
+type outcome = {
+  task : task;
+  plan : (Compiler.compiled, string) result;
+  seconds : float;
+}
+
+let recompiles = Metrics.counter "drift.recompiles"
+let failures = Metrics.counter "drift.recompile_failures"
+
+(* Worker-side: pure data, no metrics (counters are bumped serially
+   after the fan-in, like the service's compile phase). *)
+let compile_task task =
+  let start = Unix.gettimeofday () in
+  let plan =
+    match Compiler.compile task.device task.policy task.source with
+    | compiled -> Ok compiled
+    | exception Vqc_check.Verify.Invalid_plan diagnostics ->
+      Error
+        (String.concat "; "
+           (List.map Vqc_diag.Diagnostic.to_string diagnostics))
+    | exception (Invalid_argument message | Failure message) -> Error message
+  in
+  { task; plan; seconds = Unix.gettimeofday () -. start }
+
+let run ?pool ?(jobs = 1) tasks =
+  if tasks = [] then []
+  else begin
+    let fan pool = Pool.map pool ~f:(fun _ task -> compile_task task) tasks in
+    let outcomes =
+      match pool with
+      | Some pool -> fan pool
+      | None -> Pool.with_pool ~jobs fan
+    in
+    let failed =
+      List.length
+        (List.filter (fun o -> Result.is_error o.plan) outcomes)
+    in
+    Metrics.add recompiles (List.length outcomes);
+    Metrics.add failures failed;
+    if Trace.enabled () then
+      Trace.emit ~source:"drift" ~event:"recompile"
+        ~nd:
+          [
+            ( "seconds",
+              Json.Float
+                (List.fold_left (fun acc o -> acc +. o.seconds) 0.0 outcomes)
+            );
+          ]
+        [
+          ("tasks", Json.Int (List.length outcomes));
+          ("failures", Json.Int failed);
+        ];
+    outcomes
+  end

@@ -1,0 +1,39 @@
+(** Background selective recompilation over the worker pool.
+
+    The demoted plans of a retention pass recompile {e behind} the
+    response path: the epoch has already advanced and requests already
+    resolve against the new calibration; this pass just re-warms the
+    cache so the first request for each demoted plan finds a hit instead
+    of paying a cold compile.  Because the compiler is deterministic and
+    cache temperature is quarantined under ["nd"], whether a plan was
+    recompiled here or on first request is invisible in any
+    deterministic response field.
+
+    Tasks fan out over {!Vqc_engine.Pool} keyed by list order, so the
+    outcome list is deterministic for any worker count — the same
+    contract every other fan-out in the tree honors. *)
+
+type task = {
+  id : string;
+      (** caller's stable identifier (e.g. the cache-key rendering);
+          carried through to the outcome *)
+  device : Vqc_device.Device.t;  (** carries the new calibration *)
+  policy : Vqc_mapper.Compiler.policy;
+  source : Vqc_circuit.Circuit.t;
+}
+
+type outcome = {
+  task : task;
+  plan : (Vqc_mapper.Compiler.compiled, string) result;
+      (** [Error message] when the compiler rejects the task (including
+          a rejection by an installed plan check) *)
+  seconds : float;  (** wall-clock compile time; report under ["nd"] only *)
+}
+
+val run : ?pool:Vqc_engine.Pool.t -> ?jobs:int -> task list -> outcome list
+(** Compile every task against its device, in parallel, returning
+    outcomes in task order.  [pool] reuses a caller's pool; otherwise a
+    fresh pool of [jobs] workers (default 1) runs the batch.  Counts
+    [drift.recompiles] / [drift.recompile_failures] in
+    {!Vqc_obs.Metrics} (outside the worker domains) and emits one
+    ["recompile"] trace event per batch. *)

@@ -1,0 +1,88 @@
+module Circuit = Vqc_circuit.Circuit
+module Gate = Vqc_circuit.Gate
+module Device = Vqc_device.Device
+module Reliability = Vqc_sim.Reliability
+
+type score = {
+  footprint_links : (int * int) list;
+  footprint_qubits : int list;
+  max_link_drift : float;
+  max_readout_drift : float;
+  before : Reliability.breakdown;
+  after : Reliability.breakdown;
+}
+
+module Pair_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+module Int_set = Set.Make (Int)
+
+let footprint circuit =
+  let links, qubits =
+    List.fold_left
+      (fun (links, qubits) gate ->
+        match gate with
+        | Gate.Cnot { control = u; target = v } | Gate.Swap (u, v) ->
+          ( Pair_set.add (min u v, max u v) links,
+            Int_set.add u (Int_set.add v qubits) )
+        | Gate.One_qubit (_, q) | Gate.Measure { qubit = q; _ } ->
+          (links, Int_set.add q qubits)
+        | Gate.Barrier _ -> (links, qubits))
+      (Pair_set.empty, Int_set.empty)
+      (Circuit.gates circuit)
+  in
+  (Pair_set.elements links, Int_set.elements qubits)
+
+let measured_qubits circuit =
+  List.fold_left
+    (fun acc gate ->
+      match gate with
+      | Gate.Measure { qubit; _ } -> Int_set.add qubit acc
+      | _ -> acc)
+    Int_set.empty (Circuit.gates circuit)
+  |> Int_set.elements
+
+let score ~before ~after physical =
+  let delta =
+    Calibration_delta.compute
+      (Device.calibration before)
+      (Device.calibration after)
+  in
+  let footprint_links, footprint_qubits = footprint physical in
+  let max_link_drift =
+    List.fold_left
+      (fun acc (u, v) ->
+        Float.max acc (Float.abs (Calibration_delta.link_delta delta u v)))
+      0.0 footprint_links
+  in
+  let max_readout_drift =
+    List.fold_left
+      (fun acc q ->
+        Float.max acc (Float.abs (Calibration_delta.readout_delta delta q)))
+      0.0 (measured_qubits physical)
+  in
+  {
+    footprint_links;
+    footprint_qubits;
+    max_link_drift;
+    max_readout_drift;
+    before = Reliability.analyze before physical;
+    after = Reliability.analyze after physical;
+  }
+
+let loss score =
+  1.0 -. (score.after.Reliability.pst /. score.before.Reliability.pst)
+
+let staleness score = Float.abs (loss score)
+
+let pp ppf score =
+  Format.fprintf ppf
+    "staleness %.4f (pst %.4f -> %.4f, %d links, 2q drift %.2e, readout \
+     drift %.2e)"
+    (staleness score) score.before.Reliability.pst
+    score.after.Reliability.pst
+    (List.length score.footprint_links)
+    score.max_link_drift score.max_readout_drift

@@ -1,0 +1,68 @@
+(** Per-plan staleness: how much a compiled plan's predicted PST moved
+    under a calibration update, judged only on the hardware the plan
+    actually touches.
+
+    A routed plan commits to a concrete set of physical qubits and
+    couplers — the {e footprint} of its physical gate stream (the
+    SWAP-tracked permutation is already baked into that stream, so the
+    footprint needs no layout bookkeeping).  When a new calibration is
+    published, links outside the footprint cannot change what the plan
+    delivers; links inside it can.  The score therefore re-derives the
+    plan's predicted PST under both calibrations with
+    {!Vqc_sim.Reliability.analyze} — the same ESP decomposition
+    (1q / 2q / measurement / coherence) the estimator validates — and
+    reports the relative change, alongside the {!Calibration_delta}
+    restricted to the footprint.
+
+    Everything here is deterministic: equal devices and circuits give
+    bit-equal scores. *)
+
+(** The score of one plan under one calibration update. *)
+type score = {
+  footprint_links : (int * int) list;
+      (** couplers carrying a CNOT or SWAP of the plan, [(u, v)] with
+          [u < v], sorted *)
+  footprint_qubits : int list;
+      (** physical qubits touched by any non-barrier gate, sorted *)
+  max_link_drift : float;
+      (** largest absolute two-qubit error delta over the footprint links *)
+  max_readout_drift : float;
+      (** largest absolute readout-error delta over the measured qubits *)
+  before : Vqc_sim.Reliability.breakdown;
+      (** predicted PST under the calibration the plan was compiled
+          against *)
+  after : Vqc_sim.Reliability.breakdown;
+      (** predicted PST under the new calibration *)
+}
+
+val footprint : Vqc_circuit.Circuit.t -> (int * int) list * int list
+(** [(links, qubits)] of a physical circuit: the couplers under its
+    two-qubit gates and the qubits under any non-barrier gate. *)
+
+val measured_qubits : Vqc_circuit.Circuit.t -> int list
+(** Physical qubits read by a measurement, sorted. *)
+
+val score :
+  before:Vqc_device.Device.t ->
+  after:Vqc_device.Device.t ->
+  Vqc_circuit.Circuit.t ->
+  score
+(** Score one physical circuit across a calibration update.  [before]
+    is the device the plan was compiled against, [after] the device
+    carrying the new calibration (same topology).
+    @raise Invalid_argument if the two devices disagree on qubit count
+    or coupler set. *)
+
+val loss : score -> float
+(** Predicted {e relative} PST loss of running the stale plan on the new
+    calibration: [1 - after.pst / before.pst].  Negative when the
+    footprint improved. *)
+
+val staleness : score -> float
+(** The scalar the retention threshold cuts on: [abs (loss score)] — the
+    magnitude of the predicted relative PST change.  [0] exactly when
+    the footprint's predicted PST is unchanged; drift in either
+    direction (degraded links {e or} improved ones that make the old
+    trade-offs obsolete) counts. *)
+
+val pp : Format.formatter -> score -> unit

@@ -1,0 +1,6 @@
+(** The retention/recompilation trade-off behind {!Vqc_drift}: compile
+    plans on one history day, score them against the next, and price
+    each retention threshold in retained fraction and PST given up
+    versus a wholesale recompile. *)
+
+val run : Format.formatter -> Context.t -> unit

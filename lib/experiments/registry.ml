@@ -34,6 +34,7 @@ let all =
     { id = "ext-sabre"; title = "extension: SABRE-style routing"; run = Ablation.sabre };
     { id = "ext-alap"; title = "extension: ALAP scheduling"; run = Ablation.alap };
     { id = "ext-staleness"; title = "extension: stale-calibration study"; run = Ablation.staleness };
+    { id = "drift-retention"; title = "calibration drift: retention vs recompilation"; run = Drift_retention.run };
     { id = "ext-seeds"; title = "seed sweep (error bars)"; run = Ablation.seed_sweep };
   ]
 

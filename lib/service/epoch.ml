@@ -54,39 +54,75 @@ let fingerprint t epoch =
 let current_device t = device t (current t)
 let current_fingerprint t = fingerprint t (current t)
 
-(* Invalidation reproduces the paper's recompile-per-calibration
-   regime: after a calibration update only plans for the live
-   calibration survive; anything pinned to a superseded epoch will
-   recompile on its next request. *)
-let move t cache epoch =
-  let previous = locked t (fun () ->
-      let previous = t.current in
-      t.current <- epoch;
-      previous)
+let find_fingerprint t fp =
+  let rec scan i =
+    if i >= Array.length t.fingerprints then None
+    else if String.equal t.fingerprints.(i) fp then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+type migration = {
+  retained : int;
+  reverified : int;
+  recompiled : int;
+  invalidated : int;
+}
+
+let no_migration =
+  { retained = 0; reverified = 0; recompiled = 0; invalidated = 0 }
+
+type 'a migrate = previous:int -> current:int -> 'a Plan_cache.t -> migration
+
+(* Wholesale invalidation reproduces the paper's
+   recompile-per-calibration regime: after a calibration update only
+   plans for the live calibration survive; anything pinned to a
+   superseded epoch will recompile on its next request. *)
+let flush_superseded t cache epoch =
+  let live = t.fingerprints.(epoch) in
+  let dropped =
+    Plan_cache.retain cache (fun key -> key.Plan_cache.calibration_fp = live)
+  in
+  {
+    no_migration with
+    retained = Plan_cache.length cache;
+    invalidated = dropped;
+  }
+
+let move ?migrate t cache epoch =
+  let previous =
+    locked t (fun () ->
+        let previous = t.current in
+        t.current <- epoch;
+        previous)
   in
   Metrics.incr advances;
   Metrics.set current_gauge (float_of_int epoch);
-  let live = t.fingerprints.(epoch) in
-  let dropped =
+  let migration =
     match cache with
-    | Some cache ->
-      Plan_cache.retain cache (fun key ->
-          key.Plan_cache.calibration_fp = live)
-    | None -> 0
+    | None -> no_migration
+    | Some cache -> (
+      match migrate with
+      | Some migrate -> migrate ~previous ~current:epoch cache
+      | None -> flush_superseded t cache epoch)
   in
   if Trace.enabled () then
     Trace.emit ~source:"service" ~event:"epoch_advance"
       [
         ("from", Vqc_obs.Json.Int previous);
         ("to", Vqc_obs.Json.Int epoch);
-        ("invalidated", Vqc_obs.Json.Int dropped);
-      ]
+        ("retained", Vqc_obs.Json.Int migration.retained);
+        ("reverified", Vqc_obs.Json.Int migration.reverified);
+        ("recompiled", Vqc_obs.Json.Int migration.recompiled);
+        ("invalidated", Vqc_obs.Json.Int migration.invalidated);
+      ];
+  migration
 
-let advance t cache =
+let advance ?migrate t cache =
   let next = (current t + 1) mod epochs t in
-  move t cache next;
-  next
+  let migration = move ?migrate t cache next in
+  (next, migration)
 
-let set t cache epoch =
+let set ?migrate t cache epoch =
   check t epoch;
-  move t cache epoch
+  move ?migrate t cache epoch

@@ -43,13 +43,38 @@ val fingerprint : t -> int -> string
 val current_device : t -> Vqc_device.Device.t
 val current_fingerprint : t -> string
 
-val advance : t -> 'a Plan_cache.t option -> int
-(** Rotate to the next epoch (wrapping) and, when a cache is supplied,
-    drop every plan not keyed by the new epoch's calibration
-    fingerprint.  Returns the new epoch index.  Counts
-    [service.epoch.advances] and sets the [service.epoch.current]
-    gauge. *)
+val find_fingerprint : t -> string -> int option
+(** Epoch index whose calibration fingerprint matches, if any — how a
+    drift migration recovers the compile-time device of a cached plan
+    from its cache key. *)
 
-val set : t -> 'a Plan_cache.t option -> int -> unit
+type migration = {
+  retained : int;  (** plans kept in the cache across the move *)
+  reverified : int;
+      (** retention candidates replayed through the static checker *)
+  recompiled : int;  (** plans recompiled in the background *)
+  invalidated : int;  (** plans dropped from the cache *)
+}
+
+val no_migration : migration
+
+type 'a migrate = previous:int -> current:int -> 'a Plan_cache.t -> migration
+(** Custom invalidation seam: called with the epoch indices of the move
+    and the cache, returns the migration tally to report.  The drift
+    pipeline ({!Vqc_drift}) plugs in here; when absent, the move takes
+    the wholesale path below. *)
+
+val advance : ?migrate:'a migrate -> t -> 'a Plan_cache.t option -> int * migration
+(** Rotate to the next epoch (wrapping) and, when a cache is supplied,
+    run the invalidation path: [migrate] when given, otherwise the
+    wholesale flush that drops every plan not keyed by the new epoch's
+    calibration fingerprint (the paper's recompile-per-calibration
+    regime).  Returns the new epoch index and the migration tally.
+    Counts [service.epoch.advances] and sets the
+    [service.epoch.current] gauge.  With a single epoch the rotation
+    wraps to itself and the wholesale path invalidates nothing: every
+    plan is keyed by the still-live calibration. *)
+
+val set : ?migrate:'a migrate -> t -> 'a Plan_cache.t option -> int -> migration
 (** Jump to a specific epoch (same invalidation rule as {!advance}).
     @raise Invalid_argument when the epoch is out of range. *)

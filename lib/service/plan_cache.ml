@@ -13,12 +13,13 @@ let hits = Metrics.counter "service.cache.hits"
 let misses = Metrics.counter "service.cache.misses"
 let evictions = Metrics.counter "service.cache.evictions"
 let invalidated = Metrics.counter "service.cache.invalidated"
-let entries = Metrics.gauge "service.cache.entries"
+let retained = Metrics.counter "service.cache.retained"
+let entries_gauge = Metrics.gauge "service.cache.entries"
 
 (* Classic intrusive doubly-linked LRU list over a hash table: [head]
    is the most recently used entry, [tail] the eviction candidate. *)
 type 'a node = {
-  node_key : key;
+  mutable node_key : key;  (** mutable so {!migrate} can re-key in place *)
   mutable value : 'a;
   mutable prev : 'a node option;  (** toward head (more recent) *)
   mutable next : 'a node option;  (** toward tail (less recent) *)
@@ -102,7 +103,7 @@ let insert t key value =
         let node = { node_key = key; value; prev = None; next = None } in
         Hashtbl.replace t.table key node;
         push_front t node);
-      Metrics.set entries (float_of_int (Hashtbl.length t.table)))
+      Metrics.set entries_gauge (float_of_int (Hashtbl.length t.table)))
 
 let retain t keep =
   locked t (fun () ->
@@ -118,7 +119,59 @@ let retain t keep =
         victims;
       let dropped = List.length victims in
       Metrics.add invalidated dropped;
-      Metrics.set entries (float_of_int (Hashtbl.length t.table));
+      Metrics.add retained (Hashtbl.length t.table);
+      Metrics.set entries_gauge (float_of_int (Hashtbl.length t.table));
       dropped)
 
 let clear t = ignore (retain t (fun _ -> false))
+
+let mem t key = locked t (fun () -> Hashtbl.mem t.table key)
+
+(* Walk the LRU list head -> tail: most recent first, a deterministic
+   function of the preceding request stream (unlike Hashtbl fold order,
+   which depends on bucket layout). *)
+let nodes_in_lru_order t =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some node -> walk (node :: acc) node.next
+  in
+  walk [] t.head
+
+let entries t =
+  locked t (fun () ->
+      List.map (fun node -> (node.node_key, node.value)) (nodes_in_lru_order t))
+
+type 'a migration = {
+  kept : int;
+  dropped : (key * 'a) list;
+}
+
+let migrate t ~decide =
+  locked t (fun () ->
+      let kept = ref 0 in
+      let dropped = ref [] in
+      List.iter
+        (fun node ->
+          match decide node.node_key node.value with
+          | Some key when key = node.node_key -> incr kept
+          | Some key when Hashtbl.mem t.table key ->
+            (* the target key already holds a (fresher) plan: the logical
+               entry survives, this stale copy goes *)
+            unlink t node;
+            Hashtbl.remove t.table node.node_key;
+            incr kept
+          | Some key ->
+            Hashtbl.remove t.table node.node_key;
+            node.node_key <- key;
+            Hashtbl.replace t.table key node;
+            incr kept
+          | None ->
+            unlink t node;
+            Hashtbl.remove t.table node.node_key;
+            dropped := (node.node_key, node.value) :: !dropped)
+        (nodes_in_lru_order t);
+      let dropped = List.rev !dropped in
+      Metrics.add invalidated (List.length dropped);
+      Metrics.add retained !kept;
+      Metrics.set entries_gauge (float_of_int (Hashtbl.length t.table));
+      { kept = !kept; dropped })

@@ -40,16 +40,44 @@ val find : 'a t -> key -> 'a option
 (** LRU-touching lookup.  Counts [service.cache.hits] or
     [service.cache.misses]. *)
 
+val mem : 'a t -> key -> bool
+(** Presence check that neither touches the LRU order nor counts a
+    hit/miss — for background passes that must not disturb the
+    request-driven cache temperature. *)
+
 val insert : 'a t -> key -> 'a -> unit
 (** Insert (or refresh) a plan; evicts the least-recently-used entry
     when the cache is full, counting [service.cache.evictions]. *)
 
 val retain : 'a t -> (key -> bool) -> int
 (** [retain t keep] drops every entry whose key fails [keep] and
-    returns the number dropped, counting [service.cache.invalidated].
+    returns the number dropped, counting [service.cache.invalidated]
+    for the victims and [service.cache.retained] for the survivors.
     Used by the epoch manager: on epoch advance, plans compiled against
     superseded calibrations are invalidated — the paper's
     recompile-per-calibration regime, realized as cache churn. *)
 
 val clear : 'a t -> unit
 (** Drop everything (counted as invalidations). *)
+
+val entries : 'a t -> (key * 'a) list
+(** Snapshot of the cache in LRU order (most recent first).  The order
+    is a deterministic function of the preceding request stream, unlike
+    a hash-table fold — selective invalidation walks this list so its
+    scoring/recompile order is reproducible. *)
+
+type 'a migration = {
+  kept : int;  (** entries that survived, re-keyed or not *)
+  dropped : (key * 'a) list;  (** evicted entries, in LRU order *)
+}
+
+val migrate : 'a t -> decide:(key -> 'a -> key option) -> 'a migration
+(** Selective epoch migration: walk every entry in LRU order and apply
+    [decide].  [Some key'] keeps the entry (re-keying it in place when
+    [key' <> key]; if [key'] is already occupied the stale duplicate is
+    dropped but still counted as kept, since the logical plan survives);
+    [None] evicts it.  Counts [service.cache.retained] /
+    [service.cache.invalidated] like {!retain}.
+
+    [decide] runs under the cache lock: it must not call back into the
+    cache (the mutex is not reentrant). *)

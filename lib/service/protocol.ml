@@ -188,9 +188,20 @@ type response =
   | Control_ack of {
       op : string;
       epoch : int;
+      migration : Epoch.migration option;
     }
 
 let id_field = function None -> [] | Some id -> [ ("id", id) ]
+
+let migration_fields = function
+  | None -> []
+  | Some m ->
+    [
+      ("retained", Json.Int m.Epoch.retained);
+      ("reverified", Json.Int m.Epoch.reverified);
+      ("recompiled", Json.Int m.Epoch.recompiled);
+      ("invalidated", Json.Int m.Epoch.invalidated);
+    ]
 
 (* The adaptive estimate is a deterministic function of the request
    (seeded), so it renders top-level, not under "nd". *)
@@ -272,11 +283,12 @@ let render response =
     | Failed { id; error } ->
       id_field id
       @ [ ("status", Json.String "error"); ("error", Json.String error) ]
-    | Control_ack { op; epoch } ->
+    | Control_ack { op; epoch; migration } ->
       [
         ("status", Json.String "ok");
         ("op", Json.String op);
         ("epoch", Json.Int epoch);
       ]
+      @ migration_fields migration
   in
   Json.to_string (Json.Obj fields)

@@ -118,6 +118,12 @@ type response =
   | Control_ack of {
       op : string;
       epoch : int;  (** the service's epoch after the operation *)
+      migration : Epoch.migration option;
+          (** for epoch moves, the cache-migration tally (retained /
+              reverified / recompiled / invalidated), rendered as four
+              integer fields; [None] (e.g. for [flush]) renders
+              nothing.  Deterministic: a pure function of the request
+              stream, epoch history and drift configuration. *)
     }
 
 val render : response -> string

@@ -14,6 +14,9 @@ module Trace = Vqc_obs.Trace
 module Json = Vqc_obs.Json
 module Verify = Vqc_check.Verify
 module Diagnostic = Vqc_diag.Diagnostic
+module Staleness = Vqc_drift.Staleness
+module Retention = Vqc_drift.Retention
+module Recompiler = Vqc_drift.Recompiler
 
 type config = {
   jobs : int;
@@ -21,6 +24,7 @@ type config = {
   cache_enabled : bool;
   queue_limit : int;
   verify : bool;
+  drift : Retention.policy option;
 }
 
 let default_config =
@@ -30,6 +34,7 @@ let default_config =
     cache_enabled = true;
     queue_limit = 64;
     verify = false;
+    drift = None;
   }
 
 let requests_total = Metrics.counter "service.requests"
@@ -41,12 +46,14 @@ let verify_checks_total = Metrics.counter "service.verify.checks"
 let verify_ok_total = Metrics.counter "service.verify.ok"
 let verify_rejected_total = Metrics.counter "service.verify.rejected"
 
-(* The cache payload keeps the routed circuit and final layout alongside
-   the wire plan so cache hits can be re-verified without recompiling. *)
+(* The cache payload keeps the source and routed circuits and the final
+   layout alongside the wire plan so cache hits can be re-verified — and
+   drift-demoted plans recompiled — without the original request. *)
 type cached = {
   plan : Protocol.plan;
   physical : Circuit.t;
   final : int array;
+  source : Circuit.t;
 }
 
 type t = {
@@ -80,8 +87,142 @@ let pending t = Admission.depth t.queue
 let cache_for_invalidation t =
   if t.service_config.cache_enabled then Some t.cache else None
 
-let advance_epoch t = Epoch.advance t.epoch (cache_for_invalidation t)
-let set_epoch t e = Epoch.set t.epoch (cache_for_invalidation t) e
+(* Shared by the request path and the drift recompiler: everything a
+   response needs, derived from one compiler result. *)
+let payload_of_compiled ~device ~source ~epoch_index ~(key : Plan_cache.key)
+    compiled =
+  let physical_stats = Circuit.stats compiled.Compiler.physical in
+  let plan =
+    {
+      Protocol.policy = key.Plan_cache.policy;
+      epoch = epoch_index;
+      qubits = Circuit.num_qubits source;
+      layout = Layout.assignment compiled.Compiler.initial;
+      swaps = compiled.Compiler.stats.Router.swaps_inserted;
+      gates = physical_stats.Circuit.total_gates;
+      depth = physical_stats.Circuit.depth;
+      log_reliability =
+        Compiler.log_gate_reliability device compiled.Compiler.physical;
+      circuit_fp = key.Plan_cache.circuit_fp;
+      calibration_fp = key.Plan_cache.calibration_fp;
+    }
+  in
+  {
+    plan;
+    physical = compiled.Compiler.physical;
+    final = Layout.assignment compiled.Compiler.final;
+    source;
+  }
+
+(* ---- drift-aware epoch migration ----------------------------------- *)
+
+(* Selective invalidation (Vqc_drift): score every cached plan against
+   the calibration it was compiled for, retain the ones whose predicted
+   PST moved less than the threshold (after re-verifying them against
+   the new device), and recompile the rest in the background.
+
+   Three phases, mirroring the flush pipeline's discipline:
+   scoring runs outside the cache lock (the reliability model is not a
+   [migrate] callback's business); the decision application is one
+   locked [Plan_cache.migrate] walk in LRU order; the demoted set fans
+   out over the worker pool keyed by that same order — so the final
+   cache state is a pure function of (request stream, epoch history,
+   drift policy), independent of worker count. *)
+let drift_migrate t policy ~previous:_ ~current cache =
+  let new_device = Epoch.device t.epoch current in
+  let new_fp = Epoch.fingerprint t.epoch current in
+  let reverified = ref 0 in
+  let decisions = Hashtbl.create 16 in
+  List.iter
+    (fun ((key : Plan_cache.key), payload) ->
+      let verdict =
+        if String.equal key.Plan_cache.calibration_fp new_fp then
+          (* compiled for the calibration that just went live *)
+          Some key
+        else begin
+          (* score against the plan's compile-time device — the payload
+             provenance, not the cache key, which may have been re-keyed
+             by an earlier retention *)
+          match
+            Epoch.find_fingerprint t.epoch payload.plan.Protocol.calibration_fp
+          with
+          | None -> None (* compile-time calibration left the rotation *)
+          | Some compile_epoch -> begin
+            let before = Epoch.device t.epoch compile_epoch in
+            let score =
+              Staleness.score ~before ~after:new_device payload.physical
+            in
+            match Retention.decide policy score with
+            | Retention.Recompile -> None
+            | Retention.Retain ->
+              incr reverified;
+              let diagnostics =
+                Retention.reverify ~device:new_device ~source:payload.source
+                  ~physical:payload.physical
+                  ~initial:payload.plan.Protocol.layout ~final:payload.final
+                  ~swaps:payload.plan.Protocol.swaps
+              in
+              if Diagnostic.has_errors diagnostics then None
+              else Some { key with Plan_cache.calibration_fp = new_fp }
+          end
+        end
+      in
+      Hashtbl.replace decisions key verdict)
+    (Plan_cache.entries cache);
+  let outcome =
+    Plan_cache.migrate cache ~decide:(fun key _ ->
+        Option.join (Hashtbl.find_opt decisions key))
+  in
+  let tasks =
+    List.filter_map
+      (fun ((key : Plan_cache.key), payload) ->
+        match Policies.find key.Plan_cache.policy with
+        | None -> None
+        | Some entry ->
+          Some
+            ( key,
+              {
+                Recompiler.id = Plan_cache.key_to_string key;
+                device = new_device;
+                policy = entry.Policies.policy;
+                source = payload.source;
+              } ))
+      outcome.Plan_cache.dropped
+  in
+  let outcomes = Recompiler.run ~pool:t.pool (List.map snd tasks) in
+  let recompiled = ref 0 in
+  List.iter2
+    (fun ((key : Plan_cache.key), task) outcome ->
+      match outcome.Recompiler.plan with
+      | Error _ -> () (* counted under drift.recompile_failures *)
+      | Ok compiled ->
+        incr recompiled;
+        let key' = { key with Plan_cache.calibration_fp = new_fp } in
+        Plan_cache.insert cache key'
+          (payload_of_compiled ~device:new_device ~source:task.Recompiler.source
+             ~epoch_index:current ~key:key' compiled))
+    tasks outcomes;
+  {
+    Epoch.retained = outcome.Plan_cache.kept;
+    reverified = !reverified;
+    recompiled = !recompiled;
+    invalidated = List.length outcome.Plan_cache.dropped;
+  }
+
+(* A wholesale policy (threshold <= 0) must be byte-identical to no
+   drift at all, so it simply never installs the migrate seam. *)
+let migrate_for t =
+  match t.service_config.drift with
+  | Some policy when not (Retention.wholesale policy) ->
+    Some (fun ~previous ~current cache ->
+        drift_migrate t policy ~previous ~current cache)
+  | Some _ | None -> None
+
+let advance_epoch t =
+  Epoch.advance ?migrate:(migrate_for t) t.epoch (cache_for_invalidation t)
+
+let set_epoch t e =
+  Epoch.set ?migrate:(migrate_for t) t.epoch (cache_for_invalidation t) e
 
 (* ---- request resolution -------------------------------------------- *)
 
@@ -190,29 +331,9 @@ let compile_plan ~verify prepared =
       prepared.circuit
   with
   | compiled ->
-    let physical_stats = Circuit.stats compiled.Compiler.physical in
-    let plan =
-      {
-        Protocol.policy = prepared.entry.Policies.label;
-        epoch = prepared.epoch_index;
-        qubits = Circuit.num_qubits prepared.circuit;
-        layout = Layout.assignment compiled.Compiler.initial;
-        swaps = compiled.Compiler.stats.Router.swaps_inserted;
-        gates = physical_stats.Circuit.total_gates;
-        depth = physical_stats.Circuit.depth;
-        log_reliability =
-          Compiler.log_gate_reliability prepared.device
-            compiled.Compiler.physical;
-        circuit_fp = prepared.key.Plan_cache.circuit_fp;
-        calibration_fp = prepared.key.Plan_cache.calibration_fp;
-      }
-    in
     let payload =
-      {
-        plan;
-        physical = compiled.Compiler.physical;
-        final = Layout.assignment compiled.Compiler.final;
-      }
+      payload_of_compiled ~device:prepared.device ~source:prepared.circuit
+        ~epoch_index:prepared.epoch_index ~key:prepared.key compiled
     in
     if not verify then (Plan payload, elapsed ())
     else begin
@@ -230,31 +351,13 @@ let compile_plan ~verify prepared =
   | exception (Invalid_argument message | Failure message) ->
     (Compile_error message, elapsed ())
 
-(* Re-verify a cache hit: the cached payload is reconstructed into a
-   verification subject against the device of the requested epoch (the
-   cache key pins the calibration fingerprint, so it is the same device
-   the plan was compiled for). *)
+(* Re-verify a cache hit against the device of the requested epoch —
+   the same replay a drift retention runs, so cache hits and retained
+   plans are held to one bar. *)
 let verify_cached prepared payload =
-  let physicals = Device.num_qubits prepared.device in
-  match
-    ( Layout.of_assignment ~physicals payload.plan.Protocol.layout,
-      Layout.of_assignment ~physicals payload.final )
-  with
-  | initial, final ->
-    Verify.check
-      {
-        Verify.device = prepared.device;
-        source = prepared.circuit;
-        physical = payload.physical;
-        initial;
-        final;
-        swaps_inserted = payload.plan.Protocol.swaps;
-      }
-  | exception Invalid_argument message ->
-    [
-      Diagnostic.errorf Diagnostic.code_malformed_plan
-        "cached plan carries a malformed layout: %s" message;
-    ]
+  Retention.reverify ~device:prepared.device ~source:prepared.circuit
+    ~physical:payload.physical ~initial:payload.plan.Protocol.layout
+    ~final:payload.final ~swaps:payload.plan.Protocol.swaps
 
 (* The estimate rider runs serially in admission order on the response
    path (the pool parallelizes the trial chunks *inside* each run), so

@@ -31,10 +31,19 @@ type config = {
           is served — fresh compiles {e and} cache hits.  A plan that
           fails verification becomes a [Protocol.Invalid] response and
           never enters the cache.  Counted under [service.verify.*]. *)
+  drift : Vqc_drift.Retention.policy option;
+      (** selective epoch invalidation: on an epoch move, score each
+          cached plan against its compile-time calibration
+          ({!Vqc_drift.Staleness}), retain the ones within the
+          threshold after re-verification, and recompile the demoted
+          rest in the background on the worker pool.  [None] — or a
+          {!Vqc_drift.Retention.wholesale} policy ([threshold <= 0]) —
+          keeps the paper's wholesale flush, byte-identically. *)
 }
 
 val default_config : config
-(** jobs 1, capacity 256, cache enabled, queue limit 64, verify off. *)
+(** jobs 1, capacity 256, cache enabled, queue limit 64, verify off,
+    drift off. *)
 
 type t
 
@@ -57,12 +66,16 @@ val flush : t -> Protocol.response list
     (with [verify] on) plans the verifier refuses become [Invalid]
     responses. *)
 
-val advance_epoch : t -> int
-(** Rotate the calibration epoch, invalidating superseded cached plans;
-    returns the new epoch index. *)
+val advance_epoch : t -> int * Epoch.migration
+(** Rotate the calibration epoch and run the configured invalidation
+    path — the wholesale flush by default, the drift pipeline when
+    [config.drift] carries a non-wholesale policy.  Returns the new
+    epoch index and the migration tally. *)
 
-val set_epoch : t -> int -> unit
-(** @raise Invalid_argument when the epoch is out of range. *)
+val set_epoch : t -> int -> Epoch.migration
+(** Jump to a specific epoch (same invalidation path as
+    {!advance_epoch}).
+    @raise Invalid_argument when the epoch is out of range. *)
 
 val shutdown : t -> unit
 (** Stop the worker domains.  Idempotent; the service must not be

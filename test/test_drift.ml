@@ -1,0 +1,266 @@
+(* Tests for the calibration-drift pipeline: the deterministic
+   calibration diff (algebraic properties plus a seeded regression
+   pinning exact figures), per-plan staleness scoring, and the
+   retention contract over the full catalog x policy matrix — retained
+   plans must be a strictly positive, strictly selective subset that
+   re-verifies clean against the new calibration. *)
+
+module Circuit = Vqc_circuit.Circuit
+module Qasm = Vqc_circuit.Qasm
+module History = Vqc_device.History
+module Topologies = Vqc_device.Topologies
+module Device = Vqc_device.Device
+module Catalog = Vqc_workloads.Catalog
+module Compiler = Vqc_mapper.Compiler
+module Layout = Vqc_mapper.Layout
+module Router = Vqc_mapper.Router
+module Delta = Vqc_drift.Calibration_delta
+module Staleness = Vqc_drift.Staleness
+module Retention = Vqc_drift.Retention
+module Diagnostic = Vqc_diag.Diagnostic
+module Policies = Vqc_service.Policies
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-12))
+
+(* The same seed-2 Q20 history Context.default and vqc-serve use. *)
+let history =
+  History.generate ~days:52 ~seed:2 ~coupling:Topologies.ibm_q20_tokyo 20
+
+let device_on day =
+  Device.make ~name:"Q20" ~coupling:Topologies.ibm_q20_tokyo
+    (History.day history day)
+
+let delta_between a b =
+  Delta.compute (History.day history a) (History.day history b)
+
+(* ---- Calibration_delta: algebraic properties ------------------------ *)
+
+let gen_day = QCheck2.Gen.int_range 0 (History.days history - 1)
+
+let prop_self_delta_is_zero =
+  QCheck2.Test.make ~name:"delta d d is all zeros" ~count:30 gen_day
+    (fun day ->
+      let delta = delta_between day day in
+      let zero (n : Delta.norms) =
+        n.Delta.l1 = 0.0 && n.Delta.l2 = 0.0 && n.Delta.linf = 0.0
+      in
+      Delta.is_zero delta
+      && zero (Delta.link_error_norms delta)
+      && zero (Delta.readout_norms delta)
+      && zero (Delta.t1_norms delta)
+      && zero (Delta.t2_norms delta))
+
+let prop_delta_antisymmetric =
+  QCheck2.Test.make ~name:"delta a b = -(delta b a), link for link"
+    ~count:30
+    QCheck2.Gen.(pair gen_day gen_day)
+    (fun (a, b) ->
+      let forward = delta_between a b in
+      let backward = delta_between b a in
+      List.for_all
+        (fun (link : Delta.link) ->
+          Delta.link_delta forward link.Delta.u link.Delta.v
+          = -.Delta.link_delta backward link.Delta.u link.Delta.v)
+        (Delta.links forward)
+      && List.for_all
+           (fun (q : Delta.qubit) ->
+             Delta.readout_delta forward q.Delta.index
+             = -.Delta.readout_delta backward q.Delta.index)
+           (Delta.qubits forward))
+
+let prop_l1_triangle =
+  QCheck2.Test.make ~name:"L1 link norms satisfy the triangle inequality"
+    ~count:30
+    QCheck2.Gen.(triple gen_day gen_day gen_day)
+    (fun (a, b, c) ->
+      let l1 x y = (Delta.link_error_norms (delta_between x y)).Delta.l1 in
+      l1 a c <= l1 a b +. l1 b c +. 1e-12)
+
+(* ---- Calibration_delta: seeded regression --------------------------- *)
+
+(* Exact figures of the day-0 -> day-1 diff on the seed-2 Q20 history:
+   the AR(1) drift model and the diff are both deterministic, so these
+   are reproducible to the last bit.  If they move, either the history
+   model or the delta changed — both are observable contract. *)
+let test_delta_seeded_regression () =
+  let delta = delta_between 0 1 in
+  check_int "20 qubits" 20 (Delta.num_qubits delta);
+  check_int "Q20 coupler count" 43 (List.length (Delta.links delta));
+  check_float "link (0,1)" 0.0068091821996266004 (Delta.link_delta delta 0 1);
+  check_float "link (0,5)" 0.0068097224164169121 (Delta.link_delta delta 0 5);
+  check_float "link (1,2)" 0.0033248547725798425 (Delta.link_delta delta 1 2);
+  check_float "link (1,6) (operand order irrelevant)"
+    0.016507521696190283
+    (Delta.link_delta delta 6 1);
+  let norms = Delta.link_error_norms delta in
+  check_float "L1" 0.50751695170964362 norms.Delta.l1;
+  check_float "L2" 0.12257655017922672 norms.Delta.l2;
+  check_float "Linf" 0.077225202163260148 norms.Delta.linf;
+  check_float "readout Linf" 0.012331936781609605
+    (Delta.readout_norms delta).Delta.linf
+
+let test_delta_rejects_mismatched_machines () =
+  let q5 =
+    History.generate ~days:1 ~seed:5 ~coupling:Topologies.ibm_q5_tenerife 5
+  in
+  check "different qubit counts rejected" true
+    (match Delta.compute (History.day history 0) (History.day q5 0) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---- Staleness ------------------------------------------------------ *)
+
+let test_footprint_of_physical_gates () =
+  let circuit =
+    Qasm.of_string_exn
+      "OPENQASM 2.0;\n\
+       include \"qelib1.inc\";\n\
+       qreg q[4];\n\
+       creg c[4];\n\
+       cx q[0],q[1];\n\
+       h q[2];\n\
+       measure q[2] -> c[2];\n"
+  in
+  let links, qubits = Staleness.footprint circuit in
+  check "links" true (links = [ (0, 1) ]);
+  check "qubits" true (qubits = [ 0; 1; 2 ]);
+  check "measured" true (Staleness.measured_qubits circuit = [ 2 ])
+
+let test_staleness_zero_on_identical_calibration () =
+  let device = device_on 0 in
+  let circuit = (Catalog.find "bv-16").Catalog.circuit in
+  let plan = Compiler.compile device Compiler.vqa_vqm circuit in
+  let score =
+    Staleness.score ~before:device ~after:device plan.Compiler.physical
+  in
+  check_float "no drift, no loss" 0.0 (Staleness.loss score);
+  check_float "no drift, no staleness" 0.0 (Staleness.staleness score);
+  check_float "no link drift" 0.0 score.Staleness.max_link_drift;
+  check "footprint is a subset of the couplers" true
+    (List.for_all
+       (fun (u, v) -> Device.connected device u v)
+       score.Staleness.footprint_links)
+
+(* ---- Retention: decisions ------------------------------------------- *)
+
+let test_retention_decisions () =
+  let device = device_on 0 in
+  let circuit = (Catalog.find "GHZ-3").Catalog.circuit in
+  let plan = Compiler.compile device Compiler.baseline circuit in
+  let score =
+    Staleness.score ~before:device ~after:(device_on 1)
+      plan.Compiler.physical
+  in
+  check "wholesale policy recompiles everything" true
+    (Retention.decide { Retention.threshold = 0.0 } score
+    = Retention.Recompile);
+  check "wholesale flag" true (Retention.wholesale { Retention.threshold = 0.0 });
+  check "default is selective" true
+    (not (Retention.wholesale Retention.default));
+  check "an infinite threshold retains" true
+    (Retention.decide { Retention.threshold = infinity } score
+    = Retention.Retain);
+  check "the cut sits exactly at the staleness" true
+    (Retention.decide
+       { Retention.threshold = Staleness.staleness score }
+       score
+    = Retention.Retain)
+
+(* ---- Retention: full catalog x policy acceptance -------------------- *)
+
+(* The headline contract of the subsystem, over the full 133-plan
+   matrix: at the default threshold a day-to-day calibration step
+   retains a strictly positive — and strictly selective — subset, and
+   every retained plan re-verifies clean against the new device. *)
+let test_retention_across_catalog () =
+  let before = device_on 0 in
+  let after = device_on 1 in
+  let plans =
+    List.concat_map
+      (fun (entry : Catalog.entry) ->
+        List.map
+          (fun (p : Policies.entry) ->
+            (entry, p, Compiler.compile before p.Policies.policy entry.Catalog.circuit))
+          Policies.all)
+      Catalog.all
+  in
+  check_int "catalog x policy matrix" 133 (List.length plans);
+  let retained =
+    List.filter
+      (fun (_, _, plan) ->
+        Retention.decide Retention.default
+          (Staleness.score ~before ~after plan.Compiler.physical)
+        = Retention.Retain)
+      plans
+  in
+  check "a strictly positive fraction retains" true (retained <> []);
+  check "retention is selective, not wholesale-keep" true
+    (List.length retained < List.length plans);
+  List.iter
+    (fun ((entry : Catalog.entry), (p : Policies.entry), plan) ->
+      let diagnostics =
+        Retention.reverify ~device:after ~source:entry.Catalog.circuit
+          ~physical:plan.Compiler.physical
+          ~initial:(Layout.assignment plan.Compiler.initial)
+          ~final:(Layout.assignment plan.Compiler.final)
+          ~swaps:plan.Compiler.stats.Router.swaps_inserted
+      in
+      check
+        (Printf.sprintf "%s/%s re-verifies clean" entry.Catalog.name
+           p.Policies.label)
+        true
+        (not (Diagnostic.has_errors diagnostics)))
+    retained
+
+let test_reverify_rejects_malformed_layout () =
+  let device = device_on 0 in
+  let circuit = (Catalog.find "GHZ-3").Catalog.circuit in
+  let plan = Compiler.compile device Compiler.baseline circuit in
+  let diagnostics =
+    Retention.reverify ~device ~source:circuit
+      ~physical:plan.Compiler.physical
+      ~initial:[| 0; 0; 0 |] (* not injective: malformed *)
+      ~final:(Layout.assignment plan.Compiler.final)
+      ~swaps:plan.Compiler.stats.Router.swaps_inserted
+  in
+  check "malformed layout demotes instead of crashing" true
+    (Diagnostic.has_errors diagnostics)
+
+(* ---- runner --------------------------------------------------------- *)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "vqc_drift"
+    [
+      ( "calibration delta",
+        qcheck
+          [
+            prop_self_delta_is_zero;
+            prop_delta_antisymmetric;
+            prop_l1_triangle;
+          ]
+        @ [
+            Alcotest.test_case "seeded regression" `Quick
+              test_delta_seeded_regression;
+            Alcotest.test_case "mismatched machines" `Quick
+              test_delta_rejects_mismatched_machines;
+          ] );
+      ( "staleness",
+        [
+          Alcotest.test_case "footprint" `Quick
+            test_footprint_of_physical_gates;
+          Alcotest.test_case "zero on identical calibration" `Quick
+            test_staleness_zero_on_identical_calibration;
+        ] );
+      ( "retention",
+        [
+          Alcotest.test_case "decisions" `Quick test_retention_decisions;
+          Alcotest.test_case "catalog-wide retention and re-verification"
+            `Quick test_retention_across_catalog;
+          Alcotest.test_case "malformed layout" `Quick
+            test_reverify_rejects_malformed_layout;
+        ] );
+    ]

@@ -341,9 +341,14 @@ let test_service_epoch_rotation_invalidates () =
       check "cold" true (first_cache = Protocol.Miss);
       check "hot on repeat" true (fst (compile_one ()) = Protocol.Hit);
       let invalidated0 = counter "service.cache.invalidated" in
-      check_int "rotated to epoch 1" 1 (Service.advance_epoch service);
+      let next, migration = Service.advance_epoch service in
+      check_int "rotated to epoch 1" 1 next;
       check "rotation invalidated the plan" true
         (counter "service.cache.invalidated" > invalidated0);
+      check_int "migration reports the invalidation" 1
+        migration.Epoch.invalidated;
+      check_int "nothing retained across a wholesale advance" 0
+        migration.Epoch.retained;
       let second_cache, second_plan = compile_one () in
       check "cold again after rotation" true (second_cache = Protocol.Miss);
       check "new epoch, new calibration fingerprint" true
@@ -353,6 +358,136 @@ let test_service_epoch_rotation_invalidates () =
       let _, pinned_plan = compile_one ~epoch:0 () in
       check_string "pinned epoch reproduces the original plan fields"
         (deterministic first_plan) (deterministic pinned_plan))
+
+(* Edge case: with a single epoch, advance wraps to itself and the
+   wholesale path must invalidate nothing — every cached plan is still
+   keyed by the live calibration. *)
+let test_epoch_single_wraps_to_itself () =
+  let single =
+    Epoch.of_history ~name:"Q5" ~coupling:Topologies.ibm_q5_tenerife
+      (History.generate ~days:1 ~seed:5 ~coupling:Topologies.ibm_q5_tenerife 5)
+  in
+  Service.with_service single (fun service ->
+      (match Service.submit service (request "bv-3") with
+      | Ok () -> ignore (Service.flush service)
+      | Error _ -> Alcotest.fail "unexpected rejection");
+      let next, migration = Service.advance_epoch service in
+      check_int "wraps to epoch 0" 0 next;
+      check_int "nothing invalidated" 0 migration.Epoch.invalidated;
+      check_int "the plan survives" 1 migration.Epoch.retained;
+      (match Service.submit service (request "bv-3") with
+      | Ok () -> begin
+        match Service.flush service with
+        | [ Protocol.Compiled { cache = Protocol.Hit; _ } ] -> ()
+        | _ -> Alcotest.fail "cached plan must survive a wrapped advance"
+      end
+      | Error _ -> Alcotest.fail "unexpected rejection"))
+
+let drift_config threshold =
+  {
+    Service.default_config with
+    Service.drift = Some { Vqc_drift.Retention.threshold };
+  }
+
+(* A forgiving threshold retains every plan across the advance (after
+   re-verification); requests against the new epoch then hit the cache
+   with the retained plan's original provenance. *)
+let test_service_drift_retains_and_recompiles () =
+  Service.with_service ~config:(drift_config 1.0) (q5_epochs ())
+    (fun service ->
+      let submit_all () =
+        List.iter
+          (fun workload ->
+            match Service.submit service (request workload) with
+            | Ok () -> ()
+            | Error _ -> Alcotest.fail "unexpected rejection")
+          [ "bv-3"; "bv-4"; "GHZ-3" ];
+        Service.flush service
+      in
+      let cold = submit_all () in
+      check_int "three compiled" 3 (List.length cold);
+      let recompiles0 = counter "drift.recompiles" in
+      let next, migration = Service.advance_epoch service in
+      check_int "rotated to epoch 1" 1 next;
+      check_int "all three retained" 3 migration.Epoch.retained;
+      check_int "all three re-verified" 3 migration.Epoch.reverified;
+      check_int "nothing recompiled" 0 migration.Epoch.recompiled;
+      check_int "nothing invalidated" 0 migration.Epoch.invalidated;
+      check_int "no background compiles" recompiles0
+        (counter "drift.recompiles");
+      let warm = submit_all () in
+      List.iter
+        (fun response ->
+          match response with
+          | Protocol.Compiled { plan; cache; _ } ->
+            check "retained plan serves as a hit" true (cache = Protocol.Hit);
+            check_int "provenance keeps the compile-time epoch" 0
+              plan.Protocol.epoch
+          | _ -> Alcotest.fail "compiled response expected")
+        warm;
+      (* an impossible threshold demotes everything: the migration
+         recompiles in the background and the cache stays warm *)
+      Service.with_service ~config:(drift_config 1e-12) (q5_epochs ())
+        (fun strict ->
+          List.iter
+            (fun workload ->
+              match Service.submit strict (request workload) with
+              | Ok () -> ()
+              | Error _ -> Alcotest.fail "unexpected rejection")
+            [ "bv-3"; "bv-4"; "GHZ-3" ];
+          ignore (Service.flush strict);
+          let _, migration = Service.advance_epoch strict in
+          check_int "nothing retained" 0 migration.Epoch.retained;
+          check_int "all demoted plans recompiled" 3
+            migration.Epoch.recompiled;
+          check_int "all invalidated" 3 migration.Epoch.invalidated;
+          List.iter
+            (fun workload ->
+              match Service.submit strict (request workload) with
+              | Ok () -> ()
+              | Error _ -> Alcotest.fail "unexpected rejection")
+            [ "bv-3"; "bv-4"; "GHZ-3" ];
+          List.iter
+            (fun response ->
+              match response with
+              | Protocol.Compiled { plan; cache; _ } ->
+                check "background recompile pre-warmed the cache" true
+                  (cache = Protocol.Hit);
+                check_int "recompiled plan carries the new epoch" 1
+                  plan.Protocol.epoch
+              | _ -> Alcotest.fail "compiled response expected")
+            (Service.flush strict)))
+
+(* threshold = 0 must be byte-identical to no drift configuration at
+   all: same responses, same migration tallies, over the same request
+   stream. *)
+let test_service_drift_zero_threshold_is_wholesale () =
+  let script service =
+    let submit_all () =
+      List.iter
+        (fun workload ->
+          match Service.submit service (request workload) with
+          | Ok () -> ()
+          | Error _ -> Alcotest.fail "unexpected rejection")
+        [ "bv-3"; "bv-4"; "GHZ-3" ];
+      Service.flush service
+    in
+    let before = submit_all () in
+    let _, migration = Service.advance_epoch service in
+    let after = submit_all () in
+    (deterministic_lines (before @ after), migration)
+  in
+  let wholesale_lines, wholesale_migration =
+    Service.with_service (q5_epochs ()) script
+  in
+  let zero_lines, zero_migration =
+    Service.with_service ~config:(drift_config 0.0) (q5_epochs ()) script
+  in
+  List.iter2
+    (check_string "threshold 0 reproduces the wholesale responses")
+    wholesale_lines zero_lines;
+  check "threshold 0 reproduces the wholesale migration" true
+    (wholesale_migration = zero_migration)
 
 let test_service_failures_are_responses () =
   Service.with_service (q5_epochs ()) (fun service ->
@@ -426,6 +561,12 @@ let () =
             test_service_queue_overflow_is_structured;
           Alcotest.test_case "epoch rotation" `Quick
             test_service_epoch_rotation_invalidates;
+          Alcotest.test_case "single epoch wraps without invalidation" `Quick
+            test_epoch_single_wraps_to_itself;
+          Alcotest.test_case "drift retention and background recompile"
+            `Quick test_service_drift_retains_and_recompiles;
+          Alcotest.test_case "drift threshold 0 is wholesale" `Quick
+            test_service_drift_zero_threshold_is_wholesale;
           Alcotest.test_case "failures are responses" `Quick
             test_service_failures_are_responses;
         ] );
