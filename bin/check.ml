@@ -3,17 +3,26 @@
      vqc-check lint FILE...     lint OpenQASM sources (VQC000-VQC005)
      vqc-check verify [IDS]     compile catalog workloads and verify the
                                 plans (translation validation, VQC101+)
-     vqc-check self [--root D]  repository determinism-hygiene lint
+     vqc-check self [--root D]  repository source analysis (VQC2xx)
+     vqc-check calib            calibration-data lint over every model
+                                profile and its history (VQC12x)
 
    Exit status 0 when no error-severity diagnostic was produced (lint
    warnings and infos do not fail the run), 1 otherwise.  --json renders
    diagnostics with the deterministic JSON encoding shared with
-   vqc-serve's "invalid" responses. *)
+   vqc-serve's "invalid" responses.  self and calib additionally take
+   --sarif FILE (SARIF 2.1.0 log, '-' for stdout) and --baseline FILE
+   (fail only on findings absent from the committed baseline;
+   --update-baseline rewrites the file to accept the current set). *)
 
 module Diagnostic = Vqc_diag.Diagnostic
 module Lint = Vqc_check.Lint
 module Verify = Vqc_check.Verify
 module Selflint = Vqc_check.Selflint
+module Calib_lint = Vqc_check.Calib_lint
+module Sarif = Vqc_check.Sarif
+module Baseline = Vqc_check.Baseline
+module Calibration_model = Vqc_device.Calibration_model
 module Circuit = Vqc_circuit.Circuit
 module Catalog = Vqc_workloads.Catalog
 module Compiler = Vqc_mapper.Compiler
@@ -217,38 +226,189 @@ let verify_cmd =
     (Cmd.info "verify" ~doc ~man)
     Term.(const run_verify $ json_term $ seed $ policies $ workloads)
 
+(* ---- shared reporting for self / calib ------------------------------ *)
+
+let sarif_term =
+  let doc =
+    "Also emit the findings (baseline not applied) as a SARIF 2.1.0 log \
+     to $(docv); '-' writes the log to stdout and suppresses the text \
+     report."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "sarif" ] ~docv:"FILE" ~doc)
+
+let baseline_term =
+  let doc =
+    "Committed baseline file: findings whose fingerprints it lists are \
+     suppressed, so the exit status reflects only new findings."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+
+let update_term =
+  let doc =
+    "Rewrite the --baseline file to accept exactly the current findings, \
+     then exit 0."
+  in
+  Arg.(value & flag & info [ "update-baseline" ] ~doc)
+
+let write_file path contents =
+  Out_channel.with_open_text path (fun channel ->
+      Out_channel.output_string channel contents)
+
+(* Render findings (text or JSON or SARIF-to-stdout), apply the
+   baseline, honor --update-baseline; returns the exit code. *)
+let report ~json ~sarif ~baseline ~update ~clean diagnostics =
+  let sarif_stdout = sarif = Some "-" in
+  (match sarif with
+  | Some "-" -> print_endline (Sarif.render diagnostics)
+  | Some path -> write_file path (Sarif.render diagnostics ^ "\n")
+  | None -> ());
+  match (baseline, update) with
+  | Some path, true ->
+    write_file path (Baseline.render diagnostics);
+    if not sarif_stdout then
+      Printf.printf "baseline updated: %s now accepts %d finding(s)\n" path
+        (List.length diagnostics);
+    0
+  | None, true ->
+    prerr_endline "vqc-check: --update-baseline needs --baseline FILE";
+    2
+  | baseline, false ->
+    let accepted =
+      match baseline with
+      | None -> Ok Baseline.empty
+      | Some path -> Baseline.load path
+    in
+    (match accepted with
+    | Error message ->
+      prerr_endline ("vqc-check: baseline: " ^ message);
+      2
+    | Ok accepted ->
+      let fresh, suppressed = Baseline.partition accepted diagnostics in
+      if sarif_stdout then status fresh
+      else begin
+        if json then print_endline (Diagnostic.render_list fresh)
+        else begin
+          print_text ~prefix:"" fresh;
+          if suppressed <> [] then
+            Printf.printf "%d baselined finding(s) suppressed\n"
+              (List.length suppressed);
+          if fresh = [] then print_endline clean
+        end;
+        status fresh
+      end)
+
 (* ---- self ----------------------------------------------------------- *)
 
-let run_self json root =
+let run_self json root sarif baseline update =
   let diagnostics = Selflint.scan_tree ~root in
-  if json then print_endline (Diagnostic.render_list diagnostics)
-  else begin
-    print_text ~prefix:"" diagnostics;
-    if diagnostics = [] then print_endline "self-lint: clean"
-  end;
-  status diagnostics
+  report ~json ~sarif ~baseline ~update ~clean:"self-lint: clean" diagnostics
 
 let self_cmd =
-  let doc = "determinism-hygiene lint over the repository sources" in
+  let doc = "source analysis over the repository tree" in
   let man =
     [
       `S Manpage.s_description;
       `P
-        "Scans every .ml file under lib/, bin/, examples/, test/ and \
-         bench/ for calls that silently break reproducibility \
-         (environment-seeded RNG, wall-clock reads outside the \
-         allow-listed timing sites) and reports VQC201 errors.";
+        "Tokenizes every .ml file under lib/, bin/, examples/, test/ and \
+         bench/ (comment- and string-literal-aware) and runs the source \
+         rules: determinism hygiene (VQC201: environment-seeded RNG, \
+         wall-clock reads outside the allow-listed timing sites), stdout \
+         hygiene in library code (VQC202), and the domain-safety \
+         discipline the concurrent server depends on (VQC210 unguarded \
+         top-level mutable state, VQC211 lock/unlock shape, VQC212 \
+         nested lock order).";
     ]
   in
   let root =
     let doc = "Repository root to scan." in
     Arg.(value & opt string "." & info [ "root" ] ~docv:"DIR" ~doc)
   in
-  Cmd.v (Cmd.info "self" ~doc ~man) Term.(const run_self $ json_term $ root)
+  Cmd.v (Cmd.info "self" ~doc ~man)
+    Term.(
+      const run_self $ json_term $ root $ sarif_term $ baseline_term
+      $ update_term)
+
+(* ---- calib ---------------------------------------------------------- *)
+
+let run_calib json seed days profiles sarif baseline update =
+  let selected =
+    match profiles with
+    | [] -> Ok Calibration_model.profiles
+    | names ->
+      let unknown =
+        List.filter
+          (fun name -> Calibration_model.find_profile name = None)
+          names
+      in
+      if unknown <> [] then
+        Error
+          (Printf.sprintf "unknown profile(s) %s; available: %s"
+             (String.concat ", " unknown)
+             (String.concat ", "
+                (List.map
+                   (fun p -> p.Calibration_model.profile_name)
+                   Calibration_model.profiles)))
+      else
+        Ok
+          (List.filter_map Calibration_model.find_profile names)
+  in
+  match selected with
+  | Error message ->
+    prerr_endline ("vqc-check: " ^ message);
+    2
+  | Ok selected ->
+    let diagnostics =
+      List.concat_map
+        (fun (p : Calibration_model.profile) ->
+          let history =
+            History.generate ~days ~params:p.Calibration_model.profile_params
+              ~seed ~coupling:p.Calibration_model.coupling
+              p.Calibration_model.qubits
+          in
+          Calib_lint.history ~name:p.Calibration_model.profile_name history)
+        selected
+      |> List.sort Diagnostic.compare
+    in
+    report ~json ~sarif ~baseline ~update ~clean:"calibration lint: clean"
+      diagnostics
+
+let calib_cmd =
+  let doc = "lint every calibration profile the device model produces" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Generates the full multi-day calibration history of every \
+         registered device profile (--seed, --days) and lints the data \
+         itself: error-rate ranges (VQC120), coherence ranges (VQC121), \
+         the T2 <= 2*T1 bound (VQC122), dead qubits (VQC123), \
+         coupling/calibration asymmetry (VQC124) and cross-day stuck \
+         sensors (VQC125).  The policies are only as good as this data \
+         — lint it like source.";
+    ]
+  in
+  let seed =
+    let doc = "Seed for the synthetic calibration model." in
+    Arg.(value & opt int 2 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let days =
+    let doc = "History length in days (the paper's horizon is 52)." in
+    Arg.(value & opt int 52 & info [ "days" ] ~docv:"N" ~doc)
+  in
+  let profiles =
+    let doc = "Profile to lint (repeatable; default: every profile)." in
+    Arg.(value & opt_all string [] & info [ "profile" ] ~docv:"NAME" ~doc)
+  in
+  Cmd.v (Cmd.info "calib" ~doc ~man)
+    Term.(
+      const run_calib $ json_term $ seed $ days $ profiles $ sarif_term
+      $ baseline_term $ update_term)
 
 let cmd =
   let doc = "static analysis for variability-aware compilation artifacts" in
   let info = Cmd.info "vqc-check" ~doc in
-  Cmd.group info [ lint_cmd; verify_cmd; self_cmd ]
+  Cmd.group info [ lint_cmd; verify_cmd; self_cmd; calib_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,47 @@
+module Diagnostic = Vqc_diag.Diagnostic
+
+type t = string list
+
+let empty = []
+
+let fingerprint d =
+  let file =
+    match d.Diagnostic.location with
+    | Diagnostic.File_line { file; _ } -> file
+    | Diagnostic.Nowhere | Diagnostic.Line _ | Diagnostic.Gate _ -> "-"
+  in
+  d.Diagnostic.code ^ "\t" ^ file ^ "\t" ^ d.Diagnostic.message
+
+let of_string text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None else Some line)
+  |> List.sort_uniq String.compare
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> Ok (of_string text)
+  | exception Sys_error message -> Error message
+
+let mem baseline d = List.mem (fingerprint d) baseline
+
+let partition baseline diagnostics =
+  List.partition (fun d -> not (mem baseline d)) diagnostics
+
+let filter_new baseline diagnostics = fst (partition baseline diagnostics)
+
+let render diagnostics =
+  let lines =
+    List.sort_uniq String.compare (List.map fingerprint diagnostics)
+  in
+  String.concat "\n"
+    ([
+       "# vqc-check baseline: one accepted finding per line,";
+       "# 'code<TAB>file<TAB>message' (file is '-' for location-free";
+       "# findings; line numbers are deliberately excluded so edits";
+       "# elsewhere in a file do not churn the baseline).  CI fails";
+       "# only on findings absent from this file.";
+     ]
+    @ lines)
+  ^ "\n"

@@ -1,0 +1,39 @@
+(** Committed baselines: gate on {e no new findings}, not zero
+    findings.
+
+    A static-analysis gate that demands a spotless repo can never land
+    a new rule over an old codebase; a baseline file records the
+    accepted findings so CI fails only when a {e new} one appears (and
+    a finding's removal is a free improvement).  The format is plain
+    text: one fingerprint per line, [#] comments and blank lines
+    ignored.  A fingerprint is [code TAB file TAB message] — the line
+    number is deliberately excluded so unrelated edits to a file do
+    not churn the baseline; [file] is ["-"] for location-free findings
+    (the calibration lint's, whose messages carry their own
+    coordinates). *)
+
+type t
+
+val empty : t
+
+val fingerprint : Vqc_diag.Diagnostic.t -> string
+
+val of_string : string -> t
+
+val load : string -> (t, string) result
+(** Read a baseline file; [Error message] when unreadable. *)
+
+val mem : t -> Vqc_diag.Diagnostic.t -> bool
+
+val partition :
+  t -> Vqc_diag.Diagnostic.t list ->
+  Vqc_diag.Diagnostic.t list * Vqc_diag.Diagnostic.t list
+(** [partition baseline ds] is [(fresh, suppressed)]: the findings not
+    in the baseline, and the ones it accepts.  Order preserved. *)
+
+val filter_new : t -> Vqc_diag.Diagnostic.t list -> Vqc_diag.Diagnostic.t list
+
+val render : Vqc_diag.Diagnostic.t list -> string
+(** The baseline file accepting exactly these findings (sorted,
+    deduplicated, with the format header) — what [--update-baseline]
+    writes. *)

@@ -1,0 +1,191 @@
+module Diagnostic = Vqc_diag.Diagnostic
+module Calibration = Vqc_device.Calibration
+module History = Vqc_device.History
+
+let dead_error = 0.5
+let dead_t1_us = 1.0
+let max_coherence_us = 20_000.0
+let stuck_run_days = 5
+
+let error_code = Diagnostic.code_calib_error_range
+let is_rate e = Float.is_finite e && e >= 0.0 && e <= 1.0
+
+let rate_findings ~name ~what e =
+  if is_rate e then []
+  else
+    [
+      Diagnostic.errorf error_code "%s: %s error rate %g is not in [0, 1]"
+        name what e;
+    ]
+
+let coherence_findings ~name ~what t =
+  if Float.is_finite t && t > 0.0 && t <= max_coherence_us then []
+  else
+    [
+      Diagnostic.errorf Diagnostic.code_calib_coherence
+        "%s: %s %g us is outside (0, %g] us" name what t max_coherence_us;
+    ]
+
+let qubit_findings ~name ~coupling calibration q =
+  let qn = Printf.sprintf "%s: qubit %d" name q in
+  let figures = Calibration.qubit calibration q in
+  let t1 = figures.Calibration.t1_us and t2 = figures.Calibration.t2_us in
+  let rates =
+    rate_findings ~name:qn ~what:"single-qubit" figures.Calibration.error_1q
+    @ rate_findings ~name:qn ~what:"readout" figures.Calibration.error_readout
+  in
+  let coherence =
+    coherence_findings ~name:qn ~what:"T1" t1
+    @ coherence_findings ~name:qn ~what:"T2" t2
+  in
+  let t2_bound =
+    if
+      Float.is_finite t1 && Float.is_finite t2 && t1 > 0.0
+      && t2 > 2.0 *. t1 *. (1.0 +. 1e-9)
+    then
+      [
+        Diagnostic.errorf Diagnostic.code_calib_t2_bound
+          "%s: T2 %g us exceeds the dephasing bound 2*T1 = %g us" qn t2
+          (2.0 *. t1);
+      ]
+    else []
+  in
+  let incident =
+    List.filter (fun (u, v) -> u = q || v = q) coupling
+  in
+  let live (u, v) =
+    match Calibration.link_error calibration u v with
+    | Some e -> is_rate e && e < dead_error
+    | None -> false
+  in
+  let dead =
+    if
+      Float.is_finite figures.Calibration.error_1q
+      && figures.Calibration.error_1q >= dead_error
+    then Some (Printf.sprintf "single-qubit error %g" figures.Calibration.error_1q)
+    else if
+      Float.is_finite figures.Calibration.error_readout
+      && figures.Calibration.error_readout >= dead_error
+    then Some (Printf.sprintf "readout error %g" figures.Calibration.error_readout)
+    else if Float.is_finite t1 && t1 > 0.0 && t1 < dead_t1_us then
+      Some (Printf.sprintf "T1 %g us" t1)
+    else if incident <> [] && not (List.exists live incident) then
+      Some "no live incident coupler"
+    else None
+  in
+  let dead =
+    match dead with
+    | Some reason ->
+      [
+        Diagnostic.errorf Diagnostic.code_calib_dead_qubit
+          "%s: effectively dead (%s)" qn reason;
+      ]
+    | None -> []
+  in
+  rates @ coherence @ t2_bound @ dead
+
+let link_findings ~name ~coupling calibration =
+  let coupling = List.sort compare (List.map (fun (u, v) -> (min u v, max u v)) coupling) in
+  let calibrated = Calibration.links calibration in
+  let missing =
+    List.filter_map
+      (fun (u, v) ->
+        match Calibration.link_error calibration u v with
+        | Some _ -> None
+        | None ->
+          Some
+            (Diagnostic.errorf Diagnostic.code_calib_coupler
+               "%s: coupler (%d, %d) has no calibration entry" name u v))
+      coupling
+  in
+  let extras_and_ranges =
+    List.concat_map
+      (fun (u, v, e) ->
+        let extra =
+          if List.mem (u, v) coupling then []
+          else
+            [
+              Diagnostic.errorf Diagnostic.code_calib_coupler
+                "%s: calibrated pair (%d, %d) is not in the coupling map"
+                name u v;
+            ]
+        in
+        extra
+        @ rate_findings
+            ~name:(Printf.sprintf "%s: link (%d, %d)" name u v)
+            ~what:"two-qubit" e)
+      calibrated
+  in
+  missing @ extras_and_ranges
+
+let profile ~name ~coupling calibration =
+  let n = Calibration.num_qubits calibration in
+  let qubits =
+    List.concat_map
+      (fun q -> qubit_findings ~name ~coupling calibration q)
+      (List.init n Fun.id)
+  in
+  List.sort Diagnostic.compare (qubits @ link_findings ~name ~coupling calibration)
+
+(* ---- history --------------------------------------------------------- *)
+
+(* Longest run of exactly-equal consecutive values.  Real sensors
+   re-measure with jitter — the AR(1) model never repeats a float — so
+   a long frozen run means the figure is copied forward, not
+   measured. *)
+let longest_run series =
+  let best = ref 1 and current = ref 1 in
+  for i = 1 to Array.length series - 1 do
+    if Float.equal series.(i) series.(i - 1) then begin
+      incr current;
+      if !current > !best then best := !current
+    end
+    else current := 1
+  done;
+  (!best, if Array.length series = 0 then nan else series.(0))
+
+let stuck ~name ~what series =
+  let run, _ = longest_run series in
+  if Array.length series >= stuck_run_days && run >= stuck_run_days then
+    [
+      Diagnostic.errorf Diagnostic.code_calib_stuck_sensor
+        "%s: %s frozen for %d consecutive days (stuck sensor)" name what run;
+    ]
+  else []
+
+let history ~name h =
+  let coupling = History.coupling h in
+  let daily =
+    List.concat_map
+      (fun d ->
+        profile
+          ~name:(Printf.sprintf "%s day %d" name d)
+          ~coupling (History.day h d))
+      (List.init (History.days h) Fun.id)
+  in
+  let n = Calibration.num_qubits (History.day h 0) in
+  let qubit_stuck =
+    List.concat_map
+      (fun q ->
+        let series = History.qubit_series h q in
+        let field what get =
+          stuck
+            ~name:(Printf.sprintf "%s: qubit %d" name q)
+            ~what
+            (Array.map get series)
+        in
+        field "T1" (fun c -> c.Calibration.t1_us)
+        @ field "T2" (fun c -> c.Calibration.t2_us)
+        @ field "single-qubit error" (fun c -> c.Calibration.error_1q)
+        @ field "readout error" (fun c -> c.Calibration.error_readout))
+      (List.init n Fun.id)
+  in
+  let link_stuck =
+    List.concat_map
+      (fun (u, v) ->
+        stuck
+          ~name:(Printf.sprintf "%s: link (%d, %d)" name u v)
+          ~what:"two-qubit error" (History.link_series h u v))
+      coupling
+  in
+  List.sort Diagnostic.compare (daily @ qubit_stuck @ link_stuck)

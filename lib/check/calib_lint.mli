@@ -1,0 +1,42 @@
+(** Calibration-data lint (VQC12x).
+
+    The paper's whole argument — and every policy in this repo — is
+    bounded by the quality of the calibration data feeding it.  This
+    pass family checks the data itself, per profile and across
+    multi-day histories:
+
+    - [VQC120] error rates (single-qubit, readout, two-qubit) that are
+      non-finite, negative or above 1;
+    - [VQC121] coherence times outside [(0, {!max_coherence_us}]] µs;
+    - [VQC122] [T2 > 2*T1] — physically impossible dephasing;
+    - [VQC123] effectively dead qubits: gate/readout error at or above
+      {!dead_error}, T1 below {!dead_t1_us} µs, or every incident
+      coupler missing/dead;
+    - [VQC124] coupling-map/calibration asymmetry: a coupler without a
+      calibration entry, or a calibrated pair that is not a coupler;
+    - [VQC125] stuck sensors: a per-link or per-qubit figure frozen
+      (exactly equal) for {!stuck_run_days}+ consecutive days of a
+      history — measured values jitter; frozen ones are copied
+      forward.
+
+    All findings are location-free diagnostics whose messages carry
+    the profile name, day, and qubit/link — deterministic given the
+    calibration, so clean sweeps and baselines are stable. *)
+
+val dead_error : float
+val dead_t1_us : float
+val max_coherence_us : float
+val stuck_run_days : int
+
+val profile :
+  name:string ->
+  coupling:(int * int) list ->
+  Vqc_device.Calibration.t ->
+  Vqc_diag.Diagnostic.t list
+(** Lint one calibration snapshot against its coupling map.  [name]
+    prefixes every message (e.g. ["q20-tokyo day 3"]).  Sorted. *)
+
+val history : name:string -> Vqc_device.History.t -> Vqc_diag.Diagnostic.t list
+(** Lint every day of a history ({!profile} per day) plus the
+    cross-day stuck-sensor pass over every qubit figure and link
+    series.  Sorted. *)

@@ -1,0 +1,82 @@
+module Diagnostic = Vqc_diag.Diagnostic
+module Json = Vqc_obs.Json
+
+let schema = "https://json.schemastore.org/sarif-2.1.0.json"
+
+let level d =
+  match d.Diagnostic.severity with
+  | Diagnostic.Error -> "error"
+  | Diagnostic.Warning -> "warning"
+  | Diagnostic.Info -> "note"
+
+let locations d =
+  match d.Diagnostic.location with
+  | Diagnostic.File_line { file; line } ->
+    [
+      ( "locations",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "physicalLocation",
+                  Json.Obj
+                    [
+                      ( "artifactLocation",
+                        Json.Obj [ ("uri", Json.String file) ] );
+                      ("region", Json.Obj [ ("startLine", Json.Int line) ]);
+                    ] );
+              ];
+          ] );
+    ]
+  (* Line/Gate locations position within a linted artifact, not a
+     repository file; SARIF results may omit locations. *)
+  | Diagnostic.Nowhere | Diagnostic.Line _ | Diagnostic.Gate _ -> []
+
+let result d =
+  Json.Obj
+    ([
+       ("ruleId", Json.String d.Diagnostic.code);
+       ("level", Json.String (level d));
+       ("message", Json.Obj [ ("text", Json.String d.Diagnostic.message) ]);
+     ]
+    @ locations d)
+
+let rule code =
+  Json.Obj
+    [
+      ("id", Json.String code);
+      ( "shortDescription",
+        Json.Obj [ ("text", Json.String (Diagnostic.describe code)) ] );
+    ]
+
+let to_json diagnostics =
+  let sorted = List.sort Diagnostic.compare diagnostics in
+  let codes =
+    List.sort_uniq String.compare
+      (List.map (fun d -> d.Diagnostic.code) sorted)
+  in
+  Json.Obj
+    [
+      ("$schema", Json.String schema);
+      ("version", Json.String "2.1.0");
+      ( "runs",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "tool",
+                  Json.Obj
+                    [
+                      ( "driver",
+                        Json.Obj
+                          [
+                            ("name", Json.String "vqc-check");
+                            ("rules", Json.List (List.map rule codes));
+                          ] );
+                    ] );
+                ("results", Json.List (List.map result sorted));
+              ];
+          ] );
+    ]
+
+let render diagnostics = Json.to_string (to_json diagnostics)

@@ -1,0 +1,18 @@
+(** SARIF 2.1.0 emitter.
+
+    Renders a diagnostic list as one SARIF run so findings flow into
+    code-scanning UIs and CI artifact viewers: every distinct code
+    becomes a [reportingDescriptor] under [tool.driver.rules] (with
+    its description from {!Vqc_diag.Diagnostic.all_codes}), every
+    diagnostic a [result] with [ruleId], [level] ([Info] maps to
+    SARIF's ["note"]) and, for file-positioned findings, a
+    [physicalLocation].  Output is deterministic: diagnostics are
+    sorted, key order is fixed, and the encoding is the compact
+    single-line {!Vqc_obs.Json} form — so SARIF logs can be golden-
+    pinned like every other artifact. *)
+
+val schema : string
+(** The SARIF 2.1.0 schema URI embedded under ["$schema"]. *)
+
+val to_json : Vqc_diag.Diagnostic.t list -> Vqc_obs.Json.t
+val render : Vqc_diag.Diagnostic.t list -> string

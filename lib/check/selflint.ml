@@ -1,75 +1,7 @@
 module Diagnostic = Vqc_diag.Diagnostic
 
-(* The pattern literals are assembled at runtime so this file (and any
-   test exercising it) does not flag itself. *)
-type rule = {
-  pattern : string;
-  describe : string;
-  allowed : string -> bool;
-}
-
-let allowed_wall_clock =
-  [
-    "lib/obs/span.ml";
-    "lib/engine/pool.ml";
-    "lib/sim/monte_carlo.ml";
-    "lib/service/service.ml";
-    "lib/drift/recompiler.ml";
-    "bench/main.ml";
-  ]
-
-let has_suffix ~suffix path =
-  let lp = String.length path and ls = String.length suffix in
-  lp >= ls && String.sub path (lp - ls) ls = suffix
-
-let rules =
-  [
-    {
-      pattern = "Random." ^ "self_init";
-      describe = "environment-seeded RNG breaks reproducibility";
-      allowed = (fun _ -> false);
-    };
-    {
-      pattern = "Unix." ^ "gettimeofday";
-      describe =
-        "wall-clock read outside the allow-listed timing sites breaks \
-         determinism";
-      allowed =
-        (fun file ->
-          List.exists (fun suffix -> has_suffix ~suffix file) allowed_wall_clock);
-    };
-  ]
-
-(* All start positions of [pattern] in [text]. *)
-let occurrences pattern text =
-  let lp = String.length pattern and lt = String.length text in
-  let hits = ref [] in
-  if lp > 0 then
-    for i = lt - lp downto 0 do
-      if String.sub text i lp = pattern then hits := i :: !hits
-    done;
-  !hits
-
-let line_of text position =
-  let line = ref 1 in
-  for i = 0 to min position (String.length text) - 1 do
-    if text.[i] = '\n' then incr line
-  done;
-  !line
-
-let scan_source ~file text =
-  List.concat_map
-    (fun rule ->
-      if rule.allowed file then []
-      else
-        List.map
-          (fun position ->
-            Diagnostic.errorf
-              ~location:
-                (Diagnostic.File_line { file; line = line_of text position })
-              Diagnostic.code_determinism "%s: %s" rule.pattern rule.describe)
-          (occurrences rule.pattern text))
-    rules
+let allowed_wall_clock = Rules.allowed_wall_clock
+let scan_source = Rules.scan_source
 
 let roots = [ "lib"; "bin"; "examples"; "test"; "bench" ]
 

@@ -1,25 +1,23 @@
-(** Repository determinism-hygiene lint.
+(** Repository source hygiene: the tree walker over {!Rules}.
 
     The repo's core contract is bit-identical output for identical
     inputs (goldens, the service's determinism tests, the engine's
-    chunked RNG).  Two stdlib calls quietly break that contract when
-    they creep into compute paths: seeding the RNG from the environment,
-    and reading the wall clock.  This lint greps every [.ml] file under
-    the source roots for those calls and reports [VQC201] errors, with a
-    fixed allow-list for the sites that legitimately measure wall-clock
-    time (observability spans, engine progress, simulator chunk timing,
-    service latency — all quarantined under ["nd"] by construction).
+    chunked RNG), and the coming multi-client server adds a
+    domain-safety contract on top.  This module walks every [.ml] file
+    under the source roots and runs the tokenizer-driven rule set
+    ({!Rules} over {!Tokens}): determinism hygiene ([VQC201]), stdout
+    hygiene ([VQC202]) and lock/state discipline ([VQC210]-[VQC212]).
+    Pattern hits inside comments and string literals do not flag —
+    the scan is token-aware, not a substring grep.
 
     [.mli] files are not scanned (documentation may name the calls). *)
 
 val allowed_wall_clock : string list
-(** Path suffixes (['/']-separated) where wall-clock reads are
-    deliberate, e.g. ["lib/obs/span.ml"]. *)
+(** Alias of {!Rules.allowed_wall_clock}. *)
 
 val scan_source : file:string -> string -> Vqc_diag.Diagnostic.t list
-(** [scan_source ~file text] lints one file's contents; [file] is the
-    path reported in locations and matched against the allow-list.
-    Pure — exposed for tests. *)
+(** Alias of {!Rules.scan_source} — lints one file's contents; pure,
+    exposed for tests. *)
 
 val scan_tree : root:string -> Vqc_diag.Diagnostic.t list
 (** Scan [lib/], [bin/], [examples/], [test/] and [bench/] under

@@ -1,0 +1,215 @@
+type kind =
+  | Ident
+  | Number
+  | String
+  | Char
+  | Comment
+  | Punct
+
+type token = {
+  kind : kind;
+  text : string;
+  line : int;
+  column : int;
+}
+
+(* ---- line-offset index ---------------------------------------------- *)
+
+let line_index text =
+  let lines = ref 1 in
+  String.iter (fun c -> if c = '\n' then incr lines) text;
+  let index = Array.make !lines 0 in
+  let line = ref 1 in
+  String.iteri
+    (fun i c ->
+      if c = '\n' && !line < !lines then begin
+        index.(!line) <- i + 1;
+        incr line
+      end)
+    text;
+  index
+
+let line_of index position =
+  (* greatest i with index.(i) <= position, as a 1-based line *)
+  let lo = ref 0 and hi = ref (Array.length index - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if index.(mid) <= position then lo := mid else hi := mid - 1
+  done;
+  !lo + 1
+
+(* ---- scanner -------------------------------------------------------- *)
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let scan text =
+  let len = String.length text in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let bol = ref 0 in
+  let i = ref 0 in
+  let peek offset =
+    if !i + offset < len then Some text.[!i + offset] else None
+  in
+  let advance () =
+    if text.[!i] = '\n' then begin
+      incr line;
+      bol := !i + 1
+    end;
+    incr i
+  in
+  let emit kind start start_line start_column =
+    tokens :=
+      {
+        kind;
+        text = String.sub text start (!i - start);
+        line = start_line;
+        column = start_column;
+      }
+      :: !tokens
+  in
+  (* Skip a string literal body after its opening quote was consumed;
+     backslash escapes any following character. *)
+  let skip_string () =
+    let closed = ref false in
+    while (not !closed) && !i < len do
+      match text.[!i] with
+      | '\\' ->
+        advance ();
+        if !i < len then advance ()
+      | '"' ->
+        advance ();
+        closed := true
+      | _ -> advance ()
+    done
+  in
+  (* Quoted string {id|...|id}: [delim] is the raw "id" between the
+     brace and the bar.  Consumes through the closing brace. *)
+  let skip_quoted delim =
+    let close = "|" ^ delim ^ "}" in
+    let cl = String.length close in
+    let closed = ref false in
+    while (not !closed) && !i < len do
+      if !i + cl <= len && String.sub text !i cl = close then begin
+        for _ = 1 to cl do
+          advance ()
+        done;
+        closed := true
+      end
+      else advance ()
+    done
+  in
+  (* Nested comment body after the opening "(*": strings inside
+     comments are skipped whole (OCaml requires them balanced, so a
+     "*)" inside one must not close the comment). *)
+  let skip_comment () =
+    let depth = ref 1 in
+    while !depth > 0 && !i < len do
+      match (text.[!i], peek 1) with
+      | '(', Some '*' ->
+        advance ();
+        advance ();
+        incr depth
+      | '*', Some ')' ->
+        advance ();
+        advance ();
+        decr depth
+      | '"', _ ->
+        advance ();
+        skip_string ()
+      | _ -> advance ()
+    done
+  in
+  while !i < len do
+    let c = text.[!i] in
+    let start = !i and start_line = !line and start_column = !i - !bol in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '(' && peek 1 = Some '*' then begin
+      advance ();
+      advance ();
+      skip_comment ();
+      emit Comment start start_line start_column
+    end
+    else if c = '"' then begin
+      advance ();
+      skip_string ();
+      emit String start start_line start_column
+    end
+    else if c = '{' then begin
+      (* {|...|} or {id|...|id} quoted string; plain '{' otherwise *)
+      let j = ref (!i + 1) in
+      while
+        !j < len && (is_ident_start text.[!j] || is_digit text.[!j])
+      do
+        incr j
+      done;
+      if !j < len && text.[!j] = '|' then begin
+        let delim = String.sub text (!i + 1) (!j - !i - 1) in
+        while !i <= !j do
+          advance ()
+        done;
+        skip_quoted delim;
+        emit String start start_line start_column
+      end
+      else begin
+        advance ();
+        emit Punct start start_line start_column
+      end
+    end
+    else if c = '\'' then begin
+      (* char literal only when it closes: 'x' or an escape; otherwise
+         a type variable / standalone quote *)
+      match (peek 1, peek 2) with
+      | Some '\\', _ ->
+        advance ();
+        advance ();
+        let closed = ref false in
+        while (not !closed) && !i < len do
+          let d = text.[!i] in
+          advance ();
+          if d = '\'' then closed := true
+        done;
+        emit Char start start_line start_column
+      | Some _, Some '\'' ->
+        advance ();
+        advance ();
+        advance ();
+        emit Char start start_line start_column
+      | _ ->
+        advance ();
+        emit Punct start start_line start_column
+    end
+    else if is_ident_start c then begin
+      let continue = ref true in
+      while !continue do
+        while !i < len && is_ident_char text.[!i] do
+          advance ()
+        done;
+        (* extend "Unix" across ".gettimeofday" into one dotted path *)
+        match (peek 0, peek 1) with
+        | Some '.', Some d when is_ident_start d ->
+          advance ()
+        | _ -> continue := false
+      done;
+      emit Ident start start_line start_column
+    end
+    else if is_digit c then begin
+      while
+        !i < len
+        && (is_ident_char text.[!i] || text.[!i] = '.')
+      do
+        advance ()
+      done;
+      emit Number start start_line start_column
+    end
+    else begin
+      advance ();
+      emit Punct start start_line start_column
+    end
+  done;
+  List.rev !tokens

@@ -1,0 +1,49 @@
+(** Comment- and string-literal-aware OCaml tokenizer.
+
+    The source-analysis rules ({!Rules}) need to know whether a banned
+    call name appears in {e code} or merely inside a comment, a string
+    literal or a quoted string — a raw substring scan cannot tell.
+    This scanner produces a flat token stream with enough OCaml lexical
+    structure to decide that: nested [(* ... *)] comments (with
+    strings inside comments skipped whole, as the real lexer does),
+    ["..."] literals with backslash escapes, [{|...|}] / [{id|...|id}]
+    quoted strings, char literals distinguished from type variables,
+    and {e dotted identifier paths} ([Unix.gettimeofday], [pool.lock])
+    joined into single tokens so rules match call names directly.
+
+    It is a lexer, not a parser: no precedence, no AST — exactly the
+    fidelity the token-level rules need, and robust on any input (no
+    token is ever rejected; unterminated forms extend to end of
+    input). *)
+
+type kind =
+  | Ident  (** identifier or dotted path, e.g. ["Random.self_init"] *)
+  | Number
+  | String  (** string or quoted-string literal, delimiters included *)
+  | Char  (** char literal; type variables lex as {!Punct} + {!Ident} *)
+  | Comment  (** whole comment, nested comments included *)
+  | Punct  (** any other single character *)
+
+type token = {
+  kind : kind;
+  text : string;
+  line : int;  (** 1-based line of the token's first character *)
+  column : int;  (** 0-based column of the token's first character *)
+}
+
+val scan : string -> token list
+(** Tokenize a source text, in order.  Whitespace is dropped. *)
+
+(** {1 Line-offset index}
+
+    One index per file replaces the per-hit prefix rescan the old
+    self-lint used (quadratic on pathological files): build it once,
+    then each lookup is a binary search. *)
+
+val line_index : string -> int array
+(** [line_index text] maps 0-based line number to the byte offset of
+    that line's first character ([index.(0) = 0] always). *)
+
+val line_of : int array -> int -> int
+(** [line_of index position] is the 1-based line containing byte
+    [position] — equal to [1 + number of '\n' before position]. *)

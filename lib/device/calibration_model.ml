@@ -192,3 +192,45 @@ let uniform_device ~name ~coupling n ~error_2q =
   let c = Calibration.create n in
   List.iter (fun (u, v) -> Calibration.set_link_error c u v error_2q) coupling;
   Device.make ~name ~coupling c
+
+(* Every named device profile the model can produce.  The calibration
+   lint sweeps this list, so a new profile added here is linted (over
+   its full history) from the day it lands. *)
+
+type profile = {
+  profile_name : string;
+  coupling : (int * int) list;
+  qubits : int;
+  profile_params : params;
+}
+
+let profiles =
+  [
+    {
+      profile_name = "q20-tokyo";
+      coupling = Topologies.ibm_q20_tokyo;
+      qubits = 20;
+      profile_params = ibm_q20_params;
+    };
+    {
+      profile_name = "q5-tenerife";
+      coupling = Topologies.ibm_q5_tenerife;
+      qubits = 5;
+      profile_params = ibm_q5_params;
+    };
+    {
+      profile_name = "q16-melbourne";
+      coupling = Topologies.ibm_q16_melbourne;
+      qubits = 14;
+      profile_params = ibm_q20_params;
+    };
+    {
+      profile_name = "heavy-hex-27";
+      coupling = Topologies.heavy_hex_27;
+      qubits = 27;
+      profile_params = ibm_q20_params;
+    };
+  ]
+
+let find_profile name =
+  List.find_opt (fun p -> p.profile_name = name) profiles

@@ -94,3 +94,20 @@ val uniform_device :
   Device.t
 (** A no-variability control: every link has the same error, every qubit
     ideal coherence.  Under it VQM must coincide with the baseline. *)
+
+(** A named device profile the model can produce: topology plus the
+    noise parameters its calibrations are drawn from. *)
+type profile = {
+  profile_name : string;
+  coupling : (int * int) list;
+  qubits : int;
+  profile_params : params;
+}
+
+val profiles : profile list
+(** Every named profile, in registration order: the paper's Q20 Tokyo
+    and Q5 Tenerife, plus Q16 Melbourne and the 27-qubit heavy-hex
+    lattice under Q20 noise.  The calibration lint ([vqc-check calib])
+    sweeps exactly this list. *)
+
+val find_profile : string -> profile option

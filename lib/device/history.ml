@@ -146,6 +146,11 @@ let average h =
     h.coupling;
   mean
 
+let coupling h = h.coupling
+
+let qubit_series h q =
+  Array.map (fun snapshot -> Calibration.qubit snapshot q) h.snapshots
+
 let link_series h u v =
   if not (List.mem (min u v, max u v) h.coupling) then raise Not_found;
   Array.map (fun snapshot -> Calibration.link_error_exn snapshot u v) h.snapshots

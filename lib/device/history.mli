@@ -33,6 +33,13 @@ val average : t -> Calibration.t
 (** Per-link / per-qubit arithmetic mean over all days — the "average
     behaviour across 52 days" configuration the paper evaluates with. *)
 
+val coupling : t -> (int * int) list
+(** The coupler list the history was generated over, sorted. *)
+
+val qubit_series : t -> int -> Calibration.qubit array
+(** Day-by-day calibration figures of one qubit.
+    @raise Invalid_argument when the qubit is out of range. *)
+
 val link_series : t -> int -> int -> float array
 (** Day-by-day two-qubit error of one link.
     @raise Not_found if the pair is not a coupler. *)

@@ -35,7 +35,51 @@ let code_final_layout = "VQC105"
 let code_unreplayed_gates = "VQC106"
 let code_calibration = "VQC107"
 let code_malformed_plan = "VQC108"
+let code_calib_error_range = "VQC120"
+let code_calib_coherence = "VQC121"
+let code_calib_t2_bound = "VQC122"
+let code_calib_dead_qubit = "VQC123"
+let code_calib_coupler = "VQC124"
+let code_calib_stuck_sensor = "VQC125"
 let code_determinism = "VQC201"
+let code_stdout_hygiene = "VQC202"
+let code_unguarded_state = "VQC210"
+let code_lock_shape = "VQC211"
+let code_lock_order = "VQC212"
+
+let all_codes =
+  [
+    (code_parse, "OpenQASM parse error");
+    (code_index_range, "register index out of declared range");
+    (code_gate_after_measure, "gate acts on a qubit after its measurement");
+    (code_unused_qubit, "qubit declared but never used");
+    (code_identical_operands, "two-qubit gate with identical operands");
+    (code_cancellable_pair, "adjacent gates cancel exactly");
+    (code_illegal_coupling, "physical two-qubit gate on an uncoupled pair");
+    (code_replay_mismatch, "physical gate matches no ready source gate");
+    (code_measurement_mapping, "measurement readout mapping broken");
+    (code_swap_count, "inserted-SWAP count disagrees with router accounting");
+    (code_final_layout, "declared final layout differs from replayed layout");
+    (code_unreplayed_gates, "source gates left over after replay");
+    (code_calibration, "plan compiled against insane calibration data");
+    (code_malformed_plan, "plan shape malformed");
+    (code_calib_error_range, "error rate non-finite, negative or above 1");
+    (code_calib_coherence, "coherence or readout figure outside physical range");
+    (code_calib_t2_bound, "T2 exceeds the 2*T1 physical bound");
+    (code_calib_dead_qubit, "qubit effectively dead");
+    (code_calib_coupler, "coupling map and link calibration disagree");
+    (code_calib_stuck_sensor, "calibration figure frozen across days");
+    (code_determinism, "determinism-breaking call in source");
+    (code_stdout_hygiene, "stdout print in library code");
+    (code_unguarded_state, "top-level mutable state neither Atomic nor guarded");
+    (code_lock_shape, "Mutex.lock without matching unlock/protect shape");
+    (code_lock_order, "nested lock acquisition outside the canonical order");
+  ]
+
+let describe code =
+  match List.assoc_opt code all_codes with
+  | Some description -> description
+  | None -> "unknown diagnostic code"
 
 let make ?(location = Nowhere) severity code message =
   { code; severity; message; location }

@@ -7,7 +7,11 @@
     can report through it without depending on the checkers (which in
     turn depend on the circuit layer).
 
-    Stable codes (never renumber; retire by leaving a gap):
+    Stable codes (never renumber; retire by leaving a gap).  The
+    machine-readable form of this table is {!all_codes}; SARIF rule
+    metadata ({!Vqc_check.Sarif}) is generated from it.
+
+    {b VQC00x — circuit & QASM lint} ([Vqc_check.Lint], QASM front end):
 
     - [VQC000] — unstructured QASM parse error
     - [VQC001] — qubit or classical-bit index out of range
@@ -15,6 +19,10 @@
     - [VQC003] — declared qubit is never used
     - [VQC004] — two-qubit gate with identical operands
     - [VQC005] — trivially cancellable adjacent gate pair
+
+    {b VQC10x — plan verification} ([Vqc_check.Verify], translation
+    validation of compiled plans):
+
     - [VQC101] — two-qubit gate on a pair that is not a coupler
     - [VQC102] — replay mismatch: physical gate matches no ready source
       gate (dependency order or semantics broken)
@@ -25,7 +33,30 @@
     - [VQC107] — calibration sanity violation (dead qubit/link, error
       rate outside [0, 1])
     - [VQC108] — malformed layout or circuit shape
-    - [VQC201] — determinism-hygiene violation in repository source
+
+    {b VQC12x — calibration-data lint} ([Vqc_check.Calib_lint], over
+    every profile {!Vqc_device.Calibration_model} can produce and over
+    multi-day histories):
+
+    - [VQC120] — error rate non-finite, negative or above 1
+    - [VQC121] — coherence or readout figure outside its physical range
+    - [VQC122] — T2 exceeds the [2 * T1] dephasing bound
+    - [VQC123] — qubit effectively dead (error at ceiling, vanished
+      coherence, or no live incident coupler)
+    - [VQC124] — coupling map and link calibration disagree
+      (uncalibrated coupler, or calibrated non-coupler)
+    - [VQC125] — calibration figure frozen across days (stuck sensor)
+
+    {b VQC2xx — repository source analysis} ([Vqc_check.Rules], over
+    the comment/string-aware token stream of every [.ml] source):
+
+    - [VQC201] — determinism-hygiene violation (environment-seeded RNG;
+      wall/CPU-clock read outside the allow-listed timing sites)
+    - [VQC202] — stdout print in library code
+    - [VQC210] — top-level mutable state that is neither [Atomic] nor
+      registered as lock-protected
+    - [VQC211] — [Mutex.lock] without a matching unlock/protect shape
+    - [VQC212] — nested lock acquisition outside the canonical order
 
     Rendering is deterministic: equal diagnostics render to equal JSON,
     and {!render_list} sorts before printing. *)
@@ -67,7 +98,25 @@ val code_final_layout : string
 val code_unreplayed_gates : string
 val code_calibration : string
 val code_malformed_plan : string
+val code_calib_error_range : string
+val code_calib_coherence : string
+val code_calib_t2_bound : string
+val code_calib_dead_qubit : string
+val code_calib_coupler : string
+val code_calib_stuck_sensor : string
 val code_determinism : string
+val code_stdout_hygiene : string
+val code_unguarded_state : string
+val code_lock_shape : string
+val code_lock_order : string
+
+val all_codes : (string * string) list
+(** Every assigned code paired with its one-line description, in code
+    order — the machine-readable code table. *)
+
+val describe : string -> string
+(** One-line description of a code (["unknown diagnostic code"] for
+    anything not in {!all_codes}) — used as SARIF rule metadata. *)
 
 (** {1 Construction} *)
 

@@ -123,6 +123,7 @@ type compiled = {
    (Vqc_check depends on the mapper), so the verifier reaches the
    pipeline through inversion of control.  The hook sees every emitted
    plan and may raise to reject it. *)
+(* domain-safe: installed/cleared only before worker domains fan out *)
 let plan_check : (Device.t -> Circuit.t -> compiled -> unit) option ref =
   ref None
 

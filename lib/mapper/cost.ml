@@ -17,7 +17,7 @@ type t = {
 (* Stamps are only ever cache keys — the counter is mutex-protected so
    concurrently-compiling domains never mint the same id. *)
 let stamp_lock = Mutex.create ()
-let next_stamp = ref 0
+let next_stamp = ref 0 (* guarded by stamp_lock *)
 
 let fresh_stamp () =
   Mutex.lock stamp_lock;
@@ -89,6 +89,7 @@ let make ?(swap_bias = default_swap_bias) device model =
 let cache_devices = 8
 let cache_lock = Mutex.create ()
 
+(* guarded by cache_lock *)
 let cache : (Device.t * ((model * float) * t) list ref) list ref = ref []
 
 let cached ?(swap_bias = default_swap_bias) device model =

@@ -326,6 +326,7 @@ type memo_entry = {
 
 let memo_capacity = 32_768
 let memo_lock = Mutex.create ()
+(* guarded by memo_lock *)
 let memo_table : (string, memo_entry) Hashtbl.t = Hashtbl.create 1024
 let memo_hits = Metrics.counter "mapper.layer_memo_hits"
 let memo_misses = Metrics.counter "mapper.layer_memo_misses"

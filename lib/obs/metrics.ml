@@ -14,9 +14,9 @@ type histogram = {
    atomics and each histogram has its own lock, so recording from pool
    worker domains never contends on the registry itself. *)
 let registry_lock = Mutex.create ()
-let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
-let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
-let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32 (* guarded by registry_lock *)
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16 (* guarded by registry_lock *)
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16 (* guarded by registry_lock *)
 
 let registered table name make =
   Mutex.lock registry_lock;

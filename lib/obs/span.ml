@@ -1,5 +1,6 @@
 (* Per-domain span stacks: spans opened by pool workers on different
    domains nest independently, which is exactly the call-tree shape. *)
+(* domain-safe: one cell per domain via DLS *)
 let stack_key : string list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 

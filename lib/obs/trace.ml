@@ -5,7 +5,7 @@ type sink = { write : string -> unit; flush : unit -> unit }
    produced, so Noop mode costs one atomic load. *)
 let active = Atomic.make false
 let lock = Mutex.create ()
-let sink : sink option ref = ref None
+let sink : sink option ref = ref None (* guarded by lock *)
 
 let enabled () = Atomic.get active
 

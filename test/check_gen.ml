@@ -1,0 +1,66 @@
+(* Pins the static-analysis renderings byte-for-byte: the text report,
+   the SARIF 2.1.0 log and the baseline file produced from one fixture
+   source tree (source rules) and one corrupted calibration
+   (calibration lint).  Routed through `diff` against
+   test/golden/check-static.expected like every other golden.
+
+   The fixture sources live here as quoted strings — the self-lint
+   tokenizer proves the point by NOT flagging the banned names inside
+   them. *)
+
+module Diagnostic = Vqc_diag.Diagnostic
+module Rules = Vqc_check.Rules
+module Calib_lint = Vqc_check.Calib_lint
+module Sarif = Vqc_check.Sarif
+module Baseline = Vqc_check.Baseline
+module Calibration = Vqc_device.Calibration
+module Topologies = Vqc_device.Topologies
+
+let fixture_unclean =
+  {|(* A comment naming Random.self_init and Unix.gettimeofday must not
+   flag; nor must the string below. *)
+let banned = "Sys.time inside a string literal"
+
+let () = Random.self_init ()
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()
+let () = print_endline "library code printing to stdout"
+let hits = ref 0
+
+let with_lock m f =
+  Mutex.lock m;
+  f ()
+|}
+
+let fixture_clean =
+  {|(* Only mentions: Random.self_init, Sys.time, print_endline. *)
+let quoted = {x|Unix.gettimeofday in a quoted string|x}
+let answer = '"'
+|}
+
+let corrupted_calibration () =
+  let calibration = Calibration.create 5 in
+  List.iter
+    (fun (u, v) -> Calibration.set_link_error calibration u v 0.05)
+    Topologies.ibm_q5_tenerife;
+  let q0 = Calibration.qubit calibration 0 in
+  Calibration.set_qubit calibration 0 { q0 with Calibration.error_1q = 1.5 };
+  let q1 = Calibration.qubit calibration 1 in
+  Calibration.set_qubit calibration 1
+    { q1 with Calibration.t1_us = 40.0; t2_us = 95.0 };
+  calibration
+
+let () =
+  let findings =
+    Rules.scan_source ~file:"lib/demo/unclean.ml" fixture_unclean
+    @ Rules.scan_source ~file:"lib/demo/clean.ml" fixture_clean
+    @ Calib_lint.profile ~name:"fixture-q5"
+        ~coupling:Topologies.ibm_q5_tenerife (corrupted_calibration ())
+  in
+  let findings = List.sort Diagnostic.compare findings in
+  print_endline "== text ==";
+  List.iter (fun d -> print_endline (Diagnostic.to_string d)) findings;
+  print_endline "== sarif ==";
+  print_endline (Sarif.render findings);
+  print_endline "== baseline ==";
+  print_string (Baseline.render findings)

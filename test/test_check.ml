@@ -20,6 +20,12 @@ module Diagnostic = Vqc_diag.Diagnostic
 module Lint = Vqc_check.Lint
 module Verify = Vqc_check.Verify
 module Selflint = Vqc_check.Selflint
+module Tokens = Vqc_check.Tokens
+module Rules = Vqc_check.Rules
+module Calib_lint = Vqc_check.Calib_lint
+module Sarif = Vqc_check.Sarif
+module Baseline = Vqc_check.Baseline
+module History = Vqc_device.History
 module Epoch = Vqc_service.Epoch
 module Protocol = Vqc_service.Protocol
 module Service = Vqc_service.Service
@@ -39,6 +45,9 @@ let has_code code diagnostics =
   Alcotest.(check bool)
     (code ^ " reported") true
     (List.mem code (codes diagnostics))
+
+let only_code code diagnostics =
+  Alcotest.(check (list string)) ("exactly " ^ code) [ code ] (codes diagnostics)
 
 (* ---- Diagnostic ----------------------------------------------------- *)
 
@@ -70,6 +79,31 @@ let test_diagnostic_to_json_locations () =
   check "nowhere has no location fields" true
     (json (Diagnostic.warning "VQC003" "m")
     = {|{"code":"VQC003","severity":"warning","message":"m"}|})
+
+let test_diagnostic_code_table () =
+  (* every stable code documents itself, new families included *)
+  List.iter
+    (fun code ->
+      check (code ^ " described") true
+        (Diagnostic.describe code <> "unknown diagnostic code"))
+    (List.map fst Diagnostic.all_codes);
+  List.iter
+    (fun code -> check (code ^ " registered") true (List.mem_assoc code Diagnostic.all_codes))
+    [
+      Diagnostic.code_calib_error_range;
+      Diagnostic.code_calib_coherence;
+      Diagnostic.code_calib_t2_bound;
+      Diagnostic.code_calib_dead_qubit;
+      Diagnostic.code_calib_coupler;
+      Diagnostic.code_calib_stuck_sensor;
+      Diagnostic.code_determinism;
+      Diagnostic.code_stdout_hygiene;
+      Diagnostic.code_unguarded_state;
+      Diagnostic.code_lock_shape;
+      Diagnostic.code_lock_order;
+    ];
+  check_string "unknown code" "unknown diagnostic code"
+    (Diagnostic.describe "VQC999")
 
 (* ---- Qasm positioned diagnostics ------------------------------------ *)
 
@@ -193,6 +227,454 @@ let test_selflint_repo_is_clean () =
   match Sys.getenv_opt "DUNE_SOURCEROOT" with
   | None -> ()
   | Some root -> check "repository clean" true (Selflint.scan_tree ~root = [])
+
+(* ---- Tokens --------------------------------------------------------- *)
+
+(* The fixtures below spell banned call names out in plain string
+   literals: the tokenizer skips string contents, so the repository
+   self-lint of this very file is itself a regression test for the
+   comment/string immunity they assert. *)
+
+let ident_texts text =
+  List.filter_map
+    (fun (t : Tokens.token) ->
+      if t.Tokens.kind = Tokens.Ident then Some t.Tokens.text else None)
+    (Tokens.scan text)
+
+let test_tokens_comment_string_immunity () =
+  let text =
+    "(* Random.self_init, (* nested Unix.gettimeofday *) Sys.time,\n"
+    ^ {|   and a string "with a closer *) and Sys.time" skipped whole *)|}
+    ^ "\n"
+    ^ {|let banned = "Sys.time and print_endline and Mutex.lock"|}
+    ^ "\nlet quoted = {x|Random.self_init|x}\n"
+    ^ "let tricky = \"escaped quote \\\" then Unix.gettimeofday\"\n"
+  in
+  check "comments and strings never flag" true
+    (Selflint.scan_source ~file:"lib/foo/a.ml" text = []);
+  (* the same names in code do flag *)
+  only_code Diagnostic.code_determinism
+    (Selflint.scan_source ~file:"lib/foo/a.ml" "let cpu = Sys.time ()\n")
+
+let test_tokens_dotted_and_char () =
+  check "dotted path is one token" true
+    (List.mem "Unix.gettimeofday" (ident_texts "let now = Unix.gettimeofday ()"));
+  let tokens = Tokens.scan "let f (x : 'a) = 'b'" in
+  check "char literal lexed" true
+    (List.exists
+       (fun (t : Tokens.token) ->
+         t.Tokens.kind = Tokens.Char && t.Tokens.text = "'b'")
+       tokens);
+  check "type variable is not a char" false
+    (List.exists
+       (fun (t : Tokens.token) ->
+         t.Tokens.kind = Tokens.Char && t.Tokens.text = "'a")
+       tokens)
+
+let test_line_index_binary_search () =
+  let text = "a\nbc\n\nquux\n" in
+  let index = Tokens.line_index text in
+  Alcotest.(check (array int)) "line offsets" [| 0; 2; 5; 6; 11 |] index;
+  (* the binary search agrees with the naive prefix rescan it replaced *)
+  String.iteri
+    (fun position _ ->
+      let naive = ref 1 in
+      String.iteri (fun i c -> if i < position && c = '\n' then incr naive) text;
+      check_int
+        (Printf.sprintf "line of byte %d" position)
+        !naive
+        (Tokens.line_of index position))
+    text
+
+(* ---- Rules: source analysis ----------------------------------------- *)
+
+let scan file text = Selflint.scan_source ~file text
+
+let test_rule_stdout_hygiene () =
+  let print = {|let () = print_endline "hi"|} ^ "\n" in
+  only_code Diagnostic.code_stdout_hygiene (scan "lib/foo/a.ml" print);
+  check "cli layer may print" true (scan "bin/main.ml" print = []);
+  check "formatter-parameterized output is fine" true
+    (scan "lib/foo/a.ml" {|let pp f = Format.fprintf f "x"|} = [])
+
+let test_rule_unguarded_state () =
+  let table = "let table = Hashtbl.create 16\n" in
+  only_code Diagnostic.code_unguarded_state (scan "lib/foo/a.ml" table);
+  only_code Diagnostic.code_unguarded_state
+    (scan "lib/foo/a.ml" "let hits = ref 0\n");
+  check "Atomic is the sanctioned form" true
+    (scan "lib/foo/a.ml" "let hits = Atomic.make 0\n" = []);
+  check "registration comment above" true
+    (scan "lib/foo/a.ml" ("(* guarded by pool_lock *)\n" ^ table) = []);
+  check "registration comment on the line" true
+    (scan "lib/foo/a.ml" "let hits = ref 0 (* domain-safe: DLS *)\n" = []);
+  check "local bindings are not globals" true
+    (scan "lib/foo/a.ml" "let f () =\n  let hits = ref 0 in\n  !hits\n" = []);
+  check "scoped to library code" true (scan "test/a.ml" table = [])
+
+let test_rule_lock_shape () =
+  let leaky = "let f m = Mutex.lock m; work ()\n" in
+  (match scan "lib/foo/a.ml" leaky with
+  | [ d ] ->
+    check_string "code" Diagnostic.code_lock_shape d.Diagnostic.code;
+    check "at the first lock" true
+      (d.Diagnostic.location
+      = Diagnostic.File_line { file = "lib/foo/a.ml"; line = 1 })
+  | _ -> Alcotest.fail "expected exactly one finding");
+  check "balanced lock/unlock" true
+    (scan "lib/foo/a.ml" "let f m = Mutex.lock m; work (); Mutex.unlock m\n"
+    = []);
+  check "Mutex.protect counts as a release" true
+    (scan "lib/foo/a.ml"
+       "let f m = Mutex.lock m; work (); Mutex.unlock m\nlet g m h = Mutex.protect m h\n"
+    = [])
+
+let test_rule_lock_order () =
+  let nested name_a name_b =
+    Printf.sprintf
+      "let f %s %s =\n  Mutex.lock %s;\n  Mutex.lock %s;\n  Mutex.unlock %s;\n  Mutex.unlock %s\n"
+      name_a name_b name_a name_b name_b name_a
+  in
+  only_code Diagnostic.code_lock_order (scan "lib/foo/a.ml" (nested "a" "b"));
+  check "canonical order nests freely" true
+    (scan "lib/foo/a.ml" (nested "registry_lock" "hlock") = []);
+  only_code Diagnostic.code_lock_order
+    (scan "lib/foo/a.ml" (nested "hlock" "registry_lock"))
+
+(* ---- Calib_lint ------------------------------------------------------ *)
+
+let tenerife = Topologies.ibm_q5_tenerife
+
+let healthy_q5 () =
+  let calibration = Calibration.create 5 in
+  List.iter
+    (fun (u, v) -> Calibration.set_link_error calibration u v 0.05)
+    tenerife;
+  calibration
+
+let calib_codes calibration =
+  codes (Calib_lint.profile ~name:"t" ~coupling:tenerife calibration)
+
+let tweak_qubit calibration q f =
+  Calibration.set_qubit calibration q (f (Calibration.qubit calibration q))
+
+let test_calib_clean_profile () =
+  check "healthy profile is clean" true (calib_codes (healthy_q5 ()) = [])
+
+let test_calib_error_range () =
+  let c = healthy_q5 () in
+  tweak_qubit c 0 (fun f -> { f with Calibration.error_readout = Float.nan });
+  Alcotest.(check (list string))
+    "NaN readout" [ Diagnostic.code_calib_error_range ] (calib_codes c);
+  let c = healthy_q5 () in
+  tweak_qubit c 1 (fun f -> { f with Calibration.error_1q = -0.1 });
+  Alcotest.(check (list string))
+    "negative rate" [ Diagnostic.code_calib_error_range ] (calib_codes c)
+
+let test_calib_coherence () =
+  let c = healthy_q5 () in
+  tweak_qubit c 0 (fun f -> { f with Calibration.t1_us = 30_000.0 });
+  Alcotest.(check (list string))
+    "absurd T1" [ Diagnostic.code_calib_coherence ] (calib_codes c);
+  let c = healthy_q5 () in
+  tweak_qubit c 2 (fun f -> { f with Calibration.t2_us = 0.0 });
+  Alcotest.(check (list string))
+    "zero T2" [ Diagnostic.code_calib_coherence ] (calib_codes c)
+
+let test_calib_t2_bound () =
+  let c = healthy_q5 () in
+  tweak_qubit c 1 (fun f -> { f with Calibration.t1_us = 40.0; t2_us = 95.0 });
+  Alcotest.(check (list string))
+    "T2 > 2*T1" [ Diagnostic.code_calib_t2_bound ] (calib_codes c)
+
+let test_calib_dead_qubit () =
+  let c = healthy_q5 () in
+  tweak_qubit c 3 (fun f -> { f with Calibration.error_1q = 0.6 });
+  Alcotest.(check (list string))
+    "hot qubit" [ Diagnostic.code_calib_dead_qubit ] (calib_codes c);
+  (* both endpoints of an all-dead neighbourhood are dead *)
+  let pair = Calibration.create 2 in
+  Calibration.set_link_error pair 0 1 0.9;
+  Alcotest.(check (list string))
+    "no live incident coupler"
+    [ Diagnostic.code_calib_dead_qubit; Diagnostic.code_calib_dead_qubit ]
+    (codes (Calib_lint.profile ~name:"t" ~coupling:[ (0, 1) ] pair))
+
+let test_calib_coupler_asymmetry () =
+  let c = healthy_q5 () in
+  Calibration.set_link_error c 1 3 0.05;
+  Alcotest.(check (list string))
+    "calibrated non-coupler" [ Diagnostic.code_calib_coupler ] (calib_codes c);
+  let c = Calibration.create 5 in
+  List.iter
+    (fun (u, v) ->
+      if (u, v) <> (3, 4) then Calibration.set_link_error c u v 0.05)
+    tenerife;
+  Alcotest.(check (list string))
+    "uncalibrated coupler" [ Diagnostic.code_calib_coupler ] (calib_codes c)
+
+let test_calib_stuck_sensor () =
+  (* a core error far above the generator's clamp rail pins the link's
+     base at the rail; at this seed the AR(1) deviation stays positive
+     across the horizon, so every day clamps to the same value: frozen,
+     hence stuck — the same mechanism behind the baselined findings *)
+  let params =
+    {
+      Calibration_model.ibm_q20_params with
+      Calibration_model.error_2q =
+        {
+          Calibration_model.core_mean = 1.0;
+          core_std = 0.0;
+          bad_fraction = 0.0;
+          bad_lo = 0.1;
+          bad_hi = 0.18;
+        };
+    }
+  in
+  let history =
+    History.generate ~days:6 ~params ~seed:8 ~coupling:[ (0, 1) ] 2
+  in
+  Alcotest.(check (list string))
+    "frozen link" [ Diagnostic.code_calib_stuck_sensor ]
+    (codes (Calib_lint.history ~name:"t" history))
+
+let test_calib_full_sweep_is_baselined () =
+  (* the exact sweep `vqc-check calib` runs: every profile, the paper's
+     52-day horizon, default seed — expected clean modulo the committed
+     baseline (the generator's clamp rail legitimately freezes a few
+     links, and those are accepted in check-baseline.txt) *)
+  let findings =
+    List.concat_map
+      (fun (p : Calibration_model.profile) ->
+        let history =
+          History.generate ~days:52 ~params:p.Calibration_model.profile_params
+            ~seed:2 ~coupling:p.Calibration_model.coupling
+            p.Calibration_model.qubits
+        in
+        Calib_lint.history ~name:p.Calibration_model.profile_name history)
+      Calibration_model.profiles
+  in
+  check "only stuck-sensor findings" true
+    (List.for_all
+       (fun d -> d.Diagnostic.code = Diagnostic.code_calib_stuck_sensor)
+       findings);
+  check_int "pinned count" 17 (List.length findings);
+  match Sys.getenv_opt "DUNE_SOURCEROOT" with
+  | None -> ()
+  | Some root ->
+    (match Baseline.load (Filename.concat root "check-baseline.txt") with
+    | Error message -> Alcotest.fail message
+    | Ok baseline ->
+      check "every finding is baselined" true
+        (Baseline.filter_new baseline findings = []))
+
+(* ---- Sarif ----------------------------------------------------------- *)
+
+let json_member name = function
+  | Mini_json.Obj fields ->
+    (match List.assoc_opt name fields with
+    | Some value -> value
+    | None -> Alcotest.fail ("missing member " ^ name))
+  | _ -> Alcotest.fail ("not an object around " ^ name)
+
+let json_string = function
+  | Mini_json.String s -> s
+  | _ -> Alcotest.fail "not a string"
+
+let json_list = function
+  | Mini_json.List l -> l
+  | _ -> Alcotest.fail "not a list"
+
+let sarif_fixture_findings () =
+  [
+    Diagnostic.error
+      ~location:(Diagnostic.File_line { file = "lib/a.ml"; line = 3 })
+      Diagnostic.code_determinism "wall clock";
+    Diagnostic.info Diagnostic.code_calib_stuck_sensor "note-level finding";
+    Diagnostic.warning Diagnostic.code_unused_qubit "w";
+  ]
+
+let test_sarif_structure () =
+  let sarif = Mini_json.parse (Sarif.render (sarif_fixture_findings ())) in
+  check_string "$schema" Sarif.schema (json_string (json_member "$schema" sarif));
+  check_string "version" "2.1.0" (json_string (json_member "version" sarif));
+  let run = List.hd (json_list (json_member "runs" sarif)) in
+  let driver = json_member "driver" (json_member "tool" run) in
+  check_string "tool name" "vqc-check" (json_string (json_member "name" driver));
+  check_int "one rule per distinct code" 3
+    (List.length (json_list (json_member "rules" driver)));
+  let results = json_list (json_member "results" run) in
+  let levels =
+    List.sort compare
+      (List.map (fun r -> json_string (json_member "level" r)) results)
+  in
+  Alcotest.(check (list string))
+    "severity mapping (Info -> note)"
+    [ "error"; "note"; "warning" ] levels;
+  let located =
+    List.filter_map
+      (fun r ->
+        match r with
+        | Mini_json.Obj fields when List.mem_assoc "locations" fields ->
+          Some (List.hd (json_list (List.assoc "locations" fields)))
+        | _ -> None)
+      results
+  in
+  match located with
+  | [ location ] ->
+    let physical = json_member "physicalLocation" location in
+    check_string "uri" "lib/a.ml"
+      (json_string (json_member "uri" (json_member "artifactLocation" physical)));
+    check "startLine" true
+      (json_member "startLine" (json_member "region" physical)
+      = Mini_json.Number 3.0)
+  | _ -> Alcotest.fail "expected exactly one located result"
+
+(* A deliberately small JSON-Schema evaluator — just the keywords the
+   checked-in SARIF subset schema uses: type, required, properties,
+   items, const, enum. *)
+let rec validate_schema ~path schema json =
+  let fail message = Alcotest.fail (Printf.sprintf "%s: %s" path message) in
+  match schema with
+  | Mini_json.Obj fields ->
+    let field name = List.assoc_opt name fields in
+    (match field "const" with
+    | Some c when c <> json -> fail "const mismatch"
+    | _ -> ());
+    (match field "enum" with
+    | Some (Mini_json.List choices) when not (List.mem json choices) ->
+      fail "enum mismatch"
+    | _ -> ());
+    (match (field "type", json) with
+    | Some (Mini_json.String "object"), Mini_json.Obj _
+    | Some (Mini_json.String "array"), Mini_json.List _
+    | Some (Mini_json.String "string"), Mini_json.String _ ->
+      ()
+    | Some (Mini_json.String "integer"), Mini_json.Number n
+      when Float.is_integer n ->
+      ()
+    | Some (Mini_json.String expected), _ -> fail ("not a " ^ expected)
+    | _ -> ());
+    (match (field "required", json) with
+    | Some (Mini_json.List names), Mini_json.Obj members ->
+      List.iter
+        (function
+          | Mini_json.String name ->
+            if not (List.mem_assoc name members) then
+              fail ("missing required member " ^ name)
+          | _ -> ())
+        names
+    | _ -> ());
+    (match (field "properties", json) with
+    | Some (Mini_json.Obj properties), Mini_json.Obj members ->
+      List.iter
+        (fun (name, value) ->
+          match List.assoc_opt name properties with
+          | Some subschema ->
+            validate_schema ~path:(path ^ "." ^ name) subschema value
+          | None -> ())
+        members
+    | _ -> ());
+    (match (field "items", json) with
+    | Some subschema, Mini_json.List elements ->
+      List.iteri
+        (fun i element ->
+          validate_schema ~path:(Printf.sprintf "%s[%d]" path i) subschema
+            element)
+        elements
+    | _ -> ())
+  | _ -> fail "schema node is not an object"
+
+let test_sarif_validates_against_schema () =
+  (* cwd is the test directory under `dune runtest`, the project root
+     under a bare `dune exec` *)
+  let fixture =
+    List.find Sys.file_exists
+      [ "fixtures/sarif-schema.json"; "test/fixtures/sarif-schema.json" ]
+  in
+  let schema =
+    Mini_json.parse (In_channel.with_open_text fixture In_channel.input_all)
+  in
+  let validate findings =
+    validate_schema ~path:"$" schema (Mini_json.parse (Sarif.render findings))
+  in
+  validate (sarif_fixture_findings ());
+  validate [];
+  validate (Calib_lint.profile ~name:"t" ~coupling:[ (0, 1) ] (Calibration.create 2))
+
+(* ---- Baseline -------------------------------------------------------- *)
+
+let test_baseline_round_trip () =
+  let located =
+    Diagnostic.error
+      ~location:(Diagnostic.File_line { file = "lib/a.ml"; line = 3 })
+      Diagnostic.code_determinism "m1"
+  in
+  let nowhere = Diagnostic.error Diagnostic.code_calib_stuck_sensor "m2" in
+  check_string "location-free fingerprint" "VQC125\t-\tm2"
+    (Baseline.fingerprint nowhere);
+  let baseline = Baseline.of_string (Baseline.render [ located; nowhere ]) in
+  check "render round-trips" true
+    (Baseline.filter_new baseline [ located; nowhere ] = []);
+  (* fingerprints exclude the line, so moved findings stay accepted *)
+  let moved =
+    Diagnostic.error
+      ~location:(Diagnostic.File_line { file = "lib/a.ml"; line = 9 })
+      Diagnostic.code_determinism "m1"
+  in
+  check "line-insensitive" true (Baseline.mem baseline moved);
+  let fresh = Diagnostic.error Diagnostic.code_determinism "brand new" in
+  (match Baseline.partition baseline [ located; fresh ] with
+  | [ f ], [ s ] ->
+    check_string "fresh survives" "brand new" f.Diagnostic.message;
+    check_string "known suppressed" "m1" s.Diagnostic.message
+  | _ -> Alcotest.fail "expected one fresh and one suppressed");
+  check "comments and blanks ignored" true
+    (Baseline.mem
+       (Baseline.of_string "# header\n\nVQC201\tlib/a.ml\tm1\n")
+       located);
+  check "empty baseline accepts nothing" false (Baseline.mem Baseline.empty located)
+
+let test_baseline_load_missing () =
+  match Baseline.load "/nonexistent/vqc-baseline.txt" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loading a missing baseline must fail"
+
+(* ---- scan_tree ------------------------------------------------------- *)
+
+let test_scan_tree_layout () =
+  let root = Filename.temp_file "vqc_selflint" "" in
+  Sys.remove root;
+  let mkdir path = Sys.mkdir path 0o755 in
+  mkdir root;
+  let lib = Filename.concat root "lib" in
+  mkdir lib;
+  mkdir (Filename.concat lib "_build");
+  let write path text =
+    Out_channel.with_open_text path (fun channel ->
+        Out_channel.output_string channel text)
+  in
+  let flagged = Filename.concat lib "flagged.ml" in
+  let skipped = Filename.concat (Filename.concat lib "_build") "skipped.ml" in
+  let hidden = Filename.concat lib ".hidden.ml" in
+  write flagged "let () = Random.self_init ()\n";
+  write skipped "let () = Random.self_init ()\n";
+  write hidden "let () = Random.self_init ()\n";
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Sys.remove [ flagged; skipped; hidden ];
+      List.iter Sys.rmdir [ Filename.concat lib "_build"; lib; root ])
+    (fun () ->
+      match Selflint.scan_tree ~root with
+      | [ d ] ->
+        check_string "code" Diagnostic.code_determinism d.Diagnostic.code;
+        check "root-relative path" true
+          (d.Diagnostic.location
+          = Diagnostic.File_line { file = "lib/flagged.ml"; line = 1 })
+      | diagnostics ->
+        Alcotest.fail
+          (Printf.sprintf "expected one finding, got %d"
+             (List.length diagnostics)))
 
 (* ---- Verify: acceptance --------------------------------------------- *)
 
@@ -571,6 +1053,46 @@ let () =
             test_diagnostic_render_deterministic;
           Alcotest.test_case "json locations" `Quick
             test_diagnostic_to_json_locations;
+          Alcotest.test_case "code table" `Quick test_diagnostic_code_table;
+        ] );
+      ( "tokens",
+        [
+          Alcotest.test_case "comment/string immunity" `Quick
+            test_tokens_comment_string_immunity;
+          Alcotest.test_case "dotted paths and chars" `Quick
+            test_tokens_dotted_and_char;
+          Alcotest.test_case "line index" `Quick test_line_index_binary_search;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "stdout hygiene" `Quick test_rule_stdout_hygiene;
+          Alcotest.test_case "unguarded state" `Quick test_rule_unguarded_state;
+          Alcotest.test_case "lock shape" `Quick test_rule_lock_shape;
+          Alcotest.test_case "lock order" `Quick test_rule_lock_order;
+        ] );
+      ( "calib",
+        [
+          Alcotest.test_case "clean profile" `Quick test_calib_clean_profile;
+          Alcotest.test_case "error range" `Quick test_calib_error_range;
+          Alcotest.test_case "coherence range" `Quick test_calib_coherence;
+          Alcotest.test_case "t2 bound" `Quick test_calib_t2_bound;
+          Alcotest.test_case "dead qubit" `Quick test_calib_dead_qubit;
+          Alcotest.test_case "coupler asymmetry" `Quick
+            test_calib_coupler_asymmetry;
+          Alcotest.test_case "stuck sensor" `Quick test_calib_stuck_sensor;
+          Alcotest.test_case "full sweep baselined" `Slow
+            test_calib_full_sweep_is_baselined;
+        ] );
+      ( "sarif",
+        [
+          Alcotest.test_case "structure" `Quick test_sarif_structure;
+          Alcotest.test_case "schema validation" `Quick
+            test_sarif_validates_against_schema;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "round trip" `Quick test_baseline_round_trip;
+          Alcotest.test_case "missing file" `Quick test_baseline_load_missing;
         ] );
       ( "qasm",
         [
@@ -596,6 +1118,7 @@ let () =
             test_selflint_wall_clock_allow_list;
           Alcotest.test_case "repository clean" `Quick
             test_selflint_repo_is_clean;
+          Alcotest.test_case "tree walk" `Quick test_scan_tree_layout;
         ] );
       ( "verify",
         [
