@@ -35,7 +35,18 @@
    and records per-day retained fraction, the PST given up by retaining
    instead of recompiling, and the recompile wall time saved (timing
    under "nd"; everything else byte-identical for a fixed
-   history/threshold/jobs). *)
+   history/threshold/jobs).
+
+   The serve-load mode measures the TCP front end under concurrency:
+     dune exec bench/main.exe -- serve-load [--clients 1,8,64] \
+       [--requests-per-client N] [--jobs N] [--shards N] \
+       [--out BENCH_serve.json] [--check-scaling]
+   For each client count it starts an in-process Vqc_serve_net server,
+   replays pipelined NDJSON streams from that many concurrent clients,
+   and records p50/p99 latency, requests/s and cache hit rates (all
+   run-varying, so under "nd").  With --check-scaling it exits 1 when
+   the highest client count does not out-serve the lowest — the shared
+   pool and compile store must buy throughput, not just survive. *)
 
 module Registry = Vqc_experiments.Registry
 module Context = Vqc_experiments.Context
@@ -983,12 +994,279 @@ let run_drift_bench args =
       0
     end
 
+(* ---- Serving under concurrency: bench serve-load ------------------- *)
+
+module Server = Vqc_serve_net.Server
+module Session = Vqc_serve_net.Session
+module Load = Vqc_serve_net.Load
+module Metrics = Vqc_obs.Metrics
+
+(* Nearest-rank percentile over an ascending-sorted array. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else begin
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+  end
+
+(* Small circuits keep each compile cheap, so the bench exercises the
+   serving machinery (sockets, sessions, striped caches, the shared
+   store) rather than the mapper.  Clients start at different offsets
+   of the same rotation: every workload is compiled somewhere early,
+   then every other client's first touch is a shared-store hit and
+   every repeat a private-cache hit. *)
+let serve_load_workloads = [| "bv-3"; "bv-4"; "GHZ-3"; "TriSwap" |]
+
+let serve_load_stream ~requests index =
+  List.init requests (fun j ->
+      let workload =
+        serve_load_workloads.((index + j) mod Array.length serve_load_workloads)
+      in
+      Json.to_string
+        (Json.Obj
+           [ ("id", Json.Int (j + 1)); ("workload", Json.String workload) ]))
+
+let bench_counter name = Metrics.counter_value (Metrics.counter name)
+
+let hit_rate hits misses =
+  let total = hits + misses in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+
+type serve_round = {
+  sr_clients : int;
+  sr_requests : int;
+  sr_seconds : float;
+  sr_p50_ms : float;
+  sr_p99_ms : float;
+  sr_req_per_s : float;
+  sr_l1_hit_rate : float;
+  sr_store_hit_rate : float;
+  sr_failures : string list;
+}
+
+let run_serve_round ~jobs ~shards ~requests_per_client clients =
+  let epochs =
+    Epoch.of_history ~name:"Q20" ~coupling:Topologies.ibm_q20_tokyo
+      (History.generate ~days:2 ~seed:2 ~coupling:Topologies.ibm_q20_tokyo 20)
+  in
+  let server =
+    Server.start
+      ~config:
+        {
+          Server.default_config with
+          Server.clients_max = clients + 8;
+          session = { Session.default_config with Session.batch = 1 };
+          service =
+            {
+              Service.default_config with
+              Service.jobs;
+              cache_shards = shards;
+            };
+        }
+      epochs
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let counters () =
+        ( bench_counter "service.cache.hits",
+          bench_counter "service.cache.misses",
+          bench_counter "serve.store.hits",
+          bench_counter "serve.store.misses" )
+      in
+      let l1_hits0, l1_misses0, store_hits0, store_misses0 = counters () in
+      let results, seconds =
+        wall_clock (fun () ->
+            Load.run ~port:(Server.port server) ~clients ~window:8
+              ~requests:(serve_load_stream ~requests:requests_per_client)
+              ())
+      in
+      let l1_hits1, l1_misses1, store_hits1, store_misses1 = counters () in
+      let failures =
+        Array.to_list results
+        |> List.filter_map (function Error e -> Some e | Ok _ -> None)
+      in
+      let latencies =
+        Array.to_list results
+        |> List.concat_map (function
+             | Ok { Load.latencies; _ } -> Array.to_list latencies
+             | Error _ -> [])
+        |> Array.of_list
+      in
+      Array.sort compare latencies;
+      let answered = Array.length latencies in
+      {
+        sr_clients = clients;
+        sr_requests = clients * requests_per_client;
+        sr_seconds = seconds;
+        sr_p50_ms = 1e3 *. percentile latencies 50.0;
+        sr_p99_ms = 1e3 *. percentile latencies 99.0;
+        sr_req_per_s =
+          (if seconds > 0.0 then float_of_int answered /. seconds else 0.0);
+        sr_l1_hit_rate =
+          hit_rate (l1_hits1 - l1_hits0) (l1_misses1 - l1_misses0);
+        sr_store_hit_rate =
+          hit_rate (store_hits1 - store_hits0) (store_misses1 - store_misses0);
+        sr_failures = failures;
+      })
+
+let serve_round_json round =
+  Json.Obj
+    [
+      ("clients", Json.Int round.sr_clients);
+      ("requests", Json.Int round.sr_requests);
+      ( "nd",
+        Json.Obj
+          [
+            ("seconds", Json.Float round.sr_seconds);
+            ("p50_ms", Json.Float round.sr_p50_ms);
+            ("p99_ms", Json.Float round.sr_p99_ms);
+            ("req_per_s", Json.Float round.sr_req_per_s);
+            ("l1_hit_rate", Json.Float round.sr_l1_hit_rate);
+            ("store_hit_rate", Json.Float round.sr_store_hit_rate);
+          ] );
+    ]
+
+let run_serve_bench args =
+  let clients = ref [ 1; 8; 64 ] in
+  let requests_per_client = ref 32 in
+  let jobs = ref 4 in
+  let shards = ref 4 in
+  let out = ref "BENCH_serve.json" in
+  let check_scaling = ref false in
+  let usage =
+    "usage: bench serve-load [--clients N,N,...] [--requests-per-client N] \
+     [--jobs N] [--shards N] [--out FILE] [--check-scaling]"
+  in
+  let positive flag v =
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> Ok n
+    | _ -> Error (Printf.sprintf "%s: bad positive integer %S" flag v)
+  in
+  let rec parse = function
+    | [] -> Ok ()
+    | "--clients" :: v :: rest -> begin
+      let parsed =
+        String.split_on_char ',' v
+        |> List.map (positive "--clients")
+        |> List.fold_left
+             (fun acc one ->
+               match (acc, one) with
+               | Ok ns, Ok n -> Ok (ns @ [ n ])
+               | (Error _ as e), _ -> e
+               | _, (Error _ as e) -> e)
+             (Ok [])
+      in
+      match parsed with
+      | Ok [] -> Error "--clients: empty list"
+      | Ok ns ->
+        clients := ns;
+        parse rest
+      | Error e -> Error e
+    end
+    | "--requests-per-client" :: v :: rest -> begin
+      match positive "--requests-per-client" v with
+      | Ok n ->
+        requests_per_client := n;
+        parse rest
+      | Error e -> Error e
+    end
+    | "--jobs" :: v :: rest -> begin
+      match positive "--jobs" v with
+      | Ok n ->
+        jobs := n;
+        parse rest
+      | Error e -> Error e
+    end
+    | "--shards" :: v :: rest -> begin
+      match positive "--shards" v with
+      | Ok n ->
+        shards := n;
+        parse rest
+      | Error e -> Error e
+    end
+    | "--out" :: v :: rest ->
+      out := v;
+      parse rest
+    | "--check-scaling" :: rest ->
+      check_scaling := true;
+      parse rest
+    | other :: _ -> Error (Printf.sprintf "unknown argument %S\n%s" other usage)
+  in
+  match parse args with
+  | Error message ->
+    prerr_endline ("bench serve-load: " ^ message);
+    2
+  | Ok () ->
+    Printf.printf
+      "Serve-load bench: %d requests/client over %s, jobs=%d shards=%d\n\n"
+      !requests_per_client
+      (String.concat "+" (Array.to_list serve_load_workloads))
+      !jobs !shards;
+    let rounds =
+      List.map
+        (fun count ->
+          let round =
+            run_serve_round ~jobs:!jobs ~shards:!shards
+              ~requests_per_client:!requests_per_client count
+          in
+          Printf.printf
+            "%3d clients  %5d reqs  %8.1f req/s  p50 %7.2f ms  p99 %7.2f ms  \
+             L1 %4.0f%%  store %4.0f%%\n\
+             %!"
+            round.sr_clients round.sr_requests round.sr_req_per_s
+            round.sr_p50_ms round.sr_p99_ms
+            (100.0 *. round.sr_l1_hit_rate)
+            (100.0 *. round.sr_store_hit_rate);
+          round)
+        !clients
+    in
+    let failures = List.concat_map (fun r -> r.sr_failures) rounds in
+    List.iter
+      (fun failure ->
+        Printf.eprintf "bench serve-load: client failed: %s\n" failure)
+      failures;
+    let json =
+      Json.Obj
+        [
+          ("bench", Json.String "serve-load");
+          ("jobs", Json.Int !jobs);
+          ("shards", Json.Int !shards);
+          ("requests_per_client", Json.Int !requests_per_client);
+          ("rounds", Json.List (List.map serve_round_json rounds));
+        ]
+    in
+    Out_channel.with_open_text !out (fun channel ->
+        Out_channel.output_string channel (Json.to_string json);
+        Out_channel.output_char channel '\n');
+    Printf.printf "wrote %s\n" !out;
+    if failures <> [] then 1
+    else if not !check_scaling then 0
+    else begin
+      (* the whole point of concurrent serving: more clients, more
+         served — the shared pool and store must scale, not serialize *)
+      match (rounds, List.rev rounds) with
+      | first :: _, last :: _ when first.sr_clients < last.sr_clients ->
+        if last.sr_req_per_s > first.sr_req_per_s then 0
+        else begin
+          Printf.eprintf
+            "bench serve-load: REGRESSION: %d clients served %.1f req/s, not \
+             above the %.1f req/s of %d client(s)\n"
+            last.sr_clients last.sr_req_per_s first.sr_req_per_s
+            first.sr_clients;
+          1
+        end
+      | _ -> 0
+    end
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "estimator" :: rest -> exit (run_estimator_bench rest)
   | _ :: "compile" :: rest -> exit (run_compile_bench rest)
   | _ :: "kernels" :: rest -> exit (run_kernels_bench rest)
   | _ :: "drift" :: rest -> exit (run_drift_bench rest)
+  | _ :: "serve-load" :: rest -> exit (run_serve_bench rest)
   | argv ->
     let skip_perf = List.mem "--no-perf" argv in
     regenerate_artifacts ();

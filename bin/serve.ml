@@ -1,17 +1,25 @@
 (* vqc-serve: compilation-as-a-service over newline-delimited JSON.
 
-   Requests arrive one JSON object per stdin line (workload name or
-   inline QASM, policy label, optional pinned epoch); responses leave
-   one JSON object per stdout line, in input order.  Accepted requests
-   batch onto the worker pool and flush every --batch requests, on
-   control lines, and at EOF; a full admission queue yields structured
-   "rejected" responses instead of an exception.  Deterministic fields
-   are byte-identical across --jobs and cache on/off — anything
-   run-varying (latency, cache temperature) lives under "nd". *)
+   Requests arrive one JSON object per line (workload name or inline
+   QASM, policy label, optional pinned epoch); responses leave one JSON
+   object per line, in input order.  Accepted requests batch onto the
+   worker pool and flush every --batch requests, on control lines, and
+   at EOF; a full admission queue yields structured "rejected"
+   responses (code VQC130) instead of an exception.  Deterministic
+   fields are byte-identical across --jobs, --shards and cache on/off —
+   anything run-varying (latency, cache temperature) lives under "nd".
+
+   Two front ends share the same session loop (Vqc_serve_net.Session):
+   the default reads stdin and writes stdout; --tcp PORT serves many
+   concurrent clients, each an isolated session (private cache, queue
+   and epoch cursor) over a shared worker pool and a shared
+   content-addressed compile store.  A single TCP client receives
+   byte-identical responses to the stdin loop for the same stream. *)
 
 module Service = Vqc_service.Service
 module Epoch = Vqc_service.Epoch
-module Protocol = Vqc_service.Protocol
+module Session = Vqc_serve_net.Session
+module Server = Vqc_serve_net.Server
 module History = Vqc_device.History
 module Topologies = Vqc_device.Topologies
 module Calibration_io = Vqc_device.Calibration_io
@@ -59,82 +67,9 @@ let build_epochs ~seed ~days ~csv_files =
         (Epoch.of_devices
            (List.map (function Ok d -> d | Error _ -> assert false) devices)))
 
-(* Responses must leave in input order, but rejections and parse errors
-   are known immediately while accepted requests wait for the flush.
-   Each input line claims a slot; flushing fills the queued slots from
-   the service's responses (both are in admission order) and prints. *)
-type slot =
-  | Ready of Protocol.response
-  | Queued
-
-let serve service ~batch =
-  let slots = ref [] in
-  let queued = ref 0 in
-  let emit response = print_endline (Protocol.render response) in
-  let flush_slots () =
-    let responses = ref (Service.flush service) in
-    List.iter
-      (fun slot ->
-        match slot with
-        | Ready response -> emit response
-        | Queued -> begin
-          match !responses with
-          | response :: rest ->
-            responses := rest;
-            emit response
-          | [] -> assert false
-        end)
-      (List.rev !slots);
-    slots := [];
-    queued := 0;
-    flush stdout
-  in
-  let ack ?migration op =
-    emit
-      (Protocol.Control_ack
-         { op; epoch = Epoch.current (Service.epoch_manager service); migration });
-    flush stdout
-  in
-  let rec loop () =
-    match In_channel.input_line stdin with
-    | None -> flush_slots ()
-    | Some line when String.trim line = "" -> loop ()
-    | Some line ->
-      (match Protocol.parse_line line with
-      | Error message ->
-        slots := Ready (Protocol.Failed { id = None; error = message }) :: !slots
-      | Ok (Protocol.Control Protocol.Flush) ->
-        flush_slots ();
-        ack "flush"
-      | Ok (Protocol.Control Protocol.Advance_epoch) ->
-        (* plans queued against the old epoch compile against it *)
-        flush_slots ();
-        let _, migration = Service.advance_epoch service in
-        ack ~migration "advance_epoch"
-      | Ok (Protocol.Control (Protocol.Set_epoch epoch)) ->
-        flush_slots ();
-        (match Service.set_epoch service epoch with
-        | migration -> ack ~migration "set_epoch"
-        | exception Invalid_argument message ->
-          emit (Protocol.Failed { id = None; error = message });
-          flush stdout)
-      | Ok (Protocol.Compile request) -> begin
-        match Service.submit service request with
-        | Ok () ->
-          slots := Queued :: !slots;
-          incr queued;
-          if !queued >= batch then flush_slots ()
-        | Error reason ->
-          slots :=
-            Ready (Protocol.Rejected { id = request.Protocol.id; reason })
-            :: !slots
-      end);
-      loop ()
-  in
-  loop ()
-
-let run jobs batch queue_depth cache_capacity no_cache verify drift_threshold
-    seed days csv_files metrics trace =
+let run jobs batch queue_depth cache_capacity no_cache shards verify
+    drift_threshold seed days csv_files tcp clients_max max_line
+    store_capacity metrics trace =
   let ( let* ) r f = Result.bind r f in
   let checked =
     let* jobs =
@@ -143,14 +78,25 @@ let run jobs batch queue_depth cache_capacity no_cache verify drift_threshold
     let* batch = positive "batch" batch in
     let* queue_depth = positive "queue-depth" queue_depth in
     let* cache_capacity = positive "cache-capacity" cache_capacity in
+    let* shards = positive "shards" shards in
+    let* max_line = positive "max-line" max_line in
+    let* (_ : int) = positive "store-capacity" store_capacity in
+    let* (_ : int) = positive "clients-max" clients_max in
     let* _days = positive "days" days in
-    Ok (jobs, batch, queue_depth, cache_capacity)
+    let* () =
+      if shards > cache_capacity then
+        Error
+          (Printf.sprintf "--shards (%d) must not exceed --cache-capacity (%d)"
+             shards cache_capacity)
+      else Ok ()
+    in
+    Ok (jobs, batch, queue_depth, cache_capacity, shards, max_line)
   in
   match checked with
   | Error message ->
     prerr_endline ("vqc-serve: " ^ message);
     1
-  | Ok (jobs, batch, queue_depth, cache_capacity) -> (
+  | Ok (jobs, batch, queue_depth, cache_capacity, shards, max_line) -> (
     match build_epochs ~seed ~days ~csv_files with
     | Error message ->
       prerr_endline ("vqc-serve: " ^ message);
@@ -161,6 +107,7 @@ let run jobs batch queue_depth cache_capacity no_cache verify drift_threshold
           Service.jobs;
           cache_capacity;
           cache_enabled = not no_cache;
+          cache_shards = shards;
           queue_limit = queue_depth;
           verify;
           drift =
@@ -169,9 +116,28 @@ let run jobs batch queue_depth cache_capacity no_cache verify drift_threshold
               drift_threshold;
         }
       in
+      let session = { Session.batch; max_line } in
       let execute () =
-        Service.with_service ~config epochs (fun service ->
-            serve service ~batch);
+        (match tcp with
+        | None ->
+          Service.with_service ~config epochs (fun service ->
+              ignore (Session.run ~config:session service stdin stdout))
+        | Some port ->
+          let server =
+            Server.start
+              ~config:
+                {
+                  Server.port;
+                  clients_max;
+                  session;
+                  service = config;
+                  store_capacity;
+                }
+              epochs
+          in
+          Printf.eprintf "vqc-serve: listening on 127.0.0.1:%d\n%!"
+            (Server.port server);
+          Server.wait server);
         Metrics.snapshot_to_trace ()
       in
       (match trace with
@@ -193,13 +159,14 @@ let batch_term =
 
 let queue_depth_term =
   let doc =
-    "Admission-queue limit: requests beyond $(docv) pending are rejected \
-     with a structured 'rejected' response (backpressure, not a crash)."
+    "Admission-queue limit (per session under --tcp): requests beyond \
+     $(docv) pending are rejected with a structured 'rejected' response \
+     carrying code VQC130 (backpressure, not a crash)."
   in
   Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N" ~doc)
 
 let cache_capacity_term =
-  let doc = "Plan-cache capacity (LRU entries)." in
+  let doc = "Plan-cache capacity (LRU entries; per session under --tcp)." in
   Arg.(value & opt int 256 & info [ "cache-capacity" ] ~docv:"N" ~doc)
 
 let no_cache_term =
@@ -208,6 +175,14 @@ let no_cache_term =
      'bypass').  Deterministic response fields are unchanged."
   in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let shards_term =
+  let doc =
+    "Lock-striped segments of each plan cache (and of the shared store \
+     under --tcp).  Sharding cuts lock contention between concurrent \
+     sessions; responses are byte-identical for every value."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
 
 let verify_term =
   let doc =
@@ -252,6 +227,37 @@ let csv_term =
   Arg.(
     value & opt_all string [] & info [ "calibration-csv" ] ~docv:"FILE" ~doc)
 
+let tcp_term =
+  let doc =
+    "Serve many concurrent clients on 127.0.0.1:$(docv) instead of \
+     stdin/stdout (0 picks an ephemeral port, printed to stderr).  Each \
+     connection is an isolated session — private plan cache, admission \
+     queue and epoch cursor — over a shared worker pool and a shared \
+     content-addressed compile store, so one client's compile becomes \
+     every client's warm hit without ever changing anyone's \
+     deterministic response bytes."
+  in
+  Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
+
+let clients_max_term =
+  let doc =
+    "Concurrent-client cap under --tcp: further connections receive one \
+     'rejected' line (reason server_full, code VQC131) and are closed."
+  in
+  Arg.(value & opt int 64 & info [ "clients-max" ] ~docv:"N" ~doc)
+
+let max_line_term =
+  let doc =
+    "Refuse input lines longer than $(docv) bytes: the session answers \
+     what it already accepted, emits a final structured error, and \
+     closes.  Other sessions are unaffected."
+  in
+  Arg.(value & opt int (1 lsl 20) & info [ "max-line" ] ~docv:"BYTES" ~doc)
+
+let store_capacity_term =
+  let doc = "Shared compile-store capacity under --tcp (entries)." in
+  Arg.(value & opt int 1024 & info [ "store-capacity" ] ~docv:"N" ~doc)
+
 let metrics_term =
   let doc =
     "At exit, dump the metric registry (cache hits/misses/evictions, \
@@ -281,6 +287,11 @@ let cmd =
          the calibration epoch (invalidating superseded cached plans) \
          or force a flush.";
       `P
+        "With --tcp PORT the same protocol serves many concurrent \
+         clients over loopback TCP, one isolated session per \
+         connection; a single client's response stream is \
+         byte-identical to the stdin front end.";
+      `P
         "A request carrying any of \"precision\", \"max_trials\" or \
          \"mc_seed\" additionally receives an adaptive Monte-Carlo PST \
          estimate of its plan: trials stream in fixed chunks until the \
@@ -298,15 +309,17 @@ let cmd =
         "  echo '{\"id\":1,\"workload\":\"bv-16\"}' | vqc-serve\n\
         \  echo '{\"id\":2,\"workload\":\"bv-16\",\"precision\":1e-3}' \
          | vqc-serve\n\
-        \  vqc-serve --jobs 4 --no-cache < requests.ndjson";
+        \  vqc-serve --jobs 4 --no-cache < requests.ndjson\n\
+        \  vqc-serve --tcp 7421 --jobs 4 --shards 4 --clients-max 128";
     ]
   in
   Cmd.v
     (Cmd.info "vqc-serve" ~doc ~man)
     Term.(
       const run $ jobs_term $ batch_term $ queue_depth_term
-      $ cache_capacity_term $ no_cache_term $ verify_term
-      $ drift_threshold_term $ seed_term $ days_term $ csv_term
+      $ cache_capacity_term $ no_cache_term $ shards_term $ verify_term
+      $ drift_threshold_term $ seed_term $ days_term $ csv_term $ tcp_term
+      $ clients_max_term $ max_line_term $ store_capacity_term
       $ metrics_term $ trace_term)
 
 let () = exit (Cmd.eval' cmd)

@@ -41,6 +41,8 @@ let code_calib_t2_bound = "VQC122"
 let code_calib_dead_qubit = "VQC123"
 let code_calib_coupler = "VQC124"
 let code_calib_stuck_sensor = "VQC125"
+let code_queue_full = "VQC130"
+let code_server_full = "VQC131"
 let code_determinism = "VQC201"
 let code_stdout_hygiene = "VQC202"
 let code_unguarded_state = "VQC210"
@@ -69,6 +71,8 @@ let all_codes =
     (code_calib_dead_qubit, "qubit effectively dead");
     (code_calib_coupler, "coupling map and link calibration disagree");
     (code_calib_stuck_sensor, "calibration figure frozen across days");
+    (code_queue_full, "admission queue full; request rejected");
+    (code_server_full, "server at client capacity; connection rejected");
     (code_determinism, "determinism-breaking call in source");
     (code_stdout_hygiene, "stdout print in library code");
     (code_unguarded_state, "top-level mutable state neither Atomic nor guarded");

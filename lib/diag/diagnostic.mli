@@ -47,6 +47,15 @@
       (uncalibrated coupler, or calibrated non-coupler)
     - [VQC125] — calibration figure frozen across days (stuck sensor)
 
+    {b VQC13x — serving backpressure} ([Vqc_service.Admission] and the
+    [Vqc_serve_net] TCP front end; rendered on the wire, identically on
+    the stdin and TCP paths):
+
+    - [VQC130] — per-session admission queue full; the request is
+      rejected with a typed [rejected] response, never dropped silently
+    - [VQC131] — server at its [--clients-max] connection capacity; the
+      connection is refused with one [rejected] line and closed
+
     {b VQC2xx — repository source analysis} ([Vqc_check.Rules], over
     the comment/string-aware token stream of every [.ml] source):
 
@@ -104,6 +113,8 @@ val code_calib_t2_bound : string
 val code_calib_dead_qubit : string
 val code_calib_coupler : string
 val code_calib_stuck_sensor : string
+val code_queue_full : string
+val code_server_full : string
 val code_determinism : string
 val code_stdout_hygiene : string
 val code_unguarded_state : string

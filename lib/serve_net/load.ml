@@ -1,0 +1,80 @@
+type result = {
+  lines : string list;
+  latencies : float array;
+}
+
+(* One client over one connection.  With [window] the client pipelines:
+   at most [window] requests are in flight, each new send first drains
+   a response once the window is full — necessary both for honest
+   per-request latencies and to avoid the write-write deadlock of
+   pushing an entire stream into finite socket buffers.  Without
+   [window] the client writes everything, half-closes, and reads the
+   full response stream — the exact shape of `vqc-serve < file`, used
+   by the determinism tests.
+
+   The service answers one response line per request line, in order
+   (rejections and parse failures included), so request [i] pairs with
+   response [i]. *)
+let client ~port ?window ~requests () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let requests = Array.of_list requests in
+      let total = Array.length requests in
+      let send_times = Array.make total 0.0 in
+      let latencies = Array.make total 0.0 in
+      let received = ref 0 in
+      let lines = ref [] in
+      let receive_one () =
+        let line = input_line ic in
+        latencies.(!received) <- Unix.gettimeofday () -. send_times.(!received);
+        lines := line :: !lines;
+        incr received
+      in
+      let send i =
+        send_times.(i) <- Unix.gettimeofday ();
+        output_string oc requests.(i);
+        output_char oc '\n'
+      in
+      (match window with
+      | Some window ->
+        for i = 0 to total - 1 do
+          if i - !received >= window then receive_one ();
+          send i;
+          flush oc
+        done
+      | None ->
+        Array.iteri (fun i _ -> send i) requests;
+        flush oc);
+      (* half-close: the session sees EOF and flushes whatever is still
+         batched, without losing the read direction *)
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      while !received < total do
+        receive_one ()
+      done;
+      { lines = List.rev !lines; latencies })
+
+let run ~port ~clients ?window ~requests () =
+  let results = Array.make clients None in
+  let threads =
+    List.init clients (fun index ->
+        Thread.create
+          (fun () ->
+            let outcome =
+              match client ~port ?window ~requests:(requests index) () with
+              | result -> Ok result
+              | exception e -> Error (Printexc.to_string e)
+            in
+            results.(index) <- Some outcome)
+          ())
+  in
+  List.iter Thread.join threads;
+  Array.map
+    (function
+      | Some outcome -> outcome
+      | None -> Error "client thread died without reporting")
+    results

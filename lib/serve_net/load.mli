@@ -1,0 +1,37 @@
+(** In-process load generator for the TCP server.
+
+    Clients are system threads (not domains — they only block on
+    sockets), each owning one connection and one NDJSON request
+    stream.  Used by the determinism tests (replay a stream, capture
+    the exact response bytes) and by [bench serve-load] (pipelined
+    streams with per-request latency timestamps). *)
+
+type result = {
+  lines : string list;  (** response lines, in request order *)
+  latencies : float array;
+      (** seconds between sending request [i] and reading response
+          [i]; meaningful under pipelining ([window]), where a request
+          is sent only after earlier responses drained *)
+}
+
+val client :
+  port:int -> ?window:int -> requests:string list -> unit -> result
+(** Replay one request stream against [127.0.0.1:port].  With
+    [window], at most that many requests are in flight at once;
+    without it, the whole stream is written, the write side
+    half-closed, and every response read back — byte-equivalent to
+    [vqc-serve < file] on the stdin front end.
+    @raise Unix.Unix_error if the connection fails
+    @raise End_of_file if the server closes before answering every
+    request (e.g. a [server_full] rejection or an oversized line). *)
+
+val run :
+  port:int ->
+  clients:int ->
+  ?window:int ->
+  requests:(int -> string list) ->
+  unit ->
+  (result, string) Stdlib.result array
+(** Run [clients] concurrent clients, client [i] replaying
+    [requests i].  Per-client failures are captured, not raised, so
+    one refused connection cannot hide the other clients' results. *)

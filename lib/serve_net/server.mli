@@ -1,0 +1,66 @@
+(** Multi-client TCP front end for the compilation service.
+
+    One listener on loopback, one OCaml domain per accepted client,
+    each running the stdin-identical {!Session} loop over its own
+    {!Vqc_service.Service} — private plan cache, private admission
+    queue, private epoch cursor ({!Vqc_service.Epoch.fork}) — while
+    sharing two correctness-neutral resources across sessions: the
+    worker {!Vqc_engine.Pool} (safe for concurrent [map] calls) and a
+    content-addressed compile store (see
+    {!Vqc_service.Service.shared_store}) that turns one client's
+    compile into every client's warm hit.
+
+    Isolation model: anything that could make one client's response
+    bytes depend on another client's traffic is per-session; anything
+    shared is invisible outside latency, metrics and the ["nd"]
+    response section.  The determinism test wall
+    ([test/test_serve_net.ml]) holds concurrent response streams to
+    their single-client golden runs across shard counts, worker counts
+    and client counts.
+
+    Beyond [clients_max] concurrent clients, a new connection receives
+    one [rejected] line (reason [server_full], code [VQC131]) and is
+    closed — connection-level load shedding, mirroring the [VQC130]
+    per-request admission rejection inside a session.
+
+    Metrics: [serve.net.connections], [serve.net.rejected],
+    [serve.net.sessions] (live-session gauge); per-session service
+    traffic lands under [service.*], the shared store under
+    [serve.store.*]. *)
+
+type config = {
+  port : int;  (** 0 picks an ephemeral port; see {!port} *)
+  clients_max : int;  (** concurrent-session cap (>= 1) *)
+  session : Session.config;
+  service : Vqc_service.Service.config;
+      (** per-session service configuration ([jobs] sizes the shared
+          pool; [cache_shards] stripes both the session caches and the
+          shared store) *)
+  store_capacity : int;  (** shared compile store entries *)
+}
+
+val default_config : config
+(** port 0 (ephemeral), 64 clients, default session/service configs,
+    1024-entry store. *)
+
+type t
+
+val start : ?config:config -> Vqc_service.Epoch.t -> t
+(** Bind, listen and start accepting on a background domain.  The
+    given epoch rotation is the boot state every session forks from.
+    Ignores [SIGPIPE] process-wide (a vanished client must not kill
+    the server).
+    @raise Invalid_argument on a bad [clients_max] or [port]
+    @raise Unix.Unix_error when the port cannot be bound. *)
+
+val port : t -> int
+(** The bound port — the ephemeral port when [config.port] was 0. *)
+
+val wait : t -> unit
+(** Block until the accept loop exits (i.e. until {!stop} is called
+    from another thread of control, or never). *)
+
+val stop : t -> unit
+(** Stop accepting, wait for the live sessions to finish (they end
+    when their clients hang up), and shut the worker pool down.
+    Idempotent. *)

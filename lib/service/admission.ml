@@ -3,6 +3,7 @@ module Metrics = Vqc_obs.Metrics
 type reason = Queue_full of { depth : int; limit : int }
 
 let reason_to_string (Queue_full _) = "queue_full"
+let code (Queue_full _) = Vqc_diag.Diagnostic.code_queue_full
 
 let accepted = Metrics.counter "service.queue.accepted"
 let rejected = Metrics.counter "service.queue.rejected"

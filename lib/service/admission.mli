@@ -12,6 +12,11 @@ type reason = Queue_full of { depth : int; limit : int }
 val reason_to_string : reason -> string
 (** e.g. ["queue_full"] — the stable wire identifier of the reason. *)
 
+val code : reason -> string
+(** The {!Vqc_diag} code of the rejection (e.g. [VQC130]) — the same
+    code renders in the [rejected] wire response on every front end
+    (stdin and TCP), so clients can switch on it uniformly. *)
+
 type 'a t
 
 val create : limit:int -> 'a t

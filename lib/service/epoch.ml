@@ -37,6 +37,17 @@ let locked t f =
 
 let current t = locked t (fun () -> t.current)
 
+(* A fork shares the (immutable) device rotation but owns its cursor:
+   sessions of the TCP server each fork the boot epoch manager so one
+   client's epoch-advance cannot move another client's pin. *)
+let fork t =
+  {
+    devices = t.devices;
+    fingerprints = t.fingerprints;
+    current = current t;
+    lock = Mutex.create ();
+  }
+
 let check t epoch =
   if epoch < 0 || epoch >= Array.length t.devices then
     invalid_arg

@@ -30,6 +30,13 @@ val of_history :
   t
 (** One epoch per history day over a fixed topology. *)
 
+val fork : t -> t
+(** An independent cursor over the {e same} device rotation: the fork
+    starts at the parent's current epoch and advances on its own.  The
+    TCP server forks the boot epoch manager per session, so a client's
+    epoch-advance moves only that client's pin — a prerequisite of the
+    per-client determinism contract. *)
+
 val epochs : t -> int
 val current : t -> int
 

@@ -277,6 +277,7 @@ let render response =
       @ [
           ("status", Json.String "rejected");
           ("reason", Json.String (Admission.reason_to_string reason));
+          ("code", Json.String (Admission.code reason));
           ("depth", Json.Int depth);
           ("limit", Json.Int limit);
         ]

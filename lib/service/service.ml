@@ -22,6 +22,7 @@ type config = {
   jobs : int;
   cache_capacity : int;
   cache_enabled : bool;
+  cache_shards : int;
   queue_limit : int;
   verify : bool;
   drift : Retention.policy option;
@@ -32,6 +33,7 @@ let default_config =
     jobs = 1;
     cache_capacity = 256;
     cache_enabled = true;
+    cache_shards = 1;
     queue_limit = 64;
     verify = false;
     drift = None;
@@ -56,26 +58,53 @@ type cached = {
   source : Circuit.t;
 }
 
+(* A shared compile store (the "L2" behind the per-session caches of
+   the TCP server): content-addressed like the session cache, but keyed
+   purely by content — a plan for (circuit, calibration, policy) is
+   correct forever, so the store is never invalidated on epoch moves
+   and can be shared by sessions sitting at different epochs. *)
+type store = cached Plan_cache.t
+
+let shared_store ?shards ~capacity () =
+  Plan_cache.create ?shards ~metrics_prefix:"serve.store" ~capacity ()
+
 type t = {
   service_config : config;
   epoch : Epoch.t;
   cache : cached Plan_cache.t;
       (** allocated even when disabled; bypassed (never consulted) so
           hit/miss metrics stay silent with the cache off *)
+  store : store option;
+      (** cross-session plan store; consulted after a cache miss,
+          written through on compile.  Store temperature is visible
+          only under ["nd"]/metrics — deterministic response fields
+          never depend on it. *)
   queue : Protocol.request Admission.t;
   pool : Pool.t;
+  owns_pool : bool;
+      (** sessions of one server share a pool; only its owner may shut
+          it down *)
 }
 
-let create ?(config = default_config) epoch =
+let create ?(config = default_config) ?pool ?store epoch =
   (match Pool.validate_jobs config.jobs with
   | Ok _ -> ()
   | Error message -> invalid_arg ("Service.create: " ^ message));
+  let pool, owns_pool =
+    match pool with
+    | Some pool -> (pool, false)
+    | None -> (Pool.create ~jobs:config.jobs (), true)
+  in
   {
     service_config = config;
     epoch;
-    cache = Plan_cache.create ~capacity:config.cache_capacity;
+    cache =
+      Plan_cache.create ~shards:config.cache_shards
+        ~capacity:config.cache_capacity ();
+    store;
     queue = Admission.create ~limit:config.queue_limit;
-    pool = Pool.create ~jobs:config.jobs ();
+    pool;
+    owns_pool;
   }
 
 let config t = t.service_config
@@ -378,6 +407,13 @@ let run_estimate t prepared payload =
 type slot =
   | Unresolvable of Protocol.request * string
   | Cached of prepared * cached * float  (** lookup seconds *)
+  | Stored of prepared * cached * float
+      (** session-cache miss served by the shared store.  The payload
+          enters the session cache in phase 4 (first-occurrence order),
+          exactly where a fresh compile's insert would land — so the
+          session cache's LRU evolution, and with it every
+          deterministic response field, is byte-identical to a run
+          against a cold or absent store. *)
   | Needs_compile of prepared
 
 let trace_response response =
@@ -440,56 +476,99 @@ let flush t =
               match Plan_cache.find t.cache prepared.key with
               | Some payload ->
                 Cached (prepared, payload, Unix.gettimeofday () -. start)
-              | None -> Needs_compile prepared
+              | None -> begin
+                (* session-cache miss: try the shared store (the
+                   compiles of other sessions) before paying for a
+                   compile of our own *)
+                match
+                  Option.bind t.store (fun store ->
+                      Plan_cache.find store prepared.key)
+                with
+                | Some payload ->
+                  Stored (prepared, payload, Unix.gettimeofday () -. start)
+                | None -> Needs_compile prepared
+              end
             end)
         requests
     in
     (* Phase 3: distinct missing keys compile in parallel; duplicates
-       within the batch compile once.  First-occurrence order keys the
-       fan-out, so results land deterministically. *)
+       within the batch compile once, and keys the shared store already
+       holds do not compile at all.  First-occurrence order over {e
+       all} misses (stored or not) keys the fan-out and the insertion
+       order, so the session cache evolves byte-identically whether the
+       store was warm, cold, or absent. *)
     let seen = Hashtbl.create 16 in
     let unique =
       List.filter_map
         (function
-          | Needs_compile prepared
+          | Stored (prepared, payload, _)
             when not (Hashtbl.mem seen prepared.key) ->
             Hashtbl.add seen prepared.key ();
-            Some prepared
+            Some (prepared, Some payload)
+          | Needs_compile prepared when not (Hashtbl.mem seen prepared.key)
+            ->
+            Hashtbl.add seen prepared.key ();
+            Some (prepared, None)
           | _ -> None)
         slots
     in
+    let to_compile =
+      List.filter_map
+        (function p, None -> Some p | _, Some _ -> None)
+        unique
+    in
     let compiled = Hashtbl.create 16 in
-    if unique <> [] then begin
-      Metrics.add compiles_total (List.length unique);
-      let verify = t.service_config.verify in
-      let results =
+    let verify = t.service_config.verify in
+    let results =
+      if to_compile = [] then []
+      else begin
+        Metrics.add compiles_total (List.length to_compile);
         Pool.map t.pool
           ~f:(fun _ prepared -> compile_plan ~verify prepared)
-          unique
-      in
-      (* Phase 4: cache insertion is serial and in fan-out order, so the
-         LRU state after the batch is deterministic too.  Rejected plans
-         never enter the cache, and verification metrics are counted
-         here, outside the worker domains. *)
-      List.iter2
-        (fun prepared result ->
-          Hashtbl.replace compiled prepared.key result;
-          match result with
-          | Plan payload, _ ->
-            if verify then begin
-              Metrics.incr verify_checks_total;
-              Metrics.incr verify_ok_total
-            end;
-            if t.service_config.cache_enabled then
-              Plan_cache.insert t.cache prepared.key payload
-          | Invalid_result _, _ ->
-            if verify then begin
-              Metrics.incr verify_checks_total;
-              Metrics.incr verify_rejected_total
-            end
-          | Compile_error _, _ -> ())
-        unique results
-    end;
+          to_compile
+      end
+    in
+    (* Phase 4: cache insertion is serial and in first-occurrence
+       order, so the LRU state after the batch is deterministic too.
+       Rejected plans never enter the cache or the store, and
+       verification metrics are counted here, outside the worker
+       domains. *)
+    let remaining = ref results in
+    List.iter
+      (fun (prepared, stored_payload) ->
+        let result =
+          match stored_payload with
+          | Some payload -> (Plan payload, 0.0)
+          | None -> begin
+            match !remaining with
+            | result :: rest ->
+              remaining := rest;
+              result
+            | [] -> assert false (* one pool result per to_compile entry *)
+          end
+        in
+        Hashtbl.replace compiled prepared.key result;
+        match result with
+        | Plan payload, _ ->
+          if verify && stored_payload = None then begin
+            Metrics.incr verify_checks_total;
+            Metrics.incr verify_ok_total
+          end;
+          if t.service_config.cache_enabled then begin
+            Plan_cache.insert t.cache prepared.key payload;
+            (* write-through: fresh compiles warm the shared store *)
+            if stored_payload = None then
+              Option.iter
+                (fun store -> Plan_cache.insert store prepared.key payload)
+                t.store
+          end
+        | Invalid_result _, _ ->
+          if verify then begin
+            Metrics.incr verify_checks_total;
+            Metrics.incr verify_rejected_total
+          end
+        | Compile_error _, _ -> ())
+      unique;
     (* Phase 5: responses in admission order. *)
     let cache_status =
       if t.service_config.cache_enabled then Protocol.Miss
@@ -502,7 +581,8 @@ let flush t =
           | Unresolvable (request, error) ->
             Metrics.incr failures_total;
             Protocol.Failed { id = request.Protocol.id; error }
-          | Cached (prepared, payload, seconds) ->
+          | Cached (prepared, payload, seconds)
+          | Stored (prepared, payload, seconds) ->
             if not t.service_config.verify then
               Protocol.Compiled
                 {
@@ -591,7 +671,7 @@ let flush t =
     responses
   end
 
-let shutdown t = Pool.shutdown t.pool
+let shutdown t = if t.owns_pool then Pool.shutdown t.pool
 
 let with_service ?config epoch f =
   let t = create ?config epoch in

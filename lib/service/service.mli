@@ -25,6 +25,13 @@ type config = {
   jobs : int;  (** worker domains for batch compilation (>= 1) *)
   cache_capacity : int;
   cache_enabled : bool;
+  cache_shards : int;
+      (** lock stripes of the plan cache (>= 1).  Sharding changes lock
+          contention only: with any shard count the cache serves the
+          same hits and evicts per-segment LRU, and a single-session
+          service is byte-identical for the same request stream.  The
+          default [1] is byte-identical to the historical single-mutex
+          cache. *)
   queue_limit : int;
   verify : bool;
       (** statically verify every plan ({!Vqc_check.Verify}) before it
@@ -42,13 +49,33 @@ type config = {
 }
 
 val default_config : config
-(** jobs 1, capacity 256, cache enabled, queue limit 64, verify off,
-    drift off. *)
+(** jobs 1, capacity 256, cache enabled, 1 shard, queue limit 64,
+    verify off, drift off. *)
 
 type t
 
-val create : ?config:config -> Epoch.t -> t
-(** @raise Invalid_argument on a non-positive [jobs], [cache_capacity]
+type store
+(** A cross-session compile store (the "L2" behind the per-session
+    caches of the TCP server).  Content-addressed like the session
+    cache — a plan for (circuit, calibration, policy) is correct for
+    as long as those fingerprints name it — so it is {e never}
+    invalidated on epoch moves and can be shared by sessions pinned to
+    different epochs.  Consulted after a session-cache miss; written
+    through on every fresh compile.  Store temperature is visible only
+    in metrics ([serve.store.*]) and the ["nd"] response section:
+    deterministic response fields never depend on it. *)
+
+val shared_store : ?shards:int -> capacity:int -> unit -> store
+(** [shards] defaults to [1]; see {!Plan_cache.create} for the
+    constraints. *)
+
+val create : ?config:config -> ?pool:Vqc_engine.Pool.t -> ?store:store -> Epoch.t -> t
+(** [?pool] shares an existing worker pool instead of spawning one —
+    {!shutdown} then leaves the pool running (its owner stops it).
+    [?store] attaches a shared compile store.  Both seams exist for the
+    TCP server, whose sessions are each a service over common workers
+    and a common store.
+    @raise Invalid_argument on a non-positive [jobs], [cache_capacity]
     or [queue_limit]. *)
 
 val config : t -> config
@@ -78,8 +105,9 @@ val set_epoch : t -> int -> Epoch.migration
     @raise Invalid_argument when the epoch is out of range. *)
 
 val shutdown : t -> unit
-(** Stop the worker domains.  Idempotent; the service must not be
-    flushed afterwards. *)
+(** Stop the worker domains (no-op when the pool was supplied via
+    [?pool] — the owner stops it).  Idempotent; the service must not
+    be flushed afterwards. *)
 
 val with_service : ?config:config -> Epoch.t -> (t -> 'a) -> 'a
 (** Run with a fresh service, shutting it down afterwards (also on

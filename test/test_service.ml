@@ -104,7 +104,7 @@ let key n =
   }
 
 let test_cache_lru_eviction () =
-  let cache = Plan_cache.create ~capacity:2 in
+  let cache = Plan_cache.create ~capacity:2 () in
   Plan_cache.insert cache (key 1) 1;
   Plan_cache.insert cache (key 2) 2;
   (* touch key 1 so key 2 becomes the eviction candidate *)
@@ -116,7 +116,7 @@ let test_cache_lru_eviction () =
   check "3 present" true (Plan_cache.find cache (key 3) = Some 3)
 
 let test_cache_retain () =
-  let cache = Plan_cache.create ~capacity:8 in
+  let cache = Plan_cache.create ~capacity:8 () in
   List.iter (fun n -> Plan_cache.insert cache (key n) n) [ 1; 2; 3; 4 ];
   let dropped =
     Plan_cache.retain cache (fun k -> k.Plan_cache.circuit_fp = "c2")
@@ -129,7 +129,7 @@ let test_cache_counters () =
   let hits0 = counter "service.cache.hits" in
   let misses0 = counter "service.cache.misses" in
   let evictions0 = counter "service.cache.evictions" in
-  let cache = Plan_cache.create ~capacity:1 in
+  let cache = Plan_cache.create ~capacity:1 () in
   check "miss" true (Plan_cache.find cache (key 1) = None);
   Plan_cache.insert cache (key 1) 1;
   check "hit" true (Plan_cache.find cache (key 1) = Some 1);
@@ -138,6 +138,118 @@ let test_cache_counters () =
   check_int "one miss counted" (misses0 + 1) (counter "service.cache.misses");
   check_int "one eviction counted" (evictions0 + 1)
     (counter "service.cache.evictions")
+
+(* ---- Plan_cache sharding equivalence (qcheck) ----------------------- *)
+
+(* Random op streams over a small key space, replayed against a
+   single-segment reference cache and a sharded one.  With capacity at
+   least the key space (no evictions), sharding must be invisible:
+   identical find results, identical final contents, identical
+   migration censuses, identical hit/miss counter movements (every
+   segment feeds the same counters, so the sums across shards match
+   the single-segment reference by observation, not by construction).
+   Eviction is per-segment LRU, so under eviction pressure the wall
+   asserts the bounded-size invariant and exact run-to-run
+   reproducibility instead of pointwise equality. *)
+
+type cache_op =
+  | C_insert of int
+  | C_find of int
+  | C_migrate of int
+
+let gen_cache_ops =
+  QCheck2.Gen.(
+    list_size (int_range 1 60)
+      (oneof
+         [
+           map (fun n -> C_insert n) (int_bound 15);
+           map (fun n -> C_find n) (int_bound 15);
+           map (fun seed -> C_migrate seed) (int_bound 7);
+         ]))
+
+(* Deterministic, content-based migration decision: drop every fifth
+   value, re-key even values to a seed-named calibration (cross-segment
+   moves included — the new fingerprint hashes wherever it hashes),
+   keep odd values in place. *)
+let migrate_decide seed k v =
+  if v mod 5 = 4 then None
+  else if v mod 2 = 0 then
+    Some { k with Plan_cache.calibration_fp = Printf.sprintf "cal-m%d" seed }
+  else Some k
+
+(* Replay ops, rendering each observable outcome: traces from two
+   behaviourally equal caches are equal as string lists.  Migration
+   drops are rendered sorted — segment walk order is the one legitimate
+   representation difference between shard counts. *)
+let apply_cache_ops cache ops =
+  List.map
+    (fun op ->
+      match op with
+      | C_insert n ->
+        Plan_cache.insert cache (key n) n;
+        Printf.sprintf "insert %d" n
+      | C_find n -> begin
+        match Plan_cache.find cache (key n) with
+        | Some v -> Printf.sprintf "find %d -> %d" n v
+        | None -> Printf.sprintf "find %d -> miss" n
+      end
+      | C_migrate seed ->
+        let m = Plan_cache.migrate cache ~decide:(migrate_decide seed) in
+        Printf.sprintf "migrate %d -> kept %d dropped [%s]" seed
+          m.Plan_cache.kept
+          (String.concat ";"
+             (List.sort compare
+                (List.map
+                   (fun (k, v) ->
+                     Printf.sprintf "%s=%d" (Plan_cache.key_to_string k) v)
+                   m.Plan_cache.dropped))))
+    ops
+
+let sorted_entries cache =
+  List.sort compare (Plan_cache.entries cache)
+
+let prop_sharding_invisible =
+  QCheck2.Test.make ~name:"sharded cache = single segment (no evictions)"
+    ~count:100
+    QCheck2.Gen.(pair gen_cache_ops (int_range 2 5))
+    (fun (ops, shards) ->
+      let reference =
+        Plan_cache.create ~metrics_prefix:"test.shardeq.ref" ~capacity:32 ()
+      in
+      let sharded =
+        Plan_cache.create ~shards ~metrics_prefix:"test.shardeq.shd"
+          ~capacity:32 ()
+      in
+      let ref_hits0 = counter "test.shardeq.ref.hits" in
+      let ref_misses0 = counter "test.shardeq.ref.misses" in
+      let shd_hits0 = counter "test.shardeq.shd.hits" in
+      let shd_misses0 = counter "test.shardeq.shd.misses" in
+      let ref_trace = apply_cache_ops reference ops in
+      let shd_trace = apply_cache_ops sharded ops in
+      ref_trace = shd_trace
+      && sorted_entries reference = sorted_entries sharded
+      && counter "test.shardeq.ref.hits" - ref_hits0
+         = counter "test.shardeq.shd.hits" - shd_hits0
+      && counter "test.shardeq.ref.misses" - ref_misses0
+         = counter "test.shardeq.shd.misses" - shd_misses0)
+
+let prop_sharded_eviction_reproducible =
+  QCheck2.Test.make
+    ~name:"sharded eviction stays bounded and replays identically" ~count:100
+    gen_cache_ops
+    (fun ops ->
+      let run () =
+        let cache =
+          Plan_cache.create ~shards:3 ~metrics_prefix:"test.shardevict"
+            ~capacity:6 ()
+        in
+        let trace = apply_cache_ops cache ops in
+        (trace, Plan_cache.entries cache, Plan_cache.length cache)
+      in
+      let trace1, entries1, length1 = run () in
+      let trace2, entries2, length2 = run () in
+      length1 <= 6 && length1 = length2 && trace1 = trace2
+      && entries1 = entries2)
 
 (* ---- Admission ----------------------------------------------------- *)
 
@@ -202,7 +314,7 @@ let test_protocol_render_shapes () =
          })
   in
   check_string "rejection is structured"
-    {|{"id":"j1","status":"rejected","reason":"queue_full","depth":4,"limit":4}|}
+    {|{"id":"j1","status":"rejected","reason":"queue_full","code":"VQC130","depth":4,"limit":4}|}
     rejected;
   let failed =
     Protocol.render (Protocol.Failed { id = None; error = "boom" })
@@ -263,6 +375,8 @@ let test_service_deterministic_across_jobs_and_cache () =
         { Service.default_config with Service.jobs = 4 };
         { Service.default_config with Service.jobs = 1; cache_enabled = false };
         { Service.default_config with Service.jobs = 4; cache_enabled = false };
+        { Service.default_config with Service.jobs = 1; cache_shards = 4 };
+        { Service.default_config with Service.jobs = 4; cache_shards = 8 };
       ]
   in
   match runs with
@@ -299,6 +413,33 @@ let test_service_warm_cache_hits () =
       List.iter2
         (check_string "warm deterministic fields match cold")
         (deterministic_lines cold) (deterministic_lines warm))
+
+(* The TCP server's L2: sessions sharing a store serve byte-identical
+   deterministic fields to a store-less run — store temperature may
+   only move metrics and the "nd" section. *)
+let test_service_shared_store_warms_across_sessions () =
+  let baseline =
+    Service.with_service (q5_epochs ()) (fun service ->
+        deterministic_lines (run_batch service))
+  in
+  let store = Service.shared_store ~shards:2 ~capacity:64 () in
+  let run_with_store () =
+    let service = Service.create ~store (q5_epochs ()) in
+    Fun.protect
+      ~finally:(fun () -> Service.shutdown service)
+      (fun () -> run_batch service)
+  in
+  let first = run_with_store () in
+  let store_hits0 = counter "serve.store.hits" in
+  let second = run_with_store () in
+  check "second session warms from the store" true
+    (counter "serve.store.hits" > store_hits0);
+  List.iter2
+    (check_string "store-warmed bytes match the store-less run")
+    baseline (deterministic_lines first);
+  List.iter2
+    (check_string "second session bytes match the store-less run")
+    baseline (deterministic_lines second)
 
 let test_service_queue_overflow_is_structured () =
   let config = { Service.default_config with Service.queue_limit = 2 } in
@@ -542,6 +683,8 @@ let () =
           Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
           Alcotest.test_case "retain" `Quick test_cache_retain;
           Alcotest.test_case "counters" `Quick test_cache_counters;
+          QCheck_alcotest.to_alcotest prop_sharding_invisible;
+          QCheck_alcotest.to_alcotest prop_sharded_eviction_reproducible;
         ] );
       ( "admission",
         [ Alcotest.test_case "bounds" `Quick test_admission_bounds ] );
@@ -557,6 +700,8 @@ let () =
             test_service_deterministic_across_jobs_and_cache;
           Alcotest.test_case "warm cache hits" `Quick
             test_service_warm_cache_hits;
+          Alcotest.test_case "shared store warms across sessions" `Quick
+            test_service_shared_store_warms_across_sessions;
           Alcotest.test_case "queue overflow" `Quick
             test_service_queue_overflow_is_structured;
           Alcotest.test_case "epoch rotation" `Quick
